@@ -1,0 +1,67 @@
+// Regenerates Fig. 5: normalized delay of every pruned configuration at the
+// three fidelities, for GEMM (a — near-overlapping stages) and
+// SPMV_ELLPACK (b — strongly divergent stages).
+//
+// Output: one series per benchmark, "index hls syn impl" rows with delay
+// min-max normalized per benchmark (as in the paper's plot), plus summary
+// statistics of the cross-fidelity divergence.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "exp/harness.h"
+
+using namespace cmmfo;
+
+int main() {
+  for (const std::string name : {"gemm", "spmv_ellpack"}) {
+    exp::BenchmarkContext ctx(bench_suite::makeBenchmark(name));
+    const auto& gt = ctx.groundTruth();
+
+    // Joint min-max normalization over all three fidelities.
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = 0; i < gt.size(); ++i)
+      for (int f = 0; f < sim::kNumFidelities; ++f) {
+        const double d = gt.report(i, static_cast<sim::Fidelity>(f)).delay_us;
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    const double range = std::max(hi - lo, 1e-12);
+
+    // Sort configurations by impl delay so the series reads like the paper's
+    // scatter (y = configuration index).
+    std::vector<std::size_t> order(gt.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return gt.report(a, sim::Fidelity::kImpl).delay_us <
+             gt.report(b, sim::Fidelity::kImpl).delay_us;
+    });
+
+    std::printf("# Fig5 %s Delay (normalized) — %zu configurations\n",
+                name.c_str(), gt.size());
+    std::printf("# index hls syn impl\n");
+    double mean_gap = 0.0, max_gap = 0.0;
+    const std::size_t stride = std::max<std::size_t>(1, gt.size() / 200);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const std::size_t i = order[rank];
+      const double dh =
+          (gt.report(i, sim::Fidelity::kHls).delay_us - lo) / range;
+      const double ds =
+          (gt.report(i, sim::Fidelity::kSyn).delay_us - lo) / range;
+      const double di =
+          (gt.report(i, sim::Fidelity::kImpl).delay_us - lo) / range;
+      const double gap = std::max(std::abs(di - dh), std::abs(di - ds));
+      mean_gap += gap;
+      max_gap = std::max(max_gap, gap);
+      if (rank % stride == 0)
+        std::printf("%6zu %.4f %.4f %.4f\n", rank, dh, ds, di);
+    }
+    mean_gap /= static_cast<double>(gt.size());
+    std::printf(
+        "# %s: mean |impl - lower-fidelity| gap = %.4f, max = %.4f "
+        "(paper: GEMM overlaps, SPMV_ELLPACK diverges)\n\n",
+        name.c_str(), mean_gap, max_gap);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks for the GP stack: Gram construction,
+// Cholesky, single-output MLE fit, multi-task fit and prediction, and the
+// MC-EIPV acquisition — the per-iteration cost drivers of Algorithm 2.
+
+#include <benchmark/benchmark.h>
+
+#include "core/acquisition.h"
+#include "gp/ard_kernels.h"
+#include "gp/gp_regressor.h"
+#include "gp/multitask_gp.h"
+#include "linalg/cholesky.h"
+#include "rng/rng.h"
+
+using namespace cmmfo;
+using namespace cmmfo::gp;
+
+namespace {
+
+Dataset randomPoints(std::size_t n, std::size_t d, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  Dataset x(n, Vec(d));
+  for (auto& xi : x)
+    for (auto& v : xi) v = rng.uniform();
+  return x;
+}
+
+void BM_GramMatrix(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Matern52Ard k(12);
+  const Dataset x = randomPoints(n, 12, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(k.gram(x));
+}
+BENCHMARK(BM_GramMatrix)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_Cholesky(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Matern52Ard k(12);
+  const Dataset x = randomPoints(n, 12, 2);
+  linalg::Matrix gram = k.gram(x);
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += 1e-4;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(linalg::Cholesky::factorize(gram));
+}
+BENCHMARK(BM_Cholesky)->Arg(48)->Arg(96)->Arg(144);
+
+void BM_GpFit(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Dataset x = randomPoints(n, 12, 3);
+  rng::Rng rng(3);
+  Vec y(n);
+  for (auto& v : y) v = rng.normal();
+  GpFitOptions opts;
+  opts.mle_restarts = 0;
+  opts.max_mle_iters = 30;
+  for (auto _ : state) {
+    GpRegressor gp(Matern52Ard(12), opts);
+    rng::Rng r(4);
+    gp.fit(x, y, r);
+    benchmark::DoNotOptimize(gp.predict(x[0]));
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_MultiTaskFit(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Dataset x = randomPoints(n, 12, 5);
+  rng::Rng rng(5);
+  linalg::Matrix y(n, 3);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t m = 0; m < 3; ++m) y(i, m) = rng.normal();
+  MultiTaskFitOptions opts;
+  opts.mle_restarts = 0;
+  opts.max_mle_iters = 25;
+  for (auto _ : state) {
+    MultiTaskGp gp(Matern52Ard(12, true), 3, opts);
+    rng::Rng r(6);
+    gp.fit(x, y, r);
+    benchmark::DoNotOptimize(gp.predict(x[0]));
+  }
+}
+BENCHMARK(BM_MultiTaskFit)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_MultiTaskPredict(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const Dataset x = randomPoints(n, 12, 7);
+  rng::Rng rng(7);
+  linalg::Matrix y(n, 3);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t m = 0; m < 3; ++m) y(i, m) = rng.normal();
+  MultiTaskFitOptions opts;
+  opts.mle_restarts = 0;
+  opts.max_mle_iters = 10;
+  MultiTaskGp gp(Matern52Ard(12, true), 3, opts);
+  gp.fit(x, y, rng);
+  const Vec q = randomPoints(1, 12, 8)[0];
+  for (auto _ : state) benchmark::DoNotOptimize(gp.predict(q));
+}
+BENCHMARK(BM_MultiTaskPredict)->Arg(24)->Arg(48);
+
+void BM_McEipv(benchmark::State& state) {
+  rng::Rng rng(9);
+  const auto z = core::drawStdNormals(state.range(0), 3, rng);
+  std::vector<pareto::Point> front;
+  for (int i = 0; i < 30; ++i)
+    front.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  linalg::Matrix cov(3, 3);
+  for (int i = 0; i < 3; ++i) cov(i, i) = 0.02;
+  cov(0, 1) = cov(1, 0) = -0.01;
+  const pareto::Point ref = {1.1, 1.1, 1.1};
+  const Vec mu = {0.4, 0.4, 0.4};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::mcEipv(mu, cov, front, ref, z));
+}
+BENCHMARK(BM_McEipv)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

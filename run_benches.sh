@@ -1,0 +1,9 @@
+#!/bin/sh
+# Runs every bench binary (the repo's reproduction sweep).
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "=====================================================================" 
+  echo "===== $b"
+  echo "====================================================================="
+  "$b"
+done

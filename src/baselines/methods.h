@@ -1,0 +1,147 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/gbrt.h"
+#include "baselines/mlp.h"
+#include "core/optimizer.h"
+#include "hls/design_space.h"
+#include "sim/tool.h"
+
+namespace cmmfo::baselines {
+
+/// Outcome of one DSE method run: the configurations the method proposes as
+/// Pareto-optimal, plus the simulated tool time it consumed. ADRS is
+/// computed downstream against the ground truth.
+struct DseOutcome {
+  std::vector<std::size_t> selected;  // design-space indices
+  double tool_seconds = 0.0;
+  int tool_runs = 0;
+};
+
+/// Common interface for all compared methods (Sec. V-A).
+class DseMethod {
+ public:
+  virtual ~DseMethod() = default;
+  virtual std::string name() const = 0;
+  /// Runs the method; `sim` accounting is reset on entry.
+  virtual DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                         std::uint64_t seed) const = 0;
+};
+
+/// "Ours": the paper's correlated non-linear multi-fidelity BO.
+class OursMethod final : public DseMethod {
+ public:
+  explicit OursMethod(core::OptimizerOptions opts = {});
+  std::string name() const override { return "Ours"; }
+  DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                 std::uint64_t seed) const override;
+  const core::OptimizerOptions& options() const { return opts_; }
+
+ private:
+  core::OptimizerOptions opts_;
+};
+
+/// FPL18 [12]: linear multi-fidelity models with independent per-objective
+/// GPs, same BO skeleton.
+class Fpl18Method final : public DseMethod {
+ public:
+  explicit Fpl18Method(core::OptimizerOptions opts = {});
+  std::string name() const override { return "FPL18"; }
+  DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                 std::uint64_t seed) const override;
+
+ private:
+  core::OptimizerOptions opts_;
+};
+
+/// Shared protocol of the regression baselines (ANN / BT / DAC19): sample
+/// `train_size` random configurations, run them to the highest fidelity,
+/// fit per-objective regressors, predict the whole space, propose the
+/// predicted Pareto set.
+struct RegressionProtocol {
+  int train_size = 48;  // paper: 48 initialization configurations
+  /// Cap on the number of proposed configurations (0 = no cap).
+  std::size_t max_selected = 0;
+};
+
+/// ANN baseline: 2-hidden-layer MLPs.
+class AnnMethod final : public DseMethod {
+ public:
+  AnnMethod(Mlp::Options mlp = {}, RegressionProtocol proto = {});
+  std::string name() const override { return "ANN"; }
+  DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                 std::uint64_t seed) const override;
+
+ private:
+  Mlp::Options mlp_;
+  RegressionProtocol proto_;
+};
+
+/// Boosting-tree baseline (BT) of [7]-[9].
+class BtMethod final : public DseMethod {
+ public:
+  BtMethod(Gbrt::Options gbrt = {}, RegressionProtocol proto = {});
+  std::string name() const override { return "BT"; }
+  DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                 std::uint64_t seed) const override;
+
+ private:
+  Gbrt::Options gbrt_;
+  RegressionProtocol proto_;
+};
+
+/// DAC19 [20]: cross-stage regression transfer — predict post-Impl reports
+/// from directive features plus (predicted) post-HLS reports, trained on
+/// `num_sets` independent training sets (paper: 3..11, average 7, hence the
+/// 7x running time in Table I).
+class Dac19Method final : public DseMethod {
+ public:
+  Dac19Method(int num_sets = 7, Gbrt::Options gbrt = {},
+              RegressionProtocol proto = {});
+  std::string name() const override { return "DAC19"; }
+  DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                 std::uint64_t seed) const override;
+
+ private:
+  int num_sets_;
+  Gbrt::Options gbrt_;
+  RegressionProtocol proto_;
+};
+
+/// Weighted-sum scalarization BO — the "straightforward strategy" of
+/// Sec. II-C ("define the objective value as a summation of all objectives
+/// with weights") that the Pareto machinery exists to beat: a single-output
+/// GP over the weighted sum of min-max-normalized objectives, driven by
+/// plain expected improvement (Eq. 2) at the impl fidelity.
+class WeightedSumBoMethod final : public DseMethod {
+ public:
+  /// `weights` must have one entry per objective; defaults to equal.
+  explicit WeightedSumBoMethod(int n_init = 8, int n_iter = 40,
+                               std::vector<double> weights = {});
+  std::string name() const override { return "WeightedSum"; }
+  DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                 std::uint64_t seed) const override;
+
+ private:
+  int n_init_;
+  int n_iter_;
+  std::vector<double> weights_;
+};
+
+/// Pure random sampling reference (not in the paper's table; used by the
+/// ablation bench as a floor).
+class RandomMethod final : public DseMethod {
+ public:
+  explicit RandomMethod(int budget = 48) : budget_(budget) {}
+  std::string name() const override { return "Random"; }
+  DseOutcome run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                 std::uint64_t seed) const override;
+
+ private:
+  int budget_;
+};
+
+}  // namespace cmmfo::baselines

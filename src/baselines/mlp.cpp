@@ -1,0 +1,133 @@
+#include "baselines/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/stats.h"
+#include "opt/adam.h"
+
+namespace cmmfo::baselines {
+
+namespace {
+double tanhAct(double z) { return std::tanh(z); }
+double tanhGrad(double a) { return 1.0 - a * a; }  // in terms of activation
+}  // namespace
+
+Mlp::Mlp(std::size_t input_dim, Options opts)
+    : input_dim_(input_dim), opts_(std::move(opts)) {}
+
+double Mlp::forward(const std::vector<double>& x,
+                    std::vector<std::vector<double>>* acts) const {
+  std::vector<double> a = x;
+  if (acts) acts->push_back(a);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    std::vector<double> z = layer.w.matvec(a);
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += layer.b[i];
+    if (li + 1 < layers_.size())
+      for (auto& v : z) v = tanhAct(v);
+    a = std::move(z);
+    if (acts) acts->push_back(a);
+  }
+  return a[0];
+}
+
+void Mlp::fit(const std::vector<std::vector<double>>& x,
+              const std::vector<double>& y, rng::Rng& rng) {
+  assert(!x.empty() && x.size() == y.size());
+  const auto std = linalg::Standardizer::fit(y);
+  y_mean_ = std.mean;
+  y_std_ = std.stddev;
+
+  // (Re)initialize layers with Xavier-style scaling.
+  layers_.clear();
+  std::vector<std::size_t> dims = {input_dim_};
+  dims.insert(dims.end(), opts_.hidden.begin(), opts_.hidden.end());
+  dims.push_back(1);
+  for (std::size_t li = 0; li + 1 < dims.size(); ++li) {
+    Layer layer;
+    layer.w = linalg::Matrix(dims[li + 1], dims[li]);
+    layer.b.assign(dims[li + 1], 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(dims[li] + dims[li + 1]));
+    for (std::size_t r = 0; r < layer.w.rows(); ++r)
+      for (std::size_t c = 0; c < layer.w.cols(); ++c)
+        layer.w(r, c) = rng.normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+  }
+
+  // Pack parameters into one flat vector for the Adam stepper.
+  std::size_t num_params = 0;
+  for (const auto& l : layers_) num_params += l.w.rows() * l.w.cols() + l.b.size();
+  opt::AdamOptions aopts;
+  aopts.learning_rate = opts_.learning_rate;
+  opt::AdamStepper stepper(num_params, aopts);
+
+  std::vector<double> flat(num_params), grad(num_params);
+  auto pack = [&]() {
+    std::size_t k = 0;
+    for (const auto& l : layers_) {
+      for (double v : l.w.data()) flat[k++] = v;
+      for (double v : l.b) flat[k++] = v;
+    }
+  };
+  auto unpack = [&]() {
+    std::size_t k = 0;
+    for (auto& l : layers_) {
+      for (std::size_t r = 0; r < l.w.rows(); ++r)
+        for (std::size_t c = 0; c < l.w.cols(); ++c) l.w(r, c) = flat[k++];
+      for (auto& b : l.b) b = flat[k++];
+    }
+  };
+  pack();
+
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double loss = 0.0;
+    for (std::size_t s = 0; s < x.size(); ++s) {
+      std::vector<std::vector<double>> acts;
+      const double pred = forward(x[s], &acts);
+      const double target = (y[s] - y_mean_) / y_std_;
+      const double err = pred - target;
+      loss += 0.5 * err * err;
+
+      // Backprop through the layer stack.
+      std::vector<double> delta = {err};
+      std::size_t k = num_params;
+      for (std::size_t li = layers_.size(); li-- > 0;) {
+        const Layer& l = layers_[li];
+        const auto& a_in = acts[li];
+        // Gradients for this layer occupy the tail block [k - size, k).
+        k -= l.w.rows() * l.w.cols() + l.b.size();
+        std::size_t g = k;
+        for (std::size_t r = 0; r < l.w.rows(); ++r)
+          for (std::size_t c = 0; c < l.w.cols(); ++c)
+            grad[g++] += delta[r] * a_in[c] * inv_n;
+        for (std::size_t r = 0; r < l.b.size(); ++r)
+          grad[g++] += delta[r] * inv_n;
+        if (li == 0) break;
+        // delta for the previous layer (through tanh of its activations).
+        std::vector<double> prev(l.w.cols(), 0.0);
+        for (std::size_t r = 0; r < l.w.rows(); ++r)
+          for (std::size_t c = 0; c < l.w.cols(); ++c)
+            prev[c] += l.w(r, c) * delta[r];
+        const auto& a_prev = acts[li];  // activations AFTER tanh of layer li-1
+        for (std::size_t c = 0; c < prev.size(); ++c)
+          prev[c] *= tanhGrad(a_prev[c]);
+        delta = std::move(prev);
+      }
+    }
+    // L2 regularization.
+    for (std::size_t k2 = 0; k2 < num_params; ++k2)
+      grad[k2] += opts_.weight_decay * flat[k2];
+    stepper.step(flat, grad);
+    unpack();
+    final_loss_ = loss * inv_n;
+  }
+}
+
+double Mlp::predict(const std::vector<double>& x) const {
+  return forward(x, nullptr) * y_std_ + y_mean_;
+}
+
+}  // namespace cmmfo::baselines

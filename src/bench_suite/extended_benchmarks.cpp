@@ -1,0 +1,283 @@
+#include "bench_suite/extended_benchmarks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cmmfo::bench_suite {
+
+using hls::ArrayId;
+using hls::ArraySiteOptions;
+using hls::IndexRole;
+using hls::Kernel;
+using hls::LoopId;
+using hls::LoopSiteOptions;
+using hls::OpKind;
+using hls::PartitionType;
+using hls::SpaceSpec;
+
+namespace {
+
+LoopSiteOptions loopSite(std::vector<int> unrolls, bool pipeline = false,
+                         std::vector<int> iis = {1}) {
+  LoopSiteOptions o;
+  o.unroll_factors = std::move(unrolls);
+  o.allow_pipeline = pipeline;
+  o.pipeline_iis = std::move(iis);
+  return o;
+}
+
+ArraySiteOptions arraySite(std::vector<PartitionType> types,
+                           std::vector<int> factors) {
+  ArraySiteOptions o;
+  o.types = std::move(types);
+  o.factors = std::move(factors);
+  return o;
+}
+
+const std::vector<PartitionType> kCB = {PartitionType::kNone,
+                                        PartitionType::kCyclic,
+                                        PartitionType::kBlock};
+
+}  // namespace
+
+Benchmark makeFft() {
+  // MachSuite fft/strided: log2(1024) stages of radix-2 butterflies. The
+  // outer stage loop is strictly sequential; the butterfly loop is parallel
+  // but its stride varies by stage, so we model the accesses as mixed-role.
+  Kernel k("fft");
+  const ArrayId real = k.addArray("real", 1024);
+  const ArrayId img = k.addArray("img", 1024);
+  const ArrayId tw_r = k.addArray("real_twid", 512);
+  const ArrayId tw_i = k.addArray("img_twid", 512);
+
+  const LoopId stage = k.addLoop("stage", 10);
+  k.loop(stage).loop_carried_dep = true;  // stages chain
+  const LoopId fly = k.addLoop("butterfly", 512, stage);
+  k.loop(fly).body_ops[OpKind::kLoad] = 6;
+  k.loop(fly).body_ops[OpKind::kMul] = 4;
+  k.loop(fly).body_ops[OpKind::kAdd] = 6;
+  k.loop(fly).body_ops[OpKind::kStore] = 4;
+  k.loop(fly).refs.push_back({real, {{fly, IndexRole::kMinor}}, true, 2});
+  k.loop(fly).refs.push_back({img, {{fly, IndexRole::kMinor}}, true, 2});
+  k.loop(fly).refs.push_back({tw_r, {{fly, IndexRole::kMinor}}, false, 1});
+  k.loop(fly).refs.push_back({tw_i, {{fly, IndexRole::kMinor}}, false, 1});
+
+  SpaceSpec spec;
+  spec.loops.resize(k.numLoops());
+  spec.arrays.resize(k.numArrays());
+  spec.loops[stage] = loopSite({1, 2});
+  spec.loops[fly] = loopSite({1, 2, 4, 8, 16}, true, {1, 2, 4});
+  spec.arrays[real] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[img] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[tw_r] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[tw_i] = arraySite(kCB, {1, 2, 4, 8, 16});
+
+  Benchmark bm{std::move(k), std::move(spec), {},
+               "1024-point strided radix-2 FFT"};
+  bm.sim_params.divergence = 0.45;
+  bm.sim_params.noise_scale = 0.04;
+  return bm;
+}
+
+Benchmark makeNw() {
+  // MachSuite nw/needwun: 128x128 alignment matrix; each cell depends on
+  // west/north/northwest neighbors — a classic wavefront recurrence.
+  Kernel k("nw");
+  const ArrayId seqa = k.addArray("seqA", 128);
+  const ArrayId seqb = k.addArray("seqB", 128);
+  const ArrayId m = k.addArray("M", 128 * 128);
+
+  const LoopId row = k.addLoop("row", 128);
+  const LoopId col = k.addLoop("col", 128, row);
+  k.loop(row).loop_carried_dep = true;  // row n reads row n-1
+  k.loop(col).loop_carried_dep = true;  // col j reads col j-1
+  k.loop(col).body_ops[OpKind::kLoad] = 5;
+  k.loop(col).body_ops[OpKind::kCmp] = 3;
+  k.loop(col).body_ops[OpKind::kAdd] = 3;
+  k.loop(col).body_ops[OpKind::kStore] = 1;
+  k.loop(col).refs.push_back(
+      {m, {{row, IndexRole::kMajor}, {col, IndexRole::kMinor}}, true, 4});
+  k.loop(col).refs.push_back({seqa, {{col, IndexRole::kMinor}}, false, 1});
+  k.loop(col).refs.push_back({seqb, {{row, IndexRole::kMinor}}, false, 1});
+
+  SpaceSpec spec;
+  spec.loops.resize(k.numLoops());
+  spec.arrays.resize(k.numArrays());
+  spec.loops[row] = loopSite({1, 2, 4});
+  spec.loops[col] = loopSite({1, 2, 4, 8}, true, {1, 2, 4});
+  spec.arrays[seqa] = arraySite(kCB, {1, 2, 4, 8});
+  spec.arrays[seqb] = arraySite(kCB, {1, 2, 4, 8});
+  spec.arrays[m] = arraySite(kCB, {1, 2, 4, 8});
+
+  Benchmark bm{std::move(k), std::move(spec), {},
+               "Needleman-Wunsch 128x128 DP fill"};
+  bm.sim_params.divergence = 0.5;
+  bm.sim_params.noise_scale = 0.045;
+  return bm;
+}
+
+Benchmark makeViterbi() {
+  // MachSuite viterbi: trellis of 140 steps over 64 states; per step, each
+  // state maximizes over predecessor states.
+  Kernel k("viterbi");
+  const ArrayId llike = k.addArray("llike", 140 * 64);
+  const ArrayId trans = k.addArray("transition", 64 * 64);
+  const ArrayId emit = k.addArray("emission", 64 * 64);
+
+  const LoopId t = k.addLoop("t", 140);
+  k.loop(t).loop_carried_dep = true;  // step t reads step t-1
+  const LoopId curr = k.addLoop("curr", 64, t);
+  const LoopId prev = k.addLoop("prev", 64, curr);
+  k.loop(prev).body_ops[OpKind::kLoad] = 3;
+  k.loop(prev).body_ops[OpKind::kAdd] = 2;
+  k.loop(prev).body_ops[OpKind::kCmp] = 1;
+  k.loop(prev).loop_carried_dep = true;  // running minimum
+  k.loop(prev).refs.push_back(
+      {llike, {{t, IndexRole::kMajor}, {prev, IndexRole::kMinor}}, false, 1});
+  k.loop(prev).refs.push_back(
+      {trans, {{prev, IndexRole::kMajor}, {curr, IndexRole::kMinor}}, false, 1});
+  k.loop(curr).body_ops[OpKind::kLoad] = 1;
+  k.loop(curr).body_ops[OpKind::kStore] = 1;
+  k.loop(curr).refs.push_back(
+      {emit, {{curr, IndexRole::kMinor}}, false, 1});
+  k.loop(curr).refs.push_back(
+      {llike, {{t, IndexRole::kMajor}, {curr, IndexRole::kMinor}}, true, 1});
+
+  SpaceSpec spec;
+  spec.loops.resize(k.numLoops());
+  spec.arrays.resize(k.numArrays());
+  spec.loops[t] = loopSite({1});
+  spec.loops[curr] = loopSite({1, 2, 4, 8, 16}, true, {1, 2});
+  spec.loops[prev] = loopSite({1, 2, 4, 8, 16}, true, {1, 2, 4});
+  spec.arrays[llike] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[trans] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[emit] = arraySite(kCB, {1, 2, 4, 8, 16});
+
+  Benchmark bm{std::move(k), std::move(spec), {},
+               "Viterbi decoding, 140-step trellis over 64 states"};
+  bm.sim_params.divergence = 0.4;
+  bm.sim_params.noise_scale = 0.04;
+  return bm;
+}
+
+Benchmark makeMdKnn() {
+  // MachSuite md/knn: Lennard-Jones force for 256 atoms x 16 neighbors.
+  Kernel k("md_knn");
+  const ArrayId pos = k.addArray("position", 256 * 3);
+  const ArrayId nbr = k.addArray("NL", 256 * 16);
+  const ArrayId force = k.addArray("force", 256 * 3);
+
+  const LoopId atom = k.addLoop("atom", 256);
+  const LoopId neigh = k.addLoop("neigh", 16, atom);
+  k.loop(atom).body_ops[OpKind::kStore] = 3;
+  k.loop(atom).refs.push_back({force, {{atom, IndexRole::kMinor}}, true, 3});
+  k.loop(neigh).body_ops[OpKind::kLoad] = 4;  // neighbor id + 3 coords
+  k.loop(neigh).body_ops[OpKind::kMul] = 9;
+  k.loop(neigh).body_ops[OpKind::kAdd] = 8;
+  k.loop(neigh).body_ops[OpKind::kDiv] = 2;   // r^-6 terms
+  k.loop(neigh).loop_carried_dep = true;       // force accumulation
+  k.loop(neigh).refs.push_back(
+      {nbr, {{atom, IndexRole::kMajor}, {neigh, IndexRole::kMinor}}, false, 1});
+  k.loop(neigh).refs.push_back({pos, {{neigh, IndexRole::kMinor}}, false, 3});
+
+  SpaceSpec spec;
+  spec.loops.resize(k.numLoops());
+  spec.arrays.resize(k.numArrays());
+  spec.loops[atom] = loopSite({1, 2, 4}, true, {1, 2});
+  spec.loops[neigh] = loopSite({1, 2, 4, 8, 16}, true, {1, 2, 4});
+  spec.arrays[pos] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[nbr] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[force] = arraySite(kCB, {1, 2, 4});
+
+  Benchmark bm{std::move(k), std::move(spec), {},
+               "MD Lennard-Jones force, 256 atoms x 16 neighbors"};
+  bm.sim_params.divergence = 0.55;
+  bm.sim_params.noise_scale = 0.05;
+  return bm;
+}
+
+Benchmark makeKmp() {
+  // MachSuite kmp: pattern matching over a 32k character stream; the
+  // failure-link walk is inherently sequential.
+  Kernel k("kmp");
+  const ArrayId input = k.addArray("input", 32768);
+  const ArrayId pattern = k.addArray("pattern", 4);
+  const ArrayId kmp_next = k.addArray("kmpNext", 4);
+
+  const LoopId scan = k.addLoop("scan", 32768);
+  k.loop(scan).body_ops[OpKind::kLoad] = 2;
+  k.loop(scan).body_ops[OpKind::kCmp] = 2;
+  k.loop(scan).body_ops[OpKind::kAdd] = 1;
+  k.loop(scan).loop_carried_dep = true;  // match state carries
+  k.loop(scan).refs.push_back({input, {{scan, IndexRole::kMinor}}, false, 1});
+  k.loop(scan).refs.push_back({pattern, {}, false, 1});
+  k.loop(scan).refs.push_back({kmp_next, {}, false, 1});
+
+  SpaceSpec spec;
+  spec.loops.resize(k.numLoops());
+  spec.arrays.resize(k.numArrays());
+  spec.loops[scan] = loopSite({1, 2, 4, 8, 16}, true, {1, 2, 4, 8});
+  spec.arrays[input] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[pattern] =
+      arraySite({PartitionType::kNone, PartitionType::kComplete}, {1});
+  spec.arrays[kmp_next] =
+      arraySite({PartitionType::kNone, PartitionType::kComplete}, {1});
+
+  Benchmark bm{std::move(k), std::move(spec), {},
+               "KMP string matching over a 32k stream"};
+  bm.sim_params.divergence = 0.35;
+  bm.sim_params.noise_scale = 0.035;
+  return bm;
+}
+
+Benchmark makeAes() {
+  // MachSuite aes/aes: 14 rounds of AES-256 over 16-byte blocks; S-box
+  // lookups dominate and the rounds chain.
+  Kernel k("aes");
+  const ArrayId sbox = k.addArray("sbox", 256);
+  const ArrayId buf = k.addArray("buf", 16);
+  const ArrayId key = k.addArray("key", 32);
+
+  const LoopId round = k.addLoop("round", 14);
+  k.loop(round).loop_carried_dep = true;  // rounds chain
+  const LoopId byte = k.addLoop("byte", 16, round);
+  k.loop(byte).body_ops[OpKind::kLoad] = 3;
+  k.loop(byte).body_ops[OpKind::kLogic] = 5;
+  k.loop(byte).body_ops[OpKind::kStore] = 1;
+  k.loop(byte).refs.push_back({buf, {{byte, IndexRole::kMinor}}, true, 1});
+  k.loop(byte).refs.push_back({sbox, {{byte, IndexRole::kMinor}}, false, 1});
+  k.loop(byte).refs.push_back({key, {{byte, IndexRole::kMinor}}, false, 1});
+
+  SpaceSpec spec;
+  spec.loops.resize(k.numLoops());
+  spec.arrays.resize(k.numArrays());
+  spec.loops[round] = loopSite({1, 2});
+  spec.loops[byte] = loopSite({1, 2, 4, 8, 16}, true, {1, 2});
+  spec.arrays[sbox] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[buf] = arraySite(kCB, {1, 2, 4, 8, 16});
+  spec.arrays[key] = arraySite(kCB, {1, 2, 4, 8, 16});
+
+  Benchmark bm{std::move(k), std::move(spec), {}, "AES-256 ECB rounds"};
+  bm.sim_params.divergence = 0.3;
+  bm.sim_params.noise_scale = 0.03;
+  return bm;
+}
+
+std::vector<std::string> extendedBenchmarkNames() {
+  return {"fft", "nw", "viterbi", "md_knn", "kmp", "aes"};
+}
+
+Benchmark makeAnyBenchmark(const std::string& name) {
+  const auto core = benchmarkNames();
+  if (std::find(core.begin(), core.end(), name) != core.end())
+    return makeBenchmark(name);
+  if (name == "fft") return makeFft();
+  if (name == "nw") return makeNw();
+  if (name == "viterbi") return makeViterbi();
+  if (name == "md_knn") return makeMdKnn();
+  if (name == "kmp") return makeKmp();
+  if (name == "aes") return makeAes();
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+}  // namespace cmmfo::bench_suite

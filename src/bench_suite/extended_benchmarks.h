@@ -1,0 +1,29 @@
+#pragma once
+
+#include "bench_suite/benchmarks.h"
+
+namespace cmmfo::bench_suite {
+
+/// Extended suite: six further MachSuite kernels beyond the paper's
+/// evaluation set, modeled in the same IR so downstream users can exercise
+/// the optimizer on a wider workload mix. Not used by the Table-I
+/// reproduction; covered by the extended-suite bench/tests.
+
+/// fft/strided: radix-2 butterflies with power-of-two strides.
+Benchmark makeFft();
+/// nw/needwun: Needleman-Wunsch DP matrix fill (loop-carried anti-diagonals).
+Benchmark makeNw();
+/// viterbi/viterbi: trellis DP over hidden states.
+Benchmark makeViterbi();
+/// md/knn: molecular-dynamics force loop over neighbor lists.
+Benchmark makeMdKnn();
+/// kmp/kmp: Knuth-Morris-Pratt string matching (sequential failure links).
+Benchmark makeKmp();
+/// aes/aes: AES-256 ECB rounds with S-box table lookups.
+Benchmark makeAes();
+
+std::vector<std::string> extendedBenchmarkNames();
+/// Resolves both the paper's six and the extended kernels.
+Benchmark makeAnyBenchmark(const std::string& name);
+
+}  // namespace cmmfo::bench_suite

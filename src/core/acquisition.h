@@ -1,0 +1,39 @@
+#pragma once
+
+#include "gp/multitask_gp.h"
+#include "pareto/dominance.h"
+#include "rng/rng.h"
+
+namespace cmmfo::core {
+
+/// Monte-Carlo estimate of the Expected Improvement of Pareto hyper-Volume
+/// (Eq. 7) under a CORRELATED multivariate-normal posterior: sample joint
+/// objective vectors y ~ N(mu, cov) and average the exact hypervolume
+/// improvement of each sample against the current front.
+///
+/// `std_normals` holds pre-drawn iid N(0,1) blocks (samples x M). Sharing
+/// one block across all candidates of an optimization step (common random
+/// numbers) makes the argmax comparison far less noisy than independent
+/// draws would.
+double mcEipv(const gp::Vec& mu, const linalg::Matrix& cov,
+              const std::vector<pareto::Point>& front,
+              const pareto::Point& ref,
+              const std::vector<std::vector<double>>& std_normals);
+
+/// Draw a common-random-number block for mcEipv.
+std::vector<std::vector<double>> drawStdNormals(std::size_t samples,
+                                                std::size_t m, rng::Rng& rng);
+
+/// Cost penalty of Eq. (10): PEIPV_i = EIPV_i * T_impl / T_i, favoring
+/// cheap fidelities unless the expensive ones promise proportionally more.
+double costPenalty(double t_this_fidelity, double t_impl);
+
+/// Single-objective expected improvement (Eq. 2), minimization convention:
+///   EI = sigma * (lambda Phi(lambda) + phi(lambda)),
+///   lambda = (best - xi - mu) / sigma,
+/// where `best` is the incumbent objective value and `xi` the exploration
+/// jitter. Used by the Fig. 4 toy and available for scalarized studies.
+double expectedImprovement(double mu, double sigma, double best,
+                           double xi = 0.01);
+
+}  // namespace cmmfo::core

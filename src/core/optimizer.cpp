@@ -1,0 +1,191 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/acquisition.h"
+#include "opt/sampling.h"
+#include "pareto/dominance.h"
+
+namespace cmmfo::core {
+
+using sim::Fidelity;
+using sim::kNumFidelities;
+using sim::kNumObjectives;
+
+CorrelatedMfMoboOptimizer::CorrelatedMfMoboOptimizer(
+    const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+    OptimizerOptions opts)
+    : space_(&space),
+      sim_(&sim),
+      opts_(opts),
+      surrogate_(space.featureDim(), kNumObjectives, kNumFidelities,
+                 opts.surrogate),
+      rng_(opts.seed),
+      sampled_(space.size(), false) {}
+
+gp::Vec CorrelatedMfMoboOptimizer::penalizedObjectives(
+    const FidelityData& data) const {
+  // Sec. IV-C: illegal designs are fed back 10x worse than the current
+  // worst case, teaching the models to avoid the region.
+  gp::Vec worst(kNumObjectives, 1.0);
+  for (const auto& y : data.y)
+    for (int m = 0; m < kNumObjectives; ++m)
+      worst[m] = std::max(worst[m], y[m]);
+  for (auto& w : worst) w *= opts_.invalid_penalty;
+  return worst;
+}
+
+sim::Report CorrelatedMfMoboOptimizer::observeUpTo(std::size_t config,
+                                                   Fidelity fidelity) {
+  // One charged invocation covers all stages up to `fidelity`; the
+  // intermediate reports come with it for free (a real tool run emits every
+  // stage's report along the way).
+  const sim::Report charged = sim_->runCounted(space_->config(config), fidelity);
+  ++tool_runs_;
+  for (int f = 0; f <= static_cast<int>(fidelity); ++f) {
+    const sim::Report r = f == static_cast<int>(fidelity)
+                              ? charged
+                              : sim_->run(space_->config(config),
+                                          static_cast<Fidelity>(f));
+    FidelityData& d = data_[f];
+    d.configs.push_back(config);
+    d.y.push_back(r.valid ? r.objectives() : penalizedObjectives(d));
+  }
+  sampled_[config] = true;
+  return charged;
+}
+
+std::vector<FidelityObs> CorrelatedMfMoboOptimizer::buildObs() const {
+  std::vector<FidelityObs> obs(kNumFidelities);
+  for (int f = 0; f < kNumFidelities; ++f) {
+    const FidelityData& d = data_[f];
+    obs[f].x.reserve(d.configs.size());
+    obs[f].y = linalg::Matrix(d.configs.size(), kNumObjectives);
+    for (std::size_t i = 0; i < d.configs.size(); ++i) {
+      obs[f].x.push_back(space_->features(d.configs[i]));
+      for (int m = 0; m < kNumObjectives; ++m) obs[f].y(i, m) = d.y[i][m];
+    }
+  }
+  return obs;
+}
+
+OptimizeResult CorrelatedMfMoboOptimizer::run() {
+  assert(opts_.n_init_hls >= opts_.n_init_syn &&
+         opts_.n_init_syn >= opts_.n_init_impl && opts_.n_init_impl >= 2);
+  const std::size_t n = space_->size();
+
+  // ---- Initialization (Algorithm 2, lines 4-5): nested seed subsets. ----
+  const std::size_t n_init =
+      std::min<std::size_t>(opts_.n_init_hls, n > 1 ? n - 1 : n);
+  std::vector<std::size_t> init;
+  switch (opts_.init_design) {
+    case InitDesign::kRandom:
+      init = opt::randomSubset(n, n_init, rng_);
+      break;
+    case InitDesign::kMaximin:
+      init = opt::maximinSubset(space_->allFeatures(), n_init, rng_);
+      break;
+    case InitDesign::kStratified:
+      init = opt::stratifiedSubset(space_->allFeatures(), n_init, rng_);
+      break;
+  }
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    Fidelity f = Fidelity::kHls;
+    if (i < static_cast<std::size_t>(opts_.n_init_impl))
+      f = Fidelity::kImpl;
+    else if (i < static_cast<std::size_t>(opts_.n_init_syn))
+      f = Fidelity::kSyn;
+    const sim::Report r = observeUpTo(init[i], f);
+    cs_.push_back({init[i], f, r});
+  }
+
+  const auto stage_seconds = sim_->nominalStageSeconds();
+
+  // ---- Optimization loop (lines 6-15). ----
+  OptimizeResult result;
+  for (int t = 0; t < opts_.n_iter; ++t) {
+    // Remaining pool.
+    std::vector<std::size_t> pool;
+    pool.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!sampled_[i]) pool.push_back(i);
+    if (pool.empty()) break;
+
+    const bool hypers = t % std::max(opts_.hyper_refit_interval, 1) == 0;
+    surrogate_.fit(buildObs(), rng_, hypers);
+
+    // Candidate subset, shared across fidelities this step.
+    std::vector<std::size_t> cand = pool;
+    if (cand.size() > static_cast<std::size_t>(opts_.max_candidates)) {
+      rng_.shuffle(cand);
+      cand.resize(opts_.max_candidates);
+    }
+
+    const auto z = drawStdNormals(opts_.mc_samples, kNumObjectives, rng_);
+
+    double best_peipv = -1.0;
+    std::size_t best_config = pool[0];
+    Fidelity best_fid = Fidelity::kHls;
+
+    for (int f = 0; f < kNumFidelities; ++f) {
+      const FidelityData& d = data_[f];
+      // Normalize this fidelity's objective space so EIPV is scale-free.
+      gp::Vec lo(kNumObjectives, 1e300), hi(kNumObjectives, -1e300);
+      for (const auto& y : d.y)
+        for (int m = 0; m < kNumObjectives; ++m) {
+          lo[m] = std::min(lo[m], y[m]);
+          hi[m] = std::max(hi[m], y[m]);
+        }
+      gp::Vec range(kNumObjectives);
+      for (int m = 0; m < kNumObjectives; ++m)
+        range[m] = std::max(hi[m] - lo[m], 1e-12);
+
+      std::vector<pareto::Point> observed;
+      observed.reserve(d.y.size());
+      for (const auto& y : d.y) {
+        pareto::Point p(kNumObjectives);
+        for (int m = 0; m < kNumObjectives; ++m) p[m] = (y[m] - lo[m]) / range[m];
+        observed.push_back(std::move(p));
+      }
+      const std::vector<pareto::Point> front = pareto::paretoFilter(observed);
+      const pareto::Point ref(kNumObjectives, 1.1);  // v_ref beyond the worst
+
+      const double penalty =
+          opts_.cost_penalty
+              ? costPenalty(stage_seconds[f],
+                            stage_seconds[kNumFidelities - 1])
+              : 1.0;
+
+      for (std::size_t ci : cand) {
+        const gp::MultiPosterior post = surrogate_.predict(f, space_->features(ci));
+        gp::Vec mu(kNumObjectives);
+        linalg::Matrix cov(kNumObjectives, kNumObjectives);
+        for (int m = 0; m < kNumObjectives; ++m) {
+          mu[m] = (post.mean[m] - lo[m]) / range[m];
+          for (int m2 = 0; m2 < kNumObjectives; ++m2)
+            cov(m, m2) = post.cov(m, m2) / (range[m] * range[m2]);
+        }
+        const double peipv = penalty * mcEipv(mu, cov, front, ref, z);
+        if (peipv > best_peipv) {
+          best_peipv = peipv;
+          best_config = ci;
+          best_fid = static_cast<Fidelity>(f);
+        }
+      }
+    }
+
+    const sim::Report r = observeUpTo(best_config, best_fid);
+    cs_.push_back({best_config, best_fid, r});
+    ++result.picks_per_fidelity[static_cast<int>(best_fid)];
+    result.iterations.push_back({t, best_fid, best_config, best_peipv});
+  }
+
+  result.cs = cs_;
+  result.tool_seconds = sim_->totalToolSeconds();
+  result.tool_runs = tool_runs_;
+  return result;
+}
+
+}  // namespace cmmfo::core

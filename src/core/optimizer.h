@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/surrogate.h"
+#include "hls/design_space.h"
+#include "sim/tool.h"
+
+namespace cmmfo::core {
+
+/// Seed-design strategy for the initial samples (Algorithm 2 line 4).
+enum class InitDesign {
+  kRandom,      ///< uniform random subset (the paper's choice)
+  kMaximin,     ///< greedy maximin space-filling design
+  kStratified,  ///< quantile-stratified subset along a random feature axis
+};
+
+struct OptimizerOptions {
+  /// Initial random samples per fidelity; nested (X_impl ⊆ X_syn ⊆ X_hls),
+  /// as required by Algorithm 2 line 4. The paper uses 8 at the lowest
+  /// fidelity.
+  int n_init_hls = 8;
+  int n_init_syn = 5;
+  int n_init_impl = 3;
+  /// Optimization steps N_iter (paper: 40).
+  int n_iter = 40;
+  /// Monte-Carlo samples per EIPV evaluation.
+  int mc_samples = 32;
+  /// Candidate subset size scanned per fidelity per step (the paper
+  /// traverses the full space; a uniformly drawn subset preserves the
+  /// argmax in expectation at a fraction of the cost).
+  int max_candidates = 400;
+  /// Re-run hyperparameter MLE every k-th step (posterior-only updates in
+  /// between). 1 = every step.
+  int hyper_refit_interval = 1;
+  SurrogateOptions surrogate;
+  /// Apply the Eq. (10) fidelity-cost penalty.
+  bool cost_penalty = true;
+  /// Invalid designs get objectives this many times worse than the current
+  /// worst (Sec. IV-C: "10x worse than the current worst-case").
+  double invalid_penalty = 10.0;
+  std::uint64_t seed = 1;
+  InitDesign init_design = InitDesign::kRandom;
+};
+
+/// One tool evaluation in the candidate set CS.
+struct SampleRecord {
+  std::size_t config = 0;          // design-space index
+  sim::Fidelity fidelity{};        // highest fidelity run for this config
+  sim::Report report;              // the report at that fidelity
+};
+
+/// Per-BO-step record for convergence analysis.
+struct IterationLog {
+  int iteration = 0;
+  sim::Fidelity fidelity{};   // fidelity chosen at line 11
+  std::size_t config = 0;     // x* chosen at line 11
+  double peipv = 0.0;         // winning acquisition value
+};
+
+struct OptimizeResult {
+  /// All evaluated configurations (initialization + BO picks), each with
+  /// its highest-fidelity report — the CS of Algorithm 2.
+  std::vector<SampleRecord> cs;
+  /// One entry per executed BO step.
+  std::vector<IterationLog> iterations;
+  /// Total simulated tool time charged (Table I's running-time metric).
+  double tool_seconds = 0.0;
+  /// Number of FPGA-tool invocations.
+  int tool_runs = 0;
+  /// How many BO picks landed on each fidelity (diagnostics).
+  std::array<int, sim::kNumFidelities> picks_per_fidelity{};
+};
+
+/// The paper's optimizer: correlated multi-objective GPs per fidelity,
+/// non-linearly chained across fidelities, driven by cost-penalized
+/// Monte-Carlo EIPV (Algorithm 2). Baselines reuse this driver with other
+/// SurrogateOptions (e.g. FPL18 = linear + independent).
+class CorrelatedMfMoboOptimizer {
+ public:
+  CorrelatedMfMoboOptimizer(const hls::DesignSpace& space,
+                            sim::FpgaToolSim& sim, OptimizerOptions opts = {});
+
+  OptimizeResult run();
+
+  /// Surrogate state after run() (for inspection / tests).
+  const MultiFidelitySurrogate& surrogate() const { return surrogate_; }
+
+ private:
+  struct FidelityData {
+    std::vector<std::size_t> configs;
+    std::vector<gp::Vec> y;  // objectives, invalid entries already penalized
+  };
+
+  /// Run the tool up to `fidelity`, charging once, and record the reports
+  /// of every stage up to it (line 13: X_i ∪ {x*} for i up to h).
+  sim::Report observeUpTo(std::size_t config, sim::Fidelity fidelity);
+  /// Penalized objective vector for an invalid report at a fidelity.
+  gp::Vec penalizedObjectives(const FidelityData& data) const;
+  std::vector<FidelityObs> buildObs() const;
+
+  const hls::DesignSpace* space_;
+  sim::FpgaToolSim* sim_;
+  OptimizerOptions opts_;
+  MultiFidelitySurrogate surrogate_;
+  rng::Rng rng_;
+
+  std::array<FidelityData, sim::kNumFidelities> data_;
+  std::vector<bool> sampled_;
+  std::vector<SampleRecord> cs_;
+  int tool_runs_ = 0;
+};
+
+}  // namespace cmmfo::core

@@ -1,0 +1,140 @@
+#include "core/surrogate.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "gp/ard_kernels.h"
+#include "linalg/vec_ops.h"
+
+namespace cmmfo::core {
+
+MultiFidelitySurrogate::MultiFidelitySurrogate(std::size_t input_dim,
+                                               std::size_t num_objectives,
+                                               std::size_t num_levels,
+                                               SurrogateOptions opts)
+    : input_dim_(input_dim), m_(num_objectives), levels_(num_levels),
+      opts_(opts) {
+  assert(levels_ >= 1 && m_ >= 1);
+  for (std::size_t l = 0; l < levels_; ++l) {
+    // Non-linear chaining feeds the lower level's M predicted objectives in
+    // as extra features (Eq. 5, "concatenated with the directive encoding
+    // features"); the other chainings keep the plain design features.
+    const std::size_t dim =
+        (opts_.mf == MfKind::kNonlinear && l > 0) ? input_dim_ + m_
+                                                  : input_dim_;
+    if (opts_.obj == ObjModelKind::kCorrelated) {
+      const gp::Matern52Ard proto(dim, /*unit_variance=*/true);
+      mt_models_.emplace_back(proto, m_, opts_.mtgp);
+    } else {
+      const gp::Matern52Ard proto(dim, /*unit_variance=*/false);
+      ind_models_.emplace_back();
+      for (std::size_t mm = 0; mm < m_; ++mm)
+        ind_models_.back().emplace_back(proto, opts_.gp);
+    }
+  }
+  rho_.assign(levels_, std::vector<double>(m_, 1.0));
+}
+
+gp::Vec MultiFidelitySurrogate::lowerMeans(std::size_t level,
+                                           const gp::Vec& x) const {
+  assert(level > 0);
+  return predict(level - 1, x).mean;
+}
+
+gp::Vec MultiFidelitySurrogate::augmented(std::size_t level,
+                                          const gp::Vec& x) const {
+  if (opts_.mf != MfKind::kNonlinear || level == 0) return x;
+  return linalg::concat(x, lowerMeans(level, x));
+}
+
+void MultiFidelitySurrogate::fit(const std::vector<FidelityObs>& obs,
+                                 rng::Rng& rng, bool optimize_hypers) {
+  assert(obs.size() == levels_);
+  for (std::size_t l = 0; l < levels_; ++l) {
+    const FidelityObs& o = obs[l];
+    assert(o.x.size() >= 2 && o.y.rows() == o.x.size() && o.y.cols() == m_);
+
+    // Build this level's inputs and targets per the chaining mode. Lower
+    // levels are already (re)fitted, so their posteriors are usable here.
+    gp::Dataset inputs;
+    inputs.reserve(o.x.size());
+    linalg::Matrix targets = o.y;
+
+    if (opts_.mf == MfKind::kNonlinear && l > 0) {
+      for (const auto& xi : o.x) inputs.push_back(augmented(l, xi));
+    } else {
+      inputs = o.x;
+    }
+
+    if (opts_.mf == MfKind::kLinear && l > 0) {
+      // Estimate the per-objective AR(1) scale against the lower level's
+      // posterior mean, then model the residual.
+      for (std::size_t mm = 0; mm < m_; ++mm) {
+        double num = 0.0, den = 0.0;
+        std::vector<double> mu(o.x.size());
+        for (std::size_t i = 0; i < o.x.size(); ++i) {
+          mu[i] = predict(l - 1, o.x[i]).mean[mm];
+          num += mu[i] * o.y(i, mm);
+          den += mu[i] * mu[i];
+        }
+        rho_[l][mm] = den > 1e-12 ? num / den : 1.0;
+        for (std::size_t i = 0; i < o.x.size(); ++i)
+          targets(i, mm) = o.y(i, mm) - rho_[l][mm] * mu[i];
+      }
+    }
+
+    if (opts_.obj == ObjModelKind::kCorrelated) {
+      if (optimize_hypers)
+        mt_models_[l].fit(inputs, targets, rng);
+      else
+        mt_models_[l].refitPosterior(inputs, targets);
+    } else {
+      for (std::size_t mm = 0; mm < m_; ++mm) {
+        const gp::Vec col = targets.col(mm);
+        if (optimize_hypers)
+          ind_models_[l][mm].fit(inputs, col, rng);
+        else
+          ind_models_[l][mm].refitPosterior(inputs, col);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+gp::MultiPosterior MultiFidelitySurrogate::predict(std::size_t level,
+                                                   const gp::Vec& x) const {
+  assert(fitted_ && level < levels_);
+  const gp::Vec input = augmented(level, x);
+
+  gp::MultiPosterior post;
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    post = mt_models_[level].predict(input);
+  } else {
+    post.mean.resize(m_);
+    post.cov = linalg::Matrix(m_, m_);
+    for (std::size_t mm = 0; mm < m_; ++mm) {
+      const gp::Posterior p = ind_models_[level][mm].predict(input);
+      post.mean[mm] = p.mean;
+      post.cov(mm, mm) = p.var;
+    }
+  }
+
+  if (opts_.mf == MfKind::kLinear && level > 0) {
+    // f_l = rho * f_{l-1} + delta: combine moments (levels independent).
+    const gp::MultiPosterior lower = predict(level - 1, x);
+    for (std::size_t mm = 0; mm < m_; ++mm)
+      post.mean[mm] += rho_[level][mm] * lower.mean[mm];
+    for (std::size_t mm = 0; mm < m_; ++mm)
+      for (std::size_t mp = 0; mp < m_; ++mp)
+        post.cov(mm, mp) +=
+            rho_[level][mm] * rho_[level][mp] * lower.cov(mm, mp);
+  }
+  return post;
+}
+
+linalg::Matrix MultiFidelitySurrogate::taskCorrelation(std::size_t level) const {
+  assert(opts_.obj == ObjModelKind::kCorrelated && level < levels_);
+  return mt_models_[level].taskCorrelation();
+}
+
+}  // namespace cmmfo::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "gp/gp_regressor.h"
+#include "gp/multitask_gp.h"
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace cmmfo::core {
+
+/// Cross-fidelity structure of the surrogate (Sec. IV-A).
+enum class MfKind {
+  /// Eq. (5): level i+1 is a GP over [x, mu_i(x)] — the paper's model.
+  kNonlinear,
+  /// Kennedy-O'Hagan AR(1) chaining — the FPL18 baseline's model.
+  kLinear,
+  /// No cross-fidelity coupling (each level fit independently) — ablation.
+  kSingleFidelity,
+};
+
+/// Multi-objective structure at each fidelity (Sec. IV-B).
+enum class ObjModelKind {
+  /// Eq. (9): one multi-task GP with learned task covariance — the paper.
+  kCorrelated,
+  /// M independent GPs — prior work [11], [12].
+  kIndependent,
+};
+
+struct SurrogateOptions {
+  MfKind mf = MfKind::kNonlinear;
+  ObjModelKind obj = ObjModelKind::kCorrelated;
+  gp::MultiTaskFitOptions mtgp;
+  gp::GpFitOptions gp;
+};
+
+/// Observations at one fidelity: shared inputs, all M objectives per row.
+struct FidelityObs {
+  gp::Dataset x;
+  linalg::Matrix y;  // n x M
+};
+
+/// The paper's combined model (Fig. 7): one multi-objective model per
+/// fidelity, chained bottom-up so higher fidelities condition on the lower
+/// fidelities' predictions. Predictions are joint Gaussians over the M
+/// objectives; the independent variant returns a diagonal covariance.
+class MultiFidelitySurrogate {
+ public:
+  MultiFidelitySurrogate(std::size_t input_dim, std::size_t num_objectives,
+                         std::size_t num_levels, SurrogateOptions opts = {});
+
+  /// Fit all levels bottom-up. Every level must have >= 2 observations.
+  /// When `optimize_hypers` is false only the posterior state is rebuilt
+  /// (cheap path for iterations between MLE refits).
+  void fit(const std::vector<FidelityObs>& obs, rng::Rng& rng,
+           bool optimize_hypers = true);
+
+  /// Joint posterior over the M objectives at fidelity `level`.
+  gp::MultiPosterior predict(std::size_t level, const gp::Vec& x) const;
+
+  std::size_t numLevels() const { return levels_; }
+  std::size_t numObjectives() const { return m_; }
+  const SurrogateOptions& options() const { return opts_; }
+  bool fitted() const { return fitted_; }
+
+  /// Learned task correlation at a level (correlated variant only).
+  linalg::Matrix taskCorrelation(std::size_t level) const;
+
+ private:
+  gp::Vec augmented(std::size_t level, const gp::Vec& x) const;
+  /// Per-objective mean vector of the lower level at x.
+  gp::Vec lowerMeans(std::size_t level, const gp::Vec& x) const;
+
+  std::size_t input_dim_;
+  std::size_t m_;
+  std::size_t levels_;
+  SurrogateOptions opts_;
+  bool fitted_ = false;
+
+  // Correlated variant: one multi-task GP per level.
+  std::vector<gp::MultiTaskGp> mt_models_;
+  // Independent variant: M single-output GPs per level.
+  std::vector<std::vector<gp::GpRegressor>> ind_models_;
+  // Linear MF chaining: per level (>0), per objective rho.
+  std::vector<std::vector<double>> rho_;
+};
+
+}  // namespace cmmfo::core

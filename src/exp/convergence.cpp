@@ -1,0 +1,57 @@
+#include "exp/convergence.h"
+
+#include "pareto/hypervolume.h"
+
+namespace cmmfo::exp {
+
+std::vector<ConvergencePoint> convergenceCurve(
+    const BenchmarkContext& ctx, const core::OptimizeResult& result) {
+  const auto& gt = ctx.groundTruth();
+
+  // Normalization ranges over valid ground-truth objectives (same frame the
+  // harness scores ADRS in).
+  pareto::Point lo(sim::kNumObjectives, 1e300);
+  pareto::Point hi(sim::kNumObjectives, -1e300);
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    if (!gt.valid(i)) continue;
+    const auto y = gt.implObjectives(i);
+    for (int m = 0; m < sim::kNumObjectives; ++m) {
+      lo[m] = std::min(lo[m], y[m]);
+      hi[m] = std::max(hi[m], y[m]);
+    }
+  }
+  auto normalize = [&](const pareto::Point& p) {
+    pareto::Point q(p.size());
+    for (std::size_t m = 0; m < p.size(); ++m)
+      q[m] = (p[m] - lo[m]) / std::max(hi[m] - lo[m], 1e-12);
+    return q;
+  };
+  const pareto::Point ref(sim::kNumObjectives, 1.1);
+
+  std::vector<ConvergencePoint> curve;
+  std::vector<std::size_t> proposed;
+  std::vector<pareto::Point> learned;
+  double cumulative_seconds = 0.0;
+  for (const auto& rec : result.cs) {
+    proposed.push_back(rec.config);
+    cumulative_seconds += rec.report.tool_seconds;
+    if (gt.valid(rec.config))
+      learned.push_back(normalize(gt.implObjectives(rec.config)));
+
+    ConvergencePoint pt;
+    pt.samples = static_cast<int>(proposed.size());
+    pt.tool_seconds = cumulative_seconds;
+    pt.adrs = ctx.adrsOf(proposed);
+    pt.hypervolume = pareto::hypervolume(learned, ref);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+double adrsAuc(const std::vector<ConvergencePoint>& curve) {
+  double auc = 0.0;
+  for (const auto& pt : curve) auc += pt.adrs;  // unit-width staircase
+  return auc;
+}
+
+}  // namespace cmmfo::exp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.h"
+#include "exp/harness.h"
+
+namespace cmmfo::exp {
+
+/// One point of a convergence curve: the state of the search after each
+/// tool invocation.
+struct ConvergencePoint {
+  int samples = 0;            ///< tool invocations so far (init + BO picks)
+  double tool_seconds = 0.0;  ///< cumulative simulated tool time
+  double adrs = 0.0;          ///< ADRS of everything proposed so far
+  double hypervolume = 0.0;   ///< normalized HV of the learned front so far
+};
+
+/// Replay an OptimizeResult against the ground truth into an
+/// ADRS-vs-samples / HV-vs-tool-time convergence curve. Each prefix of the
+/// candidate set CS is scored as if the run had stopped there — the
+/// standard way DSE papers draw "quality vs cost" trajectories.
+std::vector<ConvergencePoint> convergenceCurve(
+    const BenchmarkContext& ctx, const core::OptimizeResult& result);
+
+/// Area under the (samples, ADRS) staircase — a single scalar summarizing
+/// how QUICKLY a run converges, not only where it ends. Lower is better.
+double adrsAuc(const std::vector<ConvergencePoint>& curve);
+
+}  // namespace cmmfo::exp

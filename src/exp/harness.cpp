@@ -1,0 +1,91 @@
+#include "exp/harness.h"
+
+#include <cstdlib>
+
+#include "linalg/stats.h"
+#include "pareto/adrs.h"
+
+namespace cmmfo::exp {
+
+BenchmarkContext::BenchmarkContext(bench_suite::Benchmark bm,
+                                   std::uint64_t sim_seed)
+    : bm_(std::move(bm)) {
+  space_ = std::make_unique<hls::DesignSpace>(
+      hls::DesignSpace::buildPruned(bm_.kernel, bm_.spec));
+  sim_ = std::make_unique<sim::FpgaToolSim>(
+      bm_.kernel, sim::DeviceModel::virtex7Vc707(), bm_.sim_params, sim_seed);
+  gt_ = std::make_unique<sim::GroundTruth>(*space_, *sim_);
+
+  lo_.assign(sim::kNumObjectives, 1e300);
+  hi_.assign(sim::kNumObjectives, -1e300);
+  for (std::size_t i = 0; i < gt_->size(); ++i) {
+    if (!gt_->valid(i)) continue;
+    const auto y = gt_->implObjectives(i);
+    for (int m = 0; m < sim::kNumObjectives; ++m) {
+      lo_[m] = std::min(lo_[m], y[m]);
+      hi_[m] = std::max(hi_[m], y[m]);
+    }
+  }
+}
+
+double BenchmarkContext::adrsOf(const std::vector<std::size_t>& selected) const {
+  auto normalize = [&](const pareto::Point& p) {
+    pareto::Point q(p.size());
+    for (std::size_t m = 0; m < p.size(); ++m) {
+      const double range = std::max(hi_[m] - lo_[m], 1e-12);
+      q[m] = (p[m] - lo_[m]) / range;
+    }
+    return q;
+  };
+
+  std::vector<pareto::Point> learned;
+  for (std::size_t i : selected)
+    if (gt_->valid(i)) learned.push_back(normalize(gt_->implObjectives(i)));
+  learned = pareto::paretoFilter(learned);
+  if (learned.empty()) {
+    // A method that proposed nothing usable is as far from the front as the
+    // worst corner of the space.
+    learned.push_back(pareto::Point(sim::kNumObjectives, 1.0));
+  }
+
+  std::vector<pareto::Point> reference;
+  for (const auto& p : gt_->paretoFront()) reference.push_back(normalize(p));
+  return pareto::adrs(reference, learned, pareto::AdrsDistance::kEuclidean);
+}
+
+MethodStats evaluateMethod(BenchmarkContext& ctx,
+                           const baselines::DseMethod& method, int repeats,
+                           std::uint64_t seed0) {
+  MethodStats stats;
+  stats.method = method.name();
+  std::vector<double> adrs_vals, times;
+  for (int r = 0; r < repeats; ++r) {
+    const baselines::DseOutcome out =
+        method.run(ctx.space(), ctx.sim(), seed0 + 7919ULL * r);
+    RunMetrics m;
+    m.adrs = ctx.adrsOf(out.selected);
+    m.tool_seconds = out.tool_seconds;
+    m.tool_runs = out.tool_runs;
+    m.num_selected = out.selected.size();
+    stats.runs.push_back(m);
+    adrs_vals.push_back(m.adrs);
+    times.push_back(m.tool_seconds);
+  }
+  stats.adrs_mean = linalg::mean(adrs_vals);
+  stats.adrs_std = linalg::sampleStddev(adrs_vals);
+  stats.time_mean = linalg::mean(times);
+  return stats;
+}
+
+int repeatsFromEnv(int def_repeats) {
+  if (const char* s = std::getenv("CMMFO_REPEATS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  if (fastModeFromEnv()) return 2;
+  return def_repeats;
+}
+
+bool fastModeFromEnv() { return std::getenv("CMMFO_FAST") != nullptr; }
+
+}  // namespace cmmfo::exp

@@ -1,0 +1,96 @@
+#include "exp/table.h"
+
+#include <iomanip>
+
+namespace cmmfo::exp {
+
+namespace {
+double safeRatio(double num, double den) {
+  return den > 1e-300 ? num / den : 0.0;
+}
+}  // namespace
+
+void printTable1(const std::vector<BenchmarkResults>& rows,
+                 const std::vector<std::string>& method_order,
+                 const std::string& normalizer, std::ostream& os) {
+  os << std::fixed << std::setprecision(2);
+
+  auto header = [&](const std::string& title) {
+    os << "\n" << title << "\n";
+    os << std::setw(14) << "Benchmark";
+    for (const auto& m : method_order) os << std::setw(8) << m;
+    os << "\n";
+  };
+
+  struct Acc {
+    std::map<std::string, double> sum;
+    int n = 0;
+  };
+  Acc acc_adrs, acc_std, acc_time;
+
+  auto section = [&](const std::string& title, auto metric, Acc& acc) {
+    header(title);
+    for (const auto& row : rows) {
+      const auto norm_it = row.by_method.find(normalizer);
+      const double den =
+          norm_it != row.by_method.end() ? metric(norm_it->second) : 1.0;
+      os << std::setw(14) << row.benchmark;
+      for (const auto& m : method_order) {
+        const auto it = row.by_method.find(m);
+        const double v =
+            it != row.by_method.end() ? safeRatio(metric(it->second), den) : 0.0;
+        os << std::setw(8) << v;
+        acc.sum[m] += v;
+      }
+      os << "\n";
+      ++acc.n;
+    }
+    os << std::setw(14) << "Average";
+    for (const auto& m : method_order)
+      os << std::setw(8) << (acc.n ? acc.sum[m] / acc.n : 0.0);
+    os << "\n";
+  };
+
+  section("Normalized ADRS (lower is better, 1.00 = " + normalizer + ")",
+          [](const MethodStats& s) { return s.adrs_mean; }, acc_adrs);
+  section("Normalized Standard Deviation of ADRS",
+          [](const MethodStats& s) { return s.adrs_std; }, acc_std);
+  section("Normalized Overall Running Time",
+          [](const MethodStats& s) { return s.time_mean; }, acc_time);
+
+  // Raw values for traceability.
+  os << "\nRaw ADRS / tool-hours\n";
+  os << std::setw(14) << "Benchmark";
+  for (const auto& m : method_order) os << std::setw(16) << m;
+  os << "\n";
+  os << std::setprecision(4);
+  for (const auto& row : rows) {
+    os << std::setw(14) << row.benchmark;
+    for (const auto& m : method_order) {
+      const auto it = row.by_method.find(m);
+      if (it == row.by_method.end()) {
+        os << std::setw(16) << "-";
+        continue;
+      }
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(3) << it->second.adrs_mean << "/"
+           << std::setprecision(1) << it->second.time_mean / 3600.0 << "h";
+      os << std::setw(16) << cell.str();
+    }
+    os << "\n";
+  }
+}
+
+void writeRunsCsv(const std::vector<BenchmarkResults>& rows, std::ostream& os) {
+  os << "benchmark,method,run,adrs,tool_seconds,tool_runs,num_selected\n";
+  for (const auto& row : rows)
+    for (const auto& [name, stats] : row.by_method)
+      for (std::size_t r = 0; r < stats.runs.size(); ++r) {
+        const RunMetrics& m = stats.runs[r];
+        os << row.benchmark << "," << name << "," << r << "," << m.adrs << ","
+           << m.tool_seconds << "," << m.tool_runs << "," << m.num_selected
+           << "\n";
+      }
+}
+
+}  // namespace cmmfo::exp

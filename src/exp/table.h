@@ -1,0 +1,29 @@
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/harness.h"
+
+namespace cmmfo::exp {
+
+/// One benchmark's results for every compared method.
+struct BenchmarkResults {
+  std::string benchmark;
+  std::map<std::string, MethodStats> by_method;
+};
+
+/// Print Table I: per-benchmark ADRS / ADRS-std / running time, each
+/// normalized to the `normalizer` method's value (the paper normalizes to
+/// ANN), plus the Average row. Also prints the raw (unnormalized) values
+/// below for traceability.
+void printTable1(const std::vector<BenchmarkResults>& rows,
+                 const std::vector<std::string>& method_order,
+                 const std::string& normalizer, std::ostream& os);
+
+/// CSV dump of the raw per-run metrics (one line per benchmark x method x run).
+void writeRunsCsv(const std::vector<BenchmarkResults>& rows, std::ostream& os);
+
+}  // namespace cmmfo::exp

@@ -1,0 +1,154 @@
+#include "gp/composite_kernels.h"
+
+#include <cassert>
+
+namespace cmmfo::gp {
+
+SubspaceKernel::SubspaceKernel(KernelPtr inner, std::vector<std::size_t> dims)
+    : inner_(std::move(inner)), dims_(std::move(dims)) {}
+
+SubspaceKernel::SubspaceKernel(const SubspaceKernel& o)
+    : inner_(o.inner_->clone()), dims_(o.dims_) {}
+
+Vec SubspaceKernel::project(const Vec& x) const {
+  Vec out(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    assert(dims_[i] < x.size());
+    out[i] = x[dims_[i]];
+  }
+  return out;
+}
+
+Dataset SubspaceKernel::projectAll(const Dataset& x) const {
+  Dataset out;
+  out.reserve(x.size());
+  for (const auto& xi : x) out.push_back(project(xi));
+  return out;
+}
+
+double SubspaceKernel::eval(const Vec& x, const Vec& y) const {
+  return inner_->eval(project(x), project(y));
+}
+
+linalg::Matrix SubspaceKernel::gramGrad(const Dataset& x, std::size_t p) const {
+  return inner_->gramGrad(projectAll(x), p);
+}
+
+void SubspaceKernel::initFromData(const Dataset& x) {
+  inner_->initFromData(projectAll(x));
+}
+
+void SubspaceKernel::scaleLengthscales(double factor) {
+  inner_->scaleLengthscales(factor);
+}
+
+std::string SubspaceKernel::name() const {
+  return "Subspace(" + inner_->name() + ")";
+}
+
+SumKernel::SumKernel(KernelPtr a, KernelPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {}
+
+SumKernel::SumKernel(const SumKernel& o)
+    : a_(o.a_->clone()), b_(o.b_->clone()) {}
+
+double SumKernel::eval(const Vec& x, const Vec& y) const {
+  return a_->eval(x, y) + b_->eval(x, y);
+}
+
+std::size_t SumKernel::numParams() const {
+  return a_->numParams() + b_->numParams();
+}
+
+Vec SumKernel::params() const {
+  Vec p = a_->params();
+  const Vec pb = b_->params();
+  p.insert(p.end(), pb.begin(), pb.end());
+  return p;
+}
+
+void SumKernel::setParams(const Vec& p) {
+  assert(p.size() == numParams());
+  a_->setParams(Vec(p.begin(), p.begin() + a_->numParams()));
+  b_->setParams(Vec(p.begin() + a_->numParams(), p.end()));
+}
+
+linalg::Matrix SumKernel::gramGrad(const Dataset& x, std::size_t p) const {
+  if (p < a_->numParams()) return a_->gramGrad(x, p);
+  return b_->gramGrad(x, p - a_->numParams());
+}
+
+void SumKernel::initFromData(const Dataset& x) {
+  a_->initFromData(x);
+  b_->initFromData(x);
+}
+
+void SumKernel::scaleLengthscales(double factor) {
+  a_->scaleLengthscales(factor);
+  b_->scaleLengthscales(factor);
+}
+
+std::string SumKernel::name() const {
+  return a_->name() + " + " + b_->name();
+}
+
+ProductKernel::ProductKernel(KernelPtr a, KernelPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {}
+
+ProductKernel::ProductKernel(const ProductKernel& o)
+    : a_(o.a_->clone()), b_(o.b_->clone()) {}
+
+double ProductKernel::eval(const Vec& x, const Vec& y) const {
+  return a_->eval(x, y) * b_->eval(x, y);
+}
+
+std::size_t ProductKernel::numParams() const {
+  return a_->numParams() + b_->numParams();
+}
+
+Vec ProductKernel::params() const {
+  Vec p = a_->params();
+  const Vec pb = b_->params();
+  p.insert(p.end(), pb.begin(), pb.end());
+  return p;
+}
+
+void ProductKernel::setParams(const Vec& p) {
+  assert(p.size() == numParams());
+  a_->setParams(Vec(p.begin(), p.begin() + a_->numParams()));
+  b_->setParams(Vec(p.begin() + a_->numParams(), p.end()));
+}
+
+linalg::Matrix ProductKernel::gramGrad(const Dataset& x, std::size_t p) const {
+  // Product rule: d(A.*B) = dA.*B or A.*dB elementwise.
+  const std::size_t n = x.size();
+  linalg::Matrix g(n, n);
+  if (p < a_->numParams()) {
+    const linalg::Matrix da = a_->gramGrad(x, p);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        g(i, j) = da(i, j) * b_->eval(x[i], x[j]);
+  } else {
+    const linalg::Matrix db = b_->gramGrad(x, p - a_->numParams());
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        g(i, j) = a_->eval(x[i], x[j]) * db(i, j);
+  }
+  return g;
+}
+
+void ProductKernel::initFromData(const Dataset& x) {
+  a_->initFromData(x);
+  b_->initFromData(x);
+}
+
+void ProductKernel::scaleLengthscales(double factor) {
+  a_->scaleLengthscales(factor);
+  b_->scaleLengthscales(factor);
+}
+
+std::string ProductKernel::name() const {
+  return "(" + a_->name() + ") * (" + b_->name() + ")";
+}
+
+}  // namespace cmmfo::gp

@@ -1,0 +1,80 @@
+#pragma once
+
+#include "gp/kernel.h"
+
+namespace cmmfo::gp {
+
+/// Restrict an inner kernel to a subset of input dimensions. Needed by the
+/// NARGP composite (Eq. 5): the "error" kernel k_delta sees only the design
+/// features while the "transfer" kernel sees design features plus the
+/// lower-fidelity output.
+class SubspaceKernel final : public Kernel {
+ public:
+  SubspaceKernel(KernelPtr inner, std::vector<std::size_t> dims);
+  SubspaceKernel(const SubspaceKernel& o);
+
+  double eval(const Vec& x, const Vec& y) const override;
+  std::size_t numParams() const override { return inner_->numParams(); }
+  Vec params() const override { return inner_->params(); }
+  void setParams(const Vec& p) override { inner_->setParams(p); }
+  linalg::Matrix gramGrad(const Dataset& x, std::size_t p) const override;
+  void initFromData(const Dataset& x) override;
+  void scaleLengthscales(double factor) override;
+  std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<SubspaceKernel>(*this);
+  }
+  std::string name() const override;
+
+ private:
+  Vec project(const Vec& x) const;
+  Dataset projectAll(const Dataset& x) const;
+
+  KernelPtr inner_;
+  std::vector<std::size_t> dims_;
+};
+
+/// Sum of kernels; parameters are the concatenation of the terms' parameters.
+class SumKernel final : public Kernel {
+ public:
+  SumKernel(KernelPtr a, KernelPtr b);
+  SumKernel(const SumKernel& o);
+
+  double eval(const Vec& x, const Vec& y) const override;
+  std::size_t numParams() const override;
+  Vec params() const override;
+  void setParams(const Vec& p) override;
+  linalg::Matrix gramGrad(const Dataset& x, std::size_t p) const override;
+  void initFromData(const Dataset& x) override;
+  void scaleLengthscales(double factor) override;
+  std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<SumKernel>(*this);
+  }
+  std::string name() const override;
+
+ private:
+  KernelPtr a_, b_;
+};
+
+/// Product of kernels; parameters are the concatenation of the factors'.
+class ProductKernel final : public Kernel {
+ public:
+  ProductKernel(KernelPtr a, KernelPtr b);
+  ProductKernel(const ProductKernel& o);
+
+  double eval(const Vec& x, const Vec& y) const override;
+  std::size_t numParams() const override;
+  Vec params() const override;
+  void setParams(const Vec& p) override;
+  linalg::Matrix gramGrad(const Dataset& x, std::size_t p) const override;
+  void initFromData(const Dataset& x) override;
+  void scaleLengthscales(double factor) override;
+  std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<ProductKernel>(*this);
+  }
+  std::string name() const override;
+
+ private:
+  KernelPtr a_, b_;
+};
+
+}  // namespace cmmfo::gp

@@ -1,0 +1,196 @@
+#include "gp/gp_regressor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "linalg/vec_ops.h"
+#include "opt/lbfgs.h"
+
+namespace cmmfo::gp {
+
+namespace {
+double clampLogNoise(double v, const GpFitOptions& opts) {
+  return std::clamp(v, std::log(opts.min_noise), std::log(opts.max_noise));
+}
+}  // namespace
+
+GpRegressor::GpRegressor(const Kernel& prototype, GpFitOptions opts)
+    : kernel_(prototype.clone()),
+      opts_(opts),
+      log_noise_(std::log(opts.init_noise)) {}
+
+GpRegressor::GpRegressor(const GpRegressor& o)
+    : kernel_(o.kernel_->clone()),
+      opts_(o.opts_),
+      log_noise_(o.log_noise_),
+      x_(o.x_),
+      y_std_(o.y_std_),
+      standardizer_(o.standardizer_),
+      chol_(o.chol_),
+      alpha_(o.alpha_),
+      lml_(o.lml_) {}
+
+GpRegressor& GpRegressor::operator=(const GpRegressor& o) {
+  if (this == &o) return *this;
+  kernel_ = o.kernel_->clone();
+  opts_ = o.opts_;
+  log_noise_ = o.log_noise_;
+  x_ = o.x_;
+  y_std_ = o.y_std_;
+  standardizer_ = o.standardizer_;
+  chol_ = o.chol_;
+  alpha_ = o.alpha_;
+  lml_ = o.lml_;
+  return *this;
+}
+
+double GpRegressor::noiseStddev() const { return std::exp(log_noise_); }
+
+Vec GpRegressor::packedParams() const {
+  Vec p = kernel_->params();
+  if (opts_.optimize_noise) p.push_back(log_noise_);
+  return p;
+}
+
+void GpRegressor::applyPacked(const Vec& packed) {
+  const std::size_t nk = kernel_->numParams();
+  kernel_->setParams(Vec(packed.begin(), packed.begin() + nk));
+  if (opts_.optimize_noise) log_noise_ = clampLogNoise(packed[nk], opts_);
+}
+
+double GpRegressor::negLml(const Vec& packed, Vec& grad) const {
+  const std::size_t n = x_.size();
+  const std::size_t nk = kernel_->numParams();
+  grad.assign(packed.size(), 0.0);
+
+  // Work on a clone so the const contract holds while scanning parameters.
+  KernelPtr k = kernel_->clone();
+  k->setParams(Vec(packed.begin(), packed.begin() + nk));
+  const double log_noise =
+      opts_.optimize_noise ? clampLogNoise(packed[nk], opts_) : log_noise_;
+  const double noise_var = std::exp(2.0 * log_noise);
+
+  linalg::Matrix gram = k->gram(x_);
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise_var;
+  auto chol = linalg::Cholesky::factorizeWithJitter(gram);
+  if (!chol) return std::numeric_limits<double>::infinity();
+
+  const Vec alpha = chol->solve(y_std_);
+  const double data_fit = 0.5 * linalg::dot(y_std_, alpha);
+  const double nll = data_fit + 0.5 * chol->logDet() +
+                     0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+
+  // dNLL/dtheta = -1/2 tr((alpha alpha^T - K^{-1}) dK/dtheta).
+  const linalg::Matrix kinv = chol->inverse();
+  auto traceTerm = [&](const linalg::Matrix& dk) {
+    double tr = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        tr += (alpha[i] * alpha[j] - kinv(i, j)) * dk(i, j);
+    return -0.5 * tr;
+  };
+  for (std::size_t p = 0; p < nk; ++p)
+    grad[p] = traceTerm(k->gramGrad(x_, p));
+  if (opts_.optimize_noise) {
+    // dK/d log_noise = 2 * noise_var * I.
+    double tr = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      tr += alpha[i] * alpha[i] - kinv(i, i);
+    grad[nk] = -0.5 * tr * 2.0 * noise_var;
+    // At a clamp boundary, zero the gradient component pointing outward so
+    // the line search does not chase an inert direction.
+    if ((packed[nk] <= std::log(opts_.min_noise) && grad[nk] > 0.0) ||
+        (packed[nk] >= std::log(opts_.max_noise) && grad[nk] < 0.0))
+      grad[nk] = 0.0;
+  }
+  return nll;
+}
+
+void GpRegressor::fit(const Dataset& x, const Vec& y, rng::Rng& rng) {
+  assert(!x.empty() && x.size() == y.size());
+  x_ = x;
+  standardizer_ = linalg::Standardizer::fit(y);
+  y_std_ = standardizer_.transform(y);
+
+  opt::GradObjectiveFn objective = [this](const Vec& p, Vec& g) {
+    return negLml(p, g);
+  };
+  opt::LbfgsOptions lopts;
+  lopts.max_iters = opts_.max_mle_iters;
+
+  // Informed multi-start: the caller's prototype parameters, the
+  // median-distance data-driven initialization, and random perturbations of
+  // the latter. The data-driven start is what rescues MLE from the
+  // "everything is noise" optimum on fast-varying targets.
+  std::vector<Vec> starts;
+  starts.push_back(packedParams());
+  {
+    KernelPtr init = kernel_->clone();
+    init->initFromData(x_);
+    // Multi-resolution ladder: the median distance and two shorter scales.
+    for (double factor : {1.0, 0.25, 0.0625}) {
+      KernelPtr k2 = init->clone();
+      k2->scaleLengthscales(factor);
+      Vec p = k2->params();
+      if (opts_.optimize_noise) p.push_back(std::log(0.1));
+      starts.push_back(std::move(p));
+    }
+    for (int s2 = 0; s2 < opts_.mle_restarts; ++s2) {
+      Vec q = starts[1];
+      for (auto& v : q) v += rng.uniform(-1.5, 1.5);
+      starts.push_back(std::move(q));
+    }
+  }
+  opt::OptResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (const auto& start : starts) {
+    const opt::OptResult r = opt::minimizeLbfgs(objective, start, lopts);
+    if (std::isfinite(r.value) && r.value < best.value) best = r;
+  }
+  if (std::isfinite(best.value)) applyPacked(best.x);
+
+  refitPosterior(x, y);
+}
+
+void GpRegressor::refitPosterior(const Dataset& x, const Vec& y) {
+  assert(!x.empty() && x.size() == y.size());
+  x_ = x;
+  standardizer_ = linalg::Standardizer::fit(y);
+  y_std_ = standardizer_.transform(y);
+
+  const std::size_t n = x_.size();
+  linalg::Matrix gram = kernel_->gram(x_);
+  const double noise_var = std::exp(2.0 * log_noise_);
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise_var;
+  chol_ = linalg::Cholesky::factorizeWithJitter(gram);
+  assert(chol_ && "Gram matrix not factorizable even with jitter");
+  alpha_ = chol_->solve(y_std_);
+  lml_ = -(0.5 * linalg::dot(y_std_, alpha_) + 0.5 * chol_->logDet() +
+           0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi));
+}
+
+Posterior GpRegressor::predict(const Vec& x) const {
+  assert(fitted());
+  const Vec kstar = kernel_->crossVec(x_, x);
+  Posterior p;
+  const double z_mean = linalg::dot(kstar, alpha_);
+  const Vec v = chol_->solveLower(kstar);
+  const double kxx = kernel_->eval(x, x);
+  double z_var = kxx - linalg::dot(v, v);
+  z_var = std::max(z_var, 0.0);
+  p.mean = standardizer_.inverse(z_mean);
+  p.var = standardizer_.inverseVar(z_var);
+  return p;
+}
+
+std::vector<Posterior> GpRegressor::predictBatch(const Dataset& x) const {
+  std::vector<Posterior> out;
+  out.reserve(x.size());
+  for (const auto& xi : x) out.push_back(predict(xi));
+  return out;
+}
+
+}  // namespace cmmfo::gp

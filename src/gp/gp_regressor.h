@@ -1,0 +1,90 @@
+#pragma once
+
+#include <optional>
+
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+#include "linalg/stats.h"
+#include "rng/rng.h"
+
+namespace cmmfo::gp {
+
+/// Mean / variance of a scalar Gaussian posterior.
+struct Posterior {
+  double mean = 0.0;
+  /// Variance of the latent function (excludes observation noise).
+  double var = 0.0;
+};
+
+struct GpFitOptions {
+  /// Also optimize the observation-noise stddev (log-parameterized).
+  bool optimize_noise = true;
+  /// Initial observation-noise stddev, in standardized-target units.
+  double init_noise = 0.1;
+  /// Lower bound on the noise stddev, keeping the Gram matrix well
+  /// conditioned even for noise-free data.
+  double min_noise = 1e-4;
+  /// Upper bound on the noise stddev (standardized units): beyond a few
+  /// data-stddevs "all noise" is already expressed, and an unbounded
+  /// parameter lets a bad line search run off to infinity.
+  double max_noise = 4.0;
+  /// Extra random restarts for the MLE search.
+  int mle_restarts = 2;
+  int max_mle_iters = 60;
+};
+
+/// Single-output Gaussian-process regression with constant (empirical) mean,
+/// hyperparameters fitted by maximizing the log marginal likelihood with
+/// analytic gradients (Sec. II-A of the paper).
+///
+/// Targets are standardized internally; predictions are reported in the
+/// original units.
+class GpRegressor {
+ public:
+  /// `prototype` supplies the kernel family and initial hyperparameters;
+  /// it is cloned, never mutated.
+  explicit GpRegressor(const Kernel& prototype, GpFitOptions opts = {});
+  GpRegressor(const GpRegressor& o);
+  GpRegressor& operator=(const GpRegressor& o);
+  GpRegressor(GpRegressor&&) = default;
+  GpRegressor& operator=(GpRegressor&&) = default;
+
+  /// Fit hyperparameters on (x, y) and cache the posterior state.
+  /// Requires x.size() == y.size() >= 1.
+  void fit(const Dataset& x, const Vec& y, rng::Rng& rng);
+
+  /// Refit the posterior state with current hyperparameters on new data
+  /// (cheap incremental update path when hyperparameters are kept).
+  void refitPosterior(const Dataset& x, const Vec& y);
+
+  Posterior predict(const Vec& x) const;
+  std::vector<Posterior> predictBatch(const Dataset& x) const;
+
+  /// Log marginal likelihood of the training data at the fitted
+  /// hyperparameters (standardized units).
+  double logMarginalLikelihood() const { return lml_; }
+  double noiseStddev() const;
+  const Kernel& kernel() const { return *kernel_; }
+  std::size_t numData() const { return x_.size(); }
+  bool fitted() const { return chol_.has_value(); }
+
+ private:
+  /// Negative LML and gradient at packed parameters [kernel..., log noise].
+  double negLml(const Vec& packed, Vec& grad) const;
+  void applyPacked(const Vec& packed);
+  Vec packedParams() const;
+
+  KernelPtr kernel_;
+  GpFitOptions opts_;
+  double log_noise_ = 0.0;
+
+  // Cached posterior state.
+  Dataset x_;
+  Vec y_std_;  // standardized targets
+  linalg::Standardizer standardizer_;
+  std::optional<linalg::Cholesky> chol_;
+  Vec alpha_;  // K^{-1} y_std
+  double lml_ = 0.0;
+};
+
+}  // namespace cmmfo::gp

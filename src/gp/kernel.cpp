@@ -1,0 +1,31 @@
+#include "gp/kernel.h"
+
+namespace cmmfo::gp {
+
+linalg::Matrix Kernel::gram(const Dataset& x) const {
+  const std::size_t n = x.size();
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = eval(x[i], x[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+linalg::Matrix Kernel::cross(const Dataset& x, const Dataset& z) const {
+  linalg::Matrix k(x.size(), z.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = 0; j < z.size(); ++j) k(i, j) = eval(x[i], z[j]);
+  return k;
+}
+
+Vec Kernel::crossVec(const Dataset& x, const Vec& z) const {
+  Vec k(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) k[i] = eval(x[i], z);
+  return k;
+}
+
+}  // namespace cmmfo::gp

@@ -1,0 +1,57 @@
+#include "gp/linear_mf_gp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "gp/ard_kernels.h"
+
+namespace cmmfo::gp {
+
+LinearMfGp::LinearMfGp(std::size_t input_dim, std::size_t num_levels,
+                       GpFitOptions opts)
+    : input_dim_(input_dim), opts_(opts) {
+  assert(num_levels >= 1);
+  const Matern52Ard proto(input_dim, /*unit_variance=*/false);
+  models_.reserve(num_levels);
+  for (std::size_t l = 0; l < num_levels; ++l) models_.emplace_back(proto, opts_);
+  rhos_.assign(num_levels, 1.0);
+}
+
+void LinearMfGp::fit(const std::vector<FidelityData>& data, rng::Rng& rng) {
+  assert(data.size() == models_.size());
+  models_[0].fit(data[0].x, data[0].y, rng);
+  for (std::size_t l = 1; l < models_.size(); ++l) {
+    const auto& dl = data[l];
+    assert(!dl.x.empty() && dl.x.size() == dl.y.size());
+    // rho = argmin sum (y - rho * mu_lower)^2 = <mu, y> / <mu, mu>.
+    double num = 0.0, den = 0.0;
+    Vec mu_lower(dl.x.size());
+    for (std::size_t i = 0; i < dl.x.size(); ++i) {
+      mu_lower[i] = predict(l - 1, dl.x[i]).mean;
+      num += mu_lower[i] * dl.y[i];
+      den += mu_lower[i] * mu_lower[i];
+    }
+    rhos_[l] = den > 1e-12 ? num / den : 1.0;
+    Vec resid(dl.x.size());
+    for (std::size_t i = 0; i < dl.x.size(); ++i)
+      resid[i] = dl.y[i] - rhos_[l] * mu_lower[i];
+    models_[l].fit(dl.x, resid, rng);
+  }
+}
+
+Posterior LinearMfGp::predict(std::size_t level, const Vec& x) const {
+  assert(level < models_.size());
+  if (level == 0) return models_[0].predict(x);
+  const Posterior lower = predict(level - 1, x);
+  const Posterior delta = models_[level].predict(x);
+  Posterior post;
+  post.mean = rhos_[level] * lower.mean + delta.mean;
+  post.var = rhos_[level] * rhos_[level] * lower.var + delta.var;
+  return post;
+}
+
+Posterior LinearMfGp::predictHighest(const Vec& x) const {
+  return predict(models_.size() - 1, x);
+}
+
+}  // namespace cmmfo::gp

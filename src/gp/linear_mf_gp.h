@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "gp/gp_regressor.h"
+#include "gp/nonlinear_mf_gp.h"  // FidelityData
+
+namespace cmmfo::gp {
+
+/// Linear auto-regressive multi-fidelity GP (Kennedy & O'Hagan 2000, in the
+/// recursive formulation of Le Gratiet 2013). This is the model used by the
+/// FPL18 baseline the paper compares against:
+///
+///   f_{i+1}(x) = rho_i * f_i(x) + delta_i(x),
+///
+/// with scalar rho_i estimated by least squares against the lower-fidelity
+/// posterior mean and delta_i an independent GP on the residuals.
+class LinearMfGp {
+ public:
+  explicit LinearMfGp(std::size_t input_dim, std::size_t num_levels,
+                      GpFitOptions opts = {});
+
+  void fit(const std::vector<FidelityData>& data, rng::Rng& rng);
+
+  Posterior predict(std::size_t level, const Vec& x) const;
+  Posterior predictHighest(const Vec& x) const;
+
+  std::size_t numLevels() const { return models_.size(); }
+  double rho(std::size_t level) const { return rhos_.at(level); }
+
+ private:
+  std::size_t input_dim_;
+  GpFitOptions opts_;
+  std::vector<GpRegressor> models_;  // level 0: f_0; level i: delta_i
+  std::vector<double> rhos_;         // rhos_[0] unused, rhos_[i] links i-1 -> i
+};
+
+}  // namespace cmmfo::gp

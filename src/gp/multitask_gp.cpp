@@ -1,0 +1,335 @@
+#include "gp/multitask_gp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "linalg/vec_ops.h"
+#include "opt/lbfgs.h"
+
+namespace cmmfo::gp {
+
+namespace {
+std::size_t lowerTriCount(std::size_t m) { return m * (m + 1) / 2; }
+}  // namespace
+
+MultiTaskGp::MultiTaskGp(const Kernel& input_kernel, std::size_t num_tasks,
+                         MultiTaskFitOptions opts)
+    : kernel_(input_kernel.clone()),
+      m_(num_tasks),
+      opts_(opts),
+      l_entries_(lowerTriCount(num_tasks), 0.0),
+      log_noise_(num_tasks, std::log(opts.init_noise)) {
+  // Identity initialization of L: diagonal logs at 0, off-diagonals at 0.
+}
+
+MultiTaskGp::MultiTaskGp(const MultiTaskGp& o)
+    : kernel_(o.kernel_->clone()),
+      m_(o.m_),
+      opts_(o.opts_),
+      l_entries_(o.l_entries_),
+      log_noise_(o.log_noise_),
+      x_(o.x_),
+      standardizers_(o.standardizers_),
+      y_stacked_(o.y_stacked_),
+      chol_(o.chol_),
+      alpha_(o.alpha_),
+      lml_(o.lml_) {}
+
+MultiTaskGp& MultiTaskGp::operator=(const MultiTaskGp& o) {
+  if (this == &o) return *this;
+  kernel_ = o.kernel_->clone();
+  m_ = o.m_;
+  opts_ = o.opts_;
+  l_entries_ = o.l_entries_;
+  log_noise_ = o.log_noise_;
+  x_ = o.x_;
+  standardizers_ = o.standardizers_;
+  y_stacked_ = o.y_stacked_;
+  chol_ = o.chol_;
+  alpha_ = o.alpha_;
+  lml_ = o.lml_;
+  return *this;
+}
+
+std::size_t MultiTaskGp::numPacked() const {
+  return kernel_->numParams() + lowerTriCount(m_) + m_;
+}
+
+Vec MultiTaskGp::packedParams() const {
+  Vec p = kernel_->params();
+  p.insert(p.end(), l_entries_.begin(), l_entries_.end());
+  p.insert(p.end(), log_noise_.begin(), log_noise_.end());
+  return p;
+}
+
+void MultiTaskGp::applyPacked(const Vec& p) {
+  assert(p.size() == numPacked());
+  const std::size_t nk = kernel_->numParams();
+  kernel_->setParams(Vec(p.begin(), p.begin() + nk));
+  const std::size_t nl = lowerTriCount(m_);
+  l_entries_.assign(p.begin() + nk, p.begin() + nk + nl);
+  log_noise_.assign(p.begin() + nk + nl, p.end());
+  for (auto& ln : log_noise_)
+    ln = std::clamp(ln, std::log(opts_.min_noise), std::log(4.0));
+}
+
+linalg::Matrix MultiTaskGp::buildB(const Vec& l_entries, std::size_t m) {
+  // Expand the packed lower triangle into L (diagonals exponentiated to stay
+  // positive), then B = L L^T.
+  linalg::Matrix l(m, m);
+  std::size_t idx = 0;
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c <= r; ++c, ++idx)
+      l(r, c) = (r == c) ? std::exp(l_entries[idx]) : l_entries[idx];
+  return l.matmul(l.transposed());
+}
+
+linalg::Matrix MultiTaskGp::buildStackedGram(const Kernel& k,
+                                             const Vec& l_entries,
+                                             const Vec& log_noise) const {
+  const std::size_t n = x_.size();
+  const linalg::Matrix kx = k.gram(x_);
+  const linalg::Matrix b = buildB(l_entries, m_);
+  linalg::Matrix gram(n * m_, n * m_);
+  for (std::size_t mm = 0; mm < m_; ++mm)
+    for (std::size_t mp = 0; mp < m_; ++mp) {
+      const double bmm = b(mm, mp);
+      for (std::size_t i = 0; i < n; ++i) {
+        double* dst = gram.rowPtr(mm * n + i) + mp * n;
+        const double* src = kx.rowPtr(i);
+        for (std::size_t j = 0; j < n; ++j) dst[j] += bmm * src[j];
+      }
+    }
+  for (std::size_t mm = 0; mm < m_; ++mm) {
+    const double nv = std::exp(2.0 * log_noise[mm]);
+    for (std::size_t i = 0; i < n; ++i) gram(mm * n + i, mm * n + i) += nv;
+  }
+  return gram;
+}
+
+double MultiTaskGp::negLml(const Vec& packed, Vec& grad) const {
+  const std::size_t n = x_.size();
+  const std::size_t nn = n * m_;
+  const std::size_t nk = kernel_->numParams();
+  const std::size_t nl = lowerTriCount(m_);
+  grad.assign(packed.size(), 0.0);
+
+  KernelPtr k = kernel_->clone();
+  k->setParams(Vec(packed.begin(), packed.begin() + nk));
+  Vec l_entries(packed.begin() + nk, packed.begin() + nk + nl);
+  Vec log_noise(packed.begin() + nk + nl, packed.end());
+  for (auto& ln : log_noise)
+    ln = std::clamp(ln, std::log(opts_.min_noise), std::log(4.0));
+
+  const linalg::Matrix gram = buildStackedGram(*k, l_entries, log_noise);
+  auto chol = linalg::Cholesky::factorizeWithJitter(gram);
+  if (!chol) return std::numeric_limits<double>::infinity();
+
+  const Vec alpha = chol->solve(y_stacked_);
+  const double nll =
+      0.5 * linalg::dot(y_stacked_, alpha) + 0.5 * chol->logDet() +
+      0.5 * static_cast<double>(nn) * std::log(2.0 * std::numbers::pi);
+
+  // W = alpha alpha^T - K^{-1}; dNLL/dtheta = -1/2 tr(W dK/dtheta).
+  const linalg::Matrix kinv = chol->inverse();
+  auto w = [&](std::size_t a, std::size_t b2) {
+    return alpha[a] * alpha[b2] - kinv(a, b2);
+  };
+
+  const linalg::Matrix kx = k->gram(x_);
+  const linalg::Matrix b = buildB(l_entries, m_);
+
+  // Kernel parameters: dK = B (x) dKx. Precompute the B-weighted collapse of
+  // W over task blocks so each kernel parameter costs O(n^2).
+  linalg::Matrix wsum(n, n);
+  for (std::size_t mm = 0; mm < m_; ++mm)
+    for (std::size_t mp = 0; mp < m_; ++mp) {
+      const double bmm = b(mm, mp);
+      if (bmm == 0.0) continue;
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          wsum(i, j) += bmm * w(mm * n + i, mp * n + j);
+    }
+  for (std::size_t p = 0; p < nk; ++p) {
+    const linalg::Matrix dkx = k->gramGrad(x_, p);
+    double tr = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) tr += wsum(i, j) * dkx(i, j);
+    grad[p] = -0.5 * tr;
+  }
+
+  // Task-covariance parameters: dK = dB (x) Kx. Precompute
+  // T[mm, mp] = sum_ij W[(mm,i),(mp,j)] Kx(i,j) so each is O(M^2).
+  linalg::Matrix t(m_, m_);
+  for (std::size_t mm = 0; mm < m_; ++mm)
+    for (std::size_t mp = 0; mp < m_; ++mp) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          s += w(mm * n + i, mp * n + j) * kx(i, j);
+      t(mm, mp) = s;
+    }
+  // Expand L for dB computation.
+  linalg::Matrix lmat(m_, m_);
+  {
+    std::size_t idx = 0;
+    for (std::size_t r = 0; r < m_; ++r)
+      for (std::size_t c = 0; c <= r; ++c, ++idx)
+        lmat(r, c) = (r == c) ? std::exp(l_entries[idx]) : l_entries[idx];
+  }
+  {
+    std::size_t idx = 0;
+    for (std::size_t a = 0; a < m_; ++a)
+      for (std::size_t c = 0; c <= a; ++c, ++idx) {
+        // dL = d * E_{a,c}, d = L_aa for the log-diagonal, else 1.
+        const double d = (a == c) ? lmat(a, a) : 1.0;
+        // dB = dL L^T + L dL^T => dB(r,s) = [r==a] d L(s,c) + [s==a] d L(r,c).
+        double tr = 0.0;
+        for (std::size_t s = 0; s < m_; ++s) tr += t(a, s) * d * lmat(s, c);
+        for (std::size_t r = 0; r < m_; ++r) tr += t(r, a) * d * lmat(r, c);
+        grad[nk + idx] = -0.5 * tr;
+      }
+  }
+
+  // Noise parameters: dK = 2 sigma_m^2 I on task-m block.
+  for (std::size_t mm = 0; mm < m_; ++mm) {
+    const double nv = std::exp(2.0 * log_noise[mm]);
+    double tr = 0.0;
+    for (std::size_t i = 0; i < n; ++i) tr += w(mm * n + i, mm * n + i);
+    double g = -0.5 * tr * 2.0 * nv;
+    if ((packed[nk + nl + mm] <= std::log(opts_.min_noise) && g > 0.0) ||
+        (packed[nk + nl + mm] >= std::log(4.0) && g < 0.0))
+      g = 0.0;
+    grad[nk + nl + mm] = g;
+  }
+  return nll;
+}
+
+void MultiTaskGp::fit(const Dataset& x, const linalg::Matrix& y,
+                      rng::Rng& rng) {
+  assert(!x.empty() && y.rows() == x.size() && y.cols() == m_);
+  refitPosterior(x, y);  // sets up standardized targets for the objective
+
+  opt::GradObjectiveFn objective = [this](const Vec& p, Vec& g) {
+    return negLml(p, g);
+  };
+  opt::LbfgsOptions lopts;
+  lopts.max_iters = opts_.max_mle_iters;
+
+  // Informed multi-start (see GpRegressor::fit): prototype parameters plus
+  // the median-distance data initialization of the input kernel, plus
+  // random perturbations of the latter.
+  std::vector<Vec> starts;
+  starts.push_back(packedParams());
+  {
+    KernelPtr init = kernel_->clone();
+    init->initFromData(x_);
+    for (double factor : {1.0, 0.25}) {
+      KernelPtr k2 = init->clone();
+      k2->scaleLengthscales(factor);
+      Vec p = k2->params();
+      p.insert(p.end(), l_entries_.begin(), l_entries_.end());
+      p.insert(p.end(), log_noise_.begin(), log_noise_.end());
+      starts.push_back(std::move(p));
+    }
+    for (int s2 = 0; s2 < opts_.mle_restarts; ++s2) {
+      Vec q = starts[1];
+      for (auto& v : q) v += rng.uniform(-1.0, 1.0);
+      starts.push_back(std::move(q));
+    }
+  }
+  opt::OptResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (const auto& start : starts) {
+    const opt::OptResult r = opt::minimizeLbfgs(objective, start, lopts);
+    if (std::isfinite(r.value) && r.value < best.value) best = r;
+  }
+  if (std::isfinite(best.value)) applyPacked(best.x);
+
+  refitPosterior(x, y);
+}
+
+void MultiTaskGp::refitPosterior(const Dataset& x, const linalg::Matrix& y) {
+  assert(!x.empty() && y.rows() == x.size() && y.cols() == m_);
+  x_ = x;
+  const std::size_t n = x_.size();
+  standardizers_.resize(m_);
+  y_stacked_.assign(n * m_, 0.0);
+  for (std::size_t mm = 0; mm < m_; ++mm) {
+    const Vec col = y.col(mm);
+    standardizers_[mm] = linalg::Standardizer::fit(col);
+    for (std::size_t i = 0; i < n; ++i)
+      y_stacked_[mm * n + i] = standardizers_[mm].transform(col[i]);
+  }
+  const linalg::Matrix gram = buildStackedGram(*kernel_, l_entries_, log_noise_);
+  chol_ = linalg::Cholesky::factorizeWithJitter(gram);
+  assert(chol_ && "multi-task Gram not factorizable");
+  alpha_ = chol_->solve(y_stacked_);
+  lml_ = -(0.5 * linalg::dot(y_stacked_, alpha_) + 0.5 * chol_->logDet() +
+           0.5 * static_cast<double>(n * m_) * std::log(2.0 * std::numbers::pi));
+}
+
+MultiPosterior MultiTaskGp::predict(const Vec& x) const {
+  assert(fitted());
+  const std::size_t n = x_.size();
+  const linalg::Matrix b = buildB(l_entries_, m_);
+  const Vec kxstar = kernel_->crossVec(x_, x);
+  const double kss = kernel_->eval(x, x);
+
+  // Cross-covariance K_* is (nM) x M: K_*[(mm,i), mp] = B(mm,mp) kx(i).
+  linalg::Matrix kstar(n * m_, m_);
+  for (std::size_t mm = 0; mm < m_; ++mm)
+    for (std::size_t mp = 0; mp < m_; ++mp) {
+      const double bmm = b(mm, mp);
+      for (std::size_t i = 0; i < n; ++i) kstar(mm * n + i, mp) = bmm * kxstar[i];
+    }
+
+  MultiPosterior post;
+  post.mean.resize(m_);
+  post.cov = linalg::Matrix(m_, m_);
+
+  // Mean: K_*^T alpha. Covariance: B kss - K_*^T K^{-1} K_*.
+  const linalg::Matrix kinv_kstar = chol_->solve(kstar);
+  for (std::size_t mp = 0; mp < m_; ++mp) {
+    double mu = 0.0;
+    for (std::size_t a = 0; a < n * m_; ++a) mu += kstar(a, mp) * alpha_[a];
+    post.mean[mp] = standardizers_[mp].inverse(mu);
+  }
+  for (std::size_t mp = 0; mp < m_; ++mp)
+    for (std::size_t mq = 0; mq < m_; ++mq) {
+      double red = 0.0;
+      for (std::size_t a = 0; a < n * m_; ++a)
+        red += kstar(a, mp) * kinv_kstar(a, mq);
+      double cz = b(mp, mq) * kss - red;
+      if (mp == mq) cz = std::max(cz, 0.0);
+      post.cov(mp, mq) =
+          cz * standardizers_[mp].stddev * standardizers_[mq].stddev;
+    }
+  post.cov.symmetrize();
+  return post;
+}
+
+linalg::Matrix MultiTaskGp::taskCovariance() const {
+  linalg::Matrix b = buildB(l_entries_, m_);
+  // Report in original target units.
+  for (std::size_t i = 0; i < m_; ++i)
+    for (std::size_t j = 0; j < m_; ++j)
+      b(i, j) *= standardizers_.empty()
+                     ? 1.0
+                     : standardizers_[i].stddev * standardizers_[j].stddev;
+  return b;
+}
+
+linalg::Matrix MultiTaskGp::taskCorrelation() const {
+  const linalg::Matrix b = taskCovariance();
+  linalg::Matrix c(m_, m_);
+  for (std::size_t i = 0; i < m_; ++i)
+    for (std::size_t j = 0; j < m_; ++j)
+      c(i, j) = b(i, j) / std::sqrt(b(i, i) * b(j, j));
+  return c;
+}
+
+}  // namespace cmmfo::gp

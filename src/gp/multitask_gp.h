@@ -1,0 +1,91 @@
+#pragma once
+
+#include <optional>
+
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+#include "linalg/stats.h"
+#include "rng/rng.h"
+
+namespace cmmfo::gp {
+
+/// Joint Gaussian posterior over M correlated objectives at one input.
+struct MultiPosterior {
+  Vec mean;            // length M
+  linalg::Matrix cov;  // M x M (latent, no observation noise)
+};
+
+struct MultiTaskFitOptions {
+  double init_noise = 0.1;
+  double min_noise = 1e-4;
+  int mle_restarts = 1;
+  int max_mle_iters = 50;
+};
+
+/// Correlated multi-objective Gaussian process (intrinsic coregionalization
+/// model, Bonilla et al. 2008) — Eq. (9) of the paper:
+///
+///   Cov(f_i(x), f_j(x')) = B[i,j] * k_C(x, x'),   B = L L^T,
+///
+/// where k_C is a unit-variance ARD Matern-5/2 kernel over directive
+/// features and B is a freely learned task covariance capturing e.g. the
+/// negative latency/LUT and positive power/LUT correlations the paper calls
+/// out. All M objectives are observed at every training input (the FPGA
+/// tool reports all of PPA per run), which the stacked-Gram layout assumes.
+class MultiTaskGp {
+ public:
+  /// `input_kernel` must be unit-variance (output scales live in B).
+  MultiTaskGp(const Kernel& input_kernel, std::size_t num_tasks,
+              MultiTaskFitOptions opts = {});
+  MultiTaskGp(const MultiTaskGp& o);
+  MultiTaskGp& operator=(const MultiTaskGp& o);
+  MultiTaskGp(MultiTaskGp&&) = default;
+  MultiTaskGp& operator=(MultiTaskGp&&) = default;
+
+  /// Fit hyperparameters; y is n x M (row i = all objectives at x[i]).
+  void fit(const Dataset& x, const linalg::Matrix& y, rng::Rng& rng);
+  /// Rebuild the posterior with current hyperparameters on new data.
+  void refitPosterior(const Dataset& x, const linalg::Matrix& y);
+
+  MultiPosterior predict(const Vec& x) const;
+
+  /// Learned task covariance B (standardized-target units).
+  linalg::Matrix taskCovariance() const;
+  /// Task correlation matrix derived from B.
+  linalg::Matrix taskCorrelation() const;
+  double logMarginalLikelihood() const { return lml_; }
+  std::size_t numTasks() const { return m_; }
+  std::size_t numData() const { return x_.size(); }
+  bool fitted() const { return chol_.has_value(); }
+  const Kernel& inputKernel() const { return *kernel_; }
+
+ private:
+  // Packed parameter layout:
+  //   [0, nk)                      kernel log-params
+  //   [nk, nk + M(M+1)/2)          L entries, row-major lower triangle;
+  //                                diagonal entries stored as logs
+  //   [nk + M(M+1)/2, ... + M)     per-task log noise stddev
+  std::size_t numPacked() const;
+  Vec packedParams() const;
+  void applyPacked(const Vec& p);
+  static linalg::Matrix buildB(const Vec& l_entries, std::size_t m);
+  double negLml(const Vec& packed, Vec& grad) const;
+  linalg::Matrix buildStackedGram(const Kernel& k, const Vec& l_entries,
+                                  const Vec& log_noise) const;
+
+  KernelPtr kernel_;
+  std::size_t m_;
+  MultiTaskFitOptions opts_;
+  Vec l_entries_;   // lower-triangular parameterization of B
+  Vec log_noise_;   // per task
+
+  // Cached posterior state.
+  Dataset x_;
+  std::vector<linalg::Standardizer> standardizers_;
+  Vec y_stacked_;  // task-major: index m*n + i
+  std::optional<linalg::Cholesky> chol_;
+  Vec alpha_;
+  double lml_ = 0.0;
+};
+
+}  // namespace cmmfo::gp

@@ -1,0 +1,91 @@
+#include "gp/nonlinear_mf_gp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "gp/ard_kernels.h"
+#include "gp/composite_kernels.h"
+
+namespace cmmfo::gp {
+
+namespace {
+/// Kernel for level 0: plain Matern-5/2 ARD over the design features.
+KernelPtr baseKernel(std::size_t dim) {
+  return std::make_unique<Matern52Ard>(dim, /*unit_variance=*/false);
+}
+
+/// Kernel for levels > 0 over [x (dim), f_lower (1)]:
+///   k_z over all dim+1 coordinates  +  k_e over x only.
+KernelPtr nargpKernel(std::size_t dim) {
+  auto kz = std::make_unique<Matern52Ard>(dim + 1, false);
+  std::vector<std::size_t> xdims(dim);
+  for (std::size_t d = 0; d < dim; ++d) xdims[d] = d;
+  auto ke_inner = std::make_unique<Matern52Ard>(dim, false);
+  // The error term is typically small relative to the transfer term; start
+  // it an order of magnitude lower so MLE converges to that regime.
+  ke_inner->setSignalStddev(0.3);
+  auto ke = std::make_unique<SubspaceKernel>(std::move(ke_inner), xdims);
+  return std::make_unique<SumKernel>(std::move(kz), std::move(ke));
+}
+}  // namespace
+
+NonlinearMfGp::NonlinearMfGp(std::size_t input_dim, std::size_t num_levels,
+                             Options opts)
+    : input_dim_(input_dim), opts_(opts) {
+  assert(num_levels >= 1);
+  models_.reserve(num_levels);
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    const KernelPtr proto = l == 0 ? baseKernel(input_dim) : nargpKernel(input_dim);
+    models_.emplace_back(*proto, opts_.gp);
+  }
+}
+
+Vec NonlinearMfGp::augment(std::size_t level, const Vec& x) const {
+  // Inputs to level l > 0 are [x, mu_{l-1}(x)], recursively propagated.
+  assert(x.size() == input_dim_);
+  if (level == 0) return x;
+  Vec aug = x;
+  aug.push_back(predict(level - 1, x).mean);
+  return aug;
+}
+
+void NonlinearMfGp::fit(const std::vector<FidelityData>& data, rng::Rng& rng) {
+  assert(data.size() == models_.size());
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    assert(!data[l].x.empty() && data[l].x.size() == data[l].y.size());
+    Dataset inputs;
+    inputs.reserve(data[l].x.size());
+    for (const auto& xi : data[l].x) inputs.push_back(augment(l, xi));
+    models_[l].fit(inputs, data[l].y, rng);
+  }
+}
+
+Posterior NonlinearMfGp::predict(std::size_t level, const Vec& x) const {
+  assert(level < models_.size());
+  if (level == 0) return models_[0].predict(x);
+
+  const Posterior lower = predict(level - 1, x);
+  Vec aug = x;
+  aug.push_back(lower.mean);
+  Posterior post = models_[level].predict(aug);
+
+  if (opts_.propagate_variance && lower.var > 0.0) {
+    // First-order propagation: Var += (d mu/d f)^2 * Var_lower, with the
+    // sensitivity estimated by a central difference on the fidelity input.
+    const double h = std::sqrt(lower.var) * 0.5 + 1e-9;
+    Vec ap = aug, am = aug;
+    ap.back() += h;
+    am.back() -= h;
+    const double dmu =
+        (models_[level].predict(ap).mean - models_[level].predict(am).mean) /
+        (2.0 * h);
+    post.var += dmu * dmu * lower.var;
+  }
+  return post;
+}
+
+Posterior NonlinearMfGp::predictHighest(const Vec& x) const {
+  return predict(models_.size() - 1, x);
+}
+
+}  // namespace cmmfo::gp

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "gp/gp_regressor.h"
+
+namespace cmmfo::gp {
+
+/// Training data for one fidelity level.
+struct FidelityData {
+  Dataset x;
+  Vec y;
+};
+
+/// Non-linear multi-fidelity Gaussian process (Eq. 5 of the paper;
+/// structurally the NARGP model of Perdikaris et al. 2017):
+///
+///   f_{i+1}(x) = z(f_i(x), x) + f_e(x)
+///
+/// where z is a GP over the *concatenation* of the design features and the
+/// lower-fidelity prediction, and f_e is a GP error term over the design
+/// features alone. Sums of independent GPs are GPs, so level i > 0 is a
+/// single GP with kernel
+///
+///   k([x,f],[x',f']) = k_z([x,f],[x',f']) + k_e(x, x'),
+///
+/// trained on inputs augmented with the level-(i-1) posterior mean.
+/// Prediction propagates posterior means through the hierarchy (the
+/// deterministic NARGP approximation).
+struct NonlinearMfGpOptions {
+  GpFitOptions gp;
+  /// Variance propagation: inflate the top-level variance with the
+  /// lower-level variance scaled by the (numerical) sensitivity of the
+  /// top level to its fidelity input.
+  bool propagate_variance = true;
+};
+
+class NonlinearMfGp {
+ public:
+  using Options = NonlinearMfGpOptions;
+
+  NonlinearMfGp(std::size_t input_dim, std::size_t num_levels,
+                Options opts = {});
+
+  /// data[i] holds the training set of fidelity i (0 = lowest). Every level
+  /// must have at least one point. Typically X_{i+1} is a subset of X_i,
+  /// but this is not required by the model.
+  void fit(const std::vector<FidelityData>& data, rng::Rng& rng);
+
+  /// Posterior at fidelity `level` (mean-propagated through lower levels).
+  Posterior predict(std::size_t level, const Vec& x) const;
+  /// Posterior at the highest fidelity.
+  Posterior predictHighest(const Vec& x) const;
+
+  std::size_t numLevels() const { return models_.size(); }
+  const GpRegressor& model(std::size_t level) const { return models_[level]; }
+
+ private:
+  Vec augment(std::size_t level, const Vec& x) const;
+
+  std::size_t input_dim_;
+  Options opts_;
+  std::vector<GpRegressor> models_;
+};
+
+}  // namespace cmmfo::gp

@@ -1,0 +1,28 @@
+#include "hls/design_space.h"
+
+namespace cmmfo::hls {
+
+DesignSpace::DesignSpace(const Kernel& kernel, const SpaceSpec& spec,
+                         std::vector<DirectiveConfig> configs, PruneStats stats)
+    : encoder_(kernel, spec), configs_(std::move(configs)), stats_(stats) {
+  features_.reserve(configs_.size());
+  for (const auto& c : configs_) features_.push_back(encoder_.encode(c));
+}
+
+DesignSpace DesignSpace::buildPruned(const Kernel& kernel,
+                                     const SpaceSpec& spec) {
+  PruneStats stats;
+  auto configs = prunedConfigs(kernel, spec, &stats);
+  return DesignSpace(kernel, spec, std::move(configs), stats);
+}
+
+DesignSpace DesignSpace::buildRaw(const Kernel& kernel, const SpaceSpec& spec,
+                                  std::size_t cap) {
+  PruneStats stats;
+  stats.raw_size = spec.rawSize();
+  auto configs = rawConfigs(kernel, spec, cap);
+  stats.pruned_size = configs.size();
+  return DesignSpace(kernel, spec, std::move(configs), stats);
+}
+
+}  // namespace cmmfo::hls

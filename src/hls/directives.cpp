@@ -1,0 +1,83 @@
+#include "hls/directives.h"
+
+#include <sstream>
+
+namespace cmmfo::hls {
+
+const char* partitionTypeName(PartitionType t) {
+  switch (t) {
+    case PartitionType::kNone: return "none";
+    case PartitionType::kCyclic: return "cyclic";
+    case PartitionType::kBlock: return "block";
+    case PartitionType::kComplete: return "complete";
+  }
+  return "?";
+}
+
+std::uint64_t DirectiveConfig::hash() const {
+  // FNV-1a over the directive fields; stable across runs and platforms.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& l : loops) {
+    mix(static_cast<std::uint64_t>(l.unroll));
+    mix(l.pipeline ? 2u : 1u);
+    mix(static_cast<std::uint64_t>(l.ii));
+  }
+  for (const auto& a : arrays) {
+    mix(static_cast<std::uint64_t>(a.type) + 11u);
+    mix(static_cast<std::uint64_t>(a.factor));
+  }
+  return h;
+}
+
+std::string DirectiveConfig::toString(const Kernel& k) const {
+  std::ostringstream os;
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    const auto& d = loops[l];
+    if (d.unroll > 1)
+      os << "#pragma HLS unroll " << k.loop(static_cast<LoopId>(l)).name
+         << " factor=" << d.unroll << "\n";
+    if (d.pipeline)
+      os << "#pragma HLS pipeline " << k.loop(static_cast<LoopId>(l)).name
+         << " II=" << d.ii << "\n";
+  }
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    const auto& d = arrays[a];
+    if (d.type != PartitionType::kNone)
+      os << "#pragma HLS array_partition " << k.array(static_cast<ArrayId>(a)).name
+         << " " << partitionTypeName(d.type) << " factor=" << d.factor << "\n";
+  }
+  return os.str();
+}
+
+double SpaceSpec::rawSize() const {
+  double size = 1.0;
+  for (const auto& l : loops) {
+    double site = static_cast<double>(l.unroll_factors.size());
+    if (l.allow_pipeline)
+      site *= 1.0 + static_cast<double>(l.pipeline_iis.size());
+    size *= site;
+  }
+  for (const auto& a : arrays) {
+    double site = 0.0;
+    for (PartitionType t : a.types)
+      site += (t == PartitionType::kCyclic || t == PartitionType::kBlock)
+                  ? static_cast<double>(a.factors.size())
+                  : 1.0;
+    size *= site;
+  }
+  return size;
+}
+
+std::vector<int> divisorFactors(int trip, int max_factor) {
+  std::vector<int> out;
+  for (int f = 1; f <= trip && f <= max_factor; ++f)
+    if (trip % f == 0) out.push_back(f);
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace cmmfo::hls

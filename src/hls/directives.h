@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/kernel_ir.h"
+
+namespace cmmfo::hls {
+
+/// Array-partitioning pragma variants (Fig. 1 / Sec. III-A).
+enum class PartitionType : int { kNone = 0, kCyclic, kBlock, kComplete };
+const char* partitionTypeName(PartitionType t);
+
+/// Per-loop directive assignment.
+struct LoopDirective {
+  int unroll = 1;         // 1 = no unrolling
+  bool pipeline = false;  // PIPELINE pragma on/off
+  int ii = 1;             // requested initiation interval when pipelined
+  bool operator==(const LoopDirective&) const = default;
+};
+
+/// Per-array directive assignment.
+struct ArrayDirective {
+  PartitionType type = PartitionType::kNone;
+  int factor = 1;  // meaningful for cyclic/block
+  bool operator==(const ArrayDirective&) const = default;
+};
+
+/// A full directive configuration for a kernel: the "x" of the paper.
+struct DirectiveConfig {
+  std::vector<LoopDirective> loops;    // indexed by LoopId
+  std::vector<ArrayDirective> arrays;  // indexed by ArrayId
+  bool operator==(const DirectiveConfig&) const = default;
+
+  /// Stable content hash, used for dedup and for the simulator's
+  /// deterministic per-configuration noise.
+  std::uint64_t hash() const;
+  std::string toString(const Kernel& k) const;
+};
+
+/// Candidate options at each directive site — the raw (unpruned) space
+/// specification, the in-code equivalent of the paper's YAML description
+/// files.
+struct LoopSiteOptions {
+  std::vector<int> unroll_factors = {1};  // must include 1
+  bool allow_pipeline = false;
+  std::vector<int> pipeline_iis = {1};
+};
+
+struct ArraySiteOptions {
+  std::vector<PartitionType> types = {PartitionType::kNone};
+  std::vector<int> factors = {1};  // used for cyclic/block
+};
+
+struct SpaceSpec {
+  std::vector<LoopSiteOptions> loops;    // indexed by LoopId
+  std::vector<ArraySiteOptions> arrays;  // indexed by ArrayId
+
+  /// Number of configurations in the raw Cartesian space (can be astronomically
+  /// large, hence double).
+  double rawSize() const;
+};
+
+/// Convenience: unroll-factor candidates = divisors of `trip` up to
+/// `max_factor` (bounded list keeps spaces finite), always including 1.
+std::vector<int> divisorFactors(int trip, int max_factor);
+
+}  // namespace cmmfo::hls

@@ -1,0 +1,93 @@
+#include "hls/encoding.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cmmfo::hls {
+
+namespace {
+Encoder::NumericSite makeNumericSiteFromInts(const std::vector<int>& opts);
+}  // namespace
+
+Encoder::Encoder(const Kernel& kernel, const SpaceSpec& spec) : spec_(&spec) {
+  assert(spec.loops.size() == kernel.numLoops());
+  assert(spec.arrays.size() == kernel.numArrays());
+
+  for (std::size_t l = 0; l < kernel.numLoops(); ++l) {
+    const auto& lo = spec.loops[l];
+    const auto [mn, mx] = std::minmax_element(lo.unroll_factors.begin(),
+                                              lo.unroll_factors.end());
+    unroll_sites_.push_back({static_cast<double>(*mn), static_cast<double>(*mx)});
+    names_.push_back(kernel.loop(static_cast<LoopId>(l)).name + ".unroll");
+
+    loop_has_pipeline_.push_back(lo.allow_pipeline);
+    NumericSite ii{1.0, 1.0};
+    if (lo.allow_pipeline) {
+      const auto [imn, imx] = std::minmax_element(lo.pipeline_iis.begin(),
+                                                  lo.pipeline_iis.end());
+      ii = {static_cast<double>(*imn), static_cast<double>(*imx)};
+      names_.push_back(kernel.loop(static_cast<LoopId>(l)).name + ".pipeline");
+      if (lo.pipeline_iis.size() > 1)
+        names_.push_back(kernel.loop(static_cast<LoopId>(l)).name + ".ii");
+    }
+    ii_sites_.push_back(ii);
+  }
+
+  for (std::size_t a = 0; a < kernel.numArrays(); ++a) {
+    const auto& ao = spec.arrays[a];
+    factor_sites_.push_back(makeNumericSiteFromInts(ao.factors));
+    type_lists_.push_back(ao.types);
+    type_scale_.push_back(
+        ao.types.size() > 1 ? 1.0 / static_cast<double>(ao.types.size() - 1)
+                            : 0.0);
+    if (ao.types.size() > 1)
+      names_.push_back(kernel.array(static_cast<ArrayId>(a)).name + ".ptype");
+    if (ao.factors.size() > 1)
+      names_.push_back(kernel.array(static_cast<ArrayId>(a)).name + ".pfactor");
+  }
+}
+
+namespace {
+Encoder::NumericSite makeNumericSiteFromInts(const std::vector<int>& opts) {
+  if (opts.empty()) return {0.0, 1.0};
+  const auto [mn, mx] = std::minmax_element(opts.begin(), opts.end());
+  return {static_cast<double>(*mn), static_cast<double>(*mx)};
+}
+}  // namespace
+
+std::vector<double> Encoder::encode(const DirectiveConfig& cfg) const {
+  std::vector<double> x;
+  x.reserve(dim());
+  for (std::size_t l = 0; l < cfg.loops.size(); ++l) {
+    const auto& d = cfg.loops[l];
+    x.push_back(unroll_sites_[l].normalize(d.unroll));
+    if (loop_has_pipeline_[l]) {
+      x.push_back(d.pipeline ? 1.0 : 0.0);
+      if (spec_->loops[l].pipeline_iis.size() > 1)
+        x.push_back(d.pipeline ? ii_sites_[l].normalize(d.ii) : 0.0);
+    }
+  }
+  for (std::size_t a = 0; a < cfg.arrays.size(); ++a) {
+    const auto& d = cfg.arrays[a];
+    if (type_lists_[a].size() > 1) {
+      const auto it =
+          std::find(type_lists_[a].begin(), type_lists_[a].end(), d.type);
+      const double idx = it == type_lists_[a].end()
+                             ? 0.0
+                             : static_cast<double>(it - type_lists_[a].begin());
+      x.push_back(idx * type_scale_[a]);
+    }
+    if (spec_->arrays[a].factors.size() > 1) {
+      // kNone encodes at factor 1 (== no banking); kComplete saturates at 1.
+      const double f = d.type == PartitionType::kNone ? 1.0
+                       : d.type == PartitionType::kComplete
+                           ? factor_sites_[a].hi
+                           : static_cast<double>(d.factor);
+      x.push_back(factor_sites_[a].normalize(f));
+    }
+  }
+  assert(x.size() == dim());
+  return x;
+}
+
+}  // namespace cmmfo::hls

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/directives.h"
+
+namespace cmmfo::hls {
+
+/// Directive-configuration feature encoder (Sec. III-B).
+///
+/// Numeric factor lists are min-max normalized over the site's option list,
+/// e.g. factors {2, 5, 10} encode as {0, 0.375, 1} — preserving relative
+/// distances, which the paper argues beats one-hot for GP kernels.
+/// Booleans encode as 0/1. The final feature vector is the concatenation of
+/// all directive-site features, in a fixed site order.
+class Encoder {
+ public:
+  Encoder(const Kernel& kernel, const SpaceSpec& spec);
+
+  std::vector<double> encode(const DirectiveConfig& cfg) const;
+  std::size_t dim() const { return names_.size(); }
+  const std::vector<std::string>& featureNames() const { return names_; }
+
+  /// Min-max range of one numeric directive site.
+  struct NumericSite {
+    double lo = 0.0;
+    double hi = 1.0;
+    double normalize(double v) const {
+      return hi - lo > 1e-12 ? (v - lo) / (hi - lo) : 0.0;
+    }
+  };
+
+ private:
+  const SpaceSpec* spec_;
+  std::vector<NumericSite> unroll_sites_;   // per loop
+  std::vector<bool> loop_has_pipeline_;     // per loop
+  std::vector<NumericSite> ii_sites_;       // per loop (valid if pipeline)
+  std::vector<NumericSite> factor_sites_;   // per array
+  std::vector<double> type_scale_;          // per array: 1/(numTypes-1) or 0
+  std::vector<std::vector<PartitionType>> type_lists_;  // per array
+  std::vector<std::string> names_;
+};
+
+}  // namespace cmmfo::hls

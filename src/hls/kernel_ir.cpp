@@ -1,0 +1,135 @@
+#include "hls/kernel_ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cmmfo::hls {
+
+const char* opKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kCmp: return "cmp";
+    case OpKind::kLogic: return "logic";
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+  }
+  return "?";
+}
+
+int OpCounts::total() const {
+  int t = 0;
+  for (int c : counts) t += c;
+  return t;
+}
+
+int OpCounts::memoryOps() const {
+  return (*this)[OpKind::kLoad] + (*this)[OpKind::kStore];
+}
+
+int OpCounts::computeOps() const { return total() - memoryOps(); }
+
+ArrayId Kernel::addArray(std::string name, int size, int elem_bits) {
+  arrays_.push_back({std::move(name), size, elem_bits});
+  return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+LoopId Kernel::addLoop(std::string name, int trip_count, LoopId parent) {
+  Loop l;
+  l.name = std::move(name);
+  l.trip_count = trip_count;
+  l.parent = parent;
+  loops_.push_back(std::move(l));
+  return static_cast<LoopId>(loops_.size() - 1);
+}
+
+std::vector<LoopId> Kernel::children(LoopId id) const {
+  std::vector<LoopId> out;
+  for (std::size_t i = 0; i < loops_.size(); ++i)
+    if (loops_[i].parent == id) out.push_back(static_cast<LoopId>(i));
+  return out;
+}
+
+std::vector<LoopId> Kernel::topLoops() const { return children(kNoLoop); }
+
+bool Kernel::isInnermost(LoopId id) const { return children(id).empty(); }
+
+int Kernel::depth(LoopId id) const {
+  int d = 0;
+  for (LoopId p = loops_[id].parent; p != kNoLoop; p = loops_[p].parent) ++d;
+  return d;
+}
+
+std::int64_t Kernel::tripProductToRoot(LoopId id) const {
+  std::int64_t prod = 1;
+  for (LoopId l = id; l != kNoLoop; l = loops_[l].parent)
+    prod *= loops_[l].trip_count;
+  return prod;
+}
+
+std::vector<LoopId> Kernel::loopsIndexingArray(ArrayId a) const {
+  std::vector<LoopId> out;
+  for (std::size_t l = 0; l < loops_.size(); ++l)
+    for (const auto& ref : loops_[l].refs) {
+      if (ref.array != a) continue;
+      for (const auto& [loop_id, role] : ref.index) {
+        (void)role;
+        if (std::find(out.begin(), out.end(), loop_id) == out.end())
+          out.push_back(loop_id);
+      }
+    }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ArrayId> Kernel::arraysInLoop(LoopId l) const {
+  std::vector<ArrayId> out;
+  for (const auto& ref : loops_[l].refs)
+    if (std::find(out.begin(), out.end(), ref.array) == out.end())
+      out.push_back(ref.array);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+IndexRole Kernel::roleOf(LoopId l, ArrayId a) const {
+  IndexRole role = IndexRole::kMinor;
+  bool found = false;
+  for (const auto& loop : loops_)
+    for (const auto& ref : loop.refs) {
+      if (ref.array != a) continue;
+      for (const auto& [loop_id, r] : ref.index)
+        if (loop_id == l) {
+          found = true;
+          if (r == IndexRole::kMajor) role = IndexRole::kMajor;
+        }
+    }
+  (void)found;
+  return role;
+}
+
+std::string Kernel::validate() const {
+  std::ostringstream err;
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    const Loop& l = loops_[i];
+    if (l.trip_count < 1) err << "loop " << l.name << " trip_count < 1; ";
+    if (l.parent != kNoLoop &&
+        (l.parent < 0 || l.parent >= static_cast<LoopId>(i)))
+      err << "loop " << l.name << " parent must precede it; ";
+    for (const auto& ref : l.refs) {
+      if (ref.array < 0 || ref.array >= static_cast<ArrayId>(arrays_.size()))
+        err << "loop " << l.name << " references unknown array; ";
+      for (const auto& [loop_id, role] : ref.index) {
+        (void)role;
+        if (loop_id < 0 || loop_id >= static_cast<LoopId>(loops_.size()))
+          err << "loop " << l.name << " index uses unknown loop; ";
+      }
+      if (ref.count < 1) err << "loop " << l.name << " ref count < 1; ";
+    }
+  }
+  for (const auto& a : arrays_)
+    if (a.size < 1) err << "array " << a.name << " size < 1; ";
+  return err.str();
+}
+
+}  // namespace cmmfo::hls

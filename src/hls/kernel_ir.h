@@ -1,0 +1,116 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmmfo::hls {
+
+using LoopId = int;
+using ArrayId = int;
+inline constexpr LoopId kNoLoop = -1;
+
+/// Operation kinds tracked per loop body. Latency/area weights for each
+/// kind live in the simulator's device model.
+enum class OpKind : int {
+  kAdd = 0,
+  kMul,
+  kDiv,
+  kCmp,
+  kLogic,
+  kLoad,
+  kStore,
+};
+inline constexpr int kNumOpKinds = 7;
+const char* opKindName(OpKind k);
+
+/// Per-iteration op counts for one loop body.
+struct OpCounts {
+  std::array<int, kNumOpKinds> counts{};
+
+  int& operator[](OpKind k) { return counts[static_cast<int>(k)]; }
+  int operator[](OpKind k) const { return counts[static_cast<int>(k)]; }
+  int total() const;
+  int memoryOps() const;
+  int computeOps() const;
+};
+
+/// How a loop's induction variable enters an array index expression.
+/// For A[L1 * 10 + L2]: L1 indexes A in a kMajor (strided) position and L2
+/// in the kMinor (unit-stride) position. This distinction drives the
+/// cyclic/block partitioning compatibility rules of Algorithm 1.
+enum class IndexRole { kMinor, kMajor };
+
+/// One array reference inside a loop body.
+struct ArrayRef {
+  ArrayId array = 0;
+  /// (loop, role) pairs for every induction variable in the index.
+  std::vector<std::pair<LoopId, IndexRole>> index;
+  bool is_write = false;
+  /// Number of such accesses per iteration.
+  int count = 1;
+};
+
+struct ArrayDecl {
+  std::string name;
+  int size = 0;       // elements
+  int elem_bits = 32;
+};
+
+struct Loop {
+  std::string name;
+  int trip_count = 1;
+  LoopId parent = kNoLoop;
+  /// Loop-carried dependence (recurrence): bounds pipeline II from below and
+  /// caps the useful unroll parallelism.
+  bool loop_carried_dep = false;
+  int dep_distance = 1;
+  OpCounts body_ops;              // per-iteration ops excluding child loops
+  std::vector<ArrayRef> refs;     // array accesses in this loop's body
+};
+
+/// A compute kernel as a loop forest plus arrays — the unit both the
+/// tree-based pruner (Algorithm 1) and the performance models consume.
+class Kernel {
+ public:
+  explicit Kernel(std::string name) : name_(std::move(name)) {}
+
+  /// Builder API. addLoop returns the new LoopId; parent = kNoLoop for
+  /// top-level loops. Children must be added after their parents.
+  ArrayId addArray(std::string name, int size, int elem_bits = 32);
+  LoopId addLoop(std::string name, int trip_count, LoopId parent = kNoLoop);
+  Loop& loop(LoopId id) { return loops_[id]; }
+  const Loop& loop(LoopId id) const { return loops_[id]; }
+  ArrayDecl& array(ArrayId id) { return arrays_[id]; }
+  const ArrayDecl& array(ArrayId id) const { return arrays_[id]; }
+
+  const std::string& name() const { return name_; }
+  std::size_t numLoops() const { return loops_.size(); }
+  std::size_t numArrays() const { return arrays_.size(); }
+
+  std::vector<LoopId> children(LoopId id) const;
+  std::vector<LoopId> topLoops() const;
+  bool isInnermost(LoopId id) const;
+  /// Depth of the loop in its nest (top-level = 0).
+  int depth(LoopId id) const;
+  /// Product of trip counts from `id` up to (and including) its top ancestor.
+  std::int64_t tripProductToRoot(LoopId id) const;
+  /// Loops (ids) whose induction variable indexes the given array anywhere.
+  std::vector<LoopId> loopsIndexingArray(ArrayId a) const;
+  /// Arrays referenced (directly) in the body of the given loop.
+  std::vector<ArrayId> arraysInLoop(LoopId l) const;
+  /// Role of loop l in references to array a (kMajor wins if mixed).
+  IndexRole roleOf(LoopId l, ArrayId a) const;
+
+  /// Structural sanity checks (parents precede children, refs in range...).
+  /// Returns an empty string when valid, else a description of the problem.
+  std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Loop> loops_;
+  std::vector<ArrayDecl> arrays_;
+};
+
+}  // namespace cmmfo::hls

@@ -1,0 +1,159 @@
+#include "hls/space_parser.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cmmfo::hls {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;  // rest of line is a comment
+    tokens.push_back(t);
+  }
+  return tokens;
+}
+
+std::vector<std::string> splitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+bool parseIntList(const std::string& s, std::vector<int>* out) {
+  out->clear();
+  for (const auto& part : splitCommas(s)) {
+    try {
+      std::size_t pos = 0;
+      const int v = std::stoi(part, &pos);
+      if (pos != part.size() || v < 1) return false;
+      out->push_back(v);
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+bool parseTypeList(const std::string& s, std::vector<PartitionType>* out) {
+  out->clear();
+  for (const auto& part : splitCommas(s)) {
+    if (part == "none") out->push_back(PartitionType::kNone);
+    else if (part == "cyclic") out->push_back(PartitionType::kCyclic);
+    else if (part == "block") out->push_back(PartitionType::kBlock);
+    else if (part == "complete") out->push_back(PartitionType::kComplete);
+    else return false;
+  }
+  return !out->empty();
+}
+
+int findLoop(const Kernel& k, const std::string& name) {
+  for (std::size_t l = 0; l < k.numLoops(); ++l)
+    if (k.loop(static_cast<LoopId>(l)).name == name) return static_cast<int>(l);
+  return -1;
+}
+
+int findArray(const Kernel& k, const std::string& name) {
+  for (std::size_t a = 0; a < k.numArrays(); ++a)
+    if (k.array(static_cast<ArrayId>(a)).name == name)
+      return static_cast<int>(a);
+  return -1;
+}
+
+}  // namespace
+
+std::variant<SpaceSpec, ParseError> parseSpaceSpec(const Kernel& kernel,
+                                                   const std::string& text) {
+  SpaceSpec spec;
+  spec.loops.resize(kernel.numLoops());
+  spec.arrays.resize(kernel.numArrays());
+
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    auto fail = [&](const std::string& msg) {
+      return ParseError{line_no, msg};
+    };
+
+    if (tokens[0] == "loop") {
+      if (tokens.size() < 4 || tokens[2] != "unroll")
+        return fail("expected: loop <name> unroll <list> [pipeline <iis>]");
+      const int l = findLoop(kernel, tokens[1]);
+      if (l < 0) return fail("unknown loop '" + tokens[1] + "'");
+      LoopSiteOptions& site = spec.loops[l];
+      if (!parseIntList(tokens[3], &site.unroll_factors))
+        return fail("bad unroll factor list '" + tokens[3] + "'");
+      if (std::find(site.unroll_factors.begin(), site.unroll_factors.end(),
+                    1) == site.unroll_factors.end())
+        site.unroll_factors.insert(site.unroll_factors.begin(), 1);
+      if (tokens.size() >= 5) {
+        if (tokens[4] != "pipeline" || tokens.size() != 6)
+          return fail("expected: pipeline <ii list>");
+        site.allow_pipeline = true;
+        if (!parseIntList(tokens[5], &site.pipeline_iis))
+          return fail("bad II list '" + tokens[5] + "'");
+      }
+    } else if (tokens[0] == "array") {
+      if (tokens.size() != 6 || tokens[2] != "partition" ||
+          tokens[4] != "factors")
+        return fail(
+            "expected: array <name> partition <types> factors <list>");
+      const int a = findArray(kernel, tokens[1]);
+      if (a < 0) return fail("unknown array '" + tokens[1] + "'");
+      ArraySiteOptions& site = spec.arrays[a];
+      if (!parseTypeList(tokens[3], &site.types))
+        return fail("bad partition type list '" + tokens[3] + "'");
+      if (!parseIntList(tokens[5], &site.factors))
+        return fail("bad factor list '" + tokens[5] + "'");
+    } else {
+      return fail("unknown directive site kind '" + tokens[0] + "'");
+    }
+  }
+  return spec;
+}
+
+std::string formatSpaceSpec(const Kernel& kernel, const SpaceSpec& spec) {
+  std::ostringstream os;
+  auto intList = [](const std::vector<int>& v) {
+    std::ostringstream s;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      s << (i ? "," : "") << v[i];
+    return s.str();
+  };
+  for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+    const auto& site = spec.loops[l];
+    os << "loop " << kernel.loop(static_cast<LoopId>(l)).name << " unroll "
+       << intList(site.unroll_factors);
+    if (site.allow_pipeline)
+      os << " pipeline " << intList(site.pipeline_iis);
+    os << "\n";
+  }
+  for (std::size_t a = 0; a < spec.arrays.size(); ++a) {
+    const auto& site = spec.arrays[a];
+    os << "array " << kernel.array(static_cast<ArrayId>(a)).name
+       << " partition ";
+    for (std::size_t i = 0; i < site.types.size(); ++i)
+      os << (i ? "," : "") << partitionTypeName(site.types[i]);
+    os << " factors " << intList(site.factors) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cmmfo::hls

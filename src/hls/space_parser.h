@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "hls/directives.h"
+
+namespace cmmfo::hls {
+
+/// Parse error with a line number and message.
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parse a directive-space description — the in-repo equivalent of the
+/// paper's YAML files ("the initial design space is defined by specifying
+/// all of the possible locations of directives and their factors",
+/// Sec. V). Line-oriented format, `#` comments:
+///
+///   # loops: unroll factor list, optional pipeline with II list
+///   loop <name> unroll <f1,f2,...> [pipeline <ii1,ii2,...>]
+///   # arrays: partition type list and factor list
+///   array <name> partition <none|cyclic|block|complete[,...]> factors <f1,...>
+///
+/// Sites not mentioned keep their defaults (no unrolling / no partitioning).
+/// Loop and array names are resolved against the kernel; unknown names,
+/// malformed numbers, or factors < 1 are reported as errors.
+std::variant<SpaceSpec, ParseError> parseSpaceSpec(const Kernel& kernel,
+                                                   const std::string& text);
+
+/// Render a SpaceSpec back into the text format (round-trips through
+/// parseSpaceSpec). Useful for logging the space actually explored.
+std::string formatSpaceSpec(const Kernel& kernel, const SpaceSpec& spec);
+
+}  // namespace cmmfo::hls

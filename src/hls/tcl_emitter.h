@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "hls/directives.h"
+
+namespace cmmfo::hls {
+
+/// Options for the Vivado HLS TCL emitter.
+struct TclOptions {
+  /// Top-level function the directives attach to.
+  std::string top_function = "top";
+  /// Project / solution names for the script preamble.
+  std::string project = "cmmfo_proj";
+  std::string solution = "solution1";
+  /// Target device part (default: the paper's VC707 part).
+  std::string part = "xc7vx485tffg1761-2";
+  /// Target clock period in ns.
+  double clock_period_ns = 10.0;
+  /// Source file added to the project.
+  std::string source_file = "kernel.cpp";
+  /// Which stages to run: csynth only, or export through implementation.
+  bool run_implementation = true;
+};
+
+/// Emit the set_directive_* lines for one configuration (the body of a
+/// directives.tcl). Loops are addressed as "<top>/<loop-name>" and arrays
+/// as variables of the top function, matching Vivado HLS conventions.
+///
+/// This is the final conversion step of the paper's flow ("convert the
+/// directives to feature vectors and HLS TCL files", Sec. V): the output is
+/// what a real Vivado HLS 2018.2 run would consume in place of our
+/// simulator.
+std::string emitDirectivesTcl(const Kernel& kernel, const DirectiveConfig& cfg,
+                              const TclOptions& opts = {});
+
+/// Emit a complete, runnable vivado_hls batch script: project setup, source,
+/// directives, csynth (and optionally export to implementation).
+std::string emitRunScriptTcl(const Kernel& kernel, const DirectiveConfig& cfg,
+                             const TclOptions& opts = {});
+
+}  // namespace cmmfo::hls

@@ -1,0 +1,114 @@
+#include "linalg/cholesky.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cmmfo::linalg {
+
+std::optional<Cholesky> Cholesky::factorize(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return std::nullopt;
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = l.rowPtr(i);
+      const double* lj = l.rowPtr(j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l(i, j) = s / ljj;
+    }
+  }
+  return Cholesky(std::move(l), 0.0);
+}
+
+std::optional<Cholesky> Cholesky::factorizeWithJitter(const Matrix& a,
+                                                      double initial_jitter,
+                                                      int max_tries) {
+  if (auto c = factorize(a)) return c;
+  // Scale jitter to the matrix magnitude so that it is meaningful for both
+  // unit-variance Gram matrices and raw-unit covariances.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    scale = std::max(scale, std::fabs(a(i, i)));
+  if (scale == 0.0) scale = 1.0;
+  double jitter = initial_jitter * scale;
+  for (int t = 0; t < max_tries; ++t, jitter *= 10.0) {
+    Matrix aj = a;
+    for (std::size_t i = 0; i < aj.rows(); ++i) aj(i, i) += jitter;
+    if (auto c = factorize(aj)) {
+      c->jitter_ = jitter;
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<double> Cholesky::solveLower(const std::vector<double>& b) const {
+  const std::size_t n = dim();
+  assert(b.size() == n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* li = l_.rowPtr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solveUpper(const std::vector<double>& y) const {
+  const std::size_t n = dim();
+  assert(y.size() == n);
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double>& b) const {
+  return solveUpper(solveLower(b));
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  assert(b.rows() == dim());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    auto xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double Cholesky::logDet() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+
+std::vector<double> mvnSample(const std::vector<double>& mu,
+                              const Cholesky& chol,
+                              const std::vector<double>& std_normals) {
+  const std::size_t n = mu.size();
+  assert(chol.dim() == n && std_normals.size() == n);
+  std::vector<double> z = mu;
+  const Matrix& l = chol.lower();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.rowPtr(i);
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) acc += li[k] * std_normals[k];
+    z[i] += acc;
+  }
+  return z;
+}
+
+}  // namespace cmmfo::linalg

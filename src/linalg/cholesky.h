@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace cmmfo::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix,
+/// with the solves and determinants Gaussian-process inference needs.
+///
+/// GP Gram matrices are PSD in exact arithmetic but frequently indefinite in
+/// floating point when points nearly coincide; `factorizeWithJitter` retries
+/// with exponentially growing diagonal jitter, which is the standard remedy.
+class Cholesky {
+ public:
+  /// Factorize; returns std::nullopt if A is not numerically PD.
+  static std::optional<Cholesky> factorize(const Matrix& a);
+
+  /// Factorize A + jitter*I, growing jitter by 10x up to maxTries.
+  /// Returns nullopt only if even the largest jitter fails.
+  static std::optional<Cholesky> factorizeWithJitter(
+      const Matrix& a, double initial_jitter = 1e-10, int max_tries = 10);
+
+  /// Solve A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+  /// Solve A X = B column-block-wise.
+  Matrix solve(const Matrix& b) const;
+  /// Solve L y = b (forward substitution).
+  std::vector<double> solveLower(const std::vector<double>& b) const;
+  /// Solve L^T x = y (backward substitution).
+  std::vector<double> solveUpper(const std::vector<double>& y) const;
+
+  /// log det(A) = 2 * sum_i log L_ii.
+  double logDet() const;
+  /// Explicit inverse of A (use sparingly; needed for MLE gradient traces).
+  Matrix inverse() const;
+  /// The lower-triangular factor.
+  const Matrix& lower() const { return l_; }
+  /// Jitter that was actually added to the diagonal (0 if none).
+  double jitterUsed() const { return jitter_; }
+
+  std::size_t dim() const { return l_.rows(); }
+
+ private:
+  explicit Cholesky(Matrix l, double jitter) : l_(std::move(l)), jitter_(jitter) {}
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+/// Sample z ~ N(mu, A) given the Cholesky factor of A and iid standard
+/// normals `std_normals` (length = dim).
+std::vector<double> mvnSample(const std::vector<double>& mu,
+                              const Cholesky& chol,
+                              const std::vector<double>& std_normals);
+
+}  // namespace cmmfo::linalg

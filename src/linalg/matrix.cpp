@@ -1,0 +1,155 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace cmmfo::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    assert(r.size() == cols_ && "ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diag(const std::vector<double>& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  return {rowPtr(r), rowPtr(r) + cols_};
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  std::vector<double> v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::setRow(std::size_t r, const std::vector<double>& v) {
+  assert(v.size() == cols_);
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::matmul(const Matrix& o) const {
+  assert(cols_ == o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* orow = o.rowPtr(k);
+      double* crow = out.rowPtr(i);
+      for (std::size_t j = 0; j < o.cols_; ++j) crow[j] += a * orow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::matvec(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = rowPtr(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::vecmat(const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double s = v[r];
+    if (s == 0.0) continue;
+    const double* row = rowPtr(r);
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += s * row[c];
+  }
+  return out;
+}
+
+double Matrix::trace() const {
+  assert(rows_ == cols_);
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::frobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::maxAbsDiff(const Matrix& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+  return m;
+}
+
+void Matrix::symmetrize() {
+  assert(rows_ == cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      const double m = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = m;
+      (*this)(c, r) = m;
+    }
+}
+
+std::string Matrix::toString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c)
+      os << (*this)(r, c) << (c + 1 == cols_ ? "" : ", ");
+    os << (r + 1 == rows_ ? "]" : "\n");
+  }
+  return os.str();
+}
+
+}  // namespace cmmfo::linalg

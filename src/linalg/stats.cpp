@@ -1,0 +1,70 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cmmfo::linalg {
+
+double mean(const std::vector<double>& v) {
+  assert(!v.empty());
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double sampleStddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double minElem(const std::vector<double>& v) {
+  assert(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double maxElem(const std::vector<double>& v) {
+  assert(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+Standardizer Standardizer::fit(const std::vector<double>& v) {
+  Standardizer s;
+  s.mean = cmmfo::linalg::mean(v);
+  const double sd = std::sqrt(variance(v));
+  // Constant targets would otherwise divide by zero; unit scale keeps the
+  // transform well-defined and invertible.
+  s.stddev = sd > 1e-12 ? sd : 1.0;
+  return s;
+}
+
+std::vector<double> Standardizer::transform(const std::vector<double>& v) const {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = transform(v[i]);
+  return out;
+}
+
+MinMaxScaler MinMaxScaler::fit(const std::vector<double>& v) {
+  MinMaxScaler s;
+  s.lo = minElem(v);
+  s.hi = maxElem(v);
+  return s;
+}
+
+double MinMaxScaler::transform(double y) const {
+  if (hi - lo < 1e-15) return 0.0;
+  return (y - lo) / (hi - lo);
+}
+
+}  // namespace cmmfo::linalg

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+namespace cmmfo::linalg {
+
+double mean(const std::vector<double>& v);
+/// Population variance (divides by n); 0 for n < 2.
+double variance(const std::vector<double>& v);
+/// Sample standard deviation (divides by n-1); 0 for n < 2.
+double sampleStddev(const std::vector<double>& v);
+double minElem(const std::vector<double>& v);
+double maxElem(const std::vector<double>& v);
+
+/// z-score standardization parameters for a 1-D sample.
+struct Standardizer {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  static Standardizer fit(const std::vector<double>& v);
+  double transform(double y) const { return (y - mean) / stddev; }
+  double inverse(double z) const { return z * stddev + mean; }
+  /// Variances scale by stddev^2.
+  double inverseVar(double var_z) const { return var_z * stddev * stddev; }
+  std::vector<double> transform(const std::vector<double>& v) const;
+};
+
+/// Min-max scaling to [0, 1]; degenerate ranges map to 0.
+struct MinMaxScaler {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  static MinMaxScaler fit(const std::vector<double>& v);
+  double transform(double y) const;
+  double inverse(double t) const { return lo + t * (hi - lo); }
+};
+
+}  // namespace cmmfo::linalg

@@ -1,0 +1,75 @@
+#include "linalg/vec_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cmmfo::linalg {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> scale(const std::vector<double>& a, double s) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+double normInf(const std::vector<double>& a) {
+  double m = 0.0;
+  for (double x : a) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+std::vector<double> concat(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  std::vector<double> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+std::vector<double> hadamard(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+}  // namespace cmmfo::linalg

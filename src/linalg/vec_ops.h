@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+namespace cmmfo::linalg {
+
+/// Small free-function vector kernel set shared across the library.
+/// All functions assume matching sizes (checked by assert in the .cpp).
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+/// y += alpha * x
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+std::vector<double> sub(const std::vector<double>& a,
+                        const std::vector<double>& b);
+std::vector<double> scale(const std::vector<double>& a, double s);
+double norm2(const std::vector<double>& a);
+double normInf(const std::vector<double>& a);
+/// Euclidean distance.
+double dist2(const std::vector<double>& a, const std::vector<double>& b);
+/// Concatenate b onto a copy of a.
+std::vector<double> concat(const std::vector<double>& a,
+                           const std::vector<double>& b);
+/// Elementwise product.
+std::vector<double> hadamard(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+}  // namespace cmmfo::linalg

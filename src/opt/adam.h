@@ -1,0 +1,37 @@
+#pragma once
+
+#include "opt/objective.h"
+
+namespace cmmfo::opt {
+
+/// Adam first-order minimizer (Kingma & Ba). Used where the objective is
+/// noisy or cheap (neural-network training in the ANN baseline) and as a
+/// robust fallback for MLE.
+struct AdamOptions {
+  double learning_rate = 0.05;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  int max_iters = 300;
+  /// Stop when the infinity norm of the gradient falls below this.
+  double grad_tolerance = 1e-6;
+};
+
+OptResult minimizeAdam(const GradObjectiveFn& f, std::vector<double> x0,
+                       const AdamOptions& opts = {});
+
+/// Stateful Adam stepper, for callers that drive their own training loop
+/// (e.g. minibatch SGD in the MLP baseline).
+class AdamStepper {
+ public:
+  AdamStepper(std::size_t dim, const AdamOptions& opts = {});
+  /// Apply one Adam update of `params` against `grad` in place.
+  void step(std::vector<double>& params, const std::vector<double>& grad);
+
+ private:
+  AdamOptions opts_;
+  std::vector<double> m_, v_;
+  int t_ = 0;
+};
+
+}  // namespace cmmfo::opt

@@ -1,0 +1,50 @@
+#include "opt/finite_diff.h"
+
+#include <cmath>
+
+namespace cmmfo::opt {
+
+std::vector<double> finiteDiffGradient(const ObjectiveFn& f,
+                                       const std::vector<double>& x,
+                                       double h) {
+  std::vector<double> g(x.size());
+  std::vector<double> xp = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double step = h * std::max(1.0, std::fabs(x[i]));
+    xp[i] = x[i] + step;
+    const double fp = f(xp);
+    xp[i] = x[i] - step;
+    const double fm = f(xp);
+    xp[i] = x[i];
+    g[i] = (fp - fm) / (2.0 * step);
+  }
+  return g;
+}
+
+GradObjectiveFn withNumericGradient(ObjectiveFn f, double h) {
+  return [f = std::move(f), h](const std::vector<double>& x,
+                               std::vector<double>& grad) {
+    grad = finiteDiffGradient(f, x, h);
+    return f(x);
+  };
+}
+
+double gradientCheckError(const GradObjectiveFn& f, const std::vector<double>& x,
+                          double h) {
+  std::vector<double> analytic(x.size());
+  f(x, analytic);
+  ObjectiveFn plain = [&f](const std::vector<double>& p) {
+    std::vector<double> g(p.size());
+    return f(p, g);
+  };
+  const std::vector<double> numeric = finiteDiffGradient(plain, x, h);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double denom =
+        std::max({std::fabs(analytic[i]), std::fabs(numeric[i]), 1e-8});
+    worst = std::max(worst, std::fabs(analytic[i] - numeric[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace cmmfo::opt

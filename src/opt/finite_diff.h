@@ -1,0 +1,21 @@
+#pragma once
+
+#include "opt/objective.h"
+
+namespace cmmfo::opt {
+
+/// Central finite-difference gradient, used to cross-check analytic
+/// gradients in tests and as a fallback for objectives without one.
+std::vector<double> finiteDiffGradient(const ObjectiveFn& f,
+                                       const std::vector<double>& x,
+                                       double h = 1e-6);
+
+/// Wrap a gradient-free objective into a GradObjectiveFn via central
+/// differences (2*dim extra evaluations per call).
+GradObjectiveFn withNumericGradient(ObjectiveFn f, double h = 1e-6);
+
+/// Max relative error between analytic and numeric gradient at x.
+double gradientCheckError(const GradObjectiveFn& f, const std::vector<double>& x,
+                          double h = 1e-6);
+
+}  // namespace cmmfo::opt

@@ -1,0 +1,26 @@
+#include "opt/multistart.h"
+
+#include <cmath>
+
+#include "opt/lbfgs.h"
+
+namespace cmmfo::opt {
+
+OptResult multiStartMinimize(const GradObjectiveFn& f,
+                             const std::vector<double>& x0, rng::Rng& rng,
+                             const MultiStartOptions& ms_opts,
+                             const LbfgsOptions* lbfgs_opts) {
+  const LbfgsOptions defaults;
+  const LbfgsOptions& lopts = lbfgs_opts ? *lbfgs_opts : defaults;
+
+  OptResult best = minimizeLbfgs(f, x0, lopts);
+  for (int s = 0; s < ms_opts.extra_starts; ++s) {
+    std::vector<double> start = x0;
+    for (auto& xi : start) xi += rng.uniform(-ms_opts.radius, ms_opts.radius);
+    OptResult r = minimizeLbfgs(f, start, lopts);
+    if (std::isfinite(r.value) && r.value < best.value) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace cmmfo::opt

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "opt/objective.h"
+#include "rng/rng.h"
+
+namespace cmmfo::opt {
+
+/// Multi-start driver: run a local optimizer from x0 plus `extra_starts`
+/// random perturbations and keep the best. MLE landscapes for GP kernels are
+/// multi-modal (e.g. long vs short lengthscale interpretations of the same
+/// data); a handful of restarts is the standard cure.
+struct MultiStartOptions {
+  int extra_starts = 3;
+  /// Random starts are drawn uniformly in [x0 - radius, x0 + radius]^d.
+  double radius = 2.0;
+};
+
+OptResult multiStartMinimize(
+    const GradObjectiveFn& f, const std::vector<double>& x0, rng::Rng& rng,
+    const MultiStartOptions& ms_opts = {},
+    const struct LbfgsOptions* lbfgs_opts = nullptr);
+
+}  // namespace cmmfo::opt

@@ -1,0 +1,115 @@
+#include "opt/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cmmfo::opt {
+
+namespace {
+// Standard NM coefficients.
+constexpr double kReflect = 1.0;
+constexpr double kExpand = 2.0;
+constexpr double kContract = 0.5;
+constexpr double kShrink = 0.5;
+
+double safeEval(const ObjectiveFn& f, const std::vector<double>& x) {
+  const double v = f(x);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::max();
+}
+}  // namespace
+
+OptResult minimizeNelderMead(const ObjectiveFn& f, std::vector<double> x0,
+                             const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  OptResult res;
+  if (n == 0) {
+    res.x = std::move(x0);
+    res.value = safeEval(f, res.x);
+    res.converged = true;
+    return res;
+  }
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    simplex[i + 1][i] += opts.initial_step * std::max(1.0, std::fabs(x0[i]));
+  for (std::size_t i = 0; i <= n; ++i) fvals[i] = safeEval(f, simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  for (int it = 0; it < opts.max_iters; ++it) {
+    res.iterations = it + 1;
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+    const std::size_t best = order[0], worst = order[n], second = order[n - 1];
+
+    // Convergence: simplex collapsed in f and x.
+    double fspread = std::fabs(fvals[worst] - fvals[best]);
+    double xspread = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      xspread = std::max(xspread,
+                         std::fabs(simplex[worst][i] - simplex[best][i]));
+    if (fspread < opts.f_tolerance && xspread < opts.x_tolerance) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    auto lerp = [&](double t) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d)
+        p[d] = centroid[d] + t * (simplex[worst][d] - centroid[d]);
+      return p;
+    };
+
+    const auto reflected = lerp(-kReflect);
+    const double fr = safeEval(f, reflected);
+    if (fr < fvals[best]) {
+      const auto expanded = lerp(-kExpand);
+      const double fe = safeEval(f, expanded);
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        fvals[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        fvals[worst] = fr;
+      }
+    } else if (fr < fvals[second]) {
+      simplex[worst] = reflected;
+      fvals[worst] = fr;
+    } else {
+      const auto contracted = lerp(fr < fvals[worst] ? -kContract : kContract);
+      const double fc = safeEval(f, contracted);
+      if (fc < std::min(fr, fvals[worst])) {
+        simplex[worst] = contracted;
+        fvals[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d)
+            simplex[i][d] = simplex[best][d] +
+                            kShrink * (simplex[i][d] - simplex[best][d]);
+          fvals[i] = safeEval(f, simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (fvals[i] < fvals[best]) best = i;
+  res.x = simplex[best];
+  res.value = fvals[best];
+  return res;
+}
+
+}  // namespace cmmfo::opt

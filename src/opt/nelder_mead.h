@@ -1,0 +1,20 @@
+#pragma once
+
+#include "opt/objective.h"
+
+namespace cmmfo::opt {
+
+/// Nelder-Mead downhill simplex: derivative-free fallback used when a
+/// gradient is unavailable or unreliable (e.g. near-singular Gram matrices
+/// during MLE make analytic gradients blow up).
+struct NelderMeadOptions {
+  int max_iters = 400;
+  double initial_step = 0.5;
+  double f_tolerance = 1e-9;
+  double x_tolerance = 1e-9;
+};
+
+OptResult minimizeNelderMead(const ObjectiveFn& f, std::vector<double> x0,
+                             const NelderMeadOptions& opts = {});
+
+}  // namespace cmmfo::opt

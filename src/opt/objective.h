@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace cmmfo::opt {
+
+/// Scalar objective f(x). All optimizers in this module MINIMIZE.
+using ObjectiveFn = std::function<double(const std::vector<double>&)>;
+
+/// Objective with analytic gradient: fills `grad` (resized by caller contract
+/// to x.size()) and returns f(x).
+using GradObjectiveFn =
+    std::function<double(const std::vector<double>& x, std::vector<double>& grad)>;
+
+/// Result of a local or global optimization run.
+struct OptResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+}  // namespace cmmfo::opt

@@ -1,0 +1,77 @@
+#include "opt/sampling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "linalg/vec_ops.h"
+
+namespace cmmfo::opt {
+
+std::vector<std::size_t> randomSubset(std::size_t n, std::size_t k,
+                                      rng::Rng& rng) {
+  return rng.sampleWithoutReplacement(n, std::min(n, k));
+}
+
+std::vector<std::size_t> maximinSubset(
+    const std::vector<std::vector<double>>& features, std::size_t k,
+    rng::Rng& rng) {
+  const std::size_t n = features.size();
+  k = std::min(n, k);
+  std::vector<std::size_t> chosen;
+  if (k == 0) return chosen;
+
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  std::size_t next = rng.index(n);
+  for (std::size_t pick = 0; pick < k; ++pick) {
+    chosen.push_back(next);
+    // Update each candidate's distance to the chosen set and find the
+    // farthest-from-everything candidate for the next pick.
+    double best = -1.0;
+    std::size_t arg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] =
+          std::min(min_dist[i], linalg::dist2(features[i], features[next]));
+      if (min_dist[i] > best) {
+        best = min_dist[i];
+        arg = i;
+      }
+    }
+    next = arg;
+  }
+  return chosen;
+}
+
+std::vector<std::size_t> stratifiedSubset(
+    const std::vector<std::vector<double>>& features, std::size_t k,
+    rng::Rng& rng) {
+  const std::size_t n = features.size();
+  k = std::min(n, k);
+  std::vector<std::size_t> chosen;
+  if (k == 0) return chosen;
+  const std::size_t dim = features[0].size();
+
+  // Sort candidates along one random axis; pick one per quantile stratum.
+  const std::size_t axis = dim == 0 ? 0 : rng.index(dim);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (dim > 0)
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return features[a][axis] < features[b][axis];
+                     });
+  std::vector<bool> taken(n, false);
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t lo = s * n / k;
+    const std::size_t hi = std::max((s + 1) * n / k, lo + 1);
+    // Draw within the stratum, skipping already-taken candidates.
+    std::size_t idx = lo + rng.index(hi - lo);
+    std::size_t probe = idx;
+    while (taken[order[probe]]) probe = lo + (probe + 1 - lo) % (hi - lo);
+    taken[order[probe]] = true;
+    chosen.push_back(order[probe]);
+  }
+  return chosen;
+}
+
+}  // namespace cmmfo::opt

@@ -1,0 +1,73 @@
+#include "pareto/adrs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cmmfo::pareto {
+
+namespace {
+double relWorst(const Point& g, const Point& w) {
+  double worst = 0.0;
+  for (std::size_t d = 0; d < g.size(); ++d) {
+    const double denom = std::fabs(g[d]) > 1e-12 ? std::fabs(g[d]) : 1e-12;
+    worst = std::max(worst, (w[d] - g[d]) / denom);
+  }
+  return std::max(worst, 0.0);
+}
+
+double euclid(const Point& a, const Point& b) {
+  double s = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) s += (a[d] - b[d]) * (a[d] - b[d]);
+  return std::sqrt(s);
+}
+}  // namespace
+
+double adrs(const std::vector<Point>& reference_set,
+            const std::vector<Point>& learned_set, AdrsDistance distance) {
+  assert(!reference_set.empty());
+  if (learned_set.empty()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const auto& g : reference_set) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& w : learned_set) {
+      const double d = distance == AdrsDistance::kEuclidean ? euclid(g, w)
+                                                            : relWorst(g, w);
+      best = std::min(best, d);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(reference_set.size());
+}
+
+std::vector<std::vector<Point>> normalizeJointly(
+    const std::vector<std::vector<Point>>& sets) {
+  std::size_t m = 0;
+  for (const auto& s : sets)
+    if (!s.empty()) {
+      m = s[0].size();
+      break;
+    }
+  if (m == 0) return sets;
+
+  Point lo(m, std::numeric_limits<double>::infinity());
+  Point hi(m, -std::numeric_limits<double>::infinity());
+  for (const auto& s : sets)
+    for (const auto& p : s)
+      for (std::size_t d = 0; d < m; ++d) {
+        lo[d] = std::min(lo[d], p[d]);
+        hi[d] = std::max(hi[d], p[d]);
+      }
+
+  std::vector<std::vector<Point>> out = sets;
+  for (auto& s : out)
+    for (auto& p : s)
+      for (std::size_t d = 0; d < m; ++d) {
+        const double range = hi[d] - lo[d];
+        p[d] = range > 1e-15 ? (p[d] - lo[d]) / range : 0.0;
+      }
+  return out;
+}
+
+}  // namespace cmmfo::pareto

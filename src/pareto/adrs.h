@@ -1,0 +1,30 @@
+#pragma once
+
+#include "pareto/dominance.h"
+
+namespace cmmfo::pareto {
+
+/// Distance function used inside ADRS.
+enum class AdrsDistance {
+  /// max_j max(0, (w_j - g_j) / g_j): the standard DSE-literature measure of
+  /// how far a learned point sits behind a reference point, relative.
+  kRelativeWorst,
+  /// Plain Euclidean distance (use on normalized objectives).
+  kEuclidean,
+};
+
+/// Average Distance to Reference Set (Eq. 11):
+///   ADRS(G, W) = (1/|G|) * sum_{g in G} min_{w in W} f(g, w),
+/// where G is the true Pareto set and W the learned one. Lower is better;
+/// 0 means every reference point was matched exactly.
+double adrs(const std::vector<Point>& reference_set,
+            const std::vector<Point>& learned_set,
+            AdrsDistance distance = AdrsDistance::kEuclidean);
+
+/// Min-max normalize a family of point sets jointly (shared per-dimension
+/// ranges taken over all sets) — used before Euclidean ADRS and for the
+/// normalized plots of Fig. 5 / Fig. 8.
+std::vector<std::vector<Point>> normalizeJointly(
+    const std::vector<std::vector<Point>>& sets);
+
+}  // namespace cmmfo::pareto

@@ -1,0 +1,109 @@
+#include "pareto/cells.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cmmfo::pareto {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double normPdf(double z) {
+  return std::exp(-0.5 * z * z) * 0.3989422804014327;  // 1/sqrt(2 pi)
+}
+double normCdf(double z) { return 0.5 * std::erfc(-z * 0.70710678118654752); }
+
+}  // namespace
+
+double expectedDominatedEdge(double lo, double hi, double mu, double sigma) {
+  if (sigma < 1e-12) {
+    const double y = mu;
+    if (y >= hi) return 0.0;
+    return hi - std::max(lo, y);
+  }
+  const double beta = (hi - mu) / sigma;
+  if (lo == -kInf) return (hi - mu) * normCdf(beta) + sigma * normPdf(beta);
+  const double alpha = (lo - mu) / sigma;
+  return (hi - lo) * normCdf(alpha) +
+         (hi - mu) * (normCdf(beta) - normCdf(alpha)) +
+         sigma * (normPdf(beta) - normPdf(alpha));
+}
+
+double Cell::volume() const {
+  double v = 1.0;
+  for (std::size_t d = 0; d < lo.size(); ++d) v *= hi[d] - lo[d];
+  return v;
+}
+
+std::vector<Cell> nonDominatedCells(const std::vector<Point>& front,
+                                    const Point& ref) {
+  const std::size_t m = ref.size();
+  // Boundaries per dimension: -inf, the Pareto coordinates (b_i of Fig. 6),
+  // and the reference coordinate.
+  std::vector<std::vector<double>> bounds(m);
+  for (std::size_t d = 0; d < m; ++d) {
+    bounds[d].push_back(-kInf);
+    for (const auto& p : front)
+      if (p[d] < ref[d]) bounds[d].push_back(p[d]);
+    bounds[d].push_back(ref[d]);
+    std::sort(bounds[d].begin(), bounds[d].end());
+    bounds[d].erase(std::unique(bounds[d].begin(), bounds[d].end()),
+                    bounds[d].end());
+  }
+
+  std::vector<Cell> cells;
+  // Odometer over the grid of intervals.
+  std::vector<std::size_t> idx(m, 0);
+  for (;;) {
+    Cell c;
+    c.lo.resize(m);
+    c.hi.resize(m);
+    for (std::size_t d = 0; d < m; ++d) {
+      c.lo[d] = bounds[d][idx[d]];
+      c.hi[d] = bounds[d][idx[d] + 1];
+    }
+    // A grid cell is uniformly dominated iff some front point weakly
+    // dominates its lower corner.
+    bool cell_dominated = false;
+    for (const auto& p : front) {
+      bool dom = true;
+      for (std::size_t d = 0; d < m; ++d)
+        if (p[d] > c.lo[d]) {
+          dom = false;
+          break;
+        }
+      if (dom) {
+        cell_dominated = true;
+        break;
+      }
+    }
+    if (!cell_dominated) cells.push_back(std::move(c));
+
+    // Advance odometer.
+    std::size_t d = 0;
+    for (; d < m; ++d) {
+      if (++idx[d] + 1 < bounds[d].size()) break;
+      idx[d] = 0;
+    }
+    if (d == m) break;
+  }
+  return cells;
+}
+
+double exactEipvIndependent(const Point& mu, const Point& sigma,
+                            const std::vector<Point>& front, const Point& ref) {
+  assert(mu.size() == ref.size() && sigma.size() == ref.size());
+  const std::vector<Cell> cells = nonDominatedCells(front, ref);
+  double eipv = 0.0;
+  for (const auto& c : cells) {
+    double term = 1.0;
+    for (std::size_t d = 0; d < ref.size() && term > 0.0; ++d)
+      term *= expectedDominatedEdge(c.lo[d], c.hi[d], mu[d], sigma[d]);
+    eipv += term;
+  }
+  return eipv;
+}
+
+}  // namespace cmmfo::pareto

@@ -1,0 +1,69 @@
+#include "pareto/dominance.h"
+
+#include <cassert>
+
+namespace cmmfo::pareto {
+
+bool weaklyDominates(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+bool dominates(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<std::size_t> nonDominatedIndices(const std::vector<Point>& pts) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < pts.size() && !dominated; ++j) {
+      if (j == i) continue;
+      if (dominates(pts[j], pts[i])) dominated = true;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Point> paretoFilter(const std::vector<Point>& pts) {
+  std::vector<Point> out;
+  for (std::size_t i : nonDominatedIndices(pts)) out.push_back(pts[i]);
+  return out;
+}
+
+bool ParetoFront::wouldAccept(const Point& y) const {
+  for (const auto& p : points_)
+    if (weaklyDominates(p, y)) return false;
+  return true;
+}
+
+bool ParetoFront::insert(const Point& y, std::size_t id) {
+  if (!wouldAccept(y)) return false;
+  // Evict members the new point dominates.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!dominates(y, points_[i])) {
+      if (w != i) {
+        points_[w] = std::move(points_[i]);
+        ids_[w] = ids_[i];
+      }
+      ++w;
+    }
+  }
+  points_.resize(w);
+  ids_.resize(w);
+  points_.push_back(y);
+  ids_.push_back(id);
+  return true;
+}
+
+}  // namespace cmmfo::pareto

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cmmfo::pareto {
+
+/// Objective vectors; all objectives MINIMIZED throughout the library
+/// (power, delay, LUT are all "smaller is better").
+using Point = std::vector<double>;
+
+/// Pareto dominance (Definition 1): a <= b in every coordinate and a < b in
+/// at least one.
+bool dominates(const Point& a, const Point& b);
+
+/// Weak dominance: a <= b in every coordinate.
+bool weaklyDominates(const Point& a, const Point& b);
+
+/// Indices of the non-dominated points. Duplicated points are all kept.
+/// O(n^2 M) — fine for the library's set sizes.
+std::vector<std::size_t> nonDominatedIndices(const std::vector<Point>& pts);
+
+/// The non-dominated subset itself (order of first appearance).
+std::vector<Point> paretoFilter(const std::vector<Point>& pts);
+
+/// Incrementally maintained Pareto front of objective vectors with optional
+/// user payload ids (e.g. design-space indices).
+class ParetoFront {
+ public:
+  /// Insert a point; returns true if it enters the front (i.e. it is not
+  /// dominated by an existing member). Dominated members are evicted.
+  bool insert(const Point& y, std::size_t id = 0);
+
+  const std::vector<Point>& points() const { return points_; }
+  const std::vector<std::size_t>& ids() const { return ids_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Would `y` enter the front, without mutating it?
+  bool wouldAccept(const Point& y) const;
+
+ private:
+  std::vector<Point> points_;
+  std::vector<std::size_t> ids_;
+};
+
+}  // namespace cmmfo::pareto

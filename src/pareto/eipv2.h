@@ -1,0 +1,28 @@
+#pragma once
+
+#include "linalg/matrix.h"
+#include "pareto/dominance.h"
+
+namespace cmmfo::pareto {
+
+/// Deterministic EIPV for TWO correlated Gaussian objectives.
+///
+/// The paper (following Shah & Ghahramani) evaluates the correlated EIPV by
+/// Monte Carlo; for M = 2 the integral also factors through the cell
+/// decomposition with a 1-D conditional reduction:
+///
+///   E[vol] = sum_cells ∫ g2(y2) E[g1(y1) | y2] p(y2) dy2,
+///
+/// where g_d(y) = (hi_d - max(lo_d, y))^+ is the dominated extent along one
+/// cell edge and y1 | y2 is the usual conditional normal. The inner
+/// expectation has the same closed form as the independent case; the outer
+/// integral is smooth piecewise and is evaluated with fixed-order
+/// Gauss-Legendre panels, giving ~1e-9 accuracy at deterministic cost —
+/// useful for acquisition-quality studies and as a Monte-Carlo oracle.
+///
+/// `cov` is the 2x2 predictive covariance (PSD; correlation clamped to
+/// |rho| <= 0.999 for conditioning).
+double exactEipvCorrelated2(const Point& mu, const linalg::Matrix& cov,
+                            const std::vector<Point>& front, const Point& ref);
+
+}  // namespace cmmfo::pareto

@@ -1,0 +1,180 @@
+#include "pareto/hypervolume.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cmmfo::pareto {
+
+namespace {
+
+/// Clip points to those strictly better than ref in every coordinate and
+/// reduce to the non-dominated subset.
+std::vector<Point> clipAndFilter(const std::vector<Point>& pts,
+                                 const Point& ref) {
+  std::vector<Point> keep;
+  keep.reserve(pts.size());
+  for (const auto& p : pts) {
+    bool inside = true;
+    for (std::size_t d = 0; d < ref.size(); ++d)
+      if (p[d] >= ref[d]) {
+        inside = false;
+        break;
+      }
+    if (inside) keep.push_back(p);
+  }
+  return paretoFilter(keep);
+}
+
+double hv2(std::vector<Point> pts, const Point& ref) {
+  // Sort by first objective ascending; second then descends along the front.
+  std::sort(pts.begin(), pts.end());
+  double vol = 0.0;
+  double prev_y1 = ref[1];
+  for (const auto& p : pts) {
+    vol += (ref[0] - p[0]) * (prev_y1 - p[1]);
+    prev_y1 = p[1];
+  }
+  return vol;
+}
+
+double hv3(std::vector<Point> pts, const Point& ref) {
+  // Dimension sweep on z: process points by ascending z; between two
+  // consecutive z-levels the dominated area in the (x, y) plane is the 2-D
+  // hypervolume of the staircase of points already processed.
+  std::sort(pts.begin(), pts.end(),
+            [](const Point& a, const Point& b) { return a[2] < b[2]; });
+  // Maintain the 2-D staircase as a sorted (x asc, y desc) non-dominated set.
+  std::vector<std::pair<double, double>> stair;
+  double vol = 0.0;
+  double area = 0.0;
+  double prev_z = 0.0;
+  bool first = true;
+
+  auto staircaseArea = [&]() {
+    double a = 0.0;
+    double prev_y = ref[1];
+    for (const auto& [x, y] : stair) {
+      a += (ref[0] - x) * (prev_y - y);
+      prev_y = y;
+    }
+    return a;
+  };
+
+  for (const auto& p : pts) {
+    if (!first) vol += area * (p[2] - prev_z);
+    // Insert (x, y) into the staircase if 2-D non-dominated.
+    const double x = p[0], y = p[1];
+    bool dominated = false;
+    for (const auto& [sx, sy] : stair)
+      if (sx <= x && sy <= y) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) {
+      std::erase_if(stair, [&](const std::pair<double, double>& s) {
+        return x <= s.first && y <= s.second;
+      });
+      stair.emplace_back(x, y);
+      std::sort(stair.begin(), stair.end());
+      area = staircaseArea();
+    }
+    prev_z = p[2];
+    first = false;
+  }
+  if (!first) vol += area * (ref[2] - prev_z);
+  return vol;
+}
+
+/// WFG-style recursion for general dimension: hv(S) over sorted S is
+/// sum over i of exclusive contribution of S[i] against S[i+1..].
+double hvWfg(std::vector<Point> pts, const Point& ref);
+
+double exclusiveWfg(const Point& p, const std::vector<Point>& rest,
+                    const Point& ref) {
+  double box = 1.0;
+  for (std::size_t d = 0; d < ref.size(); ++d) box *= ref[d] - p[d];
+  if (rest.empty()) return box;
+  // Limit the rest to the region dominated by p: q -> max(q, p).
+  std::vector<Point> limited;
+  limited.reserve(rest.size());
+  for (const auto& q : rest) {
+    Point lq(q.size());
+    for (std::size_t d = 0; d < q.size(); ++d) lq[d] = std::max(q[d], p[d]);
+    limited.push_back(std::move(lq));
+  }
+  return box - hvWfg(paretoFilter(limited), ref);
+}
+
+double hvWfg(std::vector<Point> pts, const Point& ref) {
+  if (pts.empty()) return 0.0;
+  const std::size_t m = ref.size();
+  if (m == 2) return hv2(std::move(pts), ref);
+  if (m == 3) return hv3(std::move(pts), ref);
+  // Sort to keep the recursion shallow (worse points first shrink fast).
+  std::sort(pts.begin(), pts.end(),
+            [](const Point& a, const Point& b) { return a.back() > b.back(); });
+  double vol = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    vol += exclusiveWfg(pts[i],
+                        std::vector<Point>(pts.begin() + i + 1, pts.end()),
+                        ref);
+  return vol;
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<Point>& pts, const Point& ref) {
+  const std::vector<Point> front = clipAndFilter(pts, ref);
+  if (front.empty()) return 0.0;
+  const std::size_t m = ref.size();
+  assert(m >= 1);
+  if (m == 1) {
+    double best = front[0][0];
+    for (const auto& p : front) best = std::min(best, p[0]);
+    return ref[0] - best;
+  }
+  if (m == 2) return hv2(front, ref);
+  if (m == 3) return hv3(front, ref);
+  return hvWfg(front, ref);
+}
+
+double hypervolumeImprovement(const Point& y, const std::vector<Point>& pts,
+                              const Point& ref) {
+  // y outside the reference box contributes nothing.
+  double box = 1.0;
+  for (std::size_t d = 0; d < ref.size(); ++d) {
+    if (y[d] >= ref[d]) return 0.0;
+    box *= ref[d] - y[d];
+  }
+  if (pts.empty()) return box;
+  // Exclusive volume: box minus what the limited set already covers.
+  std::vector<Point> limited;
+  limited.reserve(pts.size());
+  for (const auto& p : pts) {
+    Point lp(p.size());
+    for (std::size_t d = 0; d < p.size(); ++d) lp[d] = std::max(p[d], y[d]);
+    limited.push_back(std::move(lp));
+  }
+  const double covered = hypervolume(limited, ref);
+  return std::max(0.0, box - covered);
+}
+
+Point referencePoint(const std::vector<Point>& pts, double margin_frac) {
+  assert(!pts.empty());
+  const std::size_t m = pts[0].size();
+  Point lo = pts[0], hi = pts[0];
+  for (const auto& p : pts)
+    for (std::size_t d = 0; d < m; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  Point ref(m);
+  for (std::size_t d = 0; d < m; ++d) {
+    const double range = std::max(hi[d] - lo[d], 1e-12);
+    ref[d] = hi[d] + margin_frac * range;
+  }
+  return ref;
+}
+
+}  // namespace cmmfo::pareto

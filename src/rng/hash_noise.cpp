@@ -1,0 +1,34 @@
+#include "rng/hash_noise.h"
+
+#include <cmath>
+
+#include "rng/rng.h"
+
+namespace cmmfo::rng {
+
+std::uint64_t HashNoise::hash(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d) const {
+  std::uint64_t state = salt_;
+  state ^= splitmix64(state) ^ a;
+  state ^= splitmix64(state) ^ b;
+  state ^= splitmix64(state) ^ c;
+  state ^= splitmix64(state) ^ d;
+  return splitmix64(state);
+}
+
+double HashNoise::uniform(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                          std::uint64_t d) const {
+  return static_cast<double>(hash(a, b, c, d) >> 11) * 0x1.0p-53;
+}
+
+double HashNoise::normal(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                         std::uint64_t d) const {
+  // Inverse-CDF would be exact; a 4-fold CLT sum is plenty for simulator
+  // noise and is branch-free and fast. Variance of sum of 4 U(0,1) is 4/12,
+  // so scale by sqrt(3) to get unit variance.
+  double s = 0.0;
+  for (std::uint64_t k = 0; k < 4; ++k) s += uniform(a, b, c, d ^ (k + 1));
+  return (s - 2.0) * std::sqrt(3.0);
+}
+
+}  // namespace cmmfo::rng

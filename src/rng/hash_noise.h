@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cmmfo::rng {
+
+/// Stateless deterministic noise keyed by an arbitrary tuple of integers.
+///
+/// The FPGA-tool simulator must return the *same* report every time a given
+/// (benchmark, configuration, fidelity, objective) is evaluated — real tools
+/// are deterministic for a fixed input — yet different configurations must
+/// see independent-looking perturbations. A keyed hash gives us exactly that
+/// without storing any state.
+class HashNoise {
+ public:
+  explicit HashNoise(std::uint64_t salt) : salt_(salt) {}
+
+  /// Uniform in [0, 1), keyed by (a, b, c, d).
+  double uniform(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+                 std::uint64_t d = 0) const;
+
+  /// Approximately standard normal (sum of 4 hashed uniforms, CLT), keyed.
+  double normal(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+                std::uint64_t d = 0) const;
+
+  /// Raw 64-bit hash of the key tuple.
+  std::uint64_t hash(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+                     std::uint64_t d = 0) const;
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace cmmfo::rng

@@ -1,0 +1,102 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+namespace cmmfo::rng {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro state must not be all zero; splitmix64 guarantees that with
+  // overwhelming probability, and we nudge the last word just in case.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[3] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::size_t Rng::index(std::size_t n) {
+  // Debiased modulo via rejection on the top range.
+  const std::uint64_t bound = n;
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return static_cast<std::size_t>(r % bound);
+  }
+}
+
+int Rng::uniformInt(int lo, int hi) {
+  return lo + static_cast<int>(index(static_cast<std::size_t>(hi - lo) + 1));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * m;
+  has_cached_normal_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first k entries become the sample.
+  for (std::size_t i = 0; i < k && i + 1 < n; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::split(std::uint64_t salt) {
+  std::uint64_t mix = next() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace cmmfo::rng

@@ -1,0 +1,46 @@
+#include "sim/device.h"
+
+namespace cmmfo::sim {
+
+using hls::OpKind;
+
+double DeviceModel::opLatencyCycles(OpKind k) const {
+  switch (k) {
+    case OpKind::kAdd: return 1.0;
+    case OpKind::kMul: return 3.0;
+    case OpKind::kDiv: return 16.0;
+    case OpKind::kCmp: return 1.0;
+    case OpKind::kLogic: return 1.0;
+    case OpKind::kLoad: return 2.0;
+    case OpKind::kStore: return 1.0;
+  }
+  return 1.0;
+}
+
+double DeviceModel::opDelayNs(OpKind k) const {
+  switch (k) {
+    case OpKind::kAdd: return 1.6;
+    case OpKind::kMul: return 2.9;
+    case OpKind::kDiv: return 4.2;
+    case OpKind::kCmp: return 1.1;
+    case OpKind::kLogic: return 0.8;
+    case OpKind::kLoad: return 2.2;
+    case OpKind::kStore: return 1.4;
+  }
+  return 1.0;
+}
+
+double DeviceModel::opLutCost(OpKind k) const {
+  switch (k) {
+    case OpKind::kAdd: return 32.0;
+    case OpKind::kMul: return 180.0;   // LUT-mapped fraction around DSPs
+    case OpKind::kDiv: return 1100.0;
+    case OpKind::kCmp: return 18.0;
+    case OpKind::kLogic: return 10.0;
+    case OpKind::kLoad: return 14.0;   // address/control logic
+    case OpKind::kStore: return 14.0;
+  }
+  return 10.0;
+}
+
+}  // namespace cmmfo::sim

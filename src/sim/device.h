@@ -1,0 +1,26 @@
+#pragma once
+
+#include "hls/kernel_ir.h"
+
+namespace cmmfo::sim {
+
+/// FPGA device resource/timing model, with defaults shaped after the
+/// paper's target (Xilinx Virtex-7 VC707, XC7VX485T).
+struct DeviceModel {
+  double lut_capacity = 303600.0;
+  /// Fabric clock floor: no design closes faster than this.
+  double min_clock_ns = 1.8;
+  /// HLS target clock; invalidity thresholds reference it.
+  double target_clock_ns = 10.0;
+
+  /// Scheduling latency (cycles) of each op kind.
+  double opLatencyCycles(hls::OpKind k) const;
+  /// Combinational delay (ns) of one level of each op kind.
+  double opDelayNs(hls::OpKind k) const;
+  /// LUT cost per op instance.
+  double opLutCost(hls::OpKind k) const;
+
+  static DeviceModel virtex7Vc707() { return {}; }
+};
+
+}  // namespace cmmfo::sim

@@ -1,0 +1,26 @@
+#include "sim/ground_truth.h"
+
+namespace cmmfo::sim {
+
+GroundTruth::GroundTruth(const hls::DesignSpace& space, const FpgaToolSim& sim) {
+  reports_.resize(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i)
+    for (int f = 0; f < kNumFidelities; ++f)
+      reports_[i][f] = sim.run(space.config(i), static_cast<Fidelity>(f));
+
+  pareto::ParetoFront front;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    if (valid(i)) front.insert(implObjectives(i), i);
+  front_ = front.points();
+  front_idx_ = front.ids();
+}
+
+bool GroundTruth::valid(std::size_t config) const {
+  return reports_[config][static_cast<int>(Fidelity::kImpl)].valid;
+}
+
+pareto::Point GroundTruth::implObjectives(std::size_t config) const {
+  return reports_[config][static_cast<int>(Fidelity::kImpl)].objectives();
+}
+
+}  // namespace cmmfo::sim

@@ -1,0 +1,188 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hls/pruner.h"
+
+namespace cmmfo::sim {
+
+using hls::ArrayId;
+using hls::DirectiveConfig;
+using hls::IndexRole;
+using hls::Kernel;
+using hls::LoopId;
+using hls::OpKind;
+using hls::PartitionType;
+
+namespace {
+
+struct LoopResult {
+  double cycles = 0.0;       // total cycles for the whole loop execution
+  double depth = 1.0;        // body depth (for pipeline fill)
+};
+
+struct ModelCtx {
+  const Kernel& kernel;
+  const DirectiveConfig& cfg;
+  const DeviceModel& device;
+  ArchEstimate* est;
+};
+
+/// Effective parallel ports a loop's unrolled accesses see on one array.
+/// Dual-port BRAM: 2 ports per bank. Incompatible partitioning (e.g.
+/// strided access under cyclic banking) degenerates to bank conflicts on a
+/// couple of banks.
+double effectivePorts(const ModelCtx& c, LoopId l, ArrayId a) {
+  const auto& ad = c.cfg.arrays[a];
+  switch (ad.type) {
+    case PartitionType::kNone:
+      return 2.0;
+    case PartitionType::kComplete:
+      // Registers: effectively unbounded parallel access.
+      return 2.0 * static_cast<double>(c.kernel.array(a).size);
+    case PartitionType::kCyclic:
+    case PartitionType::kBlock:
+      if (hls::unrollCompatible(c.kernel, l, a, ad.type))
+        return 2.0 * static_cast<double>(ad.factor);
+      return 2.0;  // conflicts serialize to a single bank pair
+  }
+  return 2.0;
+}
+
+/// Critical-path cycles of one loop body's compute chain.
+double chainLatency(const ModelCtx& c, const hls::OpCounts& ops) {
+  double lat = 0.0;
+  for (int k = 0; k < hls::kNumOpKinds; ++k) {
+    if (ops.counts[k] == 0) continue;
+    lat = std::max(lat, c.device.opLatencyCycles(static_cast<OpKind>(k)));
+  }
+  // Reduction-tree depth for combining many results.
+  lat += std::ceil(std::log2(1.0 + ops.computeOps()));
+  return std::max(lat, 1.0);
+}
+
+LoopResult evalLoop(const ModelCtx& c, LoopId l, double ancestor_replication,
+                    double ancestor_iters) {
+  const auto& loop = c.kernel.loop(l);
+  const auto& ld = c.cfg.loops[l];
+  const int u = std::min(std::max(ld.unroll, 1), loop.trip_count);
+  const double iters = std::ceil(static_cast<double>(loop.trip_count) / u);
+
+  // --- Memory constraint: accesses of the unrolled body vs available ports.
+  double mem_cycles = 0.0;
+  for (const auto& ref : loop.refs) {
+    const double accesses = static_cast<double>(ref.count) * u;
+    const double ports = effectivePorts(c, l, ref.array);
+    mem_cycles = std::max(mem_cycles, std::ceil(accesses / ports));
+  }
+  if (loop.body_ops.memoryOps() > 0) mem_cycles = std::max(mem_cycles, 1.0);
+
+  // --- Compute: spatial parallelism scales with u, so the unrolled body's
+  // compute latency stays at the chain depth.
+  const double compute_cycles = chainLatency(c, loop.body_ops);
+
+  // --- Children (replicated u times by unrolling this loop).
+  double child_cycles = 0.0;
+  for (LoopId ch : c.kernel.children(l)) {
+    const LoopResult r = evalLoop(c, ch, ancestor_replication * u,
+                                  ancestor_iters * loop.trip_count);
+    child_cycles += r.cycles;
+  }
+
+  // --- Recurrences: iterations chained through a loop-carried dependence
+  // cannot overlap, so the u unrolled copies (including their inner loops)
+  // serialize — unrolling a recurrence loop buys area, not time.
+  double body = std::max(compute_cycles, mem_cycles) + child_cycles;
+  double recurrence_ii = 1.0;
+  if (loop.loop_carried_dep) {
+    const double dist = std::max(loop.dep_distance, 1);
+    // Each initiation of an unrolled recurrence body carries u dependent
+    // steps of the chain, so the achievable II scales with the unroll
+    // factor — unrolling cannot launder a recurrence through the pipeline.
+    recurrence_ii =
+        std::max(1.0, chainLatency(c, loop.body_ops) * u / dist);
+    body *= 1.0 + static_cast<double>(u - 1) / dist;
+  }
+
+  // --- Resource accounting for this loop's body.
+  const double replication = ancestor_replication * u;
+  double lut = 0.0;
+  for (int k = 0; k < hls::kNumOpKinds; ++k)
+    lut += c.device.opLutCost(static_cast<OpKind>(k)) *
+           loop.body_ops.counts[k] * replication;
+  c.est->lut_raw += lut;
+  c.est->total_op_instances += static_cast<double>(loop.body_ops.total()) *
+                               loop.trip_count * ancestor_iters;
+  c.est->peak_parallelism = std::max(c.est->peak_parallelism, replication);
+
+  // --- Clock: the slowest op present bounds the achievable period.
+  for (int k = 0; k < hls::kNumOpKinds; ++k)
+    if (loop.body_ops.counts[k] > 0)
+      c.est->clock_raw_ns = std::max(
+          c.est->clock_raw_ns, c.device.opDelayNs(static_cast<OpKind>(k)));
+
+  LoopResult res;
+  res.depth = body;
+  if (ld.pipeline) {
+    // Successive iterations overlap at the initiation interval, bounded by
+    // memory throughput and recurrences. For non-innermost loops the whole
+    // body (inner loops included) is the pipeline stage, which costs extra
+    // buffering hardware.
+    const double ii =
+        std::max({static_cast<double>(std::max(ld.ii, 1)), mem_cycles,
+                  recurrence_ii});
+    res.cycles = body + ii * std::max(iters - 1.0, 0.0);
+    c.est->lut_raw += 12.0 * std::min(body, 512.0) * replication;
+    if (!c.kernel.isInnermost(l))
+      c.est->lut_raw += 0.35 * replication * 64.0;  // inter-stage buffering
+  } else {
+    const double loop_overhead = 2.0;  // index increment + exit test
+    res.cycles = iters * (body + loop_overhead);
+  }
+  return res;
+}
+
+}  // namespace
+
+ArchEstimate estimateArchitecture(const Kernel& kernel,
+                                  const DirectiveConfig& cfg,
+                                  const DeviceModel& device) {
+  assert(cfg.loops.size() == kernel.numLoops());
+  assert(cfg.arrays.size() == kernel.numArrays());
+
+  ArchEstimate est;
+  est.clock_raw_ns = device.min_clock_ns;
+  ModelCtx ctx{kernel, cfg, device, &est};
+
+  double latency = 10.0;  // interface / FSM entry overhead
+  for (LoopId top : kernel.topLoops())
+    latency += evalLoop(ctx, top, 1.0, 1.0).cycles;
+  est.latency_cycles = latency;
+
+  // Array partitioning hardware: bank decoders and read muxes grow
+  // super-linearly with the bank count.
+  double banks = 0.0;
+  for (std::size_t a = 0; a < kernel.numArrays(); ++a) {
+    const auto& ad = cfg.arrays[a];
+    double p = 1.0;
+    if (ad.type == PartitionType::kCyclic || ad.type == PartitionType::kBlock)
+      p = ad.factor;
+    else if (ad.type == PartitionType::kComplete)
+      p = kernel.array(static_cast<ArrayId>(a)).size;
+    banks += p;
+    if (p > 1.0)
+      est.lut_raw += 22.0 * p * std::log2(p + 1.0) +
+                     4.0 * static_cast<double>(
+                               kernel.array(static_cast<ArrayId>(a)).size);
+  }
+  est.total_banks = banks;
+
+  // Base control logic.
+  est.lut_raw += 220.0 + 35.0 * static_cast<double>(kernel.numLoops());
+  est.util_raw = est.lut_raw / device.lut_capacity;
+  return est;
+}
+
+}  // namespace cmmfo::sim

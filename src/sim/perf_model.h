@@ -1,0 +1,35 @@
+#pragma once
+
+#include "hls/directives.h"
+#include "hls/kernel_ir.h"
+#include "sim/device.h"
+
+namespace cmmfo::sim {
+
+/// Architecture-level estimate produced by the scheduling/binding model —
+/// the quantities the fidelity transforms perturb into stage reports.
+struct ArchEstimate {
+  double latency_cycles = 0.0;
+  /// Raw critical-path clock estimate, before any congestion effects.
+  double clock_raw_ns = 0.0;
+  /// Raw LUT count before logic optimization.
+  double lut_raw = 0.0;
+  /// lut_raw / capacity.
+  double util_raw = 0.0;
+  /// Total partition bank count (memory power driver).
+  double total_banks = 0.0;
+  /// Total op executions (tool-runtime driver).
+  double total_op_instances = 0.0;
+  /// Peak spatial parallelism (dynamic-power driver).
+  double peak_parallelism = 1.0;
+};
+
+/// Resource-constrained performance model of the HLS stage: computes
+/// loop-nest latency under unroll / pipeline / array-partition directives
+/// with dual-port bank limits and recurrence constraints, plus LUT and
+/// clock estimates. Deterministic and purely analytic.
+ArchEstimate estimateArchitecture(const hls::Kernel& kernel,
+                                  const hls::DirectiveConfig& cfg,
+                                  const DeviceModel& device);
+
+}  // namespace cmmfo::sim

@@ -1,0 +1,174 @@
+#include "sim/tool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/hash_noise.h"
+
+namespace cmmfo::sim {
+
+const char* fidelityName(Fidelity f) {
+  switch (f) {
+    case Fidelity::kHls: return "hls";
+    case Fidelity::kSyn: return "syn";
+    case Fidelity::kImpl: return "impl";
+  }
+  return "?";
+}
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+struct StageState {
+  double lut = 0.0;
+  double clock_ns = 0.0;
+  double util = 0.0;
+  bool valid = true;
+};
+}  // namespace
+
+FpgaToolSim::FpgaToolSim(const hls::Kernel& kernel, DeviceModel device,
+                         SimParams params, std::uint64_t seed)
+    : kernel_(&kernel), device_(device), params_(params), seed_(seed) {}
+
+Report FpgaToolSim::run(const hls::DirectiveConfig& cfg,
+                        Fidelity fidelity) const {
+  const ArchEstimate est = estimateArchitecture(*kernel_, cfg, device_);
+  const rng::HashNoise noise(seed_);
+  const std::uint64_t ch = cfg.hash();
+  const double dv = params_.divergence;
+  const double ns = params_.noise_scale;
+
+  // Shared per-configuration "corner": how lucky this particular netlist is
+  // in logic optimization and routing. One draw drives area, clock and power
+  // together, which is what makes the report residuals CORRELATED across
+  // objectives — the phenomenon Sec. IV-B's multi-task model exploits.
+  const double corner = noise.normal(ch, 7);
+
+  // ---------------- HLS stage: the tool's pre-synthesis estimate. --------
+  // Slightly optimistic on area, blind to routing congestion.
+  StageState hls_state;
+  hls_state.lut = est.lut_raw * 0.92;
+  hls_state.util = hls_state.lut / device_.lut_capacity;
+  hls_state.clock_ns =
+      std::max(device_.min_clock_ns,
+               est.clock_raw_ns * (1.0 + 0.15 * est.util_raw));
+
+  // ---------------- Synthesis: logic optimization + tech mapping. --------
+  // Logic sharing shrinks LUTs sub-linearly; the mapped netlist's clock
+  // begins to feel utilization. Both effects are smooth non-linear
+  // functions of the HLS-stage quantities, scaled by the benchmark's
+  // divergence, plus deterministic per-config noise.
+  StageState syn_state;
+  {
+    const double share = 0.74 + 0.07 * sigmoid(2.0 * corner) +
+                         0.07 * sigmoid(2.0 * noise.normal(ch, 11)) +
+                         0.10 * est.util_raw;
+    syn_state.lut = est.lut_raw * share *
+                    (1.0 + ns * (0.6 * corner + 0.4 * noise.normal(ch, 12)));
+    syn_state.util = syn_state.lut / device_.lut_capacity;
+    const double cong =
+        1.0 + 0.5 * params_.congestion * dv * syn_state.util * syn_state.util;
+    const double jitter =
+        1.0 + 2.0 * ns * dv *
+                  (0.6 * std::fabs(corner) + 0.4 * std::fabs(noise.normal(ch, 13)));
+    // The mapped netlist's clock degrades as a POWER LAW of the raw
+    // critical path (compounded levels of logic): the stage-to-stage map is
+    // non-affine, which is exactly the regime of Fig. 5b / Eq. (5).
+    const double warp = 1.0 + 0.25 * dv;
+    const double base = est.clock_raw_ns * cong * jitter;
+    syn_state.clock_ns =
+        device_.min_clock_ns *
+        std::pow(std::max(base / device_.min_clock_ns, 1.0), warp);
+  }
+
+  // ---------------- Implementation: place & route. ------------------------
+  // Routing congestion bites hard past the knee; heavily utilized or
+  // hopelessly slow designs fail placement/routing entirely (the "no valid
+  // report" case of Sec. IV-C).
+  StageState impl_state;
+  {
+    impl_state.lut = syn_state.lut * (1.0 + 0.03 * std::fabs(noise.normal(ch, 21)));
+    impl_state.util = impl_state.lut / device_.lut_capacity;
+    double blowup = 0.0;
+    if (impl_state.util > params_.congestion_knee) {
+      const double over = impl_state.util - params_.congestion_knee;
+      blowup = params_.congestion * (0.5 + dv) * over * over * 8.0;
+    }
+    impl_state.clock_ns =
+        syn_state.clock_ns * (1.0 + blowup) *
+        (1.0 + 3.0 * ns * dv *
+                   (0.6 * std::fabs(corner) +
+                    0.4 * std::fabs(noise.normal(ch, 22))));
+    const double invalid_util =
+        params_.invalid_util * (1.0 + 0.04 * noise.normal(ch, 23));
+    impl_state.valid = impl_state.util <= invalid_util &&
+                       impl_state.clock_ns <= 3.0 * device_.target_clock_ns;
+  }
+
+  const StageState& s = fidelity == Fidelity::kHls   ? hls_state
+                        : fidelity == Fidelity::kSyn ? syn_state
+                                                     : impl_state;
+
+  Report r;
+  r.valid = fidelity == Fidelity::kImpl ? impl_state.valid : true;
+  r.latency_cycles = est.latency_cycles;
+  r.clock_ns = s.clock_ns;
+  r.lut_util = s.util;
+  r.delay_us = est.latency_cycles * s.clock_ns * 1e-3;
+
+  // Power: leakage grows with area; dynamic power with switched capacitance
+  // (active LUTs / parallel lanes) times frequency; memory banks add their
+  // own share. Later stages see the refined area/clock, so power inherits
+  // the same non-linear stage-to-stage structure.
+  {
+    const double stage_noise =
+        1.0 + ns * (0.5 + dv) *
+                  (0.7 * corner +
+                   0.3 * noise.normal(ch, 31 + static_cast<int>(fidelity)));
+    const double static_w = 0.18 + 0.9 * s.util;
+    const double dynamic_w =
+        2.4 * s.util * (10.0 / std::max(s.clock_ns, 1e-3)) *
+        (0.35 + 0.65 * std::min(est.peak_parallelism / 64.0, 1.0));
+    const double mem_w = 0.004 * est.total_banks;
+    r.power_w = (static_w + dynamic_w + mem_w) * stage_noise;
+  }
+
+  // Tool runtime: synthesis and implementation dominate, and both grow with
+  // design size.
+  {
+    const double size_factor =
+        1.0 + est.total_op_instances / 2.0e4 + 3.0 * est.util_raw;
+    const double t_hls = params_.base_tool_seconds * (0.4 + 0.2 * size_factor);
+    const double t_syn = t_hls + params_.base_tool_seconds *
+                                     (2.0 + 2.5 * syn_state.util) * size_factor;
+    const double t_impl =
+        t_syn + params_.base_tool_seconds *
+                    (5.0 + 14.0 * impl_state.util * impl_state.util) *
+                    size_factor;
+    r.tool_seconds = fidelity == Fidelity::kHls   ? t_hls
+                     : fidelity == Fidelity::kSyn ? t_syn
+                                                  : t_impl;
+  }
+  return r;
+}
+
+Report FpgaToolSim::runCounted(const hls::DirectiveConfig& cfg,
+                               Fidelity fidelity) {
+  const Report r = run(cfg, fidelity);
+  total_tool_seconds_ += r.tool_seconds;
+  return r;
+}
+
+std::array<double, kNumFidelities> FpgaToolSim::nominalStageSeconds() const {
+  // Use the all-default configuration as the nominal design.
+  hls::DirectiveConfig cfg;
+  cfg.loops.resize(kernel_->numLoops());
+  cfg.arrays.resize(kernel_->numArrays());
+  std::array<double, kNumFidelities> t{};
+  for (int f = 0; f < kNumFidelities; ++f)
+    t[f] = run(cfg, static_cast<Fidelity>(f)).tool_seconds;
+  return t;
+}
+
+}  // namespace cmmfo::sim

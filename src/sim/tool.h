@@ -1,0 +1,96 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/directives.h"
+#include "sim/device.h"
+#include "sim/perf_model.h"
+
+namespace cmmfo::sim {
+
+/// The three design-flow stages (fidelities) of Fig. 2.
+enum class Fidelity : int { kHls = 0, kSyn = 1, kImpl = 2 };
+inline constexpr int kNumFidelities = 3;
+const char* fidelityName(Fidelity f);
+
+/// One stage report. Objectives are MINIMIZED: power (W), delay (us, i.e.
+/// latency x clock period — Sec. III-C) and LUT utilization (fraction).
+struct Report {
+  bool valid = true;
+  double power_w = 0.0;
+  double delay_us = 0.0;
+  double lut_util = 0.0;
+  double latency_cycles = 0.0;
+  double clock_ns = 0.0;
+  /// Simulated tool runtime (seconds) to reach this fidelity from scratch
+  /// (cumulative over stages, the T_i of Eq. 10).
+  double tool_seconds = 0.0;
+
+  /// Objective vector (power, delay, lut). Only meaningful when valid.
+  std::vector<double> objectives() const { return {power_w, delay_us, lut_util}; }
+};
+inline constexpr int kNumObjectives = 3;
+inline const char* objectiveName(int m) {
+  constexpr const char* kNames[kNumObjectives] = {"Power", "Delay", "LUT"};
+  return kNames[m];
+}
+
+/// Behavioral knobs of the simulated flow. `divergence` controls how
+/// non-linearly syn/impl reports depart from hls reports — the paper's
+/// Fig. 5 shows both regimes (GEMM nearly overlapping, SPMV_ELLPACK widely
+/// divergent), so each benchmark picks its own value.
+struct SimParams {
+  /// 0 = stages nearly agree; 1 = strong non-linear divergence.
+  double divergence = 0.4;
+  /// Relative magnitude of deterministic per-config "process" noise.
+  double noise_scale = 0.03;
+  /// Congestion sensitivity of the routed clock.
+  double congestion = 2.2;
+  /// Utilization where routing starts degrading sharply.
+  double congestion_knee = 0.6;
+  /// Utilization beyond which placement/routing fails (invalid design).
+  double invalid_util = 0.92;
+  /// Baseline HLS-stage tool runtime in seconds.
+  double base_tool_seconds = 40.0;
+};
+
+/// Deterministic simulator of the Vivado-style three-stage flow for one
+/// kernel. run() is pure: the same (config, fidelity) always produces the
+/// same report, which is what makes an enumerable ground-truth Pareto set
+/// (needed by ADRS) well-defined.
+class FpgaToolSim {
+ public:
+  FpgaToolSim(const hls::Kernel& kernel, DeviceModel device, SimParams params,
+              std::uint64_t seed);
+
+  /// Run the flow up to `fidelity` and report that stage's view.
+  Report run(const hls::DirectiveConfig& cfg, Fidelity fidelity) const;
+
+  /// run() plus tool-time accounting (used by the optimizers; Table I's
+  /// "overall running time" is the sum of these charges).
+  Report runCounted(const hls::DirectiveConfig& cfg, Fidelity fidelity);
+
+  double totalToolSeconds() const { return total_tool_seconds_; }
+  void resetAccounting() { total_tool_seconds_ = 0.0; }
+
+  /// Nominal cumulative runtime of a generic run up to each fidelity — the
+  /// T_i used by the PEIPV penalty (Eq. 10); configuration-independent so
+  /// the acquisition can be evaluated without running the tool.
+  std::array<double, kNumFidelities> nominalStageSeconds() const;
+
+  const hls::Kernel& kernel() const { return *kernel_; }
+  const DeviceModel& device() const { return device_; }
+  const SimParams& params() const { return params_; }
+
+ private:
+  const hls::Kernel* kernel_;
+  DeviceModel device_;
+  SimParams params_;
+  std::uint64_t seed_;
+  double total_tool_seconds_ = 0.0;
+};
+
+}  // namespace cmmfo::sim

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pareto/adrs.h"
+
+namespace cmmfo::pareto {
+namespace {
+
+TEST(Adrs, ZeroWhenLearnedEqualsReference) {
+  const std::vector<Point> ref = {{1, 2}, {2, 1}};
+  EXPECT_DOUBLE_EQ(adrs(ref, ref), 0.0);
+  EXPECT_DOUBLE_EQ(adrs(ref, ref, AdrsDistance::kRelativeWorst), 0.0);
+}
+
+TEST(Adrs, ZeroWhenLearnedSupersetOfReference) {
+  const std::vector<Point> ref = {{1, 2}, {2, 1}};
+  const std::vector<Point> learned = {{1, 2}, {2, 1}, {5, 5}};
+  EXPECT_DOUBLE_EQ(adrs(ref, learned), 0.0);
+}
+
+TEST(Adrs, EuclideanKnownValue) {
+  const std::vector<Point> ref = {{0, 0}};
+  const std::vector<Point> learned = {{3, 4}};
+  EXPECT_DOUBLE_EQ(adrs(ref, learned), 5.0);
+}
+
+TEST(Adrs, AveragesOverReferencePoints) {
+  const std::vector<Point> ref = {{0, 0}, {10, 10}};
+  const std::vector<Point> learned = {{0, 1}, {10, 10}};
+  EXPECT_DOUBLE_EQ(adrs(ref, learned), 0.5);  // (1 + 0) / 2
+}
+
+TEST(Adrs, TakesNearestLearnedPoint) {
+  const std::vector<Point> ref = {{0, 0}};
+  const std::vector<Point> learned = {{100, 100}, {0, 2}};
+  EXPECT_DOUBLE_EQ(adrs(ref, learned), 2.0);
+}
+
+TEST(Adrs, EmptyLearnedIsInfinite) {
+  const std::vector<Point> ref = {{1, 1}};
+  EXPECT_TRUE(std::isinf(adrs(ref, {})));
+}
+
+TEST(Adrs, RelativeWorstIgnoresImprovements) {
+  // A learned point better than the reference in every dim has distance 0.
+  const std::vector<Point> ref = {{2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(adrs(ref, {{1.0, 1.0}}, AdrsDistance::kRelativeWorst), 0.0);
+}
+
+TEST(Adrs, RelativeWorstPicksWorstDimension) {
+  const std::vector<Point> ref = {{2.0, 4.0}};
+  // (3, 5): dim0 off by 50%, dim1 by 25% -> 0.5.
+  EXPECT_DOUBLE_EQ(adrs(ref, {{3.0, 5.0}}, AdrsDistance::kRelativeWorst), 0.5);
+}
+
+TEST(Adrs, MoreLearnedPointsNeverHurts) {
+  const std::vector<Point> ref = {{0, 0}, {5, 5}, {9, 1}};
+  std::vector<Point> learned = {{1, 1}};
+  const double a1 = adrs(ref, learned);
+  learned.push_back({5, 5});
+  const double a2 = adrs(ref, learned);
+  EXPECT_LE(a2, a1);
+}
+
+TEST(NormalizeJointly, MapsToUnitBox) {
+  const std::vector<std::vector<Point>> sets = {{{0, 10}, {10, 0}},
+                                                {{5, 5}}};
+  const auto norm = normalizeJointly(sets);
+  EXPECT_DOUBLE_EQ(norm[0][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[0][0][1], 1.0);
+  EXPECT_DOUBLE_EQ(norm[1][0][0], 0.5);
+  EXPECT_DOUBLE_EQ(norm[1][0][1], 0.5);
+}
+
+TEST(NormalizeJointly, SharedRangesAcrossSets) {
+  // The max lives in set 2; set 1 must still normalize against it.
+  const std::vector<std::vector<Point>> sets = {{{0.0}}, {{100.0}}};
+  const auto norm = normalizeJointly(sets);
+  EXPECT_DOUBLE_EQ(norm[0][0][0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1][0][0], 1.0);
+}
+
+TEST(NormalizeJointly, DegenerateDimension) {
+  const std::vector<std::vector<Point>> sets = {{{3.0, 1.0}, {3.0, 2.0}}};
+  const auto norm = normalizeJointly(sets);
+  EXPECT_DOUBLE_EQ(norm[0][0][0], 0.0);  // constant dim maps to 0
+  EXPECT_DOUBLE_EQ(norm[0][1][1], 1.0);
+}
+
+TEST(NormalizeJointly, EmptyInput) {
+  const auto norm = normalizeJointly({});
+  EXPECT_TRUE(norm.empty());
+}
+
+}  // namespace
+}  // namespace cmmfo::pareto

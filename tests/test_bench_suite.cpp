@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.h"
+#include "hls/design_space.h"
+#include "sim/ground_truth.h"
+
+namespace cmmfo::bench_suite {
+namespace {
+
+class AllBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllBenchmarks, KernelValidates) {
+  const Benchmark bm = makeBenchmark(GetParam());
+  EXPECT_EQ(bm.kernel.validate(), "") << bm.kernel.name();
+  EXPECT_EQ(bm.kernel.name(), GetParam());
+  EXPECT_FALSE(bm.description.empty());
+}
+
+TEST_P(AllBenchmarks, SpecCoversAllSites) {
+  const Benchmark bm = makeBenchmark(GetParam());
+  EXPECT_EQ(bm.spec.loops.size(), bm.kernel.numLoops());
+  EXPECT_EQ(bm.spec.arrays.size(), bm.kernel.numArrays());
+  for (const auto& l : bm.spec.loops) {
+    ASSERT_FALSE(l.unroll_factors.empty());
+    EXPECT_EQ(l.unroll_factors[0], 1);  // baseline must be expressible
+  }
+}
+
+TEST_P(AllBenchmarks, PrunedSpaceInSaneRange) {
+  const Benchmark bm = makeBenchmark(GetParam());
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  EXPECT_GE(space.size(), 100u) << "space too small to be interesting";
+  EXPECT_LE(space.size(), 50000u) << "space too large for exhaustive truth";
+  EXPECT_GT(space.stats().raw_size, 1e4);
+}
+
+TEST_P(AllBenchmarks, GroundTruthHasNonTrivialFront) {
+  const Benchmark bm = makeBenchmark(GetParam());
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  const sim::FpgaToolSim sim(bm.kernel, sim::DeviceModel::virtex7Vc707(),
+                             bm.sim_params, 42);
+  const sim::GroundTruth gt(space, sim);
+  EXPECT_GE(gt.paretoFront().size(), 5u);
+  EXPECT_LT(gt.paretoFront().size(), space.size());
+}
+
+TEST_P(AllBenchmarks, ObjectivesSpanMeaningfulRanges) {
+  const Benchmark bm = makeBenchmark(GetParam());
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  const sim::FpgaToolSim sim(bm.kernel, sim::DeviceModel::virtex7Vc707(),
+                             bm.sim_params, 42);
+  const sim::GroundTruth gt(space, sim);
+  double dmin = 1e300, dmax = 0.0;
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    if (!gt.valid(i)) continue;
+    const auto y = gt.implObjectives(i);
+    dmin = std::min(dmin, y[1]);
+    dmax = std::max(dmax, y[1]);
+  }
+  // Directives must matter: at least 3x spread between the fastest and
+  // slowest valid design.
+  EXPECT_GT(dmax / dmin, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllBenchmarks,
+                         ::testing::ValuesIn(benchmarkNames()));
+
+TEST(BenchSuite, SixBenchmarksInPaperOrder) {
+  const auto names = benchmarkNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "gemm");
+  EXPECT_EQ(names[1], "ismart2");
+}
+
+TEST(BenchSuite, UnknownNameThrows) {
+  EXPECT_THROW(makeBenchmark("nope"), std::invalid_argument);
+}
+
+TEST(BenchSuite, DivergenceMatchesFig5Narrative) {
+  // Fig. 5: GEMM's three fidelities nearly overlap, SPMV_ELLPACK's diverge.
+  EXPECT_LT(makeGemm().sim_params.divergence,
+            makeSpmvEllpack().sim_params.divergence);
+}
+
+TEST(BenchSuite, RadixHasRecurrences) {
+  const Benchmark bm = makeSortRadix();
+  int recurrences = 0;
+  for (std::size_t l = 0; l < bm.kernel.numLoops(); ++l)
+    if (bm.kernel.loop(static_cast<hls::LoopId>(l)).loop_carried_dep)
+      ++recurrences;
+  EXPECT_GE(recurrences, 2);  // histogram + scan at least
+}
+
+TEST(BenchSuite, SortRadixSpaceLargestAfterIsmart) {
+  // Sec. V-A singles out SORT_RADIX's pruning (3.8e12 -> 2e4); our space is
+  // of that order of magnitude.
+  const Benchmark bm = makeSortRadix();
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  EXPECT_GE(space.size(), 2000u);
+  EXPECT_GT(space.stats().reduction_factor(), 1e3);
+}
+
+}  // namespace
+}  // namespace cmmfo::bench_suite

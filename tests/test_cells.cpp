@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "pareto/cells.h"
+#include "pareto/hypervolume.h"
+#include "rng/rng.h"
+
+namespace cmmfo::pareto {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Cells, EmptyFrontSingleCell) {
+  const auto cells = nonDominatedCells({}, {1.0, 1.0});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].lo[0], -kInf);
+  EXPECT_DOUBLE_EQ(cells[0].hi[0], 1.0);
+}
+
+TEST(Cells, SinglePointFig6Structure) {
+  // One Pareto point splits the plane into a 2x2 grid; the cell whose lower
+  // corner is the Pareto point is dominated, the other three are not.
+  const auto cells = nonDominatedCells({{0.5, 0.5}}, {1.0, 1.0});
+  EXPECT_EQ(cells.size(), 3u);
+}
+
+TEST(Cells, TwoPointStaircase) {
+  // 3x3 grid; dominated cells are those at or beyond a Pareto point.
+  const auto cells = nonDominatedCells({{0.2, 0.8}, {0.8, 0.2}}, {1.0, 1.0});
+  // Of 9 cells: dominated are lower corners (0.2,0.8),(0.8,0.2),(0.8,0.8) -> 6 left.
+  EXPECT_EQ(cells.size(), 6u);
+}
+
+TEST(Cells, NoCellLowerCornerDominated) {
+  rng::Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 8; ++i) pts.push_back({rng.uniform(), rng.uniform()});
+  const auto front = paretoFilter(pts);
+  const Point ref = {1.1, 1.1};
+  for (const auto& c : nonDominatedCells(front, ref)) {
+    for (const auto& p : front) {
+      const bool dom = p[0] <= c.lo[0] && p[1] <= c.lo[1];
+      EXPECT_FALSE(dom);
+    }
+    EXPECT_LE(c.hi[0], ref[0]);
+    EXPECT_LE(c.hi[1], ref[1]);
+  }
+}
+
+TEST(Cells, FiniteCellVolumeHandComputed) {
+  // Front {(.2,.8),(.8,.2)}, ref (1,1): the 3x3 grid has exactly one cell
+  // with both lower bounds finite AND non-dominated — [.2,.8]x[.2,.8],
+  // volume 0.36. The others with finite corners sit at/behind the front.
+  const std::vector<Point> front = {{0.2, 0.8}, {0.8, 0.2}};
+  double finite_nd = 0.0;
+  for (const auto& c : nonDominatedCells(front, {1.0, 1.0})) {
+    if (c.lo[0] == -kInf || c.lo[1] == -kInf) continue;
+    finite_nd += c.volume();
+  }
+  EXPECT_NEAR(finite_nd, 0.36, 1e-12);
+}
+
+TEST(ExactEipv, ZeroForConfidentlyDominatedPoint) {
+  const std::vector<Point> front = {{0.2, 0.2}};
+  const double e = exactEipvIndependent({0.9, 0.9}, {0.001, 0.001}, front,
+                                        {1.0, 1.0});
+  EXPECT_NEAR(e, 0.0, 1e-9);
+}
+
+TEST(ExactEipv, DeterministicPointMatchesHvi) {
+  // With vanishing sigma the EIPV must equal the plain HVI of mu.
+  const std::vector<Point> front = {{0.3, 0.7}, {0.7, 0.3}};
+  const Point ref = {1.0, 1.0};
+  const Point mu = {0.2, 0.2};
+  const double e = exactEipvIndependent(mu, {1e-9, 1e-9}, front, ref);
+  EXPECT_NEAR(e, hypervolumeImprovement(mu, front, ref), 1e-6);
+}
+
+TEST(ExactEipv, MatchesMonteCarloOnIndependentGaussians) {
+  rng::Rng rng(7);
+  const std::vector<Point> front = {{0.2, 0.8}, {0.5, 0.5}, {0.8, 0.2}};
+  const Point ref = {1.0, 1.0};
+  const Point mu = {0.45, 0.35};
+  const Point sigma = {0.15, 0.2};
+
+  const double exact = exactEipvIndependent(mu, sigma, front, ref);
+
+  double mc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Point y = {mu[0] + sigma[0] * rng.normal(),
+                     mu[1] + sigma[1] * rng.normal()};
+    mc += hypervolumeImprovement(y, front, ref);
+  }
+  mc /= n;
+  EXPECT_NEAR(exact, mc, 0.003);
+}
+
+TEST(ExactEipv, HigherForBetterMean) {
+  const std::vector<Point> front = {{0.5, 0.5}};
+  const Point ref = {1.0, 1.0};
+  const double good = exactEipvIndependent({0.2, 0.2}, {0.05, 0.05}, front, ref);
+  const double bad = exactEipvIndependent({0.6, 0.6}, {0.05, 0.05}, front, ref);
+  EXPECT_GT(good, bad);
+}
+
+TEST(ExactEipv, UncertaintyCreatesValueBehindFront) {
+  // A mean sitting exactly on a Pareto point has no deterministic
+  // improvement, but uncertainty gives it a chance.
+  const std::vector<Point> front = {{0.5, 0.5}};
+  const Point ref = {1.0, 1.0};
+  const double none = exactEipvIndependent({0.5, 0.5}, {1e-9, 1e-9}, front, ref);
+  const double some = exactEipvIndependent({0.5, 0.5}, {0.2, 0.2}, front, ref);
+  EXPECT_NEAR(none, 0.0, 1e-9);
+  EXPECT_GT(some, 0.01);
+}
+
+TEST(ExactEipv, ThreeObjectives) {
+  const std::vector<Point> front = {{0.5, 0.5, 0.5}};
+  const Point ref = {1.0, 1.0, 1.0};
+  const double e =
+      exactEipvIndependent({0.3, 0.3, 0.3}, {0.05, 0.05, 0.05}, front, ref);
+  // Deterministic HVI of (0.3)^3 box minus overlap: 0.7^3 - 0.5^3 = 0.218.
+  EXPECT_NEAR(e, 0.7 * 0.7 * 0.7 - 0.125, 0.02);
+}
+
+}  // namespace
+}  // namespace cmmfo::pareto

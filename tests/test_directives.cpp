@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hls/directives.h"
+
+namespace cmmfo::hls {
+namespace {
+
+Kernel tinyKernel() {
+  Kernel k("tiny");
+  k.addArray("a", 16);
+  k.addLoop("l0", 8);
+  k.addLoop("l1", 4, 0);
+  return k;
+}
+
+TEST(Directives, HashStableAndDistinct) {
+  DirectiveConfig c1;
+  c1.loops.resize(2);
+  c1.arrays.resize(1);
+  const std::uint64_t h1 = c1.hash();
+  EXPECT_EQ(h1, c1.hash());
+
+  DirectiveConfig c2 = c1;
+  c2.loops[0].unroll = 2;
+  EXPECT_NE(c2.hash(), h1);
+
+  DirectiveConfig c3 = c1;
+  c3.arrays[0] = {PartitionType::kCyclic, 2};
+  EXPECT_NE(c3.hash(), h1);
+  EXPECT_NE(c3.hash(), c2.hash());
+}
+
+TEST(Directives, HashDistinguishesPipelineFromUnroll) {
+  DirectiveConfig a, b;
+  a.loops.resize(1);
+  b.loops.resize(1);
+  a.loops[0].pipeline = true;
+  b.loops[0].unroll = 2;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Directives, HashCollisionsRareOverEnumeration) {
+  std::set<std::uint64_t> hashes;
+  int count = 0;
+  for (int u0 : {1, 2, 4, 8})
+    for (int u1 : {1, 2, 4})
+      for (int p : {0, 1})
+        for (int f : {1, 2, 4, 8, 16}) {
+          DirectiveConfig c;
+          c.loops.resize(2);
+          c.arrays.resize(1);
+          c.loops[0].unroll = u0;
+          c.loops[1].unroll = u1;
+          c.loops[1].pipeline = p != 0;
+          c.arrays[0] = {f > 1 ? PartitionType::kCyclic : PartitionType::kNone,
+                         f};
+          hashes.insert(c.hash());
+          ++count;
+        }
+  EXPECT_EQ(hashes.size(), static_cast<std::size_t>(count));
+}
+
+TEST(Directives, ToStringMentionsActiveDirectivesOnly) {
+  const Kernel k = tinyKernel();
+  DirectiveConfig c;
+  c.loops.resize(2);
+  c.arrays.resize(1);
+  EXPECT_EQ(c.toString(k), "");
+  c.loops[0].unroll = 4;
+  c.arrays[0] = {PartitionType::kBlock, 2};
+  const std::string s = c.toString(k);
+  EXPECT_NE(s.find("unroll l0 factor=4"), std::string::npos);
+  EXPECT_NE(s.find("array_partition a block factor=2"), std::string::npos);
+  EXPECT_EQ(s.find("l1"), std::string::npos);
+}
+
+TEST(SpaceSpec, RawSizeCountsCartesianProduct) {
+  SpaceSpec spec;
+  spec.loops.resize(1);
+  spec.arrays.resize(1);
+  spec.loops[0].unroll_factors = {1, 2, 4};           // 3
+  spec.loops[0].allow_pipeline = true;                // x (1 + |iis|)
+  spec.loops[0].pipeline_iis = {1, 2};                // -> 3 * 3 = 9
+  spec.arrays[0].types = {PartitionType::kNone, PartitionType::kCyclic};
+  spec.arrays[0].factors = {2, 4};                    // 1 + 2 = 3
+  EXPECT_DOUBLE_EQ(spec.rawSize(), 27.0);
+}
+
+TEST(SpaceSpec, RawSizeNoPipeline) {
+  SpaceSpec spec;
+  spec.loops.resize(2);
+  spec.arrays.resize(0);
+  spec.loops[0].unroll_factors = {1, 2};
+  spec.loops[1].unroll_factors = {1, 2, 4, 8};
+  EXPECT_DOUBLE_EQ(spec.rawSize(), 8.0);
+}
+
+TEST(DivisorFactors, DivisorsUpToCap) {
+  EXPECT_EQ(divisorFactors(12, 6), (std::vector<int>{1, 2, 3, 4, 6}));
+  EXPECT_EQ(divisorFactors(8, 100), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(divisorFactors(7, 6), (std::vector<int>{1}));
+}
+
+TEST(PartitionTypeNames, Distinct) {
+  std::set<std::string> names;
+  for (PartitionType t : {PartitionType::kNone, PartitionType::kCyclic,
+                          PartitionType::kBlock, PartitionType::kComplete})
+    names.insert(partitionTypeName(t));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cmmfo::hls

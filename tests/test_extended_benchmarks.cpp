@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/extended_benchmarks.h"
+#include "hls/design_space.h"
+#include "sim/ground_truth.h"
+
+namespace cmmfo::bench_suite {
+namespace {
+
+class ExtendedSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExtendedSuite, KernelValidates) {
+  const Benchmark bm = makeAnyBenchmark(GetParam());
+  EXPECT_EQ(bm.kernel.validate(), "");
+  EXPECT_EQ(bm.kernel.name(), GetParam());
+}
+
+TEST_P(ExtendedSuite, SpaceBuildsAndHasFront) {
+  const Benchmark bm = makeAnyBenchmark(GetParam());
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  ASSERT_GE(space.size(), 20u);
+  const sim::FpgaToolSim sim(bm.kernel, sim::DeviceModel::virtex7Vc707(),
+                             bm.sim_params, 42);
+  const sim::GroundTruth gt(space, sim);
+  EXPECT_GE(gt.paretoFront().size(), 3u);
+}
+
+TEST_P(ExtendedSuite, PrunedConfigsAreCompatible) {
+  const Benchmark bm = makeAnyBenchmark(GetParam());
+  for (const auto& c : hls::prunedConfigs(bm.kernel, bm.spec))
+    EXPECT_TRUE(hls::isCompatibleConfig(bm.kernel, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ExtendedSuite,
+                         ::testing::ValuesIn(extendedBenchmarkNames()));
+
+TEST(ExtendedSuite, SixExtraKernels) {
+  EXPECT_EQ(extendedBenchmarkNames().size(), 6u);
+}
+
+TEST(ExtendedSuite, MakeAnyResolvesCoreNamesToo) {
+  EXPECT_EQ(makeAnyBenchmark("gemm").kernel.name(), "gemm");
+  EXPECT_THROW(makeAnyBenchmark("bogus"), std::invalid_argument);
+}
+
+TEST(ExtendedSuite, SequentialKernelsResistUnrolling) {
+  // KMP's scan is a serial state machine: the ground truth's best delay
+  // should NOT be far below the baseline config's delay (no free
+  // parallelism) — a sanity check that the recurrence model bites.
+  const Benchmark bm = makeKmp();
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  const sim::FpgaToolSim sim(bm.kernel, sim::DeviceModel::virtex7Vc707(),
+                             bm.sim_params, 42);
+  hls::DirectiveConfig base;
+  base.loops.resize(bm.kernel.numLoops());
+  base.arrays.resize(bm.kernel.numArrays());
+  const double base_delay = sim.run(base, sim::Fidelity::kImpl).delay_us;
+  double best = base_delay;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto r = sim.run(space.config(i), sim::Fidelity::kImpl);
+    if (r.valid) best = std::min(best, r.delay_us);
+  }
+  // Pipelining still helps (overlaps the per-iteration ops), but the
+  // speedup must stay well below the unroll factors offered (8x).
+  EXPECT_GT(best, base_delay / 8.0);
+}
+
+}  // namespace
+}  // namespace cmmfo::bench_suite

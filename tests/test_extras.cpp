@@ -1,0 +1,190 @@
+// Cross-module edge-case coverage that does not fit the per-module suites:
+// the complete-partitioning pruner path, invalid-design-heavy optimization,
+// mid-level multi-fidelity prediction, and simulator power/area couplings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_suite/benchmarks.h"
+#include "core/optimizer.h"
+#include "exp/harness.h"
+#include "hls/design_space.h"
+#include "hls/pruner.h"
+#include "sim/perf_model.h"
+
+namespace cmmfo {
+namespace {
+
+using hls::ArrayId;
+using hls::DirectiveConfig;
+using hls::IndexRole;
+using hls::Kernel;
+using hls::LoopId;
+using hls::OpKind;
+using hls::PartitionType;
+
+TEST(PrunerComplete, CompletePartitionGeneratedWhenAllArraysSupportIt) {
+  Kernel k("comp");
+  const ArrayId a = k.addArray("a", 16);
+  const LoopId l = k.addLoop("l", 16);
+  k.loop(l).body_ops[OpKind::kAdd] = 1;
+  k.loop(l).body_ops[OpKind::kLoad] = 1;
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, false, 1});
+
+  hls::SpaceSpec spec;
+  spec.loops.resize(1);
+  spec.arrays.resize(1);
+  spec.loops[0].unroll_factors = {1, 4, 16};
+  spec.arrays[0].types = {PartitionType::kNone, PartitionType::kCyclic,
+                          PartitionType::kComplete};
+  spec.arrays[0].factors = {1, 4};
+
+  bool complete_seen = false;
+  for (const auto& c : hls::prunedConfigs(k, spec)) {
+    if (c.arrays[0].type == PartitionType::kComplete) {
+      complete_seen = true;
+      // Complete partitioning unrolls the tree's loops to their max factor.
+      EXPECT_EQ(c.loops[0].unroll, 16);
+      EXPECT_EQ(c.arrays[0].factor, 16);  // = array size
+    }
+  }
+  EXPECT_TRUE(complete_seen);
+}
+
+TEST(PrunerComplete, CompleteSkippedWhenAnyArrayLacksIt) {
+  Kernel k("comp2");
+  const ArrayId a = k.addArray("a", 8);
+  const ArrayId b = k.addArray("b", 8);
+  const LoopId l = k.addLoop("l", 8);
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, false, 1});
+  k.loop(l).refs.push_back({b, {{l, IndexRole::kMinor}}, true, 1});
+
+  hls::SpaceSpec spec;
+  spec.loops.resize(1);
+  spec.arrays.resize(2);
+  spec.loops[0].unroll_factors = {1, 8};
+  spec.arrays[0].types = {PartitionType::kNone, PartitionType::kComplete};
+  spec.arrays[0].factors = {1};
+  spec.arrays[1].types = {PartitionType::kNone, PartitionType::kCyclic};
+  spec.arrays[1].factors = {1, 8};
+
+  for (const auto& c : hls::prunedConfigs(k, spec))
+    EXPECT_NE(c.arrays[0].type, PartitionType::kComplete);
+}
+
+TEST(PerfModel, CompletePartitionRemovesPortLimit) {
+  Kernel k("ports");
+  const ArrayId a = k.addArray("a", 64);
+  const LoopId l = k.addLoop("l", 64);
+  k.loop(l).body_ops[OpKind::kLoad] = 4;
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, false, 4});
+
+  const sim::DeviceModel dev;
+  DirectiveConfig cyc{std::vector<hls::LoopDirective>(1),
+                      std::vector<hls::ArrayDirective>(1)};
+  cyc.loops[0].unroll = 16;
+  cyc.arrays[0] = {PartitionType::kCyclic, 2};  // heavily port-limited
+  DirectiveConfig comp = cyc;
+  comp.arrays[0] = {PartitionType::kComplete, 64};
+  EXPECT_LT(sim::estimateArchitecture(k, comp, dev).latency_cycles,
+            sim::estimateArchitecture(k, cyc, dev).latency_cycles);
+}
+
+TEST(PerfModel, ParallelismRaisesPower) {
+  exp::BenchmarkContext ctx(bench_suite::makeGemm());
+  // Find a heavily unrolled valid config and the baseline; the former must
+  // burn more power (dynamic power scales with switched capacitance).
+  const auto& gt = ctx.groundTruth();
+  double base_power = -1.0, big_power = -1.0, big_lut = -1.0;
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    if (!gt.valid(i)) continue;
+    const auto y = gt.implObjectives(i);
+    if (base_power < 0.0) base_power = y[0];
+    if (y[2] > big_lut) {
+      big_lut = y[2];
+      big_power = y[0];
+    }
+  }
+  EXPECT_GT(big_power, base_power);
+}
+
+TEST(Optimizer, SurvivesInvalidHeavyBenchmark) {
+  // stencil3d has a sizeable invalid region at high utilization; the
+  // optimizer must absorb invalid reports via the 10x-worst rule and still
+  // produce a finite ADRS.
+  exp::BenchmarkContext ctx(bench_suite::makeStencil3d());
+  core::OptimizerOptions o;
+  o.n_iter = 12;
+  o.mc_samples = 12;
+  o.max_candidates = 60;
+  o.hyper_refit_interval = 6;
+  o.seed = 3;
+  core::CorrelatedMfMoboOptimizer opt(ctx.space(), ctx.sim(), o);
+  const auto res = opt.run();
+  std::vector<std::size_t> sel;
+  for (const auto& rec : res.cs) sel.push_back(rec.config);
+  const double adrs = ctx.adrsOf(sel);
+  EXPECT_TRUE(std::isfinite(adrs));
+  EXPECT_LT(adrs, 1.0);
+}
+
+TEST(Surrogate, MidLevelPredictionConsistent) {
+  // predict(1, x) of a 3-level nonlinear chain must agree with what the
+  // level-2 augmentation uses internally — spot-check via a regression
+  // problem where all three levels share the same function, so all levels
+  // should roughly agree.
+  rng::Rng rng(5);
+  std::vector<core::FidelityObs> obs(3);
+  for (int lvl = 0; lvl < 3; ++lvl) {
+    const int n = 16 - 4 * lvl;
+    obs[lvl].y = linalg::Matrix(n, 2);
+    for (int i = 0; i < n; ++i) {
+      const double x = (i + 0.3) / n;
+      obs[lvl].x.push_back({x});
+      obs[lvl].y(i, 0) = std::sin(3.0 * x);
+      obs[lvl].y(i, 1) = x * x;
+    }
+  }
+  core::SurrogateOptions so;
+  so.mtgp.mle_restarts = 0;
+  so.mtgp.max_mle_iters = 25;
+  core::MultiFidelitySurrogate s(1, 2, 3, so);
+  s.fit(obs, rng);
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    const auto p1 = s.predict(1, {x});
+    const auto p2 = s.predict(2, {x});
+    EXPECT_NEAR(p1.mean[0], p2.mean[0], 0.3);
+    EXPECT_NEAR(p1.mean[1], p2.mean[1], 0.3);
+  }
+}
+
+TEST(Matrix, RowColSetRow) {
+  linalg::Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+  m.setRow(0, {7, 8, 9});
+  EXPECT_EQ(m.row(0), (std::vector<double>{7, 8, 9}));
+}
+
+TEST(DirectiveConfig, UnrollClampedToTripCountInModel) {
+  // Requesting unroll beyond the trip count must not break the model: it
+  // behaves like full unrolling.
+  Kernel k("clamp");
+  const ArrayId a = k.addArray("a", 8);
+  const LoopId l = k.addLoop("l", 8);
+  k.loop(l).body_ops[OpKind::kAdd] = 1;
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, false, 1});
+  const sim::DeviceModel dev;
+  DirectiveConfig big{std::vector<hls::LoopDirective>(1),
+                      std::vector<hls::ArrayDirective>(1)};
+  big.loops[0].unroll = 64;
+  big.arrays[0] = {PartitionType::kComplete, 8};
+  DirectiveConfig full = big;
+  full.loops[0].unroll = 8;
+  EXPECT_DOUBLE_EQ(sim::estimateArchitecture(k, big, dev).latency_cycles,
+                   sim::estimateArchitecture(k, full, dev).latency_cycles);
+}
+
+}  // namespace
+}  // namespace cmmfo

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "hls/kernel_ir.h"
+
+namespace cmmfo::hls {
+namespace {
+
+/// The Fig. 3 kernel: two nested loops under L1, arrays A and B.
+///   for L1: for L2: op(A[L1*10+L2]); for L3: op(B[L1*10+L3]); op(A[L1*10+L3])
+Kernel fig3Kernel() {
+  Kernel k("fig3");
+  const ArrayId a = k.addArray("A", 100);
+  const ArrayId b = k.addArray("B", 100);
+  const LoopId l1 = k.addLoop("L1", 10);
+  const LoopId l2 = k.addLoop("L2", 10, l1);
+  const LoopId l3 = k.addLoop("L3", 10, l1);
+  k.loop(l2).body_ops[OpKind::kAdd] = 1;
+  k.loop(l2).body_ops[OpKind::kLoad] = 1;
+  k.loop(l2).refs.push_back(
+      {a, {{l1, IndexRole::kMajor}, {l2, IndexRole::kMinor}}, false, 1});
+  k.loop(l3).body_ops[OpKind::kAdd] = 2;
+  k.loop(l3).body_ops[OpKind::kLoad] = 2;
+  k.loop(l3).refs.push_back(
+      {b, {{l1, IndexRole::kMajor}, {l3, IndexRole::kMinor}}, false, 1});
+  k.loop(l3).refs.push_back(
+      {a, {{l1, IndexRole::kMajor}, {l3, IndexRole::kMinor}}, false, 1});
+  return k;
+}
+
+TEST(KernelIr, BuilderAssignsSequentialIds) {
+  Kernel k("t");
+  EXPECT_EQ(k.addArray("x", 10), 0);
+  EXPECT_EQ(k.addArray("y", 10), 1);
+  EXPECT_EQ(k.addLoop("a", 4), 0);
+  EXPECT_EQ(k.addLoop("b", 4, 0), 1);
+  EXPECT_EQ(k.numLoops(), 2u);
+  EXPECT_EQ(k.numArrays(), 2u);
+}
+
+TEST(KernelIr, LoopForestNavigation) {
+  const Kernel k = fig3Kernel();
+  EXPECT_EQ(k.topLoops(), (std::vector<LoopId>{0}));
+  EXPECT_EQ(k.children(0), (std::vector<LoopId>{1, 2}));
+  EXPECT_FALSE(k.isInnermost(0));
+  EXPECT_TRUE(k.isInnermost(1));
+  EXPECT_TRUE(k.isInnermost(2));
+  EXPECT_EQ(k.depth(0), 0);
+  EXPECT_EQ(k.depth(2), 1);
+}
+
+TEST(KernelIr, TripProductToRoot) {
+  const Kernel k = fig3Kernel();
+  EXPECT_EQ(k.tripProductToRoot(0), 10);
+  EXPECT_EQ(k.tripProductToRoot(1), 100);
+}
+
+TEST(KernelIr, LoopsIndexingArray) {
+  const Kernel k = fig3Kernel();
+  EXPECT_EQ(k.loopsIndexingArray(0), (std::vector<LoopId>{0, 1, 2}));  // A
+  EXPECT_EQ(k.loopsIndexingArray(1), (std::vector<LoopId>{0, 2}));     // B
+}
+
+TEST(KernelIr, ArraysInLoop) {
+  const Kernel k = fig3Kernel();
+  EXPECT_EQ(k.arraysInLoop(1), (std::vector<ArrayId>{0}));
+  EXPECT_EQ(k.arraysInLoop(2), (std::vector<ArrayId>{0, 1}));
+}
+
+TEST(KernelIr, RoleOfReflectsIndexPosition) {
+  const Kernel k = fig3Kernel();
+  EXPECT_EQ(k.roleOf(0, 0), IndexRole::kMajor);  // L1 strided in A
+  EXPECT_EQ(k.roleOf(1, 0), IndexRole::kMinor);  // L2 unit-stride in A
+  EXPECT_EQ(k.roleOf(2, 1), IndexRole::kMinor);  // L3 unit-stride in B
+}
+
+TEST(KernelIr, OpCountsHelpers) {
+  OpCounts ops;
+  ops[OpKind::kAdd] = 2;
+  ops[OpKind::kMul] = 1;
+  ops[OpKind::kLoad] = 3;
+  ops[OpKind::kStore] = 1;
+  EXPECT_EQ(ops.total(), 7);
+  EXPECT_EQ(ops.memoryOps(), 4);
+  EXPECT_EQ(ops.computeOps(), 3);
+}
+
+TEST(KernelIr, ValidateAcceptsWellFormed) {
+  EXPECT_EQ(fig3Kernel().validate(), "");
+}
+
+TEST(KernelIr, ValidateCatchesBadTripCount) {
+  Kernel k("t");
+  k.addLoop("l", 0);
+  EXPECT_NE(k.validate().find("trip_count"), std::string::npos);
+}
+
+TEST(KernelIr, ValidateCatchesDanglingArrayRef) {
+  Kernel k("t");
+  const LoopId l = k.addLoop("l", 4);
+  k.loop(l).refs.push_back({7, {}, false, 1});  // array 7 does not exist
+  EXPECT_NE(k.validate().find("unknown array"), std::string::npos);
+}
+
+TEST(KernelIr, ValidateCatchesBadArraySize) {
+  Kernel k("t");
+  k.addArray("a", 0);
+  EXPECT_NE(k.validate().find("size"), std::string::npos);
+}
+
+TEST(KernelIr, OpKindNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumOpKinds; ++i)
+    names.insert(opKindName(static_cast<OpKind>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumOpKinds));
+}
+
+}  // namespace
+}  // namespace cmmfo::hls

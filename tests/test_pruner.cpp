@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench_suite/benchmarks.h"
+#include "hls/pruner.h"
+
+namespace cmmfo::hls {
+namespace {
+
+/// The Fig. 3 kernel (same structure as in test_kernel_ir.cpp).
+Kernel fig3Kernel() {
+  Kernel k("fig3");
+  const ArrayId a = k.addArray("A", 100);
+  const ArrayId b = k.addArray("B", 100);
+  const LoopId l1 = k.addLoop("L1", 10);
+  const LoopId l2 = k.addLoop("L2", 10, l1);
+  const LoopId l3 = k.addLoop("L3", 10, l1);
+  k.loop(l2).body_ops[OpKind::kLoad] = 1;
+  k.loop(l2).refs.push_back(
+      {a, {{l1, IndexRole::kMajor}, {l2, IndexRole::kMinor}}, false, 1});
+  k.loop(l3).body_ops[OpKind::kLoad] = 2;
+  k.loop(l3).refs.push_back(
+      {b, {{l1, IndexRole::kMajor}, {l3, IndexRole::kMinor}}, false, 1});
+  k.loop(l3).refs.push_back(
+      {a, {{l1, IndexRole::kMajor}, {l3, IndexRole::kMinor}}, false, 1});
+  return k;
+}
+
+SpaceSpec fig3Spec(const Kernel& k) {
+  SpaceSpec spec;
+  spec.loops.resize(k.numLoops());
+  spec.arrays.resize(k.numArrays());
+  for (auto& l : spec.loops) l.unroll_factors = {1, 2, 5, 10};
+  for (auto& a : spec.arrays) {
+    a.types = {PartitionType::kNone, PartitionType::kCyclic,
+               PartitionType::kBlock};
+    a.factors = {1, 2, 5, 10};
+  }
+  return spec;
+}
+
+TEST(MergedTrees, Fig3ArraysMergeThroughSharedLoops) {
+  // A's tree has loops {L1, L2, L3}; B's has {L1, L3}: common nodes L1/L3
+  // merge them into a single tree (Fig. 3b right).
+  const Kernel k = fig3Kernel();
+  const auto trees = buildMergedTrees(k);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].arrays, (std::vector<ArrayId>{0, 1}));
+  EXPECT_EQ(trees[0].loops, (std::vector<LoopId>{0, 1, 2}));
+}
+
+TEST(MergedTrees, DisjointArraysStaySeparate) {
+  Kernel k("disjoint");
+  const ArrayId a = k.addArray("a", 8);
+  const ArrayId b = k.addArray("b", 8);
+  const LoopId l0 = k.addLoop("l0", 8);
+  const LoopId l1 = k.addLoop("l1", 8);
+  k.loop(l0).refs.push_back({a, {{l0, IndexRole::kMinor}}, false, 1});
+  k.loop(l1).refs.push_back({b, {{l1, IndexRole::kMinor}}, false, 1});
+  EXPECT_EQ(buildMergedTrees(k).size(), 2u);
+}
+
+TEST(MergedTrees, UnindexedArrayExcluded) {
+  Kernel k("scalarish");
+  k.addArray("coef", 2);
+  const LoopId l0 = k.addLoop("l0", 8);
+  k.loop(l0).refs.push_back({0, {}, false, 1});  // no loop index
+  EXPECT_TRUE(buildMergedTrees(k).empty());
+}
+
+TEST(UnrollCompatible, CyclicServesMinorOnly) {
+  // The paper's example: "we will not unroll L1, because L1 is incompatible
+  // with CYCLIC partitioning of A".
+  const Kernel k = fig3Kernel();
+  EXPECT_FALSE(unrollCompatible(k, 0, 0, PartitionType::kCyclic));  // L1 vs A
+  EXPECT_TRUE(unrollCompatible(k, 1, 0, PartitionType::kCyclic));   // L2 vs A
+  EXPECT_TRUE(unrollCompatible(k, 2, 0, PartitionType::kCyclic));   // L3 vs A
+}
+
+TEST(UnrollCompatible, BlockIsTheDual) {
+  const Kernel k = fig3Kernel();
+  EXPECT_TRUE(unrollCompatible(k, 0, 0, PartitionType::kBlock));
+  EXPECT_FALSE(unrollCompatible(k, 1, 0, PartitionType::kBlock));
+}
+
+TEST(UnrollCompatible, CompleteAlwaysOk
+) {
+  const Kernel k = fig3Kernel();
+  for (LoopId l : {0, 1, 2})
+    EXPECT_TRUE(unrollCompatible(k, l, 0, PartitionType::kComplete));
+}
+
+TEST(UnrollCompatible, UnrelatedPairAlwaysOk) {
+  const Kernel k = fig3Kernel();
+  // L2 never indexes B.
+  EXPECT_TRUE(unrollCompatible(k, 1, 1, PartitionType::kCyclic));
+  EXPECT_TRUE(unrollCompatible(k, 1, 1, PartitionType::kNone));
+}
+
+TEST(Pruner, BaselineConfigurationAlwaysIncluded) {
+  const Kernel k = fig3Kernel();
+  const auto configs = prunedConfigs(k, fig3Spec(k));
+  const DirectiveConfig baseline{std::vector<LoopDirective>(3),
+                                 std::vector<ArrayDirective>(2)};
+  bool found = false;
+  for (const auto& c : configs)
+    if (c == baseline) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Pruner, AllConfigsPassCompatibilityInvariant) {
+  const Kernel k = fig3Kernel();
+  for (const auto& c : prunedConfigs(k, fig3Spec(k)))
+    EXPECT_TRUE(isCompatibleConfig(k, c)) << c.toString(k);
+}
+
+TEST(Pruner, NoDuplicateConfigs) {
+  const Kernel k = fig3Kernel();
+  const auto configs = prunedConfigs(k, fig3Spec(k));
+  std::set<std::uint64_t> hashes;
+  for (const auto& c : configs) hashes.insert(c.hash());
+  EXPECT_EQ(hashes.size(), configs.size());
+}
+
+TEST(Pruner, ReportsReductionStats) {
+  const Kernel k = fig3Kernel();
+  PruneStats stats;
+  const auto configs = prunedConfigs(k, fig3Spec(k), &stats);
+  EXPECT_EQ(stats.pruned_size, configs.size());
+  EXPECT_GT(stats.raw_size, static_cast<double>(configs.size()));
+  EXPECT_GT(stats.reduction_factor(), 1.0);
+}
+
+TEST(Pruner, BacktrackAssignsCoAccessedArrays) {
+  // Unrolling L3 under cyclic A requires B (also indexed minor by L3) to be
+  // cyclically partitioned with a factor tiling the unroll.
+  const Kernel k = fig3Kernel();
+  for (const auto& c : prunedConfigs(k, fig3Spec(k))) {
+    if (c.loops[2].unroll > 1 &&
+        c.arrays[0].type == PartitionType::kCyclic) {
+      EXPECT_EQ(c.arrays[1].type, PartitionType::kCyclic);
+      EXPECT_EQ(c.arrays[1].factor % c.loops[2].unroll, 0);
+    }
+  }
+}
+
+TEST(Pruner, SeedFactorAlwaysExploited) {
+  // "If the array partitioning factor is greater [than every unroll], more
+  // memory resources are consumed without increasing parallelism" — such
+  // configurations must be pruned: some loop uses the full banking.
+  const Kernel k = fig3Kernel();
+  for (const auto& c : prunedConfigs(k, fig3Spec(k))) {
+    for (std::size_t a = 0; a < c.arrays.size(); ++a) {
+      if (c.arrays[a].type != PartitionType::kCyclic &&
+          c.arrays[a].type != PartitionType::kBlock)
+        continue;
+      int max_unroll = 1;
+      for (std::size_t l = 0; l < c.loops.size(); ++l)
+        max_unroll = std::max(max_unroll, c.loops[l].unroll);
+      EXPECT_LE(c.arrays[a].factor, 10);
+      EXPECT_GE(max_unroll, 2) << "partitioned without any unrolled loop";
+    }
+  }
+}
+
+TEST(Pruner, RawEnumerationRespectsCap) {
+  const Kernel k = fig3Kernel();
+  const auto configs = rawConfigs(k, fig3Spec(k), 100);
+  EXPECT_EQ(configs.size(), 100u);
+}
+
+TEST(Pruner, RawEnumerationCoversWholeTinySpace) {
+  Kernel k("tiny");
+  k.addArray("a", 4);
+  const LoopId l = k.addLoop("l", 4);
+  k.loop(l).refs.push_back({0, {{l, IndexRole::kMinor}}, false, 1});
+  SpaceSpec spec;
+  spec.loops.resize(1);
+  spec.arrays.resize(1);
+  spec.loops[0].unroll_factors = {1, 2, 4};
+  spec.arrays[0].types = {PartitionType::kNone, PartitionType::kCyclic};
+  spec.arrays[0].factors = {2, 4};
+  // Raw size = 3 * (1 + 2) = 9.
+  const auto configs = rawConfigs(k, spec, 1000);
+  EXPECT_EQ(configs.size(), 9u);
+  std::set<std::uint64_t> hashes;
+  for (const auto& c : configs) hashes.insert(c.hash());
+  EXPECT_EQ(hashes.size(), 9u);
+}
+
+TEST(Pruner, PrunedIsSubsetOfRawSemantics) {
+  // Every pruned config must also be expressible in the raw space: factors
+  // and unrolls drawn from the spec's option lists.
+  const Kernel k = fig3Kernel();
+  const SpaceSpec spec = fig3Spec(k);
+  for (const auto& c : prunedConfigs(k, spec)) {
+    for (std::size_t l = 0; l < c.loops.size(); ++l) {
+      const auto& opts = spec.loops[l].unroll_factors;
+      EXPECT_NE(std::find(opts.begin(), opts.end(), c.loops[l].unroll),
+                opts.end());
+    }
+    for (std::size_t a = 0; a < c.arrays.size(); ++a) {
+      if (c.arrays[a].type == PartitionType::kCyclic ||
+          c.arrays[a].type == PartitionType::kBlock) {
+        const auto& fopts = spec.arrays[a].factors;
+        EXPECT_NE(std::find(fopts.begin(), fopts.end(), c.arrays[a].factor),
+                  fopts.end());
+      }
+    }
+  }
+}
+
+class BenchmarkPruning : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkPruning, InvariantsHoldOnRealBenchmarks) {
+  const auto bm = bench_suite::makeBenchmark(GetParam());
+  PruneStats stats;
+  const auto configs = prunedConfigs(bm.kernel, bm.spec, &stats);
+  ASSERT_GT(configs.size(), 10u);
+  // Massive reduction vs the raw Cartesian space (Sec. V-A).
+  EXPECT_GT(stats.reduction_factor(), 50.0);
+  std::set<std::uint64_t> hashes;
+  for (const auto& c : configs) {
+    EXPECT_TRUE(isCompatibleConfig(bm.kernel, c));
+    hashes.insert(c.hash());
+  }
+  EXPECT_EQ(hashes.size(), configs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkPruning,
+                         ::testing::ValuesIn(bench_suite::benchmarkNames()));
+
+}  // namespace
+}  // namespace cmmfo::hls

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rng/hash_noise.h"
+#include "rng/rng.h"
+
+namespace cmmfo::rng {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double s = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) s += r.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double s = 0.0, s2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double z = r.normal();
+    s += z;
+    s2 += z * z;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithMeanAndStddev) {
+  Rng r(17);
+  double s = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) s += r.normal(5.0, 2.0);
+  EXPECT_NEAR(s / n, 5.0, 0.05);
+}
+
+TEST(Rng, IndexWithinBound) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(r.index(17), 17u);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng r(23);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(29);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = r.uniformInt(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng r(31);
+  const auto s = r.sampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (std::size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng r(37);
+  const auto s = r.sampleWithoutReplacement(10, 10);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(43);
+  Rng child = a.split(1);
+  Rng child2 = a.split(1);
+  // Children of sequential splits differ (parent state advanced).
+  EXPECT_NE(child.next(), child2.next());
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(47);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(HashNoise, DeterministicByKey) {
+  HashNoise n(99);
+  EXPECT_EQ(n.uniform(1, 2, 3), n.uniform(1, 2, 3));
+  EXPECT_EQ(n.normal(5, 6), n.normal(5, 6));
+}
+
+TEST(HashNoise, DifferentKeysDiffer) {
+  HashNoise n(99);
+  EXPECT_NE(n.uniform(1, 2, 3), n.uniform(1, 2, 4));
+  EXPECT_NE(n.uniform(1), n.uniform(2));
+}
+
+TEST(HashNoise, DifferentSaltsDiffer) {
+  HashNoise a(1), b(2);
+  EXPECT_NE(a.uniform(10), b.uniform(10));
+}
+
+TEST(HashNoise, UniformInRange) {
+  HashNoise n(7);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double u = n.uniform(k);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(HashNoise, NormalApproximatelyStandard) {
+  HashNoise n(7);
+  double s = 0.0, s2 = 0.0;
+  const int k = 20000;
+  for (int i = 0; i < k; ++i) {
+    const double z = n.normal(i);
+    s += z;
+    s2 += z * z;
+  }
+  EXPECT_NEAR(s / k, 0.0, 0.03);
+  EXPECT_NEAR(s2 / k, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace cmmfo::rng

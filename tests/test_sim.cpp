@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_suite/benchmarks.h"
+#include "sim/ground_truth.h"
+#include "sim/perf_model.h"
+#include "sim/tool.h"
+
+namespace cmmfo::sim {
+namespace {
+
+using hls::ArrayId;
+using hls::DirectiveConfig;
+using hls::IndexRole;
+using hls::Kernel;
+using hls::LoopId;
+using hls::OpKind;
+using hls::PartitionType;
+
+/// Simple parallel-friendly kernel: one loop streaming over one array.
+Kernel streamKernel() {
+  Kernel k("stream");
+  const ArrayId a = k.addArray("a", 1024);
+  const LoopId l = k.addLoop("l", 1024);
+  k.loop(l).body_ops[OpKind::kLoad] = 2;
+  k.loop(l).body_ops[OpKind::kAdd] = 1;
+  k.loop(l).body_ops[OpKind::kStore] = 1;
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, false, 2});
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, true, 1});
+  return k;
+}
+
+DirectiveConfig defaults(const Kernel& k) {
+  DirectiveConfig c;
+  c.loops.resize(k.numLoops());
+  c.arrays.resize(k.numArrays());
+  return c;
+}
+
+FpgaToolSim makeSim(const Kernel& k, double divergence = 0.3) {
+  SimParams p;
+  p.divergence = divergence;
+  return FpgaToolSim(k, DeviceModel::virtex7Vc707(), p, 7);
+}
+
+TEST(PerfModel, UnrollWithBankingReducesLatency) {
+  const Kernel k = streamKernel();
+  const DeviceModel dev;
+  DirectiveConfig base = defaults(k);
+  const double lat0 = estimateArchitecture(k, base, dev).latency_cycles;
+
+  DirectiveConfig unrolled = base;
+  unrolled.loops[0].unroll = 8;
+  unrolled.arrays[0] = {PartitionType::kCyclic, 8};
+  const double lat8 = estimateArchitecture(k, unrolled, dev).latency_cycles;
+  EXPECT_LT(lat8, lat0 / 3.0);
+}
+
+TEST(PerfModel, UnrollWithoutBankingIsPortLimited) {
+  const Kernel k = streamKernel();
+  const DeviceModel dev;
+  DirectiveConfig no_banks = defaults(k);
+  no_banks.loops[0].unroll = 8;
+  DirectiveConfig banked = no_banks;
+  banked.arrays[0] = {PartitionType::kCyclic, 8};
+  EXPECT_GT(estimateArchitecture(k, no_banks, dev).latency_cycles,
+            estimateArchitecture(k, banked, dev).latency_cycles);
+}
+
+TEST(PerfModel, UnrollIncreasesArea) {
+  const Kernel k = streamKernel();
+  const DeviceModel dev;
+  DirectiveConfig base = defaults(k);
+  DirectiveConfig unrolled = base;
+  unrolled.loops[0].unroll = 16;
+  unrolled.arrays[0] = {PartitionType::kCyclic, 16};
+  EXPECT_GT(estimateArchitecture(k, unrolled, dev).lut_raw,
+            estimateArchitecture(k, base, dev).lut_raw);
+}
+
+TEST(PerfModel, PartitioningCostsMuxes) {
+  const Kernel k = streamKernel();
+  const DeviceModel dev;
+  DirectiveConfig base = defaults(k);
+  DirectiveConfig banked = base;
+  banked.arrays[0] = {PartitionType::kCyclic, 16};
+  EXPECT_GT(estimateArchitecture(k, banked, dev).lut_raw,
+            estimateArchitecture(k, base, dev).lut_raw);
+}
+
+TEST(PerfModel, PipelineBeatsSequential) {
+  const Kernel k = streamKernel();
+  const DeviceModel dev;
+  DirectiveConfig base = defaults(k);
+  DirectiveConfig piped = base;
+  piped.loops[0].pipeline = true;
+  piped.loops[0].ii = 1;
+  EXPECT_LT(estimateArchitecture(k, piped, dev).latency_cycles,
+            estimateArchitecture(k, base, dev).latency_cycles);
+}
+
+TEST(PerfModel, RecurrenceNeutralizesUnroll) {
+  Kernel k("rec");
+  const ArrayId a = k.addArray("acc", 128);
+  const LoopId l = k.addLoop("l", 128);
+  k.loop(l).body_ops[OpKind::kLoad] = 1;
+  k.loop(l).body_ops[OpKind::kAdd] = 1;
+  k.loop(l).body_ops[OpKind::kStore] = 1;
+  k.loop(l).loop_carried_dep = true;
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, true, 1});
+  const DeviceModel dev;
+  DirectiveConfig base = defaults(k);
+  DirectiveConfig unrolled = base;
+  unrolled.loops[0].unroll = 8;
+  unrolled.arrays[0] = {PartitionType::kCyclic, 8};
+  const double lat_u = estimateArchitecture(k, unrolled, dev).latency_cycles;
+  const double lat_b = estimateArchitecture(k, base, dev).latency_cycles;
+  // Unrolling a recurrence loop must NOT give a near-linear speedup.
+  EXPECT_GT(lat_u, lat_b * 0.6);
+}
+
+TEST(Tool, RunIsDeterministic) {
+  const Kernel k = streamKernel();
+  const FpgaToolSim sim = makeSim(k);
+  const DirectiveConfig c = defaults(k);
+  for (int f = 0; f < kNumFidelities; ++f) {
+    const Report r1 = sim.run(c, static_cast<Fidelity>(f));
+    const Report r2 = sim.run(c, static_cast<Fidelity>(f));
+    EXPECT_DOUBLE_EQ(r1.power_w, r2.power_w);
+    EXPECT_DOUBLE_EQ(r1.delay_us, r2.delay_us);
+    EXPECT_DOUBLE_EQ(r1.lut_util, r2.lut_util);
+  }
+}
+
+TEST(Tool, DifferentSeedsDifferentReports) {
+  const Kernel k = streamKernel();
+  SimParams p;
+  const FpgaToolSim s1(k, DeviceModel::virtex7Vc707(), p, 1);
+  const FpgaToolSim s2(k, DeviceModel::virtex7Vc707(), p, 2);
+  const DirectiveConfig c = defaults(k);
+  EXPECT_NE(s1.run(c, Fidelity::kImpl).power_w,
+            s2.run(c, Fidelity::kImpl).power_w);
+}
+
+TEST(Tool, LaterFidelitiesCostMore) {
+  const Kernel k = streamKernel();
+  const FpgaToolSim sim = makeSim(k);
+  const DirectiveConfig c = defaults(k);
+  const double t_hls = sim.run(c, Fidelity::kHls).tool_seconds;
+  const double t_syn = sim.run(c, Fidelity::kSyn).tool_seconds;
+  const double t_impl = sim.run(c, Fidelity::kImpl).tool_seconds;
+  EXPECT_LT(t_hls, t_syn);
+  EXPECT_LT(t_syn, t_impl);
+  EXPECT_GT(t_impl / t_hls, 5.0);  // orders-of-magnitude stage gap
+}
+
+TEST(Tool, DelayIsLatencyTimesClock) {
+  const Kernel k = streamKernel();
+  const FpgaToolSim sim = makeSim(k);
+  const Report r = sim.run(defaults(k), Fidelity::kSyn);
+  EXPECT_NEAR(r.delay_us, r.latency_cycles * r.clock_ns * 1e-3, 1e-9);
+}
+
+TEST(Tool, DivergenceSeparatesFidelities) {
+  const Kernel k = streamKernel();
+  const DirectiveConfig c = [&] {
+    DirectiveConfig cc = defaults(k);
+    cc.loops[0].unroll = 16;
+    cc.arrays[0] = {PartitionType::kCyclic, 16};
+    return cc;
+  }();
+  const FpgaToolSim calm = makeSim(k, 0.05);
+  const FpgaToolSim wild = makeSim(k, 0.95);
+  auto gap = [&](const FpgaToolSim& s) {
+    const double d_hls = s.run(c, Fidelity::kHls).delay_us;
+    const double d_impl = s.run(c, Fidelity::kImpl).delay_us;
+    return std::fabs(d_impl - d_hls) / d_hls;
+  };
+  EXPECT_GT(gap(wild), gap(calm));
+}
+
+TEST(Tool, OverUtilizedDesignInvalidAtImpl) {
+  // Blow up the area far past capacity: implementation must fail while the
+  // HLS stage (which never rejects) still reports.
+  Kernel k("huge");
+  const ArrayId a = k.addArray("a", 4096);
+  const LoopId l = k.addLoop("l", 4096);
+  k.loop(l).body_ops[OpKind::kMul] = 8;
+  k.loop(l).body_ops[OpKind::kDiv] = 4;
+  k.loop(l).refs.push_back({a, {{l, IndexRole::kMinor}}, false, 1});
+  DirectiveConfig c = defaults(k);
+  c.loops[0].unroll = 4096;
+  c.arrays[0] = {PartitionType::kComplete, 4096};
+  const FpgaToolSim sim = makeSim(k);
+  EXPECT_TRUE(sim.run(c, Fidelity::kHls).valid);
+  EXPECT_FALSE(sim.run(c, Fidelity::kImpl).valid);
+}
+
+TEST(Tool, AccountingAccumulatesAndResets) {
+  const Kernel k = streamKernel();
+  FpgaToolSim sim = makeSim(k);
+  const DirectiveConfig c = defaults(k);
+  EXPECT_DOUBLE_EQ(sim.totalToolSeconds(), 0.0);
+  const Report r = sim.runCounted(c, Fidelity::kSyn);
+  EXPECT_DOUBLE_EQ(sim.totalToolSeconds(), r.tool_seconds);
+  sim.runCounted(c, Fidelity::kHls);
+  EXPECT_GT(sim.totalToolSeconds(), r.tool_seconds);
+  sim.resetAccounting();
+  EXPECT_DOUBLE_EQ(sim.totalToolSeconds(), 0.0);
+}
+
+TEST(Tool, NominalStageSecondsOrdered) {
+  const Kernel k = streamKernel();
+  const auto t = makeSim(k).nominalStageSeconds();
+  EXPECT_LT(t[0], t[1]);
+  EXPECT_LT(t[1], t[2]);
+}
+
+TEST(Tool, ObjectivesVectorLayout) {
+  Report r;
+  r.power_w = 1.0;
+  r.delay_us = 2.0;
+  r.lut_util = 0.3;
+  EXPECT_EQ(r.objectives(), (std::vector<double>{1.0, 2.0, 0.3}));
+}
+
+TEST(GroundTruth, FrontMembersAreValidAndNonDominated) {
+  const auto bm = bench_suite::makeSpmvCrs();
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  const FpgaToolSim sim(bm.kernel, DeviceModel::virtex7Vc707(), bm.sim_params,
+                        42);
+  const GroundTruth gt(space, sim);
+  ASSERT_FALSE(gt.paretoFront().empty());
+  for (std::size_t idx : gt.paretoIndices()) {
+    EXPECT_TRUE(gt.valid(idx));
+    for (std::size_t j = 0; j < gt.size(); ++j) {
+      if (!gt.valid(j)) continue;
+      EXPECT_FALSE(
+          pareto::dominates(gt.implObjectives(j), gt.implObjectives(idx)));
+    }
+  }
+}
+
+TEST(GroundTruth, ReportsMatchDirectSimRuns) {
+  const auto bm = bench_suite::makeSpmvCrs();
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  const FpgaToolSim sim(bm.kernel, DeviceModel::virtex7Vc707(), bm.sim_params,
+                        42);
+  const GroundTruth gt(space, sim);
+  const Report direct = sim.run(space.config(5), Fidelity::kSyn);
+  EXPECT_DOUBLE_EQ(gt.report(5, Fidelity::kSyn).delay_us, direct.delay_us);
+}
+
+TEST(FidelityNames, Distinct) {
+  EXPECT_STRNE(fidelityName(Fidelity::kHls), fidelityName(Fidelity::kSyn));
+  EXPECT_STRNE(fidelityName(Fidelity::kSyn), fidelityName(Fidelity::kImpl));
+}
+
+}  // namespace
+}  // namespace cmmfo::sim

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "hls/design_space.h"
+#include "hls/space_parser.h"
+
+namespace cmmfo::hls {
+namespace {
+
+Kernel demoKernel() {
+  Kernel k("demo");
+  k.addArray("buf", 64);
+  k.addArray("tab", 32);
+  const LoopId outer = k.addLoop("outer", 16);
+  const LoopId inner = k.addLoop("inner", 8, outer);
+  k.loop(inner).refs.push_back({0, {{inner, IndexRole::kMinor}}, false, 1});
+  return k;
+}
+
+TEST(SpaceParser, ParsesFullDescription) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, R"(
+# candidate directives
+loop outer unroll 1,2,4
+loop inner unroll 1,2,8 pipeline 1,2
+array buf partition none,cyclic factors 1,2,8
+array tab partition none,block factors 1,4
+)");
+  ASSERT_TRUE(std::holds_alternative<SpaceSpec>(result));
+  const SpaceSpec& spec = std::get<SpaceSpec>(result);
+  EXPECT_EQ(spec.loops[0].unroll_factors, (std::vector<int>{1, 2, 4}));
+  EXPECT_FALSE(spec.loops[0].allow_pipeline);
+  EXPECT_TRUE(spec.loops[1].allow_pipeline);
+  EXPECT_EQ(spec.loops[1].pipeline_iis, (std::vector<int>{1, 2}));
+  EXPECT_EQ(spec.arrays[0].types,
+            (std::vector<PartitionType>{PartitionType::kNone,
+                                        PartitionType::kCyclic}));
+  EXPECT_EQ(spec.arrays[1].factors, (std::vector<int>{1, 4}));
+}
+
+TEST(SpaceParser, UnmentionedSitesKeepDefaults) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, "loop outer unroll 1,2\n");
+  ASSERT_TRUE(std::holds_alternative<SpaceSpec>(result));
+  const SpaceSpec& spec = std::get<SpaceSpec>(result);
+  EXPECT_EQ(spec.loops[1].unroll_factors, (std::vector<int>{1}));
+  EXPECT_EQ(spec.arrays[0].types,
+            (std::vector<PartitionType>{PartitionType::kNone}));
+}
+
+TEST(SpaceParser, InsertsMandatoryUnrollOne) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, "loop outer unroll 2,4\n");
+  ASSERT_TRUE(std::holds_alternative<SpaceSpec>(result));
+  EXPECT_EQ(std::get<SpaceSpec>(result).loops[0].unroll_factors,
+            (std::vector<int>{1, 2, 4}));
+}
+
+TEST(SpaceParser, CommentsAndBlankLinesIgnored) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, R"(
+# full-line comment
+
+loop outer unroll 1,2   # trailing comment
+)");
+  ASSERT_TRUE(std::holds_alternative<SpaceSpec>(result));
+}
+
+TEST(SpaceParser, ReportsUnknownLoop) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, "loop nope unroll 1,2\n");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+  const ParseError& err = std::get<ParseError>(result);
+  EXPECT_EQ(err.line, 1);
+  EXPECT_NE(err.message.find("unknown loop"), std::string::npos);
+}
+
+TEST(SpaceParser, ReportsBadFactor) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, "\nloop outer unroll 1,0,4\n");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+  EXPECT_EQ(std::get<ParseError>(result).line, 2);
+}
+
+TEST(SpaceParser, ReportsBadPartitionType) {
+  const Kernel k = demoKernel();
+  const auto result =
+      parseSpaceSpec(k, "array buf partition diagonal factors 1,2\n");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+}
+
+TEST(SpaceParser, ReportsUnknownKind) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, "pragma buf inline\n");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+}
+
+TEST(SpaceParser, RoundTripsThroughFormat) {
+  const Kernel k = demoKernel();
+  const std::string text =
+      "loop outer unroll 1,2,4\n"
+      "loop inner unroll 1,8 pipeline 1,2\n"
+      "array buf partition none,cyclic factors 1,8\n"
+      "array tab partition none factors 1\n";
+  const auto first = parseSpaceSpec(k, text);
+  ASSERT_TRUE(std::holds_alternative<SpaceSpec>(first));
+  const std::string rendered = formatSpaceSpec(k, std::get<SpaceSpec>(first));
+  const auto second = parseSpaceSpec(k, rendered);
+  ASSERT_TRUE(std::holds_alternative<SpaceSpec>(second));
+  EXPECT_DOUBLE_EQ(std::get<SpaceSpec>(first).rawSize(),
+                   std::get<SpaceSpec>(second).rawSize());
+}
+
+TEST(SpaceParser, ParsedSpecDrivesPruner) {
+  const Kernel k = demoKernel();
+  const auto result = parseSpaceSpec(k, R"(
+loop inner unroll 1,2,8 pipeline 1,2
+array buf partition none,cyclic factors 1,2,8
+)");
+  ASSERT_TRUE(std::holds_alternative<SpaceSpec>(result));
+  const auto space =
+      DesignSpace::buildPruned(k, std::get<SpaceSpec>(result));
+  EXPECT_GT(space.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cmmfo::hls

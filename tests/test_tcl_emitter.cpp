@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "hls/tcl_emitter.h"
+
+namespace cmmfo::hls {
+namespace {
+
+Kernel demoKernel() {
+  Kernel k("conv");
+  k.addArray("ifm", 128);
+  k.addArray("wgt", 64);
+  const LoopId outer = k.addLoop("rows", 16);
+  k.addLoop("cols", 8, outer);
+  return k;
+}
+
+DirectiveConfig demoConfig() {
+  DirectiveConfig c;
+  c.loops.resize(2);
+  c.arrays.resize(2);
+  c.loops[1].unroll = 4;
+  c.loops[1].pipeline = true;
+  c.loops[1].ii = 2;
+  c.arrays[0] = {PartitionType::kCyclic, 4};
+  c.arrays[1] = {PartitionType::kComplete, 64};
+  return c;
+}
+
+TEST(TclEmitter, EmitsAllActiveDirectives) {
+  const Kernel k = demoKernel();
+  TclOptions opts;
+  opts.top_function = "conv_top";
+  const std::string tcl = emitDirectivesTcl(k, demoConfig(), opts);
+  EXPECT_NE(tcl.find("set_directive_unroll -factor 4 \"conv_top/cols\""),
+            std::string::npos);
+  EXPECT_NE(tcl.find("set_directive_pipeline -II 2 \"conv_top/cols\""),
+            std::string::npos);
+  EXPECT_NE(tcl.find(
+                "set_directive_array_partition -type cyclic -factor 4 -dim 1 "
+                "\"conv_top\" ifm"),
+            std::string::npos);
+  // Complete partitioning must not carry a -factor.
+  EXPECT_NE(tcl.find("set_directive_array_partition -type complete -dim 1"),
+            std::string::npos);
+}
+
+TEST(TclEmitter, DefaultConfigEmitsNoDirectives) {
+  const Kernel k = demoKernel();
+  DirectiveConfig c;
+  c.loops.resize(2);
+  c.arrays.resize(2);
+  const std::string tcl = emitDirectivesTcl(k, c);
+  EXPECT_EQ(tcl.find("set_directive"), std::string::npos);
+}
+
+TEST(TclEmitter, RolledLoopNotUnrolled) {
+  const Kernel k = demoKernel();
+  const std::string tcl = emitDirectivesTcl(k, demoConfig());
+  EXPECT_EQ(tcl.find("top/rows"), std::string::npos);
+}
+
+TEST(TclEmitter, RunScriptHasFullFlow) {
+  const Kernel k = demoKernel();
+  TclOptions opts;
+  opts.top_function = "conv_top";
+  opts.part = "xc7vx485tffg1761-2";
+  opts.clock_period_ns = 10.0;
+  const std::string tcl = emitRunScriptTcl(k, demoConfig(), opts);
+  for (const char* needle :
+       {"open_project", "set_top conv_top", "add_files",
+        "set_part {xc7vx485tffg1761-2}", "create_clock -period 10",
+        "csynth_design", "export_design -flow impl"})
+    EXPECT_NE(tcl.find(needle), std::string::npos) << needle;
+}
+
+TEST(TclEmitter, CsynthOnlyWhenImplementationDisabled) {
+  const Kernel k = demoKernel();
+  TclOptions opts;
+  opts.run_implementation = false;
+  const std::string tcl = emitRunScriptTcl(k, demoConfig(), opts);
+  EXPECT_NE(tcl.find("csynth_design"), std::string::npos);
+  EXPECT_EQ(tcl.find("export_design"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmmfo::hls

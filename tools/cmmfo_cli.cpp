@@ -1,0 +1,189 @@
+// cmmfo — command-line driver for the library.
+//
+//   cmmfo list
+//       List available benchmarks (paper suite + extended) with design-space
+//       statistics.
+//   cmmfo run --benchmark <name> [--method ours|fpl18|ann|bt|dac19|random]
+//             [--iters N] [--repeats R] [--seed S]
+//       Run a DSE method against the simulated FPGA flow and report ADRS,
+//       tool time and the learned Pareto set.
+//   cmmfo prune --benchmark <name>
+//       Print tree-pruning statistics and a sample of surviving configs.
+//   cmmfo tcl --benchmark <name> [--config IDX]
+//       Emit the Vivado HLS TCL run script for one configuration.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_suite/extended_benchmarks.h"
+#include "exp/harness.h"
+#include "hls/tcl_emitter.h"
+
+using namespace cmmfo;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& def = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+  long getInt(const std::string& key, long def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : std::atol(it->second.c_str());
+  }
+};
+
+Args parseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.options[key] = argv[i + 1];
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cmmfo <list|run|prune|tcl> [--benchmark NAME] "
+               "[--method M] [--iters N] [--repeats R] [--seed S] "
+               "[--config IDX]\n");
+  return 2;
+}
+
+std::vector<std::string> allNames() {
+  auto names = bench_suite::benchmarkNames();
+  for (const auto& n : bench_suite::extendedBenchmarkNames())
+    names.push_back(n);
+  return names;
+}
+
+int cmdList() {
+  std::printf("%-14s %-8s %14s %10s %8s  %s\n", "benchmark", "suite",
+              "raw space", "pruned", "pareto", "description");
+  for (const auto& name : allNames()) {
+    const auto bm = bench_suite::makeAnyBenchmark(name);
+    const auto core = bench_suite::benchmarkNames();
+    const bool is_core =
+        std::find(core.begin(), core.end(), name) != core.end();
+    const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+    const sim::FpgaToolSim sim(bm.kernel, sim::DeviceModel::virtex7Vc707(),
+                               bm.sim_params, 42);
+    const sim::GroundTruth gt(space, sim);
+    std::printf("%-14s %-8s %14.3g %10zu %8zu  %s\n", name.c_str(),
+                is_core ? "paper" : "extended", space.stats().raw_size,
+                space.size(), gt.paretoFront().size(), bm.description.c_str());
+  }
+  return 0;
+}
+
+std::unique_ptr<baselines::DseMethod> makeMethod(const std::string& method,
+                                                 int iters) {
+  core::OptimizerOptions bo;
+  bo.n_iter = iters;
+  if (method == "ours") return std::make_unique<baselines::OursMethod>(bo);
+  if (method == "fpl18") return std::make_unique<baselines::Fpl18Method>(bo);
+  if (method == "ann") return std::make_unique<baselines::AnnMethod>();
+  if (method == "bt") return std::make_unique<baselines::BtMethod>();
+  if (method == "dac19") return std::make_unique<baselines::Dac19Method>();
+  if (method == "random")
+    return std::make_unique<baselines::RandomMethod>(8 + iters);
+  return nullptr;
+}
+
+int cmdRun(const Args& args) {
+  const std::string name = args.get("benchmark");
+  if (name.empty()) return usage();
+  const std::string method = args.get("method", "ours");
+  const int iters = static_cast<int>(args.getInt("iters", 40));
+  const int repeats = static_cast<int>(args.getInt("repeats", 1));
+  const std::uint64_t seed = args.getInt("seed", 1);
+
+  const auto m = makeMethod(method, iters);
+  if (!m) {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+
+  exp::BenchmarkContext ctx(bench_suite::makeAnyBenchmark(name));
+  std::printf("%s: %zu configurations, %zu true Pareto points\n", name.c_str(),
+              ctx.space().size(), ctx.groundTruth().paretoFront().size());
+
+  const exp::MethodStats stats = exp::evaluateMethod(ctx, *m, repeats, seed);
+  std::printf("%s: ADRS = %.4f", m->name().c_str(), stats.adrs_mean);
+  if (repeats > 1) std::printf(" +- %.4f (%d repeats)", stats.adrs_std, repeats);
+  std::printf("   simulated tool time = %.1f h (%d tool runs)\n",
+              stats.time_mean / 3600.0, stats.runs[0].tool_runs);
+
+  // Learned front of the last repeat, at true post-impl values.
+  const auto out = m->run(ctx.space(), ctx.sim(), seed);
+  pareto::ParetoFront front;
+  for (std::size_t i : out.selected)
+    if (ctx.groundTruth().valid(i))
+      front.insert(ctx.groundTruth().implObjectives(i), i);
+  std::printf("\nlearned Pareto set (%zu points):\n", front.size());
+  std::printf("%10s %12s %10s %8s\n", "power/W", "delay/us", "LUT util",
+              "config");
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const auto& y = front.points()[i];
+    std::printf("%10.3f %12.2f %10.4f %8zu\n", y[0], y[1], y[2],
+                front.ids()[i]);
+  }
+  return 0;
+}
+
+int cmdPrune(const Args& args) {
+  const std::string name = args.get("benchmark");
+  if (name.empty()) return usage();
+  const auto bm = bench_suite::makeAnyBenchmark(name);
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  std::printf("%s: raw %.4g -> pruned %zu (%.0fx), %zu features\n",
+              name.c_str(), space.stats().raw_size, space.size(),
+              space.stats().reduction_factor(), space.featureDim());
+  for (std::size_t i = 0; i < space.size();
+       i += std::max<std::size_t>(1, space.size() / 4)) {
+    std::printf("--- config %zu ---\n", i);
+    const std::string s = space.config(i).toString(bm.kernel);
+    std::printf("%s", s.empty() ? "(all defaults)\n" : s.c_str());
+  }
+  return 0;
+}
+
+int cmdTcl(const Args& args) {
+  const std::string name = args.get("benchmark");
+  if (name.empty()) return usage();
+  const auto bm = bench_suite::makeAnyBenchmark(name);
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  const std::size_t idx = args.getInt("config", 0);
+  if (idx >= space.size()) {
+    std::fprintf(stderr, "config %zu out of range (space has %zu)\n", idx,
+                 space.size());
+    return 2;
+  }
+  hls::TclOptions topts;
+  topts.top_function = bm.kernel.name();
+  std::fputs(hls::emitRunScriptTcl(bm.kernel, space.config(idx), topts).c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  if (args.command == "list") return cmdList();
+  if (args.command == "run") return cmdRun(args);
+  if (args.command == "prune") return cmdPrune(args);
+  if (args.command == "tcl") return cmdTcl(args);
+  return usage();
+}
