@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tree_pruning.dir/fig3_tree_pruning.cpp.o"
+  "CMakeFiles/fig3_tree_pruning.dir/fig3_tree_pruning.cpp.o.d"
+  "fig3_tree_pruning"
+  "fig3_tree_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tree_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

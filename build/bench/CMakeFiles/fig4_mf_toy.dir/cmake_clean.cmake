@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mf_toy.dir/fig4_mf_toy.cpp.o"
+  "CMakeFiles/fig4_mf_toy.dir/fig4_mf_toy.cpp.o.d"
+  "fig4_mf_toy"
+  "fig4_mf_toy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mf_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

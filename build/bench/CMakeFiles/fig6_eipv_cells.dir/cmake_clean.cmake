@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_eipv_cells.dir/fig6_eipv_cells.cpp.o"
+  "CMakeFiles/fig6_eipv_cells.dir/fig6_eipv_cells.cpp.o.d"
+  "fig6_eipv_cells"
+  "fig6_eipv_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_eipv_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

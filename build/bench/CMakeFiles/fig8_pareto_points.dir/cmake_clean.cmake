@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pareto_points.dir/fig8_pareto_points.cpp.o"
+  "CMakeFiles/fig8_pareto_points.dir/fig8_pareto_points.cpp.o.d"
+  "fig8_pareto_points"
+  "fig8_pareto_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pareto_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

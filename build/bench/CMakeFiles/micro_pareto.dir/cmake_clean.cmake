@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pareto.dir/micro_pareto.cpp.o"
+  "CMakeFiles/micro_pareto.dir/micro_pareto.cpp.o.d"
+  "micro_pareto"
+  "micro_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_pruning.dir/custom_kernel_pruning.cpp.o"
+  "CMakeFiles/custom_kernel_pruning.dir/custom_kernel_pruning.cpp.o.d"
+  "custom_kernel_pruning"
+  "custom_kernel_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_suite_tour.dir/extended_suite_tour.cpp.o"
+  "CMakeFiles/extended_suite_tour.dir/extended_suite_tour.cpp.o.d"
+  "extended_suite_tour"
+  "extended_suite_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_suite_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_dse.dir/gemm_dse.cpp.o"
+  "CMakeFiles/gemm_dse.dir/gemm_dse.cpp.o.d"
+  "gemm_dse"
+  "gemm_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_gp_demo.dir/mf_gp_demo.cpp.o"
+  "CMakeFiles/mf_gp_demo.dir/mf_gp_demo.cpp.o.d"
+  "mf_gp_demo"
+  "mf_gp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_gp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rng")
+subdirs("linalg")
+subdirs("opt")
+subdirs("gp")
+subdirs("pareto")
+subdirs("hls")
+subdirs("sim")
+subdirs("bench_suite")
+subdirs("core")
+subdirs("baselines")
+subdirs("exp")

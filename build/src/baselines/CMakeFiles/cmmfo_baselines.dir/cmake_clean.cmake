@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_baselines.dir/gbrt.cpp.o"
+  "CMakeFiles/cmmfo_baselines.dir/gbrt.cpp.o.d"
+  "CMakeFiles/cmmfo_baselines.dir/methods.cpp.o"
+  "CMakeFiles/cmmfo_baselines.dir/methods.cpp.o.d"
+  "CMakeFiles/cmmfo_baselines.dir/mlp.cpp.o"
+  "CMakeFiles/cmmfo_baselines.dir/mlp.cpp.o.d"
+  "libcmmfo_baselines.a"
+  "libcmmfo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmmfo_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_bench_suite.dir/benchmarks.cpp.o"
+  "CMakeFiles/cmmfo_bench_suite.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/cmmfo_bench_suite.dir/extended_benchmarks.cpp.o"
+  "CMakeFiles/cmmfo_bench_suite.dir/extended_benchmarks.cpp.o.d"
+  "libcmmfo_bench_suite.a"
+  "libcmmfo_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

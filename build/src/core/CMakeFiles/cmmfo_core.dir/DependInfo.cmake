@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acquisition.cpp" "src/core/CMakeFiles/cmmfo_core.dir/acquisition.cpp.o" "gcc" "src/core/CMakeFiles/cmmfo_core.dir/acquisition.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/cmmfo_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/cmmfo_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/cmmfo_core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/cmmfo_core.dir/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/cmmfo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/cmmfo_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/cmmfo_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmmfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cmmfo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cmmfo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/cmmfo_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

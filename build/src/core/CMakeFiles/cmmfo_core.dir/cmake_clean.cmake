@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_core.dir/acquisition.cpp.o"
+  "CMakeFiles/cmmfo_core.dir/acquisition.cpp.o.d"
+  "CMakeFiles/cmmfo_core.dir/optimizer.cpp.o"
+  "CMakeFiles/cmmfo_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cmmfo_core.dir/surrogate.cpp.o"
+  "CMakeFiles/cmmfo_core.dir/surrogate.cpp.o.d"
+  "libcmmfo_core.a"
+  "libcmmfo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_exp.dir/convergence.cpp.o"
+  "CMakeFiles/cmmfo_exp.dir/convergence.cpp.o.d"
+  "CMakeFiles/cmmfo_exp.dir/harness.cpp.o"
+  "CMakeFiles/cmmfo_exp.dir/harness.cpp.o.d"
+  "CMakeFiles/cmmfo_exp.dir/table.cpp.o"
+  "CMakeFiles/cmmfo_exp.dir/table.cpp.o.d"
+  "libcmmfo_exp.a"
+  "libcmmfo_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

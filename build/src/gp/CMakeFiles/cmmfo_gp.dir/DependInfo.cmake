@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/ard_kernels.cpp" "src/gp/CMakeFiles/cmmfo_gp.dir/ard_kernels.cpp.o" "gcc" "src/gp/CMakeFiles/cmmfo_gp.dir/ard_kernels.cpp.o.d"
+  "/root/repo/src/gp/composite_kernels.cpp" "src/gp/CMakeFiles/cmmfo_gp.dir/composite_kernels.cpp.o" "gcc" "src/gp/CMakeFiles/cmmfo_gp.dir/composite_kernels.cpp.o.d"
+  "/root/repo/src/gp/gp_regressor.cpp" "src/gp/CMakeFiles/cmmfo_gp.dir/gp_regressor.cpp.o" "gcc" "src/gp/CMakeFiles/cmmfo_gp.dir/gp_regressor.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/gp/CMakeFiles/cmmfo_gp.dir/kernel.cpp.o" "gcc" "src/gp/CMakeFiles/cmmfo_gp.dir/kernel.cpp.o.d"
+  "/root/repo/src/gp/linear_mf_gp.cpp" "src/gp/CMakeFiles/cmmfo_gp.dir/linear_mf_gp.cpp.o" "gcc" "src/gp/CMakeFiles/cmmfo_gp.dir/linear_mf_gp.cpp.o.d"
+  "/root/repo/src/gp/multitask_gp.cpp" "src/gp/CMakeFiles/cmmfo_gp.dir/multitask_gp.cpp.o" "gcc" "src/gp/CMakeFiles/cmmfo_gp.dir/multitask_gp.cpp.o.d"
+  "/root/repo/src/gp/nonlinear_mf_gp.cpp" "src/gp/CMakeFiles/cmmfo_gp.dir/nonlinear_mf_gp.cpp.o" "gcc" "src/gp/CMakeFiles/cmmfo_gp.dir/nonlinear_mf_gp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/cmmfo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cmmfo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/cmmfo_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_gp.dir/ard_kernels.cpp.o"
+  "CMakeFiles/cmmfo_gp.dir/ard_kernels.cpp.o.d"
+  "CMakeFiles/cmmfo_gp.dir/composite_kernels.cpp.o"
+  "CMakeFiles/cmmfo_gp.dir/composite_kernels.cpp.o.d"
+  "CMakeFiles/cmmfo_gp.dir/gp_regressor.cpp.o"
+  "CMakeFiles/cmmfo_gp.dir/gp_regressor.cpp.o.d"
+  "CMakeFiles/cmmfo_gp.dir/kernel.cpp.o"
+  "CMakeFiles/cmmfo_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/cmmfo_gp.dir/linear_mf_gp.cpp.o"
+  "CMakeFiles/cmmfo_gp.dir/linear_mf_gp.cpp.o.d"
+  "CMakeFiles/cmmfo_gp.dir/multitask_gp.cpp.o"
+  "CMakeFiles/cmmfo_gp.dir/multitask_gp.cpp.o.d"
+  "CMakeFiles/cmmfo_gp.dir/nonlinear_mf_gp.cpp.o"
+  "CMakeFiles/cmmfo_gp.dir/nonlinear_mf_gp.cpp.o.d"
+  "libcmmfo_gp.a"
+  "libcmmfo_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

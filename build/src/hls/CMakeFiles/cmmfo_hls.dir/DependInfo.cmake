@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/design_space.cpp" "src/hls/CMakeFiles/cmmfo_hls.dir/design_space.cpp.o" "gcc" "src/hls/CMakeFiles/cmmfo_hls.dir/design_space.cpp.o.d"
+  "/root/repo/src/hls/directives.cpp" "src/hls/CMakeFiles/cmmfo_hls.dir/directives.cpp.o" "gcc" "src/hls/CMakeFiles/cmmfo_hls.dir/directives.cpp.o.d"
+  "/root/repo/src/hls/encoding.cpp" "src/hls/CMakeFiles/cmmfo_hls.dir/encoding.cpp.o" "gcc" "src/hls/CMakeFiles/cmmfo_hls.dir/encoding.cpp.o.d"
+  "/root/repo/src/hls/kernel_ir.cpp" "src/hls/CMakeFiles/cmmfo_hls.dir/kernel_ir.cpp.o" "gcc" "src/hls/CMakeFiles/cmmfo_hls.dir/kernel_ir.cpp.o.d"
+  "/root/repo/src/hls/pruner.cpp" "src/hls/CMakeFiles/cmmfo_hls.dir/pruner.cpp.o" "gcc" "src/hls/CMakeFiles/cmmfo_hls.dir/pruner.cpp.o.d"
+  "/root/repo/src/hls/space_parser.cpp" "src/hls/CMakeFiles/cmmfo_hls.dir/space_parser.cpp.o" "gcc" "src/hls/CMakeFiles/cmmfo_hls.dir/space_parser.cpp.o.d"
+  "/root/repo/src/hls/tcl_emitter.cpp" "src/hls/CMakeFiles/cmmfo_hls.dir/tcl_emitter.cpp.o" "gcc" "src/hls/CMakeFiles/cmmfo_hls.dir/tcl_emitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/cmmfo_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_hls.dir/design_space.cpp.o"
+  "CMakeFiles/cmmfo_hls.dir/design_space.cpp.o.d"
+  "CMakeFiles/cmmfo_hls.dir/directives.cpp.o"
+  "CMakeFiles/cmmfo_hls.dir/directives.cpp.o.d"
+  "CMakeFiles/cmmfo_hls.dir/encoding.cpp.o"
+  "CMakeFiles/cmmfo_hls.dir/encoding.cpp.o.d"
+  "CMakeFiles/cmmfo_hls.dir/kernel_ir.cpp.o"
+  "CMakeFiles/cmmfo_hls.dir/kernel_ir.cpp.o.d"
+  "CMakeFiles/cmmfo_hls.dir/pruner.cpp.o"
+  "CMakeFiles/cmmfo_hls.dir/pruner.cpp.o.d"
+  "CMakeFiles/cmmfo_hls.dir/space_parser.cpp.o"
+  "CMakeFiles/cmmfo_hls.dir/space_parser.cpp.o.d"
+  "CMakeFiles/cmmfo_hls.dir/tcl_emitter.cpp.o"
+  "CMakeFiles/cmmfo_hls.dir/tcl_emitter.cpp.o.d"
+  "libcmmfo_hls.a"
+  "libcmmfo_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

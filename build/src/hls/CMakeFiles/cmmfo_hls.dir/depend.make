@@ -1,0 +1,2 @@
+# Empty dependencies file for cmmfo_hls.
+# This may be replaced when dependencies are built.

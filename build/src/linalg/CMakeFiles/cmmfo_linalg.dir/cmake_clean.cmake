@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/cmmfo_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/cmmfo_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/cmmfo_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/cmmfo_linalg.dir/stats.cpp.o"
+  "CMakeFiles/cmmfo_linalg.dir/stats.cpp.o.d"
+  "CMakeFiles/cmmfo_linalg.dir/vec_ops.cpp.o"
+  "CMakeFiles/cmmfo_linalg.dir/vec_ops.cpp.o.d"
+  "libcmmfo_linalg.a"
+  "libcmmfo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

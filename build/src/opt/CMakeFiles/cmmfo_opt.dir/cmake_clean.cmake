@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_opt.dir/adam.cpp.o"
+  "CMakeFiles/cmmfo_opt.dir/adam.cpp.o.d"
+  "CMakeFiles/cmmfo_opt.dir/finite_diff.cpp.o"
+  "CMakeFiles/cmmfo_opt.dir/finite_diff.cpp.o.d"
+  "CMakeFiles/cmmfo_opt.dir/lbfgs.cpp.o"
+  "CMakeFiles/cmmfo_opt.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/cmmfo_opt.dir/multistart.cpp.o"
+  "CMakeFiles/cmmfo_opt.dir/multistart.cpp.o.d"
+  "CMakeFiles/cmmfo_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/cmmfo_opt.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/cmmfo_opt.dir/sampling.cpp.o"
+  "CMakeFiles/cmmfo_opt.dir/sampling.cpp.o.d"
+  "libcmmfo_opt.a"
+  "libcmmfo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pareto/adrs.cpp" "src/pareto/CMakeFiles/cmmfo_pareto.dir/adrs.cpp.o" "gcc" "src/pareto/CMakeFiles/cmmfo_pareto.dir/adrs.cpp.o.d"
+  "/root/repo/src/pareto/cells.cpp" "src/pareto/CMakeFiles/cmmfo_pareto.dir/cells.cpp.o" "gcc" "src/pareto/CMakeFiles/cmmfo_pareto.dir/cells.cpp.o.d"
+  "/root/repo/src/pareto/dominance.cpp" "src/pareto/CMakeFiles/cmmfo_pareto.dir/dominance.cpp.o" "gcc" "src/pareto/CMakeFiles/cmmfo_pareto.dir/dominance.cpp.o.d"
+  "/root/repo/src/pareto/eipv2.cpp" "src/pareto/CMakeFiles/cmmfo_pareto.dir/eipv2.cpp.o" "gcc" "src/pareto/CMakeFiles/cmmfo_pareto.dir/eipv2.cpp.o.d"
+  "/root/repo/src/pareto/hypervolume.cpp" "src/pareto/CMakeFiles/cmmfo_pareto.dir/hypervolume.cpp.o" "gcc" "src/pareto/CMakeFiles/cmmfo_pareto.dir/hypervolume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/cmmfo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_pareto.dir/adrs.cpp.o"
+  "CMakeFiles/cmmfo_pareto.dir/adrs.cpp.o.d"
+  "CMakeFiles/cmmfo_pareto.dir/cells.cpp.o"
+  "CMakeFiles/cmmfo_pareto.dir/cells.cpp.o.d"
+  "CMakeFiles/cmmfo_pareto.dir/dominance.cpp.o"
+  "CMakeFiles/cmmfo_pareto.dir/dominance.cpp.o.d"
+  "CMakeFiles/cmmfo_pareto.dir/eipv2.cpp.o"
+  "CMakeFiles/cmmfo_pareto.dir/eipv2.cpp.o.d"
+  "CMakeFiles/cmmfo_pareto.dir/hypervolume.cpp.o"
+  "CMakeFiles/cmmfo_pareto.dir/hypervolume.cpp.o.d"
+  "libcmmfo_pareto.a"
+  "libcmmfo_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

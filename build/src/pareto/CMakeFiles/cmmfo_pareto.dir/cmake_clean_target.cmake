@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmmfo_pareto.a"
+)

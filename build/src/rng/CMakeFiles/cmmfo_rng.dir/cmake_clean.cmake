@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_rng.dir/hash_noise.cpp.o"
+  "CMakeFiles/cmmfo_rng.dir/hash_noise.cpp.o.d"
+  "CMakeFiles/cmmfo_rng.dir/rng.cpp.o"
+  "CMakeFiles/cmmfo_rng.dir/rng.cpp.o.d"
+  "libcmmfo_rng.a"
+  "libcmmfo_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/cmmfo_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/cmmfo_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/cmmfo_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/cmmfo_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/cmmfo_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/cmmfo_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/tool.cpp" "src/sim/CMakeFiles/cmmfo_sim.dir/tool.cpp.o" "gcc" "src/sim/CMakeFiles/cmmfo_sim.dir/tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/cmmfo_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/cmmfo_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/cmmfo_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cmmfo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

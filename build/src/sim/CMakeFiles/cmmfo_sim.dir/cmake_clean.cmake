@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo_sim.dir/device.cpp.o"
+  "CMakeFiles/cmmfo_sim.dir/device.cpp.o.d"
+  "CMakeFiles/cmmfo_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/cmmfo_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/cmmfo_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/cmmfo_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/cmmfo_sim.dir/tool.cpp.o"
+  "CMakeFiles/cmmfo_sim.dir/tool.cpp.o.d"
+  "libcmmfo_sim.a"
+  "libcmmfo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

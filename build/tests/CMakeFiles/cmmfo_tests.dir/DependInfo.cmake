@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acquisition.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_acquisition.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_acquisition.cpp.o.d"
+  "/root/repo/tests/test_adrs.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_adrs.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_adrs.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bench_suite.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_bench_suite.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_bench_suite.cpp.o.d"
+  "/root/repo/tests/test_cells.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_cells.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_cells.cpp.o.d"
+  "/root/repo/tests/test_directives.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_directives.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_directives.cpp.o.d"
+  "/root/repo/tests/test_eipv2.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_eipv2.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_eipv2.cpp.o.d"
+  "/root/repo/tests/test_encoding.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_encoding.cpp.o.d"
+  "/root/repo/tests/test_extended_benchmarks.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_extended_benchmarks.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_extended_benchmarks.cpp.o.d"
+  "/root/repo/tests/test_extras.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_extras.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_extras.cpp.o.d"
+  "/root/repo/tests/test_gp.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_gp.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_gp.cpp.o.d"
+  "/root/repo/tests/test_gp_regressions.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_gp_regressions.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_gp_regressions.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hypervolume.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_hypervolume.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_hypervolume.cpp.o.d"
+  "/root/repo/tests/test_kernel_ir.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_kernel_ir.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_kernel_ir.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_mfgp.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_mfgp.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_mfgp.cpp.o.d"
+  "/root/repo/tests/test_mtgp.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_mtgp.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_mtgp.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_pruner.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_pruner.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_pruner.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sampling_convergence.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_sampling_convergence.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_sampling_convergence.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_space_parser.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_space_parser.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_space_parser.cpp.o.d"
+  "/root/repo/tests/test_surrogate.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_surrogate.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_surrogate.cpp.o.d"
+  "/root/repo/tests/test_tcl_emitter.cpp" "tests/CMakeFiles/cmmfo_tests.dir/test_tcl_emitter.cpp.o" "gcc" "tests/CMakeFiles/cmmfo_tests.dir/test_tcl_emitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/cmmfo_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cmmfo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cmmfo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_suite/CMakeFiles/cmmfo_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmmfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/cmmfo_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/cmmfo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/cmmfo_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cmmfo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/cmmfo_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cmmfo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmmfo.dir/cmmfo_cli.cpp.o"
+  "CMakeFiles/cmmfo.dir/cmmfo_cli.cpp.o.d"
+  "cmmfo"
+  "cmmfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmmfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
