@@ -1,8 +1,23 @@
 #!/bin/sh
 # Runs every bench binary (the repo's reproduction sweep).
+#
+#   ./run_benches.sh               run all benches from build/bench
+#   ./run_benches.sh --tsan-smoke  build the test binary under ThreadSanitizer
+#                                  (CMMFO_SANITIZE=thread) and run the
+#                                  parallel-runtime tests under it
+
+if [ "$1" = "--tsan-smoke" ]; then
+  set -e
+  cmake -B build-tsan -S . -DCMMFO_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j --target cmmfo_tests
+  exec ./build-tsan/tests/cmmfo_tests \
+    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*'
+fi
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "=====================================================================" 
+  echo "====================================================================="
   echo "===== $b"
   echo "====================================================================="
   "$b"

@@ -83,6 +83,7 @@ DseOutcome OursMethod::run(const hls::DesignSpace& space,
   DseOutcome out;
   for (const auto& rec : res.cs) out.selected.push_back(rec.config);
   out.tool_seconds = res.tool_seconds;
+  out.wall_seconds = res.wall_seconds;
   out.tool_runs = res.tool_runs;
   return out;
 }
@@ -104,6 +105,7 @@ DseOutcome Fpl18Method::run(const hls::DesignSpace& space,
   DseOutcome out;
   for (const auto& rec : res.cs) out.selected.push_back(rec.config);
   out.tool_seconds = res.tool_seconds;
+  out.wall_seconds = res.wall_seconds;
   out.tool_runs = res.tool_runs;
   return out;
 }
@@ -141,6 +143,7 @@ DseOutcome AnnMethod::run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
   out.selected =
       predictedParetoIndices(predictions, index_map, proto_.max_selected);
   out.tool_seconds = sim.totalToolSeconds();
+  out.wall_seconds = out.tool_seconds;
   out.tool_runs = proto_.train_size;
   return out;
 }
@@ -178,6 +181,7 @@ DseOutcome BtMethod::run(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
   out.selected =
       predictedParetoIndices(predictions, index_map, proto_.max_selected);
   out.tool_seconds = sim.totalToolSeconds();
+  out.wall_seconds = out.tool_seconds;
   out.tool_runs = proto_.train_size;
   return out;
 }
@@ -245,6 +249,7 @@ DseOutcome Dac19Method::run(const hls::DesignSpace& space,
   out.selected =
       predictedParetoIndices(predictions, index_map, proto_.max_selected);
   out.tool_seconds = sim.totalToolSeconds();
+  out.wall_seconds = out.tool_seconds;
   out.tool_runs = num_sets_ * proto_.train_size;
   return out;
 }
@@ -341,6 +346,7 @@ DseOutcome WeightedSumBoMethod::run(const hls::DesignSpace& space,
   DseOutcome out;
   out.selected = sampled;
   out.tool_seconds = sim.totalToolSeconds();
+  out.wall_seconds = out.tool_seconds;
   out.tool_runs = static_cast<int>(sampled.size());
   return out;
 }
@@ -361,6 +367,7 @@ DseOutcome RandomMethod::run(const hls::DesignSpace& space,
   DseOutcome out;
   out.selected = front.ids();
   out.tool_seconds = sim.totalToolSeconds();
+  out.wall_seconds = out.tool_seconds;
   out.tool_runs = static_cast<int>(idx.size());
   return out;
 }

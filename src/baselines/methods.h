@@ -18,6 +18,9 @@ namespace cmmfo::baselines {
 struct DseOutcome {
   std::vector<std::size_t> selected;  // design-space indices
   double tool_seconds = 0.0;
+  /// Simulated elapsed time on the method's worker farm. Methods that run
+  /// strictly sequentially report wall_seconds == tool_seconds.
+  double wall_seconds = 0.0;
   int tool_runs = 0;
 };
 

@@ -37,30 +37,22 @@ gp::Vec CorrelatedMfMoboOptimizer::penalizedObjectives(
   return worst;
 }
 
-sim::Report CorrelatedMfMoboOptimizer::observeUpTo(std::size_t config,
-                                                   Fidelity fidelity) {
-  // One charged invocation covers all stages up to `fidelity`; the
-  // intermediate reports come with it for free (a real tool run emits every
-  // stage's report along the way).
-  const sim::Report charged = sim_->runCounted(space_->config(config), fidelity);
-  ++tool_runs_;
-  for (int f = 0; f <= static_cast<int>(fidelity); ++f) {
-    const sim::Report r = f == static_cast<int>(fidelity)
-                              ? charged
-                              : sim_->run(space_->config(config),
-                                          static_cast<Fidelity>(f));
+void CorrelatedMfMoboOptimizer::record(const runtime::EvalResult& res) {
+  for (int f = 0; f <= static_cast<int>(res.job.fidelity); ++f) {
+    const sim::Report& r = res.stages[f];
     FidelityData& d = data_[f];
-    d.configs.push_back(config);
+    d.configs.push_back(res.job.config);
     d.y.push_back(r.valid ? r.objectives() : penalizedObjectives(d));
   }
-  sampled_[config] = true;
-  return charged;
+  sampled_[res.job.config] = true;
+  cs_.push_back({res.job.config, res.job.fidelity, res.report()});
 }
 
-std::vector<FidelityObs> CorrelatedMfMoboOptimizer::buildObs() const {
+std::vector<FidelityObs> CorrelatedMfMoboOptimizer::buildObsFrom(
+    const std::array<FidelityData, kNumFidelities>& data) const {
   std::vector<FidelityObs> obs(kNumFidelities);
   for (int f = 0; f < kNumFidelities; ++f) {
-    const FidelityData& d = data_[f];
+    const FidelityData& d = data[f];
     obs[f].x.reserve(d.configs.size());
     obs[f].y = linalg::Matrix(d.configs.size(), kNumObjectives);
     for (std::size_t i = 0; i < d.configs.size(); ++i) {
@@ -71,12 +63,78 @@ std::vector<FidelityObs> CorrelatedMfMoboOptimizer::buildObs() const {
   return obs;
 }
 
+CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
+    const std::array<FidelityData, kNumFidelities>& data,
+    const std::vector<std::size_t>& cand, const std::vector<char>& taken,
+    const std::array<double, kNumFidelities>& stage_seconds,
+    const std::vector<std::vector<double>>& z, int only_fidelity) const {
+  Pick best;
+  bool any = false;
+  for (int f = 0; f < kNumFidelities; ++f) {
+    if (only_fidelity >= 0 && f != only_fidelity) continue;
+    const FidelityData& d = data[f];
+    // Normalize this fidelity's objective space so EIPV is scale-free.
+    gp::Vec lo(kNumObjectives, 1e300), hi(kNumObjectives, -1e300);
+    for (const auto& y : d.y)
+      for (int m = 0; m < kNumObjectives; ++m) {
+        lo[m] = std::min(lo[m], y[m]);
+        hi[m] = std::max(hi[m], y[m]);
+      }
+    gp::Vec range(kNumObjectives);
+    for (int m = 0; m < kNumObjectives; ++m)
+      range[m] = std::max(hi[m] - lo[m], 1e-12);
+
+    std::vector<pareto::Point> observed;
+    observed.reserve(d.y.size());
+    for (const auto& y : d.y) {
+      pareto::Point p(kNumObjectives);
+      for (int m = 0; m < kNumObjectives; ++m) p[m] = (y[m] - lo[m]) / range[m];
+      observed.push_back(std::move(p));
+    }
+    const std::vector<pareto::Point> front = pareto::paretoFilter(observed);
+    const pareto::Point ref(kNumObjectives, 1.1);  // v_ref beyond the worst
+
+    const double penalty =
+        opts_.cost_penalty
+            ? costPenalty(stage_seconds[f], stage_seconds[kNumFidelities - 1])
+            : 1.0;
+
+    for (std::size_t ci : cand) {
+      if (taken[ci]) continue;
+      const gp::MultiPosterior post = surrogate_.predict(f, space_->features(ci));
+      gp::Vec mu(kNumObjectives);
+      linalg::Matrix cov(kNumObjectives, kNumObjectives);
+      for (int m = 0; m < kNumObjectives; ++m) {
+        mu[m] = (post.mean[m] - lo[m]) / range[m];
+        for (int m2 = 0; m2 < kNumObjectives; ++m2)
+          cov(m, m2) = post.cov(m, m2) / (range[m] * range[m2]);
+      }
+      const double peipv = penalty * mcEipv(mu, cov, front, ref, z);
+      if (!any || peipv > best.peipv) {
+        any = true;
+        best.config = ci;
+        best.fidelity = static_cast<Fidelity>(f);
+        best.peipv = peipv;
+      }
+    }
+  }
+  return best;
+}
+
 OptimizeResult CorrelatedMfMoboOptimizer::run() {
   assert(opts_.n_init_hls >= opts_.n_init_syn &&
          opts_.n_init_syn >= opts_.n_init_impl && opts_.n_init_impl >= 2);
   const std::size_t n = space_->size();
+  const int batch = std::max(opts_.batch_size, 1);
+
+  runtime::EvalCache cache;
+  runtime::ToolScheduler scheduler(*space_, *sim_, cache,
+                                   std::max(opts_.n_workers, 1));
 
   // ---- Initialization (Algorithm 2, lines 4-5): nested seed subsets. ----
+  // The seed designs are mutually independent, so the whole set goes to the
+  // scheduler as one round; results are recorded in job order, keeping the
+  // datasets identical to the sequential build-up.
   const std::size_t n_init =
       std::min<std::size_t>(opts_.n_init_hls, n > 1 ? n - 1 : n);
   std::vector<std::size_t> init;
@@ -91,21 +149,25 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
       init = opt::stratifiedSubset(space_->allFeatures(), n_init, rng_);
       break;
   }
+  std::vector<runtime::EvalJob> init_jobs;
+  init_jobs.reserve(init.size());
   for (std::size_t i = 0; i < init.size(); ++i) {
     Fidelity f = Fidelity::kHls;
     if (i < static_cast<std::size_t>(opts_.n_init_impl))
       f = Fidelity::kImpl;
     else if (i < static_cast<std::size_t>(opts_.n_init_syn))
       f = Fidelity::kSyn;
-    const sim::Report r = observeUpTo(init[i], f);
-    cs_.push_back({init[i], f, r});
+    init_jobs.push_back({init[i], f});
   }
+  for (const runtime::EvalResult& res : scheduler.runBatch(init_jobs))
+    record(res);
 
   const auto stage_seconds = sim_->nominalStageSeconds();
 
-  // ---- Optimization loop (lines 6-15). ----
+  // ---- Optimization loop (lines 6-15), batched. ----
   OptimizeResult result;
-  for (int t = 0; t < opts_.n_iter; ++t) {
+  int t = 0;  // global proposal counter
+  for (int round = 0; t < opts_.n_iter; ++round) {
     // Remaining pool.
     std::vector<std::size_t> pool;
     pool.reserve(n);
@@ -113,10 +175,10 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
       if (!sampled_[i]) pool.push_back(i);
     if (pool.empty()) break;
 
-    const bool hypers = t % std::max(opts_.hyper_refit_interval, 1) == 0;
-    surrogate_.fit(buildObs(), rng_, hypers);
+    const bool hypers = round % std::max(opts_.hyper_refit_interval, 1) == 0;
+    surrogate_.fit(buildObsFrom(data_), rng_, hypers);
 
-    // Candidate subset, shared across fidelities this step.
+    // Candidate subset, shared across fidelities this round.
     std::vector<std::size_t> cand = pool;
     if (cand.size() > static_cast<std::size_t>(opts_.max_candidates)) {
       rng_.shuffle(cand);
@@ -125,66 +187,55 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
 
     const auto z = drawStdNormals(opts_.mc_samples, kNumObjectives, rng_);
 
-    double best_peipv = -1.0;
-    std::size_t best_config = pool[0];
-    Fidelity best_fid = Fidelity::kHls;
+    // Greedy q-PEIPV batch via Kriging believer: argmax, condition the
+    // posterior on the predicted mean of the pick, re-argmax. With q = 1
+    // no fantasy step runs and this is exactly the paper's line 11.
+    //
+    // The first pick decides the round's fidelity (the Eq. 10 cost/value
+    // trade-off is a per-round investment decision); believer picks fill
+    // the rest of the batch with diverse configs at that same stage. A
+    // homogeneous round parallelizes cleanly on the farm — one impl job
+    // mixed into a batch of hls jobs would dominate the round's makespan.
+    const int q = std::min<int>({batch, opts_.n_iter - t,
+                                 static_cast<int>(cand.size())});
+    std::vector<char> taken(n, 0);
+    std::vector<runtime::EvalJob> jobs;
+    std::array<FidelityData, kNumFidelities> fantasy;
+    for (int b = 0; b < q; ++b) {
+      const int round_fidelity =
+          b == 0 ? -1 : static_cast<int>(jobs.front().fidelity);
+      const Pick pick = scanBest(b == 0 ? data_ : fantasy, cand, taken,
+                                 stage_seconds, z, round_fidelity);
+      taken[pick.config] = 1;
+      jobs.push_back({pick.config, pick.fidelity});
+      ++result.picks_per_fidelity[static_cast<int>(pick.fidelity)];
+      result.iterations.push_back(
+          {t + b, pick.fidelity, pick.config, pick.peipv, round});
 
-    for (int f = 0; f < kNumFidelities; ++f) {
-      const FidelityData& d = data_[f];
-      // Normalize this fidelity's objective space so EIPV is scale-free.
-      gp::Vec lo(kNumObjectives, 1e300), hi(kNumObjectives, -1e300);
-      for (const auto& y : d.y)
-        for (int m = 0; m < kNumObjectives; ++m) {
-          lo[m] = std::min(lo[m], y[m]);
-          hi[m] = std::max(hi[m], y[m]);
+      if (b + 1 < q) {
+        // Believe the model: append its predicted means at every stage the
+        // job will run, then refit the posterior (hyperparameters are not
+        // touched; the next round's fit on real data discards the fantasy).
+        if (b == 0) fantasy = data_;
+        for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
+          fantasy[f].configs.push_back(pick.config);
+          fantasy[f].y.push_back(
+              surrogate_.predict(f, space_->features(pick.config)).mean);
         }
-      gp::Vec range(kNumObjectives);
-      for (int m = 0; m < kNumObjectives; ++m)
-        range[m] = std::max(hi[m] - lo[m], 1e-12);
-
-      std::vector<pareto::Point> observed;
-      observed.reserve(d.y.size());
-      for (const auto& y : d.y) {
-        pareto::Point p(kNumObjectives);
-        for (int m = 0; m < kNumObjectives; ++m) p[m] = (y[m] - lo[m]) / range[m];
-        observed.push_back(std::move(p));
-      }
-      const std::vector<pareto::Point> front = pareto::paretoFilter(observed);
-      const pareto::Point ref(kNumObjectives, 1.1);  // v_ref beyond the worst
-
-      const double penalty =
-          opts_.cost_penalty
-              ? costPenalty(stage_seconds[f],
-                            stage_seconds[kNumFidelities - 1])
-              : 1.0;
-
-      for (std::size_t ci : cand) {
-        const gp::MultiPosterior post = surrogate_.predict(f, space_->features(ci));
-        gp::Vec mu(kNumObjectives);
-        linalg::Matrix cov(kNumObjectives, kNumObjectives);
-        for (int m = 0; m < kNumObjectives; ++m) {
-          mu[m] = (post.mean[m] - lo[m]) / range[m];
-          for (int m2 = 0; m2 < kNumObjectives; ++m2)
-            cov(m, m2) = post.cov(m, m2) / (range[m] * range[m2]);
-        }
-        const double peipv = penalty * mcEipv(mu, cov, front, ref, z);
-        if (peipv > best_peipv) {
-          best_peipv = peipv;
-          best_config = ci;
-          best_fid = static_cast<Fidelity>(f);
-        }
+        surrogate_.fit(buildObsFrom(fantasy), rng_, false);
       }
     }
 
-    const sim::Report r = observeUpTo(best_config, best_fid);
-    cs_.push_back({best_config, best_fid, r});
-    ++result.picks_per_fidelity[static_cast<int>(best_fid)];
-    result.iterations.push_back({t, best_fid, best_config, best_peipv});
+    for (const runtime::EvalResult& res : scheduler.runBatch(jobs))
+      record(res);
+    t += q;
   }
 
   result.cs = cs_;
   result.tool_seconds = sim_->totalToolSeconds();
-  result.tool_runs = tool_runs_;
+  result.wall_seconds = scheduler.totals().wall_seconds;
+  result.tool_runs = scheduler.totals().tool_runs;
+  result.cache_hits = scheduler.totals().cache_hits;
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/surrogate.h"
 #include "hls/design_space.h"
+#include "runtime/scheduler.h"
 #include "sim/tool.h"
 
 namespace cmmfo::core {
@@ -23,7 +24,9 @@ struct OptimizerOptions {
   int n_init_hls = 8;
   int n_init_syn = 5;
   int n_init_impl = 3;
-  /// Optimization steps N_iter (paper: 40).
+  /// Optimization steps N_iter (paper: 40) — the total number of BO
+  /// proposals, regardless of batch size, so runs at different batch sizes
+  /// spend (to first order) the same charged tool time.
   int n_iter = 40;
   /// Monte-Carlo samples per EIPV evaluation.
   int mc_samples = 32;
@@ -31,8 +34,8 @@ struct OptimizerOptions {
   /// traverses the full space; a uniformly drawn subset preserves the
   /// argmax in expectation at a fraction of the cost).
   int max_candidates = 400;
-  /// Re-run hyperparameter MLE every k-th step (posterior-only updates in
-  /// between). 1 = every step.
+  /// Re-run hyperparameter MLE every k-th round (posterior-only updates in
+  /// between). 1 = every round.
   int hyper_refit_interval = 1;
   SurrogateOptions surrogate;
   /// Apply the Eq. (10) fidelity-cost penalty.
@@ -42,6 +45,18 @@ struct OptimizerOptions {
   double invalid_penalty = 10.0;
   std::uint64_t seed = 1;
   InitDesign init_design = InitDesign::kRandom;
+
+  // ---- Parallel evaluation runtime (extension beyond the paper). ----
+  /// Proposals per BO round (q of q-PEIPV), selected greedily with the
+  /// Kriging-believer strategy. The first pick fixes the round's fidelity
+  /// (the Eq. 10 trade-off) and the believers diversify configs within that
+  /// stage, so a round's jobs have comparable cost and the farm stays
+  /// utilized. 1 reproduces the paper's sequential Algorithm 2 bit-for-bit.
+  int batch_size = 1;
+  /// Width of the simulated tool farm the scheduler dispatches onto. For a
+  /// fixed seed the optimization trajectory is independent of this value;
+  /// only the simulated wall-clock changes.
+  int n_workers = 1;
 };
 
 /// One tool evaluation in the candidate set CS.
@@ -51,24 +66,31 @@ struct SampleRecord {
   sim::Report report;              // the report at that fidelity
 };
 
-/// Per-BO-step record for convergence analysis.
+/// Per-proposal record for convergence analysis.
 struct IterationLog {
-  int iteration = 0;
+  int iteration = 0;          // global proposal index (0 .. n_iter-1)
   sim::Fidelity fidelity{};   // fidelity chosen at line 11
   std::size_t config = 0;     // x* chosen at line 11
   double peipv = 0.0;         // winning acquisition value
+  int round = 0;              // BO round this proposal was batched into
 };
 
 struct OptimizeResult {
   /// All evaluated configurations (initialization + BO picks), each with
   /// its highest-fidelity report — the CS of Algorithm 2.
   std::vector<SampleRecord> cs;
-  /// One entry per executed BO step.
+  /// One entry per executed BO proposal.
   std::vector<IterationLog> iterations;
   /// Total simulated tool time charged (Table I's running-time metric).
   double tool_seconds = 0.0;
+  /// Simulated elapsed time on the n_workers-wide farm: sum over rounds of
+  /// each round's makespan. Equals tool_seconds when batch_size and
+  /// n_workers are 1 (the sequential regime).
+  double wall_seconds = 0.0;
   /// Number of FPGA-tool invocations.
   int tool_runs = 0;
+  /// Proposals answered from the evaluation cache without a tool run.
+  int cache_hits = 0;
   /// How many BO picks landed on each fidelity (diagnostics).
   std::array<int, sim::kNumFidelities> picks_per_fidelity{};
 };
@@ -77,6 +99,11 @@ struct OptimizeResult {
 /// non-linearly chained across fidelities, driven by cost-penalized
 /// Monte-Carlo EIPV (Algorithm 2). Baselines reuse this driver with other
 /// SurrogateOptions (e.g. FPL18 = linear + independent).
+///
+/// With batch_size > 1 each round proposes a q-PEIPV batch built greedily by
+/// Kriging-believer conditioning (the posterior is refit on the predicted
+/// mean of each already-selected point before the next argmax), and the
+/// batch executes concurrently on a runtime::ToolScheduler worker pool.
 class CorrelatedMfMoboOptimizer {
  public:
   CorrelatedMfMoboOptimizer(const hls::DesignSpace& space,
@@ -92,13 +119,31 @@ class CorrelatedMfMoboOptimizer {
     std::vector<std::size_t> configs;
     std::vector<gp::Vec> y;  // objectives, invalid entries already penalized
   };
+  /// Argmax of the cost-penalized acquisition over (fidelity x candidate).
+  struct Pick {
+    std::size_t config = 0;
+    sim::Fidelity fidelity = sim::Fidelity::kHls;
+    double peipv = -1.0;
+  };
 
-  /// Run the tool up to `fidelity`, charging once, and record the reports
-  /// of every stage up to it (line 13: X_i ∪ {x*} for i up to h).
-  sim::Report observeUpTo(std::size_t config, sim::Fidelity fidelity);
+  /// Record one scheduler result: reports of every stage up to the job's
+  /// fidelity enter the per-fidelity datasets (line 13: X_i ∪ {x*} for i up
+  /// to h), and the config joins the CS.
+  void record(const runtime::EvalResult& res);
   /// Penalized objective vector for an invalid report at a fidelity.
   gp::Vec penalizedObjectives(const FidelityData& data) const;
-  std::vector<FidelityObs> buildObs() const;
+  std::vector<FidelityObs> buildObsFrom(
+      const std::array<FidelityData, sim::kNumFidelities>& data) const;
+  /// Scan (fidelity x candidates \ taken) for the PEIPV argmax against the
+  /// given (possibly fantasy-augmented) datasets and the current surrogate.
+  /// `only_fidelity` >= 0 restricts the scan to that one fidelity (used to
+  /// keep a round's batch fidelity-homogeneous).
+  Pick scanBest(const std::array<FidelityData, sim::kNumFidelities>& data,
+                const std::vector<std::size_t>& cand,
+                const std::vector<char>& taken,
+                const std::array<double, sim::kNumFidelities>& stage_seconds,
+                const std::vector<std::vector<double>>& z,
+                int only_fidelity = -1) const;
 
   const hls::DesignSpace* space_;
   sim::FpgaToolSim* sim_;
@@ -109,7 +154,6 @@ class CorrelatedMfMoboOptimizer {
   std::array<FidelityData, sim::kNumFidelities> data_;
   std::vector<bool> sampled_;
   std::vector<SampleRecord> cs_;
-  int tool_runs_ = 0;
 };
 
 }  // namespace cmmfo::core

@@ -58,22 +58,25 @@ MethodStats evaluateMethod(BenchmarkContext& ctx,
                            std::uint64_t seed0) {
   MethodStats stats;
   stats.method = method.name();
-  std::vector<double> adrs_vals, times;
+  std::vector<double> adrs_vals, times, walls;
   for (int r = 0; r < repeats; ++r) {
     const baselines::DseOutcome out =
         method.run(ctx.space(), ctx.sim(), seed0 + 7919ULL * r);
     RunMetrics m;
     m.adrs = ctx.adrsOf(out.selected);
     m.tool_seconds = out.tool_seconds;
+    m.wall_seconds = out.wall_seconds;
     m.tool_runs = out.tool_runs;
     m.num_selected = out.selected.size();
     stats.runs.push_back(m);
     adrs_vals.push_back(m.adrs);
     times.push_back(m.tool_seconds);
+    walls.push_back(m.wall_seconds);
   }
   stats.adrs_mean = linalg::mean(adrs_vals);
   stats.adrs_std = linalg::sampleStddev(adrs_vals);
   stats.time_mean = linalg::mean(times);
+  stats.wall_mean = linalg::mean(walls);
   return stats;
 }
 

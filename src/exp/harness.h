@@ -41,7 +41,8 @@ class BenchmarkContext {
 
 struct RunMetrics {
   double adrs = 0.0;
-  double tool_seconds = 0.0;
+  double tool_seconds = 0.0;  // charged tool time (sum over flows)
+  double wall_seconds = 0.0;  // simulated elapsed time on the worker farm
   int tool_runs = 0;
   std::size_t num_selected = 0;
 };
@@ -50,7 +51,8 @@ struct MethodStats {
   std::string method;
   double adrs_mean = 0.0;
   double adrs_std = 0.0;   // sample std over repeats
-  double time_mean = 0.0;  // tool seconds
+  double time_mean = 0.0;  // charged tool seconds
+  double wall_mean = 0.0;  // simulated wall-clock seconds
   std::vector<RunMetrics> runs;
 };
 

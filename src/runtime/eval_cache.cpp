@@ -1,0 +1,53 @@
+#include "runtime/eval_cache.h"
+
+namespace cmmfo::runtime {
+
+std::optional<sim::Report> EvalCache::find(std::size_t config,
+                                           sim::Fidelity fidelity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key(config, fidelity));
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::optional<std::array<sim::Report, sim::kNumFidelities>>
+EvalCache::findFlow(std::size_t config, sim::Fidelity fidelity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::array<sim::Report, sim::kNumFidelities> stages{};
+  for (int f = 0; f <= static_cast<int>(fidelity); ++f) {
+    const auto it = map_.find(key(config, static_cast<sim::Fidelity>(f)));
+    if (it == map_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    stages[f] = it->second;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return stages;
+}
+
+void EvalCache::storeFlow(
+    std::size_t config, sim::Fidelity upto,
+    const std::array<sim::Report, sim::kNumFidelities>& stages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int f = 0; f <= static_cast<int>(upto); ++f)
+    map_[key(config, static_cast<sim::Fidelity>(f))] = stages[f];
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void EvalCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cmmfo::runtime

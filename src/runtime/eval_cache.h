@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/tool.h"
+
+namespace cmmfo::runtime {
+
+/// Thread-safe memo of FPGA-tool reports keyed on (config id, fidelity).
+///
+/// The cache exploits the nesting of the design flow (Fig. 2): a single flow
+/// invocation up to fidelity h produces the reports of every stage i <= h
+/// along the way — exactly as a real Vivado impl run leaves the HLS and
+/// logic-synthesis artifacts behind. storeFlow() therefore populates all
+/// stages up to the charged fidelity at once, so a later proposal of the
+/// same configuration at any lower fidelity is a free hit.
+class EvalCache {
+ public:
+  /// Report at (config, fidelity) if present. Counts a hit or a miss.
+  std::optional<sim::Report> find(std::size_t config,
+                                  sim::Fidelity fidelity) const;
+
+  /// The whole stage ladder [0..fidelity] in one lookup (one hit or miss
+  /// counted). Present either fully or not at all, by the storeFlow
+  /// invariant.
+  std::optional<std::array<sim::Report, sim::kNumFidelities>> findFlow(
+      std::size_t config, sim::Fidelity fidelity) const;
+
+  /// Record one flow run: `stages[0..upto]` are the per-stage reports of a
+  /// single invocation that ran up to `upto`. Entries beyond `upto` are
+  /// ignored. Re-stores overwrite (the tool is deterministic, so the value
+  /// cannot actually change).
+  void storeFlow(std::size_t config, sim::Fidelity upto,
+                 const std::array<sim::Report, sim::kNumFidelities>& stages);
+
+  std::size_t size() const;
+  void clear();
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t key(std::size_t config, sim::Fidelity fidelity) {
+    return static_cast<std::uint64_t>(config) * sim::kNumFidelities +
+           static_cast<std::uint64_t>(fidelity);
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, sim::Report> map_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace cmmfo::runtime

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "hls/design_space.h"
+#include "runtime/eval_cache.h"
+#include "runtime/thread_pool.h"
+#include "sim/tool.h"
+
+namespace cmmfo::runtime {
+
+/// One requested tool invocation: run `config` up to `fidelity`.
+struct EvalJob {
+  std::size_t config = 0;
+  sim::Fidelity fidelity = sim::Fidelity::kHls;
+};
+
+/// Outcome of one job: the per-stage reports of the flow up to the job's
+/// fidelity (entries beyond it are default-constructed), plus accounting.
+struct EvalResult {
+  EvalJob job;
+  std::array<sim::Report, sim::kNumFidelities> stages{};
+  bool cache_hit = false;
+  /// Tool seconds charged for this job (0 on a cache hit).
+  double charged_seconds = 0.0;
+
+  /// The report at the requested fidelity.
+  const sim::Report& report() const {
+    return stages[static_cast<int>(job.fidelity)];
+  }
+};
+
+/// Cost accounting over scheduler rounds. Two notions of time:
+///  - charged_seconds: the Table-I metric, sum of every flow's tool time
+///    (what you pay in tool licenses / CPU hours) — identical to the
+///    sequential optimizer's total by construction;
+///  - wall_seconds: the simulated elapsed time of running each round's jobs
+///    on an `n_workers`-wide farm (greedy list scheduling in job order,
+///    makespan = max per-worker load) — what a deployment actually waits.
+struct SchedulerStats {
+  double charged_seconds = 0.0;
+  double wall_seconds = 0.0;
+  int tool_runs = 0;    // charged flow invocations (cache misses)
+  int cache_hits = 0;
+};
+
+/// Worker-pool executor for batches of FPGA-tool runs.
+///
+/// Jobs of one runBatch() round execute concurrently on the thread pool.
+/// Results are returned in job order and all model-visible state is
+/// deterministic in (jobs, cache contents) alone — worker count and thread
+/// interleaving can only affect the floating-point summation order of the
+/// simulator's global accounting, never the reports.
+class ToolScheduler {
+ public:
+  ToolScheduler(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                EvalCache& cache, int n_workers);
+
+  /// Execute one round of jobs; results come back in job order.
+  std::vector<EvalResult> runBatch(const std::vector<EvalJob>& jobs);
+
+  const SchedulerStats& totals() const { return totals_; }
+  const SchedulerStats& lastBatch() const { return last_; }
+  int numWorkers() const { return pool_.numWorkers(); }
+
+ private:
+  /// Worker-side execution of one job (cache lookup, tool run, store).
+  EvalResult execute(const EvalJob& job);
+
+  const hls::DesignSpace* space_;
+  sim::FpgaToolSim* sim_;
+  EvalCache* cache_;
+  ThreadPool pool_;
+  SchedulerStats totals_;
+  SchedulerStats last_;
+};
+
+}  // namespace cmmfo::runtime

@@ -1,0 +1,38 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace cmmfo::runtime {
+
+ThreadPool::ThreadPool(int n_workers) {
+  const int n = std::max(n_workers, 1);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // a throwing task is a packaged_task: the exception lands in
+             // its future, never on this thread
+  }
+}
+
+}  // namespace cmmfo::runtime

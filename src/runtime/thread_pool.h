@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cmmfo::runtime {
+
+/// Fixed-size worker pool backing the tool scheduler.
+///
+/// Tasks are executed FIFO; with one worker the pool therefore runs tasks in
+/// exactly the order they were submitted, which is what lets the runtime
+/// reproduce the sequential optimizer's accounting bit-for-bit. Exceptions
+/// thrown by a task are captured in its future and rethrown at get(); the
+/// destructor finishes every already-queued task before joining, so no
+/// submitted work is silently dropped.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int n_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int numWorkers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a nullary callable; its result (or exception) arrives through
+  /// the returned future. Throws if the pool is already shutting down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cmmfo::runtime

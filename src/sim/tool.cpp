@@ -156,7 +156,7 @@ Report FpgaToolSim::run(const hls::DirectiveConfig& cfg,
 Report FpgaToolSim::runCounted(const hls::DirectiveConfig& cfg,
                                Fidelity fidelity) {
   const Report r = run(cfg, fidelity);
-  total_tool_seconds_ += r.tool_seconds;
+  total_tool_seconds_.fetch_add(r.tool_seconds, std::memory_order_relaxed);
   return r;
 }
 

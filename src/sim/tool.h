@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -70,11 +71,17 @@ class FpgaToolSim {
   Report run(const hls::DirectiveConfig& cfg, Fidelity fidelity) const;
 
   /// run() plus tool-time accounting (used by the optimizers; Table I's
-  /// "overall running time" is the sum of these charges).
+  /// "overall running time" is the sum of these charges). Safe to call
+  /// concurrently: the accumulator is atomic so a worker pool running
+  /// several flows at once (runtime::ToolScheduler) charges correctly.
   Report runCounted(const hls::DirectiveConfig& cfg, Fidelity fidelity);
 
-  double totalToolSeconds() const { return total_tool_seconds_; }
-  void resetAccounting() { total_tool_seconds_ = 0.0; }
+  double totalToolSeconds() const {
+    return total_tool_seconds_.load(std::memory_order_relaxed);
+  }
+  void resetAccounting() {
+    total_tool_seconds_.store(0.0, std::memory_order_relaxed);
+  }
 
   /// Nominal cumulative runtime of a generic run up to each fidelity — the
   /// T_i used by the PEIPV penalty (Eq. 10); configuration-independent so
@@ -90,7 +97,7 @@ class FpgaToolSim {
   DeviceModel device_;
   SimParams params_;
   std::uint64_t seed_;
-  double total_tool_seconds_ = 0.0;
+  std::atomic<double> total_tool_seconds_{0.0};
 };
 
 }  // namespace cmmfo::sim

@@ -75,13 +75,15 @@ BenchmarkResults fakeResults() {
   ours.adrs_mean = 0.1;
   ours.adrs_std = 0.01;
   ours.time_mean = 100.0;
-  ours.runs.push_back({0.1, 100.0, 10, 5});
+  ours.wall_mean = 25.0;  // a 4-wide farm
+  ours.runs.push_back({0.1, 100.0, 25.0, 10, 5});
   MethodStats ann;
   ann.method = "ANN";
   ann.adrs_mean = 0.2;
   ann.adrs_std = 0.02;
   ann.time_mean = 200.0;
-  ann.runs.push_back({0.2, 200.0, 48, 9});
+  ann.wall_mean = 200.0;  // sequential
+  ann.runs.push_back({0.2, 200.0, 200.0, 48, 9});
   row.by_method["Ours"] = ours;
   row.by_method["ANN"] = ann;
   return row;
