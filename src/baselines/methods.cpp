@@ -85,6 +85,13 @@ DseOutcome OursMethod::run(const hls::DesignSpace& space,
   out.tool_seconds = res.tool_seconds;
   out.wall_seconds = res.wall_seconds;
   out.tool_runs = res.tool_runs;
+  out.attempts = res.attempts;
+  out.transient_failures = res.transient_failures;
+  out.timeouts = res.timeouts;
+  out.persistent_failures = res.persistent_failures;
+  out.degraded_jobs = res.degraded_jobs;
+  out.wasted_seconds = res.wasted_seconds;
+  out.backoff_seconds = res.backoff_seconds;
   return out;
 }
 
@@ -107,6 +114,13 @@ DseOutcome Fpl18Method::run(const hls::DesignSpace& space,
   out.tool_seconds = res.tool_seconds;
   out.wall_seconds = res.wall_seconds;
   out.tool_runs = res.tool_runs;
+  out.attempts = res.attempts;
+  out.transient_failures = res.transient_failures;
+  out.timeouts = res.timeouts;
+  out.persistent_failures = res.persistent_failures;
+  out.degraded_jobs = res.degraded_jobs;
+  out.wasted_seconds = res.wasted_seconds;
+  out.backoff_seconds = res.backoff_seconds;
   return out;
 }
 

@@ -22,6 +22,16 @@ struct DseOutcome {
   /// strictly sequentially report wall_seconds == tool_seconds.
   double wall_seconds = 0.0;
   int tool_runs = 0;
+
+  // ---- Fault-tolerance accounting (BO methods only; zero when the fault
+  // layer is off or the method has no retry-aware scheduler). ----
+  int attempts = 0;
+  int transient_failures = 0;
+  int timeouts = 0;
+  int persistent_failures = 0;
+  int degraded_jobs = 0;
+  double wasted_seconds = 0.0;   // charged seconds burned by failed attempts
+  double backoff_seconds = 0.0;  // wall-only retry waits
 };
 
 /// Common interface for all compared methods (Sec. V-A).

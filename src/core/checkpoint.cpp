@@ -1,0 +1,538 @@
+#include "core/checkpoint.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace cmmfo::core {
+
+namespace {
+
+// ------------------------------------------------------------- Writer ----
+// %.17g round-trips IEEE-754 binary64 exactly through strtod, which is what
+// makes resumed trajectories bit-identical. 64-bit integers are written as
+// strings (JSON numbers are doubles; 2^53 would truncate RNG words).
+
+void putDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "\"%" PRIu64 "\"", v);
+  out += buf;
+}
+
+void putInt(std::string& out, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  out += buf;
+}
+
+void putReport(std::string& out, const sim::Report& r) {
+  out += '[';
+  out += r.valid ? "true" : "false";
+  for (const double v : {r.power_w, r.delay_us, r.lut_util, r.latency_cycles,
+                         r.clock_ns, r.tool_seconds}) {
+    out += ',';
+    putDouble(out, v);
+  }
+  out += ']';
+}
+
+void putVec(std::string& out, const std::vector<double>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ',';
+    putDouble(out, v[i]);
+  }
+  out += ']';
+}
+
+// ------------------------------------------------------------- Parser ----
+// Minimal recursive-descent JSON: objects, arrays, strings, numbers, bools,
+// null. Exactly what the writer above emits; not a general-purpose parser.
+
+struct Json {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* find(const char* key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  explicit Parser(const std::string& s) : p(s.data()), end(s.data() + s.size()) {}
+
+  void skipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool fail(const char* msg) {
+    if (error.empty()) error = msg;
+    return false;
+  }
+
+  bool parseValue(Json& out) {
+    skipWs();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': out.kind = Json::kStr; return parseString(out.str);
+      case 't':
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+          out.kind = Json::kBool; out.b = true; p += 4; return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+          out.kind = Json::kBool; out.b = false; p += 5; return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+          out.kind = Json::kNull; p += 4; return true;
+        }
+        return fail("bad literal");
+      default: {
+        char* num_end = nullptr;
+        out.num = std::strtod(p, &num_end);
+        if (num_end == p) return fail("bad number");
+        out.kind = Json::kNum;
+        p = num_end;
+        return true;
+      }
+    }
+  }
+
+  bool parseString(std::string& out) {
+    ++p;  // opening quote
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        if (++p >= end) return fail("bad escape");
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: return fail("unsupported escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parseArray(Json& out) {
+    out.kind = Json::kArr;
+    ++p;
+    skipWs();
+    if (p < end && *p == ']') { ++p; return true; }
+    for (;;) {
+      Json v;
+      if (!parseValue(v)) return false;
+      out.arr.push_back(std::move(v));
+      skipWs();
+      if (p < end && *p == ',') { ++p; continue; }
+      if (p < end && *p == ']') { ++p; return true; }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(Json& out) {
+    out.kind = Json::kObj;
+    ++p;
+    skipWs();
+    if (p < end && *p == '}') { ++p; return true; }
+    for (;;) {
+      skipWs();
+      if (p >= end || *p != '"') return fail("expected object key");
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (p >= end || *p != ':') return fail("expected ':'");
+      ++p;
+      Json v;
+      if (!parseValue(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (p < end && *p == ',') { ++p; continue; }
+      if (p < end && *p == '}') { ++p; return true; }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+// ---------------------------------------------------- Typed extraction ----
+
+bool getU64(const Json& j, std::uint64_t& out) {
+  if (j.kind == Json::kStr) {
+    out = std::strtoull(j.str.c_str(), nullptr, 10);
+    return true;
+  }
+  if (j.kind == Json::kNum) {
+    out = static_cast<std::uint64_t>(j.num);
+    return true;
+  }
+  return false;
+}
+
+bool getReport(const Json& j, sim::Report& r) {
+  if (j.kind != Json::kArr || j.arr.size() != 7) return false;
+  if (j.arr[0].kind != Json::kBool) return false;
+  r.valid = j.arr[0].b;
+  for (int i = 1; i < 7; ++i)
+    if (j.arr[i].kind != Json::kNum) return false;
+  r.power_w = j.arr[1].num;
+  r.delay_us = j.arr[2].num;
+  r.lut_util = j.arr[3].num;
+  r.latency_cycles = j.arr[4].num;
+  r.clock_ns = j.arr[5].num;
+  r.tool_seconds = j.arr[6].num;
+  return true;
+}
+
+bool getVec(const Json& j, std::vector<double>& out) {
+  if (j.kind != Json::kArr) return false;
+  out.clear();
+  out.reserve(j.arr.size());
+  for (const Json& e : j.arr) {
+    if (e.kind != Json::kNum) return false;
+    out.push_back(e.num);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serializeCheckpoint(const CheckpointState& st) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\n\"version\": ";
+  putInt(out, st.version);
+  out += ",\n\"fingerprint\": ";
+  putU64(out, st.fingerprint);
+  out += ",\n\"next_round\": ";
+  putInt(out, st.next_round);
+  out += ",\n\"t\": ";
+  putInt(out, st.t);
+
+  out += ",\n\"rng\": {\"s\": [";
+  for (int i = 0; i < 4; ++i) {
+    if (i) out += ',';
+    putU64(out, st.rng.s[i]);
+  }
+  out += "], \"has_cached_normal\": ";
+  out += st.rng.has_cached_normal ? "true" : "false";
+  out += ", \"cached_normal\": ";
+  putDouble(out, st.rng.cached_normal);
+  out += "}";
+
+  out += ",\n\"data\": [";
+  for (int f = 0; f < sim::kNumFidelities; ++f) {
+    if (f) out += ',';
+    out += "\n{\"configs\": [";
+    const auto& d = st.data[f];
+    for (std::size_t i = 0; i < d.configs.size(); ++i) {
+      if (i) out += ',';
+      putInt(out, static_cast<long long>(d.configs[i]));
+    }
+    out += "], \"y\": [";
+    for (std::size_t i = 0; i < d.y.size(); ++i) {
+      if (i) out += ',';
+      putVec(out, d.y[i]);
+    }
+    out += "]}";
+  }
+  out += "]";
+
+  out += ",\n\"cs\": [";
+  for (std::size_t i = 0; i < st.cs.size(); ++i) {
+    if (i) out += ',';
+    out += "\n[";
+    putInt(out, static_cast<long long>(st.cs[i].config));
+    out += ',';
+    putInt(out, st.cs[i].fidelity);
+    out += ',';
+    putReport(out, st.cs[i].report);
+    out += ']';
+  }
+  out += "]";
+
+  out += ",\n\"iterations\": [";
+  for (std::size_t i = 0; i < st.iterations.size(); ++i) {
+    const auto& it = st.iterations[i];
+    if (i) out += ',';
+    out += "\n[";
+    putInt(out, it.iteration);
+    out += ',';
+    putInt(out, it.fidelity);
+    out += ',';
+    putInt(out, static_cast<long long>(it.config));
+    out += ',';
+    putDouble(out, it.peipv);
+    out += ',';
+    putInt(out, it.round);
+    out += ']';
+  }
+  out += "]";
+
+  out += ",\n\"picks_per_fidelity\": [";
+  for (int f = 0; f < sim::kNumFidelities; ++f) {
+    if (f) out += ',';
+    putInt(out, st.picks_per_fidelity[f]);
+  }
+  out += "]";
+
+  out += ",\n\"totals\": {";
+  out += "\"charged_seconds\": ";
+  putDouble(out, st.totals.charged_seconds);
+  out += ", \"wall_seconds\": ";
+  putDouble(out, st.totals.wall_seconds);
+  out += ", \"tool_runs\": ";
+  putInt(out, st.totals.tool_runs);
+  out += ", \"cache_hits\": ";
+  putInt(out, st.totals.cache_hits);
+  out += ", \"attempts\": ";
+  putInt(out, st.totals.attempts);
+  out += ", \"transient_failures\": ";
+  putInt(out, st.totals.transient_failures);
+  out += ", \"timeouts\": ";
+  putInt(out, st.totals.timeouts);
+  out += ", \"persistent_failures\": ";
+  putInt(out, st.totals.persistent_failures);
+  out += ", \"degraded_jobs\": ";
+  putInt(out, st.totals.degraded_jobs);
+  out += ", \"retry_seconds_wasted\": ";
+  putDouble(out, st.totals.retry_seconds_wasted);
+  out += ", \"backoff_seconds\": ";
+  putDouble(out, st.totals.backoff_seconds);
+  out += "}";
+
+  out += ",\n\"sim_tool_seconds\": ";
+  putDouble(out, st.sim_tool_seconds);
+
+  out += ",\n\"cache\": [";
+  for (std::size_t i = 0; i < st.cache.size(); ++i) {
+    if (i) out += ',';
+    out += '[';
+    putInt(out, static_cast<long long>(st.cache[i].first));
+    out += ',';
+    putInt(out, st.cache[i].second);
+    out += ']';
+  }
+  out += "]";
+  out += ",\n\"cache_hits\": ";
+  putU64(out, st.cache_hits);
+  out += ",\n\"cache_misses\": ";
+  putU64(out, st.cache_misses);
+
+  out += ",\n\"surrogate_hypers\": [";
+  for (std::size_t i = 0; i < st.surrogate_hypers.size(); ++i) {
+    if (i) out += ',';
+    out += '\n';
+    putVec(out, st.surrogate_hypers[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+bool parseCheckpoint(const std::string& text, CheckpointState* out,
+                     std::string* error) {
+  const auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  Parser parser(text);
+  Json root;
+  if (!parser.parseValue(root) || root.kind != Json::kObj)
+    return fail("checkpoint: invalid JSON: " + parser.error);
+
+  CheckpointState st;
+  const Json* v = root.find("version");
+  if (!v || v->kind != Json::kNum) return fail("checkpoint: missing version");
+  st.version = static_cast<int>(v->num);
+  if (st.version != CheckpointState::kVersion)
+    return fail("checkpoint: unsupported version " +
+                std::to_string(st.version));
+
+  if (const Json* j = root.find("fingerprint")) {
+    if (!getU64(*j, st.fingerprint)) return fail("checkpoint: bad fingerprint");
+  }
+  if (const Json* j = root.find("next_round"); j && j->kind == Json::kNum)
+    st.next_round = static_cast<int>(j->num);
+  if (const Json* j = root.find("t"); j && j->kind == Json::kNum)
+    st.t = static_cast<int>(j->num);
+
+  const Json* rng = root.find("rng");
+  if (!rng || rng->kind != Json::kObj) return fail("checkpoint: missing rng");
+  {
+    const Json* s = rng->find("s");
+    if (!s || s->kind != Json::kArr || s->arr.size() != 4)
+      return fail("checkpoint: bad rng state");
+    for (int i = 0; i < 4; ++i)
+      if (!getU64(s->arr[i], st.rng.s[i]))
+        return fail("checkpoint: bad rng word");
+    if (const Json* j = rng->find("has_cached_normal");
+        j && j->kind == Json::kBool)
+      st.rng.has_cached_normal = j->b;
+    if (const Json* j = rng->find("cached_normal"); j && j->kind == Json::kNum)
+      st.rng.cached_normal = j->num;
+  }
+
+  const Json* data = root.find("data");
+  if (!data || data->kind != Json::kArr ||
+      data->arr.size() != sim::kNumFidelities)
+    return fail("checkpoint: missing data");
+  for (int f = 0; f < sim::kNumFidelities; ++f) {
+    const Json& d = data->arr[f];
+    if (d.kind != Json::kObj) return fail("checkpoint: bad data entry");
+    const Json* configs = d.find("configs");
+    const Json* y = d.find("y");
+    if (!configs || configs->kind != Json::kArr || !y || y->kind != Json::kArr ||
+        configs->arr.size() != y->arr.size())
+      return fail("checkpoint: bad data entry");
+    for (const Json& c : configs->arr) {
+      if (c.kind != Json::kNum) return fail("checkpoint: bad config id");
+      st.data[f].configs.push_back(static_cast<std::size_t>(c.num));
+    }
+    for (const Json& row : y->arr) {
+      std::vector<double> vec;
+      if (!getVec(row, vec)) return fail("checkpoint: bad objective row");
+      st.data[f].y.push_back(std::move(vec));
+    }
+  }
+
+  const Json* cs = root.find("cs");
+  if (!cs || cs->kind != Json::kArr) return fail("checkpoint: missing cs");
+  for (const Json& e : cs->arr) {
+    if (e.kind != Json::kArr || e.arr.size() != 3 ||
+        e.arr[0].kind != Json::kNum || e.arr[1].kind != Json::kNum)
+      return fail("checkpoint: bad cs entry");
+    CheckpointState::CsEntry ce;
+    ce.config = static_cast<std::size_t>(e.arr[0].num);
+    ce.fidelity = static_cast<int>(e.arr[1].num);
+    if (!getReport(e.arr[2], ce.report))
+      return fail("checkpoint: bad cs report");
+    st.cs.push_back(ce);
+  }
+
+  const Json* iters = root.find("iterations");
+  if (!iters || iters->kind != Json::kArr)
+    return fail("checkpoint: missing iterations");
+  for (const Json& e : iters->arr) {
+    if (e.kind != Json::kArr || e.arr.size() != 5)
+      return fail("checkpoint: bad iteration entry");
+    for (const Json& x : e.arr)
+      if (x.kind != Json::kNum) return fail("checkpoint: bad iteration entry");
+    st.iterations.push_back({static_cast<int>(e.arr[0].num),
+                             static_cast<int>(e.arr[1].num),
+                             static_cast<std::size_t>(e.arr[2].num),
+                             e.arr[3].num, static_cast<int>(e.arr[4].num)});
+  }
+
+  if (const Json* j = root.find("picks_per_fidelity");
+      j && j->kind == Json::kArr && j->arr.size() == sim::kNumFidelities)
+    for (int f = 0; f < sim::kNumFidelities; ++f)
+      st.picks_per_fidelity[f] = static_cast<int>(j->arr[f].num);
+
+  const Json* totals = root.find("totals");
+  if (!totals || totals->kind != Json::kObj)
+    return fail("checkpoint: missing totals");
+  {
+    const auto num = [&](const char* key, double def = 0.0) {
+      const Json* j = totals->find(key);
+      return j && j->kind == Json::kNum ? j->num : def;
+    };
+    st.totals.charged_seconds = num("charged_seconds");
+    st.totals.wall_seconds = num("wall_seconds");
+    st.totals.tool_runs = static_cast<int>(num("tool_runs"));
+    st.totals.cache_hits = static_cast<int>(num("cache_hits"));
+    st.totals.attempts = static_cast<int>(num("attempts"));
+    st.totals.transient_failures = static_cast<int>(num("transient_failures"));
+    st.totals.timeouts = static_cast<int>(num("timeouts"));
+    st.totals.persistent_failures =
+        static_cast<int>(num("persistent_failures"));
+    st.totals.degraded_jobs = static_cast<int>(num("degraded_jobs"));
+    st.totals.retry_seconds_wasted = num("retry_seconds_wasted");
+    st.totals.backoff_seconds = num("backoff_seconds");
+  }
+
+  if (const Json* j = root.find("sim_tool_seconds"); j && j->kind == Json::kNum)
+    st.sim_tool_seconds = j->num;
+
+  if (const Json* j = root.find("cache"); j && j->kind == Json::kArr)
+    for (const Json& e : j->arr) {
+      if (e.kind != Json::kArr || e.arr.size() != 2 ||
+          e.arr[0].kind != Json::kNum || e.arr[1].kind != Json::kNum)
+        return fail("checkpoint: bad cache entry");
+      st.cache.emplace_back(static_cast<std::size_t>(e.arr[0].num),
+                            static_cast<int>(e.arr[1].num));
+    }
+  if (const Json* j = root.find("cache_hits"))
+    if (!getU64(*j, st.cache_hits)) return fail("checkpoint: bad cache_hits");
+  if (const Json* j = root.find("cache_misses"))
+    if (!getU64(*j, st.cache_misses))
+      return fail("checkpoint: bad cache_misses");
+
+  if (const Json* j = root.find("surrogate_hypers"); j && j->kind == Json::kArr)
+    for (const Json& row : j->arr) {
+      std::vector<double> vec;
+      if (!getVec(row, vec)) return fail("checkpoint: bad hyper row");
+      st.surrogate_hypers.push_back(std::move(vec));
+    }
+
+  *out = std::move(st);
+  return true;
+}
+
+bool saveCheckpoint(const std::string& path, const CheckpointState& st) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    const std::string text = serializeCheckpoint(st);
+    f.write(text.data(), static_cast<std::streamsize>(text.size()));
+    f.flush();
+    if (!f) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool loadCheckpoint(const std::string& path, CheckpointState* out,
+                    std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error) *error = "checkpoint: cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parseCheckpoint(ss.str(), out, error);
+}
+
+}  // namespace cmmfo::core

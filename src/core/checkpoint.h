@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rng/rng.h"
+#include "runtime/scheduler.h"
+#include "sim/tool.h"
+
+namespace cmmfo::core {
+
+/// Crash-safe snapshot of the full BO driver state, written to a versioned
+/// JSON journal after every round. Everything the optimizer needs to
+/// continue trajectory-identically is here:
+///  - the per-fidelity datasets (configs + objective vectors, penalized
+///    entries included) and the candidate set CS;
+///  - the RNG state (counters + Marsaglia cache) and the surrogate's packed
+///    hyperparameters (fit() warm-starts from them);
+///  - the iteration log and accounting ledgers (scheduler totals + the
+///    simulator's own accumulator, which can differ in the last bits under
+///    parallel summation);
+///  - the evaluation-cache contents as (config, highest fidelity) keys —
+///    reports are recomputable because the simulated tool is deterministic.
+///
+/// Doubles are serialized with 17 significant digits, which round-trips
+/// IEEE-754 binary64 exactly, so a resumed run is bit-for-bit the
+/// uninterrupted one.
+struct CheckpointState {
+  static constexpr int kVersion = 1;
+
+  int version = kVersion;
+  /// Guards against resuming with a different benchmark/options/seed.
+  std::uint64_t fingerprint = 0;
+
+  int next_round = 0;  ///< first BO round the resumed process should run
+  int t = 0;           ///< proposals executed so far
+
+  rng::Rng::State rng;
+
+  struct FidelityData {
+    std::vector<std::size_t> configs;
+    std::vector<std::vector<double>> y;
+  };
+  std::array<FidelityData, sim::kNumFidelities> data;
+
+  struct CsEntry {
+    std::size_t config = 0;
+    int fidelity = 0;
+    sim::Report report;
+  };
+  std::vector<CsEntry> cs;
+
+  struct IterEntry {
+    int iteration = 0;
+    int fidelity = 0;
+    std::size_t config = 0;
+    double peipv = 0.0;
+    int round = 0;
+  };
+  std::vector<IterEntry> iterations;
+  std::array<int, sim::kNumFidelities> picks_per_fidelity{};
+
+  runtime::SchedulerStats totals;
+  double sim_tool_seconds = 0.0;
+
+  std::vector<std::pair<std::size_t, int>> cache;  // (config, highest stage)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  std::vector<std::vector<double>> surrogate_hypers;
+};
+
+/// JSON round-trip (self-contained writer/parser; no external deps).
+std::string serializeCheckpoint(const CheckpointState& st);
+bool parseCheckpoint(const std::string& text, CheckpointState* out,
+                     std::string* error = nullptr);
+
+/// Atomic file I/O: save writes to `<path>.tmp` then renames, so a crash
+/// mid-write never corrupts the previous good journal.
+bool saveCheckpoint(const std::string& path, const CheckpointState& st);
+bool loadCheckpoint(const std::string& path, CheckpointState* out,
+                    std::string* error = nullptr);
+
+}  // namespace cmmfo::core

@@ -1,8 +1,10 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/acquisition.h"
 #include "opt/sampling.h"
@@ -38,14 +40,41 @@ gp::Vec CorrelatedMfMoboOptimizer::penalizedObjectives(
 }
 
 void CorrelatedMfMoboOptimizer::record(const runtime::EvalResult& res) {
-  for (int f = 0; f <= static_cast<int>(res.job.fidelity); ++f) {
+  // Degradation (Algorithm 2 line 13 under faults): the flow is nested, so
+  // whatever prefix of stages completed is real data — a crashed impl run
+  // still contributes its hls/syn reports to those fidelities' datasets.
+  const int upto = res.completed_fidelity;
+  for (int f = 0; f <= upto; ++f) {
     const sim::Report& r = res.stages[f];
     FidelityData& d = data_[f];
     d.configs.push_back(res.job.config);
     d.y.push_back(r.valid ? r.objectives() : penalizedObjectives(d));
   }
   sampled_[res.job.config] = true;
-  cs_.push_back({res.job.config, res.job.fidelity, res.report()});
+
+  if (res.persistent_failure) {
+    // The design reliably kills the tool at failed_stage: treat it like a
+    // Sec. IV-C invalid design AT THAT STAGE so the models steer away.
+    // Transient exhaustion deliberately takes the branch below instead —
+    // the design may be fine, the tool was merely flaky, and poisoning the
+    // datasets with a penalty would punish re-explorable regions.
+    const int fs = std::clamp(res.failed_stage, 0, kNumFidelities - 1);
+    FidelityData& d = data_[fs];
+    d.configs.push_back(res.job.config);
+    d.y.push_back(penalizedObjectives(d));
+    sim::Report failed;
+    failed.valid = false;
+    cs_.push_back({res.job.config, static_cast<Fidelity>(fs), failed});
+  } else if (upto >= 0) {
+    cs_.push_back(
+        {res.job.config, static_cast<Fidelity>(upto), res.stages[upto]});
+  } else {
+    // Nothing completed and retries exhausted: the proposal is spent (it
+    // must not be re-picked) but contributes no observations.
+    sim::Report failed;
+    failed.valid = false;
+    cs_.push_back({res.job.config, res.job.fidelity, failed});
+  }
 }
 
 std::vector<FidelityObs> CorrelatedMfMoboOptimizer::buildObsFrom(
@@ -121,6 +150,137 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
   return best;
 }
 
+void CorrelatedMfMoboOptimizer::reseedThinFidelities(
+    runtime::ToolScheduler& scheduler) {
+  const std::size_t n = space_->size();
+  for (int f = kNumFidelities - 1; f >= 0; --f) {
+    int guard = 0;
+    while (data_[f].configs.size() < 2 && guard++ < 16) {
+      std::size_t pick = n;  // first unsampled config after a random probe
+      const std::size_t probe = rng_.index(n);
+      for (std::size_t off = 0; off < n; ++off) {
+        const std::size_t i = (probe + off) % n;
+        if (!sampled_[i]) { pick = i; break; }
+      }
+      if (pick == n) return;  // space exhausted; nothing more to try
+      for (const runtime::EvalResult& res :
+           scheduler.runBatch({{pick, static_cast<Fidelity>(f)}}))
+        record(res);
+    }
+  }
+}
+
+std::uint64_t CorrelatedMfMoboOptimizer::checkpointFingerprint() const {
+  std::uint64_t h = 0xC11EC4B01D5EEDULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  const auto mixd = [&](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  mix(opts_.seed);
+  mix(space_->size());
+  mix(space_->featureDim());
+  mix(static_cast<std::uint64_t>(opts_.n_iter));
+  mix(static_cast<std::uint64_t>(std::max(opts_.batch_size, 1)));
+  mix(static_cast<std::uint64_t>(opts_.n_init_hls));
+  mix(static_cast<std::uint64_t>(opts_.n_init_syn));
+  mix(static_cast<std::uint64_t>(opts_.n_init_impl));
+  mix(static_cast<std::uint64_t>(opts_.mc_samples));
+  mix(static_cast<std::uint64_t>(opts_.max_candidates));
+  mix(static_cast<std::uint64_t>(opts_.hyper_refit_interval));
+  mix(static_cast<std::uint64_t>(opts_.init_design));
+  mix(static_cast<std::uint64_t>(opts_.surrogate.mf));
+  mix(static_cast<std::uint64_t>(opts_.surrogate.obj));
+  mix(static_cast<std::uint64_t>(opts_.cost_penalty));
+  mixd(opts_.invalid_penalty);
+  // Trajectory-relevant fault/retry knobs (n_workers deliberately excluded:
+  // a journal may be resumed on a different farm width).
+  mix(static_cast<std::uint64_t>(std::max(opts_.retry.max_attempts, 1)));
+  mixd(opts_.retry.attempt_timeout_seconds);
+  const sim::FaultParams& fp = sim_->faultParams();
+  mixd(fp.transient_crash_prob);
+  mixd(fp.hang_prob);
+  mixd(fp.hang_multiplier);
+  mixd(fp.license_stall_prob);
+  mixd(fp.license_stall_seconds);
+  mixd(fp.persistent_failure_prob);
+  mix(fp.fault_seed);
+  return h;
+}
+
+CheckpointState CorrelatedMfMoboOptimizer::captureCheckpoint(
+    int next_round, int t, const runtime::ToolScheduler& scheduler,
+    const runtime::EvalCache& cache, const OptimizeResult& result) const {
+  CheckpointState st;
+  st.fingerprint = checkpointFingerprint();
+  st.next_round = next_round;
+  st.t = t;
+  st.rng = rng_.state();
+  for (int f = 0; f < kNumFidelities; ++f) {
+    st.data[f].configs = data_[f].configs;
+    st.data[f].y = data_[f].y;
+  }
+  st.cs.reserve(cs_.size());
+  for (const SampleRecord& rec : cs_)
+    st.cs.push_back({rec.config, static_cast<int>(rec.fidelity), rec.report});
+  st.iterations.reserve(result.iterations.size());
+  for (const IterationLog& it : result.iterations)
+    st.iterations.push_back({it.iteration, static_cast<int>(it.fidelity),
+                             it.config, it.peipv, it.round});
+  st.picks_per_fidelity = result.picks_per_fidelity;
+  st.totals = scheduler.totals();
+  st.sim_tool_seconds = sim_->totalToolSeconds();
+  for (const auto& [config, fid] : cache.contents())
+    st.cache.emplace_back(config, static_cast<int>(fid));
+  const runtime::EvalCache::Stats cstats = cache.stats();
+  st.cache_hits = cstats.hits;
+  st.cache_misses = cstats.misses;
+  st.surrogate_hypers = surrogate_.hyperState();
+  return st;
+}
+
+void CorrelatedMfMoboOptimizer::restoreCheckpoint(
+    const CheckpointState& st, runtime::ToolScheduler& scheduler,
+    runtime::EvalCache& cache, OptimizeResult& result) {
+  if (st.fingerprint != checkpointFingerprint())
+    throw std::runtime_error(
+        "checkpoint: fingerprint mismatch — journal was written by a run "
+        "with different options, seed, fault model, or design space");
+  for (int f = 0; f < kNumFidelities; ++f) {
+    data_[f].configs = st.data[f].configs;
+    data_[f].y = st.data[f].y;
+  }
+  cs_.clear();
+  std::fill(sampled_.begin(), sampled_.end(), false);
+  for (const CheckpointState::CsEntry& e : st.cs) {
+    cs_.push_back(
+        {e.config, static_cast<Fidelity>(e.fidelity), e.report});
+    sampled_[e.config] = true;
+  }
+  rng_.setState(st.rng);
+  if (!st.surrogate_hypers.empty())
+    surrogate_.setHyperState(st.surrogate_hypers);
+
+  result.iterations.clear();
+  for (const CheckpointState::IterEntry& it : st.iterations)
+    result.iterations.push_back({it.iteration,
+                                 static_cast<Fidelity>(it.fidelity), it.config,
+                                 it.peipv, it.round});
+  result.picks_per_fidelity = st.picks_per_fidelity;
+
+  scheduler.restoreTotals(st.totals);
+  sim_->setAccounting(st.sim_tool_seconds);
+  // Re-materialize the evaluation cache: reports are pure functions of
+  // (config, stage), so the journal only stores the keys.
+  for (const auto& [config, fid] : st.cache) {
+    std::array<sim::Report, kNumFidelities> stages{};
+    const hls::DirectiveConfig cfg = space_->config(config);
+    for (int f = 0; f <= fid; ++f)
+      stages[f] = sim_->run(cfg, static_cast<Fidelity>(f));
+    cache.storeFlow(config, static_cast<Fidelity>(fid), stages);
+  }
+  cache.restoreCounters(st.cache_hits, st.cache_misses);
+}
+
 OptimizeResult CorrelatedMfMoboOptimizer::run() {
   assert(opts_.n_init_hls >= opts_.n_init_syn &&
          opts_.n_init_syn >= opts_.n_init_impl && opts_.n_init_impl >= 2);
@@ -129,45 +289,73 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
 
   runtime::EvalCache cache;
   runtime::ToolScheduler scheduler(*space_, *sim_, cache,
-                                   std::max(opts_.n_workers, 1));
+                                   std::max(opts_.n_workers, 1), opts_.retry);
 
-  // ---- Initialization (Algorithm 2, lines 4-5): nested seed subsets. ----
-  // The seed designs are mutually independent, so the whole set goes to the
-  // scheduler as one round; results are recorded in job order, keeping the
-  // datasets identical to the sequential build-up.
-  const std::size_t n_init =
-      std::min<std::size_t>(opts_.n_init_hls, n > 1 ? n - 1 : n);
-  std::vector<std::size_t> init;
-  switch (opts_.init_design) {
-    case InitDesign::kRandom:
-      init = opt::randomSubset(n, n_init, rng_);
-      break;
-    case InitDesign::kMaximin:
-      init = opt::maximinSubset(space_->allFeatures(), n_init, rng_);
-      break;
-    case InitDesign::kStratified:
-      init = opt::stratifiedSubset(space_->allFeatures(), n_init, rng_);
-      break;
+  OptimizeResult result;
+  int t = 0;            // global proposal counter
+  int start_round = 0;  // first BO round this process runs
+
+  // ---- Resume path: restore the journal if one exists and matches. ----
+  if (opts_.resume && !opts_.checkpoint_path.empty()) {
+    CheckpointState st;
+    std::string err;
+    if (loadCheckpoint(opts_.checkpoint_path, &st, &err)) {
+      restoreCheckpoint(st, scheduler, cache, result);
+      t = st.t;
+      start_round = st.next_round;
+      result.resumed = true;
+    }
+    // A missing journal is a cold start, not an error (first run of a
+    // --resume'd job); a present-but-mismatched one throws in restore.
   }
-  std::vector<runtime::EvalJob> init_jobs;
-  init_jobs.reserve(init.size());
-  for (std::size_t i = 0; i < init.size(); ++i) {
-    Fidelity f = Fidelity::kHls;
-    if (i < static_cast<std::size_t>(opts_.n_init_impl))
-      f = Fidelity::kImpl;
-    else if (i < static_cast<std::size_t>(opts_.n_init_syn))
-      f = Fidelity::kSyn;
-    init_jobs.push_back({init[i], f});
+
+  const auto checkpoint = [&](int next_round) {
+    if (opts_.checkpoint_path.empty()) return;
+    saveCheckpoint(opts_.checkpoint_path,
+                   captureCheckpoint(next_round, t, scheduler, cache, result));
+  };
+
+  if (!result.resumed) {
+    // ---- Initialization (Algorithm 2, lines 4-5): nested seed subsets. ----
+    // The seed designs are mutually independent, so the whole set goes to
+    // the scheduler as one round; results are recorded in job order, keeping
+    // the datasets identical to the sequential build-up.
+    const std::size_t n_init =
+        std::min<std::size_t>(opts_.n_init_hls, n > 1 ? n - 1 : n);
+    std::vector<std::size_t> init;
+    switch (opts_.init_design) {
+      case InitDesign::kRandom:
+        init = opt::randomSubset(n, n_init, rng_);
+        break;
+      case InitDesign::kMaximin:
+        init = opt::maximinSubset(space_->allFeatures(), n_init, rng_);
+        break;
+      case InitDesign::kStratified:
+        init = opt::stratifiedSubset(space_->allFeatures(), n_init, rng_);
+        break;
+    }
+    std::vector<runtime::EvalJob> init_jobs;
+    init_jobs.reserve(init.size());
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      Fidelity f = Fidelity::kHls;
+      if (i < static_cast<std::size_t>(opts_.n_init_impl))
+        f = Fidelity::kImpl;
+      else if (i < static_cast<std::size_t>(opts_.n_init_syn))
+        f = Fidelity::kSyn;
+      init_jobs.push_back({init[i], f});
+    }
+    for (const runtime::EvalResult& res : scheduler.runBatch(init_jobs))
+      record(res);
+    // Injected failures can leave a fidelity with fewer than the 2 samples
+    // the surrogate needs; top it up (RNG-neutral no-op when healthy).
+    reseedThinFidelities(scheduler);
+    checkpoint(0);
   }
-  for (const runtime::EvalResult& res : scheduler.runBatch(init_jobs))
-    record(res);
 
   const auto stage_seconds = sim_->nominalStageSeconds();
 
   // ---- Optimization loop (lines 6-15), batched. ----
-  OptimizeResult result;
-  int t = 0;  // global proposal counter
-  for (int round = 0; t < opts_.n_iter; ++round) {
+  for (int round = start_round; t < opts_.n_iter; ++round) {
     // Remaining pool.
     std::vector<std::size_t> pool;
     pool.reserve(n);
@@ -229,13 +417,24 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
     for (const runtime::EvalResult& res : scheduler.runBatch(jobs))
       record(res);
     t += q;
+    ++result.rounds_run;
+    checkpoint(round + 1);
+    if (opts_.max_rounds > 0 && result.rounds_run >= opts_.max_rounds) break;
   }
 
   result.cs = cs_;
   result.tool_seconds = sim_->totalToolSeconds();
-  result.wall_seconds = scheduler.totals().wall_seconds;
-  result.tool_runs = scheduler.totals().tool_runs;
-  result.cache_hits = scheduler.totals().cache_hits;
+  const runtime::SchedulerStats& totals = scheduler.totals();
+  result.wall_seconds = totals.wall_seconds;
+  result.tool_runs = totals.tool_runs;
+  result.cache_hits = totals.cache_hits;
+  result.attempts = totals.attempts;
+  result.transient_failures = totals.transient_failures;
+  result.timeouts = totals.timeouts;
+  result.persistent_failures = totals.persistent_failures;
+  result.degraded_jobs = totals.degraded_jobs;
+  result.wasted_seconds = totals.retry_seconds_wasted;
+  result.backoff_seconds = totals.backoff_seconds;
   return result;
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/surrogate.h"
 #include "hls/design_space.h"
 #include "runtime/scheduler.h"
@@ -57,6 +59,23 @@ struct OptimizerOptions {
   /// fixed seed the optimization trajectory is independent of this value;
   /// only the simulated wall-clock changes.
   int n_workers = 1;
+
+  // ---- Fault tolerance (extension beyond the paper). ----
+  /// Retry/backoff/timeout policy for tool failures injected by the
+  /// simulator's sim::FaultParams. A strict no-op when faults are off.
+  runtime::RetryPolicy retry;
+  /// Journal file for crash-safe checkpoint/resume; empty disables
+  /// checkpointing. The full BO state is written (atomically) after the
+  /// initialization round and after every BO round.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path` if it holds a valid journal for this
+  /// exact (options, seed, space) — otherwise start cold. Resumed runs are
+  /// trajectory-identical to uninterrupted ones.
+  bool resume = false;
+  /// Stop (with a final checkpoint) after this many BO rounds in this
+  /// process; 0 = run to completion. Simulates a crash/preemption for the
+  /// kill-and-resume tests and for externally orchestrated time slicing.
+  int max_rounds = 0;
 };
 
 /// One tool evaluation in the candidate set CS.
@@ -93,6 +112,25 @@ struct OptimizeResult {
   int cache_hits = 0;
   /// How many BO picks landed on each fidelity (diagnostics).
   std::array<int, sim::kNumFidelities> picks_per_fidelity{};
+
+  // ---- Fault-tolerance accounting (all zero in the healthy regime). ----
+  /// Flow attempts, including crashed / timed-out ones.
+  int attempts = 0;
+  int transient_failures = 0;
+  int timeouts = 0;
+  int persistent_failures = 0;
+  /// Jobs that fell back to a lower fidelity after exhausting retries.
+  int degraded_jobs = 0;
+  /// Charged tool-seconds burned by failed attempts (subset of
+  /// tool_seconds — honest accounting of the retry cost).
+  double wasted_seconds = 0.0;
+  /// Scheduler backoff waits (extend wall_seconds, never charged).
+  double backoff_seconds = 0.0;
+  /// True when this result continued from a checkpoint journal.
+  bool resumed = false;
+  /// BO rounds executed by THIS process (== total rounds unless resumed or
+  /// stopped early by OptimizerOptions::max_rounds).
+  int rounds_run = 0;
 };
 
 /// The paper's optimizer: correlated multi-objective GPs per fidelity,
@@ -126,10 +164,31 @@ class CorrelatedMfMoboOptimizer {
     double peipv = -1.0;
   };
 
-  /// Record one scheduler result: reports of every stage up to the job's
-  /// fidelity enter the per-fidelity datasets (line 13: X_i ∪ {x*} for i up
-  /// to h), and the config joins the CS.
+  /// Record one scheduler result: reports of every stage up to the highest
+  /// COMPLETED fidelity enter the per-fidelity datasets (line 13: X_i ∪
+  /// {x*} for i up to h — degraded jobs contribute their completed prefix),
+  /// and the config joins the CS. Persistent failures additionally feed the
+  /// failed stage a Sec. IV-C-penalized sample so the models learn to avoid
+  /// the design; transient exhaustion does not (the design is not known to
+  /// be bad, the tool was merely flaky).
   void record(const runtime::EvalResult& res);
+  /// Fault-tolerant init: if injected failures left a fidelity with fewer
+  /// than the 2 observations the surrogate needs, draw replacement seed
+  /// configs until every level is viable. No-op (and RNG-neutral) in the
+  /// healthy regime.
+  void reseedThinFidelities(runtime::ToolScheduler& scheduler);
+
+  /// Checkpoint/resume plumbing. The fingerprint ties a journal to this
+  /// exact (options, seed, space, fault model); resuming against anything
+  /// else throws.
+  std::uint64_t checkpointFingerprint() const;
+  CheckpointState captureCheckpoint(int next_round, int t,
+                                    const runtime::ToolScheduler& scheduler,
+                                    const runtime::EvalCache& cache,
+                                    const OptimizeResult& result) const;
+  void restoreCheckpoint(const CheckpointState& st,
+                         runtime::ToolScheduler& scheduler,
+                         runtime::EvalCache& cache, OptimizeResult& result);
   /// Penalized objective vector for an invalid report at a fidelity.
   gp::Vec penalizedObjectives(const FidelityData& data) const;
   std::vector<FidelityObs> buildObsFrom(

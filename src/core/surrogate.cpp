@@ -132,6 +132,36 @@ gp::MultiPosterior MultiFidelitySurrogate::predict(std::size_t level,
   return post;
 }
 
+std::vector<std::vector<double>> MultiFidelitySurrogate::hyperState() const {
+  std::vector<std::vector<double>> state;
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    for (const auto& model : mt_models_) state.push_back(model.packedParams());
+  } else {
+    for (const auto& level : ind_models_)
+      for (const auto& model : level) state.push_back(model.packedParams());
+  }
+  return state;
+}
+
+void MultiFidelitySurrogate::setHyperState(
+    const std::vector<std::vector<double>>& state) {
+  std::size_t i = 0;
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    assert(state.size() == mt_models_.size());
+    for (auto& model : mt_models_) {
+      assert(state[i].size() == model.packedParams().size());
+      model.applyPacked(state[i++]);
+    }
+  } else {
+    assert(state.size() == levels_ * m_);
+    for (auto& level : ind_models_)
+      for (auto& model : level) {
+        assert(state[i].size() == model.packedParams().size());
+        model.applyPacked(state[i++]);
+      }
+  }
+}
+
 linalg::Matrix MultiFidelitySurrogate::taskCorrelation(std::size_t level) const {
   assert(opts_.obj == ObjModelKind::kCorrelated && level < levels_);
   return mt_models_[level].taskCorrelation();

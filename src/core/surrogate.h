@@ -66,6 +66,17 @@ class MultiFidelitySurrogate {
   /// Learned task correlation at a level (correlated variant only).
   linalg::Matrix taskCorrelation(std::size_t level) const;
 
+  /// Packed hyperparameters of every underlying GP, in a deterministic
+  /// per-level (then per-objective, for the independent variant) order.
+  /// Together with the datasets and the RNG state this is the whole
+  /// resumable state of the surrogate: fit() warm-starts its MLE from the
+  /// current packed parameters, so restoring them via setHyperState()
+  /// makes a checkpointed run's next fit bit-identical to the
+  /// uninterrupted one. (AR(1) rho coefficients are recomputed from data
+  /// on every fit and need no serialization.)
+  std::vector<std::vector<double>> hyperState() const;
+  void setHyperState(const std::vector<std::vector<double>>& state);
+
  private:
   gp::Vec augmented(std::size_t level, const gp::Vec& x) const;
   /// Per-objective mean vector of the lower level at x.

@@ -68,11 +68,17 @@ class GpRegressor {
   std::size_t numData() const { return x_.size(); }
   bool fitted() const { return chol_.has_value(); }
 
+  /// Packed hyperparameters [kernel log-params..., log noise]. Exposed so
+  /// checkpoints can journal them: fit() warm-starts MLE from the current
+  /// packed vector, so a resumed run must restore it to stay
+  /// trajectory-identical. applyPacked is pure parameter assignment — it
+  /// does not touch the cached posterior.
+  Vec packedParams() const;
+  void applyPacked(const Vec& packed);
+
  private:
   /// Negative LML and gradient at packed parameters [kernel..., log noise].
   double negLml(const Vec& packed, Vec& grad) const;
-  void applyPacked(const Vec& packed);
-  Vec packedParams() const;
 
   KernelPtr kernel_;
   GpFitOptions opts_;

@@ -59,15 +59,20 @@ class MultiTaskGp {
   bool fitted() const { return chol_.has_value(); }
   const Kernel& inputKernel() const { return *kernel_; }
 
- private:
   // Packed parameter layout:
   //   [0, nk)                      kernel log-params
   //   [nk, nk + M(M+1)/2)          L entries, row-major lower triangle;
   //                                diagonal entries stored as logs
   //   [nk + M(M+1)/2, ... + M)     per-task log noise stddev
-  std::size_t numPacked() const;
+  // Exposed so checkpoints can journal the hyperparameters: fit()
+  // warm-starts MLE from the current packed vector, so a resumed run must
+  // restore it to stay trajectory-identical. applyPacked is pure parameter
+  // assignment — it does not touch the cached posterior.
   Vec packedParams() const;
   void applyPacked(const Vec& p);
+
+ private:
+  std::size_t numPacked() const;
   static linalg::Matrix buildB(const Vec& l_entries, std::size_t m);
   double negLml(const Vec& packed, Vec& grad) const;
   linalg::Matrix buildStackedGram(const Kernel& k, const Vec& l_entries,

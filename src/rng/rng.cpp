@@ -94,6 +94,20 @@ std::vector<std::size_t> Rng::sampleWithoutReplacement(std::size_t n,
   return all;
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::setState(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  has_cached_normal_ = st.has_cached_normal;
+  cached_normal_ = st.cached_normal;
+}
+
 Rng Rng::split(std::uint64_t salt) {
   std::uint64_t mix = next() ^ (salt * 0x9e3779b97f4a7c15ULL);
   return Rng(splitmix64(mix));

@@ -56,6 +56,16 @@ class Rng {
   /// Derive an independent child generator; deterministic in (state, salt).
   Rng split(std::uint64_t salt);
 
+  /// Full generator state, for crash-safe checkpointing: restoring a saved
+  /// state resumes the exact stream (including the Marsaglia-polar cache).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const;
+  void setState(const State& st);
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

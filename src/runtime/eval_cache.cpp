@@ -1,5 +1,8 @@
 #include "runtime/eval_cache.h"
 
+#include <algorithm>
+#include <map>
+
 namespace cmmfo::runtime {
 
 std::optional<sim::Report> EvalCache::find(std::size_t config,
@@ -41,6 +44,34 @@ void EvalCache::storeFlow(
 std::size_t EvalCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {map_.size(), hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed)};
+}
+
+std::vector<std::pair<std::size_t, sim::Fidelity>> EvalCache::contents()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::size_t, int> highest;
+  for (const auto& [k, report] : map_) {
+    const auto config = static_cast<std::size_t>(k / sim::kNumFidelities);
+    const int fid = static_cast<int>(k % sim::kNumFidelities);
+    auto [it, fresh] = highest.emplace(config, fid);
+    if (!fresh) it->second = std::max(it->second, fid);
+  }
+  std::vector<std::pair<std::size_t, sim::Fidelity>> out;
+  out.reserve(highest.size());
+  for (const auto& [config, fid] : highest)
+    out.emplace_back(config, static_cast<sim::Fidelity>(fid));
+  return out;
+}
+
+void EvalCache::restoreCounters(std::uint64_t hits, std::uint64_t misses) {
+  hits_.store(hits, std::memory_order_relaxed);
+  misses_.store(misses, std::memory_order_relaxed);
 }
 
 void EvalCache::clear() {

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/tool.h"
 
@@ -45,6 +47,23 @@ class EvalCache {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+
+  /// One consistent snapshot of the cache state, for the journal.
+  struct Stats {
+    std::size_t entries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+  /// The cached flows as (config, highest cached fidelity) pairs, sorted by
+  /// config id. Because the tool is deterministic, this is a complete
+  /// serialization: reports can be regenerated with FpgaToolSim::run.
+  std::vector<std::pair<std::size_t, sim::Fidelity>> contents() const;
+
+  /// Restore counters from a checkpoint (entries are re-stored separately
+  /// via storeFlow, since reports are recomputable).
+  void restoreCounters(std::uint64_t hits, std::uint64_t misses);
 
  private:
   static std::uint64_t key(std::size_t config, sim::Fidelity fidelity) {

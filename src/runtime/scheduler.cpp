@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <future>
 
+#include "rng/hash_noise.h"
+
 namespace cmmfo::runtime {
+
+double RetryPolicy::backoffSeconds(std::size_t config, sim::Fidelity fidelity,
+                                   int attempt) const {
+  if (backoff_base_seconds <= 0.0) return 0.0;
+  double delay = backoff_base_seconds;
+  for (int i = 1; i < attempt; ++i) delay *= backoff_factor;
+  if (backoff_jitter_frac > 0.0) {
+    const rng::HashNoise noise(backoff_seed);
+    const double u = noise.uniform(config, static_cast<int>(fidelity),
+                                   attempt, 206);
+    delay *= 1.0 + backoff_jitter_frac * (2.0 * u - 1.0);
+  }
+  return delay;
+}
 
 ToolScheduler::ToolScheduler(const hls::DesignSpace& space,
                              sim::FpgaToolSim& sim, EvalCache& cache,
-                             int n_workers)
-    : space_(&space), sim_(&sim), cache_(&cache), pool_(n_workers) {}
+                             int n_workers, RetryPolicy policy)
+    : space_(&space),
+      sim_(&sim),
+      cache_(&cache),
+      policy_(policy),
+      pool_(n_workers) {
+  policy_.max_attempts = std::max(policy_.max_attempts, 1);
+}
+
+void ToolScheduler::resetAccounting() {
+  totals_ = {};
+  last_ = {};
+  sim_->resetAccounting();
+}
 
 EvalResult ToolScheduler::execute(const EvalJob& job) {
   EvalResult res;
@@ -16,18 +44,51 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
   if (auto cached = cache_->findFlow(job.config, job.fidelity)) {
     res.stages = *cached;
     res.cache_hit = true;
+    res.completed_fidelity = static_cast<int>(job.fidelity);
     return res;  // the artifacts already exist; nothing to charge
   }
   // One charged invocation runs the flow up to the requested fidelity; the
   // intermediate stage reports come with it for free (a real tool run emits
-  // every stage's report along the way).
+  // every stage's report along the way). Under injected faults the attempt
+  // loop retries transient crashes and timeouts with deterministic backoff,
+  // gives up immediately on a persistent per-config failure, and settles on
+  // the best stage prefix any attempt completed.
   const hls::DirectiveConfig cfg = space_->config(job.config);
-  const sim::Report charged = sim_->runCounted(cfg, job.fidelity);
-  for (int f = 0; f < static_cast<int>(job.fidelity); ++f)
-    res.stages[f] = sim_->run(cfg, static_cast<sim::Fidelity>(f));
-  res.stages[static_cast<int>(job.fidelity)] = charged;
-  res.charged_seconds = charged.tool_seconds;
-  cache_->storeFlow(job.config, job.fidelity, res.stages);
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    const sim::FlowAttempt fa = sim_->runFlowAttemptCounted(
+        cfg, job.fidelity, attempt, policy_.attempt_timeout_seconds);
+    ++res.attempts;
+    res.charged_seconds += fa.attempt_seconds;
+    if (fa.ok()) {
+      res.stages = fa.stages;
+      res.completed_fidelity = fa.completed_upto;
+      res.failed_stage = -1;
+      break;
+    }
+    res.wasted_seconds += fa.attempt_seconds;
+    res.failed_stage = fa.failed_stage;
+    if (fa.status == sim::AttemptStatus::kTimeout)
+      ++res.timeout_attempts;
+    else if (fa.status == sim::AttemptStatus::kTransientCrash)
+      ++res.transient_crashes;
+    if (fa.completed_upto > res.completed_fidelity) {
+      // Keep the deepest prefix seen across attempts: a crashed impl run
+      // still leaves valid hls/syn artifacts behind.
+      res.stages = fa.stages;
+      res.completed_fidelity = fa.completed_upto;
+    }
+    if (fa.status == sim::AttemptStatus::kPersistentFailure) {
+      res.persistent_failure = true;
+      break;  // the same stage dies every time; retrying only burns hours
+    }
+    if (attempt < policy_.max_attempts)
+      res.backoff_seconds +=
+          policy_.backoffSeconds(job.config, job.fidelity, attempt);
+  }
+  if (res.completed_fidelity >= 0)
+    cache_->storeFlow(job.config,
+                      static_cast<sim::Fidelity>(res.completed_fidelity),
+                      res.stages);
   return res;
 }
 
@@ -44,18 +105,31 @@ std::vector<EvalResult> ToolScheduler::runBatch(
 
   // Accounting (main thread, deterministic). Wall clock: greedy list
   // scheduling of the round's charges onto the farm in job order; the
-  // round costs its makespan. With one worker this degenerates to the
-  // plain sum, i.e. wall == charged, the sequential regime.
+  // round costs its makespan. A job occupies its worker for every attempt
+  // plus the backoff waits between them. With one worker and no faults this
+  // degenerates to the plain sum, i.e. wall == charged, the sequential
+  // regime.
   SchedulerStats round;
   std::vector<double> load(pool_.numWorkers(), 0.0);
   for (const EvalResult& r : results) {
     round.charged_seconds += r.charged_seconds;
+    round.attempts += r.attempts;
+    round.transient_failures += r.transient_crashes;
+    round.timeouts += r.timeout_attempts;
+    round.retry_seconds_wasted += r.wasted_seconds;
+    round.backoff_seconds += r.backoff_seconds;
+    if (r.persistent_failure) ++round.persistent_failures;
+    // Degraded = genuinely fell back to a completed lower stage. Jobs that
+    // completed nothing show up in the failure counters instead.
+    if (!r.cache_hit && !r.persistent_failure && r.degraded() &&
+        r.completed_fidelity >= 0)
+      ++round.degraded_jobs;
     if (r.cache_hit) {
       ++round.cache_hits;
     } else {
       ++round.tool_runs;
       auto slot = std::min_element(load.begin(), load.end());
-      *slot += r.charged_seconds;
+      *slot += r.charged_seconds + r.backoff_seconds;
     }
   }
   round.wall_seconds = *std::max_element(load.begin(), load.end());
@@ -65,6 +139,13 @@ std::vector<EvalResult> ToolScheduler::runBatch(
   totals_.wall_seconds += round.wall_seconds;
   totals_.tool_runs += round.tool_runs;
   totals_.cache_hits += round.cache_hits;
+  totals_.attempts += round.attempts;
+  totals_.transient_failures += round.transient_failures;
+  totals_.timeouts += round.timeouts;
+  totals_.persistent_failures += round.persistent_failures;
+  totals_.degraded_jobs += round.degraded_jobs;
+  totals_.retry_seconds_wasted += round.retry_seconds_wasted;
+  totals_.backoff_seconds += round.backoff_seconds;
   return results;
 }
 

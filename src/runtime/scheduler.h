@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "hls/design_space.h"
@@ -16,61 +17,142 @@ struct EvalJob {
   sim::Fidelity fidelity = sim::Fidelity::kHls;
 };
 
-/// Outcome of one job: the per-stage reports of the flow up to the job's
-/// fidelity (entries beyond it are default-constructed), plus accounting.
+/// How the scheduler reacts to injected tool failures (sim::FaultParams).
+/// The defaults are a no-op when the fault layer is off: nothing ever
+/// fails, so the attempt loop runs exactly once with no timeout and no
+/// backoff, and accounting is bit-for-bit the single-attempt path.
+struct RetryPolicy {
+  /// Attempts per job before giving up (>= 1). Exhaustion degrades the job
+  /// to its best completed prefix (see EvalResult::completed_fidelity).
+  int max_attempts = 3;
+  /// Kill an attempt after this many simulated seconds (0 = no timeout).
+  /// Should sit above the nominal impl-stage time or healthy runs die too.
+  double attempt_timeout_seconds = 0.0;
+  /// Deterministic exponential backoff between attempts:
+  ///   base * factor^(attempt-1) * (1 + jitter * (2u - 1)),
+  /// u a keyed hash uniform in (config, fidelity, attempt). Backoff extends
+  /// the round's makespan but charges no tool-seconds (the license is
+  /// released while waiting).
+  double backoff_base_seconds = 30.0;
+  double backoff_factor = 2.0;
+  double backoff_jitter_frac = 0.25;
+  std::uint64_t backoff_seed = 0xB0FF;
+
+  double backoffSeconds(std::size_t config, sim::Fidelity fidelity,
+                        int attempt) const;
+};
+
+/// Outcome of one job: the per-stage reports of the flow up to the highest
+/// stage that completed (entries beyond it are default-constructed), plus
+/// accounting and the fault-tolerance verdict.
 struct EvalResult {
   EvalJob job;
   std::array<sim::Report, sim::kNumFidelities> stages{};
   bool cache_hit = false;
-  /// Tool seconds charged for this job (0 on a cache hit).
+  /// Tool seconds charged for this job over ALL its attempts, wasted or
+  /// useful (0 on a cache hit).
   double charged_seconds = 0.0;
 
-  /// The report at the requested fidelity.
+  // ---- Fault-tolerance outcome (trivial when faults are off). ----
+  /// Highest stage with a finished report; equals the requested fidelity on
+  /// success, lower on a degraded job, -1 when nothing completed.
+  int completed_fidelity = -1;
+  /// Flow attempts consumed (0 on a cache hit, 1 in the healthy regime).
+  int attempts = 0;
+  /// Attempts lost to a transient crash / killed at the timeout.
+  int transient_crashes = 0;
+  int timeout_attempts = 0;
+  /// Charged seconds burned by failed attempts (subset of charged_seconds).
+  double wasted_seconds = 0.0;
+  /// Scheduler wait between attempts; extends wall-clock, never charged.
+  double backoff_seconds = 0.0;
+  /// The job died on a per-(config, stage) persistent fault: retrying can
+  /// never complete it and the optimizer should penalize the design.
+  bool persistent_failure = false;
+  /// Stage that caused the final failure (-1 on success).
+  int failed_stage = -1;
+
+  bool degraded() const {
+    return completed_fidelity < static_cast<int>(job.fidelity);
+  }
+  /// The report at the requested fidelity (valid only when !degraded()).
   const sim::Report& report() const {
     return stages[static_cast<int>(job.fidelity)];
+  }
+  /// The report at the highest completed stage (requires completed >= 0).
+  const sim::Report& completedReport() const {
+    return stages[completed_fidelity];
   }
 };
 
 /// Cost accounting over scheduler rounds. Two notions of time:
-///  - charged_seconds: the Table-I metric, sum of every flow's tool time
-///    (what you pay in tool licenses / CPU hours) — identical to the
+///  - charged_seconds: the Table-I metric, sum of every flow attempt's tool
+///    time (what you pay in tool licenses / CPU hours) — identical to the
 ///    sequential optimizer's total by construction;
 ///  - wall_seconds: the simulated elapsed time of running each round's jobs
 ///    on an `n_workers`-wide farm (greedy list scheduling in job order,
-///    makespan = max per-worker load) — what a deployment actually waits.
+///    makespan = max per-worker load, retries and backoff included) — what
+///    a deployment actually waits.
+/// retry_seconds_wasted carves the failed-attempt share out of
+/// charged_seconds so graceful degradation can be costed honestly.
 struct SchedulerStats {
   double charged_seconds = 0.0;
   double wall_seconds = 0.0;
-  int tool_runs = 0;    // charged flow invocations (cache misses)
+  int tool_runs = 0;    // charged flow invocations (jobs that ran, not hits)
   int cache_hits = 0;
+  // ---- Fault-tolerance accounting. ----
+  int attempts = 0;             // flow attempts, including failed ones
+  int transient_failures = 0;   // attempts lost to transient crashes
+  int timeouts = 0;             // attempts killed at the deadline
+  int persistent_failures = 0;  // jobs abandoned on a persistent fault
+  int degraded_jobs = 0;        // jobs that fell back to a lower fidelity
+  double retry_seconds_wasted = 0.0;  // charged seconds of failed attempts
+  double backoff_seconds = 0.0;       // wall-only wait between attempts
 };
 
 /// Worker-pool executor for batches of FPGA-tool runs.
 ///
 /// Jobs of one runBatch() round execute concurrently on the thread pool.
 /// Results are returned in job order and all model-visible state is
-/// deterministic in (jobs, cache contents) alone — worker count and thread
-/// interleaving can only affect the floating-point summation order of the
-/// simulator's global accounting, never the reports.
+/// deterministic in (jobs, cache contents, fault/retry knobs) alone —
+/// worker count and thread interleaving can only affect the floating-point
+/// summation order of the simulator's global accounting, never the reports.
+///
+/// Failure handling: each job retries up to policy.max_attempts times with
+/// deterministic backoff; a persistent fault aborts the loop immediately.
+/// The job then settles on the best stage prefix any attempt completed.
 class ToolScheduler {
  public:
   ToolScheduler(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
-                EvalCache& cache, int n_workers);
+                EvalCache& cache, int n_workers, RetryPolicy policy = {});
 
   /// Execute one round of jobs; results come back in job order.
   std::vector<EvalResult> runBatch(const std::vector<EvalJob>& jobs);
 
   const SchedulerStats& totals() const { return totals_; }
   const SchedulerStats& lastBatch() const { return last_; }
+  const RetryPolicy& policy() const { return policy_; }
   int numWorkers() const { return pool_.numWorkers(); }
 
+  /// Reset BOTH the scheduler totals and the simulator's tool-seconds
+  /// accumulator, keeping the two ledgers tied out. (A bare
+  /// FpgaToolSim::resetAccounting() desyncs them — always reset through
+  /// the scheduler once one exists.)
+  void resetAccounting();
+
+  /// Restore totals from a checkpoint (the caller restores the simulator's
+  /// own accumulator, which can differ in the last bits under parallel
+  /// summation, via FpgaToolSim::setAccounting).
+  void restoreTotals(const SchedulerStats& totals) { totals_ = totals; }
+
  private:
-  /// Worker-side execution of one job (cache lookup, tool run, store).
+  /// Worker-side execution of one job (cache lookup, retry loop, store).
   EvalResult execute(const EvalJob& job);
 
   const hls::DesignSpace* space_;
   sim::FpgaToolSim* sim_;
   EvalCache* cache_;
+  RetryPolicy policy_;
   ThreadPool pool_;
   SchedulerStats totals_;
   SchedulerStats last_;

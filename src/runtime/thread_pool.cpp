@@ -6,19 +6,30 @@ namespace cmmfo::runtime {
 
 ThreadPool::ThreadPool(int n_workers) {
   const int n = std::max(n_workers, 1);
+  num_workers_ = n;
   workers_.reserve(n);
   for (int i = 0; i < n; ++i)
     workers_.emplace_back([this] { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() {
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  // Only the first caller sees live threads; concurrent/second calls find
+  // workers_ already emptied. Joining drains the queue (workers exit only
+  // once it is empty), preserving the no-dropped-work guarantee.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join.swap(workers_);
+  }
+  for (auto& w : to_join) w.join();
 }
+
+ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::workerLoop() {
   for (;;) {

@@ -17,9 +17,16 @@ namespace cmmfo::runtime {
 /// Tasks are executed FIFO; with one worker the pool therefore runs tasks in
 /// exactly the order they were submitted, which is what lets the runtime
 /// reproduce the sequential optimizer's accounting bit-for-bit. Exceptions
-/// thrown by a task are captured in its future and rethrown at get(); the
-/// destructor finishes every already-queued task before joining, so no
-/// submitted work is silently dropped.
+/// thrown by a task are captured in its future and rethrown at get();
+/// shutdown() (and the destructor) finishes every already-queued task before
+/// joining, so no accepted work is silently dropped.
+///
+/// Shutdown contract: submit() never throws on a stopped pool — it returns a
+/// future that carries a std::runtime_error instead, so a submitter racing
+/// shutdown() observes the failure at get() rather than as an exception on
+/// its own thread. submit() concurrent with shutdown() is well-defined:
+/// each submission is either fully accepted (and will run) or fully
+/// rejected (failed future).
 class ThreadPool {
  public:
   explicit ThreadPool(int n_workers);
@@ -28,10 +35,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int numWorkers() const { return static_cast<int>(workers_.size()); }
+  int numWorkers() const { return num_workers_; }
+
+  /// Drain the queue, join the workers and reject all future submissions.
+  /// Idempotent and safe to race with submit(); must not be called from a
+  /// worker thread.
+  void shutdown();
 
   /// Enqueue a nullary callable; its result (or exception) arrives through
-  /// the returned future. Throws if the pool is already shutting down.
+  /// the returned future. On a stopped pool the returned future is already
+  /// failed (std::runtime_error) — the task is never run.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -40,7 +53,12 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      if (stopping_) {
+        std::promise<R> failed;
+        failed.set_exception(std::make_exception_ptr(
+            std::runtime_error("submit on stopped ThreadPool")));
+        return failed.get_future();
+      }
       queue_.push([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -54,7 +72,8 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
   bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  int num_workers_ = 0;
+  std::vector<std::thread> workers_;  // emptied by shutdown() after joining
 };
 
 }  // namespace cmmfo::runtime

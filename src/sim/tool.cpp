@@ -16,6 +16,16 @@ const char* fidelityName(Fidelity f) {
   return "?";
 }
 
+const char* attemptStatusName(AttemptStatus s) {
+  switch (s) {
+    case AttemptStatus::kCompleted: return "completed";
+    case AttemptStatus::kTransientCrash: return "transient-crash";
+    case AttemptStatus::kTimeout: return "timeout";
+    case AttemptStatus::kPersistentFailure: return "persistent-failure";
+  }
+  return "?";
+}
+
 namespace {
 double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
 
@@ -158,6 +168,96 @@ Report FpgaToolSim::runCounted(const hls::DirectiveConfig& cfg,
   const Report r = run(cfg, fidelity);
   total_tool_seconds_.fetch_add(r.tool_seconds, std::memory_order_relaxed);
   return r;
+}
+
+FlowAttempt FpgaToolSim::runFlowAttempt(const hls::DirectiveConfig& cfg,
+                                        Fidelity fidelity, int attempt,
+                                        double timeout_seconds) const {
+  FlowAttempt fa;
+  const int upto = static_cast<int>(fidelity);
+  // Fault-free stage ladder: the reports the attempt would produce, plus the
+  // cumulative stage times the fault events perturb.
+  std::array<Report, kNumFidelities> clean{};
+  for (int f = 0; f <= upto; ++f) clean[f] = run(cfg, static_cast<Fidelity>(f));
+
+  if (!faults_.enabled() && timeout_seconds <= 0.0) {
+    // Fast path, bit-for-bit the legacy accounting: one charged invocation
+    // whose cost is the cumulative tool_seconds of the requested stage.
+    fa.stages = clean;
+    fa.completed_upto = upto;
+    fa.attempt_seconds = clean[upto].tool_seconds;
+    return fa;
+  }
+
+  // Every fault event is a keyed hash draw: persistent failures key on
+  // (config, stage) only — the same stage dies on every retry — while
+  // transient crashes, hangs and stalls key on (config, stage, attempt), so
+  // a retried attempt rolls fresh dice. Channel ids keep draws independent.
+  const rng::HashNoise fault(seed_ ^
+                             (faults_.fault_seed * 0x9e3779b97f4a7c15ULL));
+  const std::uint64_t ch = cfg.hash();
+  const std::uint64_t at = static_cast<std::uint64_t>(attempt);
+
+  double elapsed = 0.0;
+  bool perturbed = false;
+  if (faults_.license_stall_prob > 0.0 &&
+      fault.uniform(ch, 0, at, 204) < faults_.license_stall_prob) {
+    elapsed += faults_.license_stall_seconds;
+    perturbed = true;
+  }
+  for (int s = 0; s <= upto; ++s) {
+    const double t_prev = s == 0 ? 0.0 : clean[s - 1].tool_seconds;
+    double stage_t = clean[s].tool_seconds - t_prev;
+    if (faults_.hang_prob > 0.0 &&
+        fault.uniform(ch, s, at, 203) < faults_.hang_prob) {
+      stage_t *= faults_.hang_multiplier;
+      perturbed = true;
+    }
+    const bool persistent =
+        faults_.persistent_failure_prob > 0.0 &&
+        fault.uniform(ch, s, 0, 201) < faults_.persistent_failure_prob;
+    const bool transient =
+        !persistent && faults_.transient_crash_prob > 0.0 &&
+        fault.uniform(ch, s, at, 202) < faults_.transient_crash_prob;
+
+    // Crashes burn a deterministic fraction of the stage before dying.
+    double spent = stage_t;
+    if (persistent)
+      spent = 0.9 * stage_t;
+    else if (transient)
+      spent = (0.25 + 0.5 * fault.uniform(ch, s, at, 205)) * stage_t;
+
+    if (timeout_seconds > 0.0 && elapsed + spent > timeout_seconds) {
+      // The scheduler kills the attempt at the deadline; no more than the
+      // timeout is ever charged for one attempt.
+      fa.status = AttemptStatus::kTimeout;
+      fa.failed_stage = s;
+      fa.attempt_seconds = timeout_seconds;
+      return fa;
+    }
+    elapsed += spent;
+    if (persistent || transient) {
+      fa.status = persistent ? AttemptStatus::kPersistentFailure
+                             : AttemptStatus::kTransientCrash;
+      fa.failed_stage = s;
+      fa.attempt_seconds = elapsed;
+      return fa;
+    }
+    fa.stages[s] = clean[s];
+    fa.completed_upto = s;
+  }
+  // No event touched the clock: keep the cumulative value bit-for-bit so a
+  // timeout-only policy with no faults stays exactly on the legacy numbers.
+  fa.attempt_seconds = perturbed ? elapsed : clean[upto].tool_seconds;
+  return fa;
+}
+
+FlowAttempt FpgaToolSim::runFlowAttemptCounted(const hls::DirectiveConfig& cfg,
+                                               Fidelity fidelity, int attempt,
+                                               double timeout_seconds) {
+  FlowAttempt fa = runFlowAttempt(cfg, fidelity, attempt, timeout_seconds);
+  total_tool_seconds_.fetch_add(fa.attempt_seconds, std::memory_order_relaxed);
+  return fa;
 }
 
 std::array<double, kNumFidelities> FpgaToolSim::nominalStageSeconds() const {

@@ -58,6 +58,64 @@ struct SimParams {
   double base_tool_seconds = 40.0;
 };
 
+/// Failure-mode knobs of the simulated flow (all off by default, making the
+/// fault layer a strict no-op). Every event is drawn from a keyed hash of
+/// (config, stage, attempt), so runs are reproducible, the ground-truth
+/// Pareto set stays well-defined (run() never faults), and a retried attempt
+/// sees an independent draw — exactly the "flaky Vivado" regime.
+struct FaultParams {
+  /// Per-stage probability that an attempt crashes partway through the
+  /// stage (placement/routing segfaults, tool license drops mid-run).
+  /// Independent across attempts: retrying can succeed.
+  double transient_crash_prob = 0.0;
+  /// Per-stage probability that an attempt wedges: the stage takes
+  /// `hang_multiplier`x its nominal time. Without a scheduler timeout the
+  /// hung run eventually completes (and is charged in full); with one it is
+  /// killed at the timeout.
+  double hang_prob = 0.0;
+  double hang_multiplier = 20.0;
+  /// Per-attempt probability of a license stall before the flow starts;
+  /// stalled attempts charge `license_stall_seconds` extra.
+  double license_stall_prob = 0.0;
+  double license_stall_seconds = 300.0;
+  /// Per-(config, stage) probability that the stage fails on EVERY attempt
+  /// (a design that reliably crashes the tool). Retrying never helps; the
+  /// scheduler should give up immediately.
+  double persistent_failure_prob = 0.0;
+  /// Salt for the fault stream, independent of the report noise seed.
+  std::uint64_t fault_seed = 0xFA17;
+
+  bool enabled() const {
+    return transient_crash_prob > 0.0 || hang_prob > 0.0 ||
+           license_stall_prob > 0.0 || persistent_failure_prob > 0.0;
+  }
+};
+
+/// How one flow attempt ended.
+enum class AttemptStatus {
+  kCompleted,         ///< every requested stage finished
+  kTransientCrash,    ///< a stage crashed; retrying may succeed
+  kTimeout,           ///< killed at the scheduler's attempt timeout
+  kPersistentFailure  ///< this (config, stage) fails every attempt
+};
+const char* attemptStatusName(AttemptStatus s);
+
+/// Outcome of one fault-aware flow attempt. Stage reports are filled for
+/// every stage that completed (`stages[0..completed_upto]`); a failed
+/// attempt still charges the simulated seconds it burned before dying.
+struct FlowAttempt {
+  AttemptStatus status = AttemptStatus::kCompleted;
+  /// Highest stage index with a finished report; -1 if none completed.
+  int completed_upto = -1;
+  /// Stage that crashed / hung / persistently fails; -1 on success.
+  int failed_stage = -1;
+  std::array<Report, kNumFidelities> stages{};
+  /// Simulated tool seconds consumed by THIS attempt (useful or not).
+  double attempt_seconds = 0.0;
+
+  bool ok() const { return status == AttemptStatus::kCompleted; }
+};
+
 /// Deterministic simulator of the Vivado-style three-stage flow for one
 /// kernel. run() is pure: the same (config, fidelity) always produces the
 /// same report, which is what makes an enumerable ground-truth Pareto set
@@ -70,6 +128,25 @@ class FpgaToolSim {
   /// Run the flow up to `fidelity` and report that stage's view.
   Report run(const hls::DirectiveConfig& cfg, Fidelity fidelity) const;
 
+  /// Fault-aware flow execution: run the stages [hls..fidelity] in order
+  /// under the configured FaultParams. Pure in (config, fidelity, attempt,
+  /// timeout): replaying the same attempt reproduces the same outcome.
+  /// `timeout_seconds <= 0` means no timeout. With faults disabled and no
+  /// timeout this completes with attempt_seconds bit-for-bit equal to
+  /// run(cfg, fidelity).tool_seconds.
+  FlowAttempt runFlowAttempt(const hls::DirectiveConfig& cfg, Fidelity fidelity,
+                             int attempt, double timeout_seconds = 0.0) const;
+
+  /// runFlowAttempt() plus accounting: the attempt's seconds (wasted or
+  /// not) are charged to the global accumulator, mirroring a real tool farm
+  /// where a crashed run still burned its license hours.
+  FlowAttempt runFlowAttemptCounted(const hls::DirectiveConfig& cfg,
+                                    Fidelity fidelity, int attempt,
+                                    double timeout_seconds = 0.0);
+
+  void setFaultParams(const FaultParams& faults) { faults_ = faults; }
+  const FaultParams& faultParams() const { return faults_; }
+
   /// run() plus tool-time accounting (used by the optimizers; Table I's
   /// "overall running time" is the sum of these charges). Safe to call
   /// concurrently: the accumulator is atomic so a worker pool running
@@ -81,6 +158,10 @@ class FpgaToolSim {
   }
   void resetAccounting() {
     total_tool_seconds_.store(0.0, std::memory_order_relaxed);
+  }
+  /// Restore the accumulator from a checkpoint (resume path).
+  void setAccounting(double seconds) {
+    total_tool_seconds_.store(seconds, std::memory_order_relaxed);
   }
 
   /// Nominal cumulative runtime of a generic run up to each fidelity — the
@@ -96,6 +177,7 @@ class FpgaToolSim {
   const hls::Kernel* kernel_;
   DeviceModel device_;
   SimParams params_;
+  FaultParams faults_;
   std::uint64_t seed_;
   std::atomic<double> total_tool_seconds_{0.0};
 };

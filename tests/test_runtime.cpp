@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -64,6 +65,45 @@ TEST(ThreadPool, SingleWorkerExecutesFifo) {
     futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
   for (auto& f : futures) f.get();
   for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SubmitOnStoppedPoolReturnsFailedFuture) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  auto f = pool.submit([] { return 1; });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // numWorkers() stays meaningful after shutdown, and shutdown is idempotent.
+  EXPECT_EQ(pool.numWorkers(), 2);
+  pool.shutdown();
+}
+
+TEST(ThreadPool, SubmitRacingShutdownNeverLosesAFuture) {
+  // Satellite regression: submit used to push into the queue of a pool
+  // whose workers had already been told to stop, silently stranding the
+  // task (a broken_promise on get). Now every submit either runs or fails
+  // fast. Run under TSan via run_benches.sh --tsan-smoke.
+  for (int iter = 0; iter < 20; ++iter) {
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::atomic<bool> go{false};
+    std::vector<std::future<int>> futures;
+    std::thread submitter([&] {
+      while (!go.load()) {}
+      for (int i = 0; i < 64; ++i)
+        futures.push_back(pool->submit([i] { return i; }));
+    });
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::microseconds(iter * 10));
+    pool->shutdown();
+    submitter.join();
+    // Every future we did get must settle: either a value or the
+    // stopped-pool exception — never a hang or a broken promise.
+    for (auto& f : futures) {
+      try {
+        (void)f.get();
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
 }
 
 // ------------------------------------------------------------- Fixtures ----
@@ -142,6 +182,48 @@ TEST(EvalCache, CountsHitsAndMisses) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(EvalCache, ConcurrentSameKeyInsertStaysConsistent) {
+  // Satellite: many workers finishing the same flow concurrently must be
+  // safe (the tool is deterministic, so last-writer-wins is correct). Run
+  // under TSan via run_benches.sh --tsan-smoke.
+  Fixture f;
+  EvalCache cache;
+  const auto flow = flowOf(f, 4, Fidelity::kImpl);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back([&cache, &flow] {
+      for (int k = 0; k < 50; ++k)
+        cache.storeFlow(4, Fidelity::kImpl, flow);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.size(), 3u);  // one entry per stage, no duplicates
+  const auto got = cache.find(4, Fidelity::kImpl);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->delay_us, flow[2].delay_us);
+}
+
+TEST(EvalCache, StatsSnapshotMatchesCountersAndContentsSorted) {
+  Fixture f;
+  EvalCache cache;
+  cache.storeFlow(9, Fidelity::kSyn, flowOf(f, 9, Fidelity::kSyn));
+  cache.storeFlow(2, Fidelity::kImpl, flowOf(f, 2, Fidelity::kImpl));
+  cache.find(9, Fidelity::kSyn);   // hit
+  cache.find(50, Fidelity::kHls);  // miss
+  const EvalCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, cache.size());
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  // contents() collapses the stage ladder to (config, highest fidelity),
+  // sorted by config — the journal's canonical form.
+  const auto contents = cache.contents();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0], (std::pair<std::size_t, Fidelity>{2, Fidelity::kImpl}));
+  EXPECT_EQ(contents[1], (std::pair<std::size_t, Fidelity>{9, Fidelity::kSyn}));
+  cache.restoreCounters(10, 20);
+  EXPECT_EQ(cache.hits(), 10u);
+  EXPECT_EQ(cache.misses(), 20u);
 }
 
 // ----------------------------------------------------------- ToolScheduler ----
@@ -234,6 +316,35 @@ TEST(Scheduler, SequentialWallClockEqualsChargedTime) {
   sched.runBatch(someJobs(f, 10));
   EXPECT_DOUBLE_EQ(sched.totals().wall_seconds,
                    sched.totals().charged_seconds);
+}
+
+// Satellite: the two accounting ledgers — the scheduler's charged_seconds
+// and the simulator's own accumulator — must tie out in every regime:
+// cache hits (charge nothing on both sides), multi-round batches, and
+// fault-injected retries (failed attempts charge both sides).
+TEST(Scheduler, AccountingTiesOutAcrossAllRegimes) {
+  Fixture f;
+  sim::FaultParams faults;
+  faults.transient_crash_prob = 0.2;
+  f.sim.setFaultParams(faults);
+  EvalCache cache;
+  runtime::RetryPolicy policy;
+  policy.max_attempts = 3;
+  ToolScheduler sched(f.space, f.sim, cache, 1, policy);
+
+  sched.runBatch(someJobs(f, 12));      // fresh runs, some retried
+  sched.runBatch(someJobs(f, 12));      // pure cache-hit round
+  sched.runBatch(someJobs(f, 20));      // mixed hits and fresh runs
+  EXPECT_GT(sched.totals().cache_hits, 0);
+  // Sequential farm: both ledgers sum the same charges in the same order.
+  EXPECT_DOUBLE_EQ(sched.totals().charged_seconds, f.sim.totalToolSeconds());
+
+  // resetAccounting clears BOTH sides together, so they stay tied.
+  sched.resetAccounting();
+  EXPECT_DOUBLE_EQ(sched.totals().charged_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(f.sim.totalToolSeconds(), 0.0);
+  sched.runBatch(someJobs(f, 6));
+  EXPECT_DOUBLE_EQ(sched.totals().charged_seconds, f.sim.totalToolSeconds());
 }
 
 TEST(Scheduler, ParallelWallClockIsMakespanBounded) {

@@ -42,15 +42,28 @@ struct Args {
     const auto it = options.find(key);
     return it == options.end() ? def : std::atol(it->second.c_str());
   }
+  double getDouble(const std::string& key, double def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return options.count(key) != 0; }
 };
 
 Args parseArgs(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.options[key] = argv[i + 1];
+    if (key.rfind("--", 0) != 0) continue;  // stray value; already consumed
+    key = key.substr(2);
+    // Valueless switches (e.g. --resume) get "1"; key-value pairs consume
+    // the next token.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[i + 1];
+      ++i;
+    } else {
+      args.options[key] = "1";
+    }
   }
   return args;
 }
@@ -59,7 +72,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: cmmfo <list|run|prune|tcl> [--benchmark NAME] "
                "[--method M] [--iters N] [--repeats R] [--seed S] "
-               "[--batch B] [--workers W] [--config IDX]\n");
+               "[--batch B] [--workers W] [--config IDX]\n"
+               "  fault tolerance (run): [--fault-rate P] [--hang-rate P] "
+               "[--stall-rate P] [--persistent-rate P] [--timeout SECS] "
+               "[--retries K]\n"
+               "  checkpointing (run):   [--checkpoint FILE] [--resume] "
+               "[--max-rounds R]\n");
   return 2;
 }
 
@@ -90,12 +108,9 @@ int cmdList() {
 }
 
 std::unique_ptr<baselines::DseMethod> makeMethod(const std::string& method,
-                                                 int iters, int batch,
-                                                 int workers) {
-  core::OptimizerOptions bo;
-  bo.n_iter = iters;
-  bo.batch_size = batch;
-  bo.n_workers = workers;
+                                                 const core::OptimizerOptions&
+                                                     bo,
+                                                 int iters) {
   if (method == "ours") return std::make_unique<baselines::OursMethod>(bo);
   if (method == "fpl18") return std::make_unique<baselines::Fpl18Method>(bo);
   if (method == "ann") return std::make_unique<baselines::AnnMethod>();
@@ -119,13 +134,32 @@ int cmdRun(const Args& args) {
   const int workers =
       std::max(static_cast<int>(args.getInt("workers", batch)), 1);
 
-  const auto m = makeMethod(method, iters, batch, workers);
+  // Fault-tolerance knobs (all off by default).
+  sim::FaultParams faults;
+  faults.transient_crash_prob = args.getDouble("fault-rate", 0.0);
+  faults.hang_prob = args.getDouble("hang-rate", 0.0);
+  faults.license_stall_prob = args.getDouble("stall-rate", 0.0);
+  faults.persistent_failure_prob = args.getDouble("persistent-rate", 0.0);
+
+  core::OptimizerOptions bo;
+  bo.n_iter = iters;
+  bo.batch_size = batch;
+  bo.n_workers = workers;
+  bo.retry.max_attempts =
+      std::max(static_cast<int>(args.getInt("retries", 3)), 1);
+  bo.retry.attempt_timeout_seconds = args.getDouble("timeout", 0.0);
+  bo.checkpoint_path = args.get("checkpoint");
+  bo.resume = args.has("resume");
+  bo.max_rounds = static_cast<int>(args.getInt("max-rounds", 0));
+
+  const auto m = makeMethod(method, bo, iters);
   if (!m) {
     std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
     return 2;
   }
 
   exp::BenchmarkContext ctx(bench_suite::makeAnyBenchmark(name));
+  ctx.sim().setFaultParams(faults);
   std::printf("%s: %zu configurations, %zu true Pareto points\n", name.c_str(),
               ctx.space().size(), ctx.groundTruth().paretoFront().size());
 
@@ -139,6 +173,16 @@ int cmdRun(const Args& args) {
 
   // Learned front of the last repeat, at true post-impl values.
   const auto out = m->run(ctx.space(), ctx.sim(), seed);
+  if (out.attempts > out.tool_runs || out.degraded_jobs > 0 ||
+      out.persistent_failures > 0) {
+    std::printf(
+        "fault tolerance: %d attempts for %d tool runs "
+        "(%d transient crashes, %d timeouts, %d persistent, %d degraded), "
+        "%.1f h wasted retries, %.1f h backoff waits\n",
+        out.attempts, out.tool_runs, out.transient_failures, out.timeouts,
+        out.persistent_failures, out.degraded_jobs,
+        out.wasted_seconds / 3600.0, out.backoff_seconds / 3600.0);
+  }
   pareto::ParetoFront front;
   for (std::size_t i : out.selected)
     if (ctx.groundTruth().valid(i))
