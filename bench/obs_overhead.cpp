@@ -1,0 +1,158 @@
+// Observability overhead bench: proves the tracing + metrics layer is
+// cheap enough to leave on (<2% wall-clock by default) and — the part that
+// actually matters — that it is ALGORITHMICALLY invisible: the optimizer's
+// trajectory with full instrumentation enabled is bit-for-bit the
+// trajectory with it disabled.
+//
+// Method: alternate disabled/enabled runs of the seed-77 SpmvCrs golden
+// configuration (interleaved so CPU frequency drift hits both arms
+// equally), compare the median wall-clock of each arm, and fingerprint
+// every run's (config, fidelity) sequence plus charged tool-seconds.
+//
+// Knobs:
+//   CMMFO_OBS_BUDGET    relative overhead budget (default 0.02)
+//   CMMFO_REPEATS       runs per arm (default 5, CMMFO_FAST caps to 3)
+//   CMMFO_OBS_TRACE     path to dump a sample trace JSONL (optional)
+//   CMMFO_OBS_METRICS   path to dump a sample metrics CSV (optional)
+//
+// Exit status 1 when the overhead budget is exceeded or any enabled run's
+// trajectory diverges from the disabled baseline — CI fails on either.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_suite/benchmarks.h"
+#include "core/optimizer.h"
+#include "exp/harness.h"
+#include "obs/obs.h"
+
+using namespace cmmfo;
+
+namespace {
+
+core::OptimizerOptions goldenOpts() {
+  core::OptimizerOptions o;
+  o.n_iter = 10;
+  o.mc_samples = 16;
+  o.max_candidates = 60;
+  o.hyper_refit_interval = 5;
+  o.surrogate.mtgp.mle_restarts = 0;
+  o.surrogate.mtgp.max_mle_iters = 25;
+  o.surrogate.gp.mle_restarts = 0;
+  o.surrogate.gp.max_mle_iters = 25;
+  o.seed = 77;
+  return o;
+}
+
+struct RunOutcome {
+  double seconds = 0.0;           // host wall-clock of run()
+  double tool_seconds = 0.0;      // simulated charged time (determinism key)
+  std::vector<std::pair<std::size_t, int>> picks;
+};
+
+RunOutcome runOnce(bool instrumented) {
+  obs::tracer().clear();
+  obs::metrics().clear();
+  obs::tracer().setEnabled(instrumented);
+  obs::metrics().setEnabled(instrumented);
+
+  const auto bm = bench_suite::makeSpmvCrs();
+  const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
+  sim::FpgaToolSim sim(bm.kernel, sim::DeviceModel::virtex7Vc707(),
+                       bm.sim_params, 42);
+  core::CorrelatedMfMoboOptimizer opt(space, sim, goldenOpts());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = opt.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunOutcome out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.tool_seconds = res.tool_seconds;
+  for (const auto& e : res.cs)
+    out.picks.emplace_back(e.config, static_cast<int>(e.fidelity));
+  return out;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = exp::fastModeFromEnv();
+  int repeats = exp::repeatsFromEnv(5);
+  if (fast) repeats = std::min(repeats, 3);
+  repeats = std::max(repeats, 1);
+
+  double budget = 0.02;
+  if (const char* b = std::getenv("CMMFO_OBS_BUDGET")) budget = std::atof(b);
+  // Absolute noise floor: on sub-second runs, scheduler jitter alone can
+  // exceed 2% — never fail on less than 25 ms of absolute difference.
+  const double abs_floor = 0.025;
+
+  std::printf("observability overhead: SpmvCrs seed-77 golden run, "
+              "%d repeats per arm, budget %.1f%%\n\n",
+              repeats, 100.0 * budget);
+
+  // Warm-up run (untimed) so allocator/page-cache state is equal for both.
+  const RunOutcome baseline = runOnce(false);
+
+  std::vector<double> t_off, t_on;
+  bool identical = true;
+  for (int i = 0; i < repeats; ++i) {  // interleave the arms
+    const RunOutcome off = runOnce(false);
+    const RunOutcome on = runOnce(true);
+    t_off.push_back(off.seconds);
+    t_on.push_back(on.seconds);
+    if (off.picks != baseline.picks || on.picks != baseline.picks ||
+        off.tool_seconds != baseline.tool_seconds ||
+        on.tool_seconds != baseline.tool_seconds) {
+      identical = false;
+      std::printf("repeat %d: TRAJECTORY DIVERGED (off %zu picks %.17g s, "
+                  "on %zu picks %.17g s)\n",
+                  i, off.picks.size(), off.tool_seconds, on.picks.size(),
+                  on.tool_seconds);
+    }
+    std::printf("repeat %d: off %.3f s   on %.3f s   (%zu trace events, "
+                "%zu metric series)\n",
+                i, off.seconds, on.seconds, obs::tracer().eventCount(),
+                obs::metrics().snapshot().size());
+  }
+
+  const double m_off = median(t_off);
+  const double m_on = median(t_on);
+  const double overhead = m_off > 0.0 ? (m_on - m_off) / m_off : 0.0;
+  std::printf("\nmedian off %.3f s   median on %.3f s   overhead %+.2f%%\n",
+              m_off, m_on, 100.0 * overhead);
+  std::printf("trajectories identical across arms: %s\n",
+              identical ? "yes" : "NO");
+
+  // Sample artifacts (the last instrumented run's buffers are still live).
+  if (const char* p = std::getenv("CMMFO_OBS_TRACE")) {
+    if (obs::tracer().writeJsonl(p))
+      std::printf("sample trace  -> %s (%zu events)\n", p,
+                  obs::tracer().eventCount());
+  }
+  if (const char* p = std::getenv("CMMFO_OBS_METRICS")) {
+    if (obs::metrics().writeFile(p))
+      std::printf("sample metrics -> %s (%zu series)\n", p,
+                  obs::metrics().snapshot().size());
+  }
+
+  bool ok = identical;
+  if (overhead > budget && (m_on - m_off) > abs_floor) {
+    std::printf("FAIL: overhead %.2f%% exceeds the %.1f%% budget\n",
+                100.0 * overhead, 100.0 * budget);
+    ok = false;
+  }
+  if (!identical)
+    std::printf("FAIL: instrumentation perturbed the trajectory\n");
+  return ok ? 0 : 1;
+}

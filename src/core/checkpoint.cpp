@@ -357,6 +357,34 @@ std::string serializeCheckpoint(const CheckpointState& st) {
     out += '\n';
     putVec(out, st.surrogate_hypers[i]);
   }
+  out += "]";
+
+  // Metric names stay within [A-Za-z0-9._] by convention, so no escaping.
+  out += ",\n\"metrics\": [";
+  for (std::size_t i = 0; i < st.metrics.size(); ++i) {
+    const obs::MetricPoint& p = st.metrics[i];
+    if (i) out += ',';
+    out += "\n{\"name\": \"" + p.name + "\", \"kind\": ";
+    putInt(out, static_cast<int>(p.kind));
+    out += ", \"value\": ";
+    putDouble(out, p.value);
+    out += ", \"count\": ";
+    putU64(out, p.count);
+    out += ", \"sum\": ";
+    putDouble(out, p.sum);
+    out += ", \"min\": ";
+    putDouble(out, p.min);
+    out += ", \"max\": ";
+    putDouble(out, p.max);
+    out += ", \"bounds\": ";
+    putVec(out, p.bounds);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < p.buckets.size(); ++b) {
+      if (b) out += ',';
+      putU64(out, p.buckets[b]);
+    }
+    out += "]}";
+  }
   out += "]\n}\n";
   return out;
 }
@@ -504,6 +532,37 @@ bool parseCheckpoint(const std::string& text, CheckpointState* out,
       std::vector<double> vec;
       if (!getVec(row, vec)) return fail("checkpoint: bad hyper row");
       st.surrogate_hypers.push_back(std::move(vec));
+    }
+
+  // Optional: version-1 journals written before the metrics ledger existed
+  // simply lack the key.
+  if (const Json* j = root.find("metrics"); j && j->kind == Json::kArr)
+    for (const Json& e : j->arr) {
+      if (e.kind != Json::kObj) return fail("checkpoint: bad metric entry");
+      obs::MetricPoint p;
+      if (const Json* k = e.find("name"); k && k->kind == Json::kStr)
+        p.name = k->str;
+      if (const Json* k = e.find("kind"); k && k->kind == Json::kNum)
+        p.kind = static_cast<obs::MetricKind>(static_cast<int>(k->num));
+      if (const Json* k = e.find("value"); k && k->kind == Json::kNum)
+        p.value = k->num;
+      if (const Json* k = e.find("count"))
+        if (!getU64(*k, p.count)) return fail("checkpoint: bad metric count");
+      if (const Json* k = e.find("sum"); k && k->kind == Json::kNum)
+        p.sum = k->num;
+      if (const Json* k = e.find("min"); k && k->kind == Json::kNum)
+        p.min = k->num;
+      if (const Json* k = e.find("max"); k && k->kind == Json::kNum)
+        p.max = k->num;
+      if (const Json* k = e.find("bounds"))
+        if (!getVec(*k, p.bounds)) return fail("checkpoint: bad metric bounds");
+      if (const Json* k = e.find("buckets"); k && k->kind == Json::kArr)
+        for (const Json& b : k->arr) {
+          std::uint64_t u = 0;
+          if (!getU64(b, u)) return fail("checkpoint: bad metric bucket");
+          p.buckets.push_back(u);
+        }
+      st.metrics.push_back(std::move(p));
     }
 
   *out = std::move(st);

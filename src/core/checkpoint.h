@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rng/rng.h"
 #include "runtime/scheduler.h"
 #include "sim/tool.h"
@@ -71,6 +72,10 @@ struct CheckpointState {
   std::uint64_t cache_misses = 0;
 
   std::vector<std::vector<double>> surrogate_hypers;
+
+  /// Metrics ledger at checkpoint time (empty when metrics are disabled).
+  /// Optional in the journal — version-1 files without it still load.
+  obs::MetricsSnapshot metrics;
 };
 
 /// JSON round-trip (self-contained writer/parser; no external deps).

@@ -4,11 +4,16 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "core/acquisition.h"
+#include "obs/obs.h"
+#include "obs/profile.h"
 #include "opt/sampling.h"
 #include "pareto/dominance.h"
+#include "pareto/hypervolume.h"
 
 namespace cmmfo::core {
 
@@ -235,6 +240,9 @@ CheckpointState CorrelatedMfMoboOptimizer::captureCheckpoint(
   st.cache_hits = cstats.hits;
   st.cache_misses = cstats.misses;
   st.surrogate_hypers = surrogate_.hyperState();
+  // Journal the metrics ledger so a resumed run's dump continues where the
+  // crashed run left off instead of restarting the counters from zero.
+  if (obs::metrics().enabled()) st.metrics = obs::metrics().snapshot();
   return st;
 }
 
@@ -279,6 +287,8 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
     cache.storeFlow(config, static_cast<Fidelity>(fid), stages);
   }
   cache.restoreCounters(st.cache_hits, st.cache_misses);
+  if (obs::metrics().enabled() && !st.metrics.empty())
+    obs::metrics().restore(st.metrics);
 }
 
 OptimizeResult CorrelatedMfMoboOptimizer::run() {
@@ -316,6 +326,7 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
   };
 
   if (!result.resumed) {
+    obs::ScopedPhase init_phase("init");
     // ---- Initialization (Algorithm 2, lines 4-5): nested seed subsets. ----
     // The seed designs are mutually independent, so the whole set goes to
     // the scheduler as one round; results are recorded in job order, keeping
@@ -356,6 +367,7 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
 
   // ---- Optimization loop (lines 6-15), batched. ----
   for (int round = start_round; t < opts_.n_iter; ++round) {
+    obs::ScopedPhase round_phase("round", round);
     // Remaining pool.
     std::vector<std::size_t> pool;
     pool.reserve(n);
@@ -364,7 +376,10 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
     if (pool.empty()) break;
 
     const bool hypers = round % std::max(opts_.hyper_refit_interval, 1) == 0;
-    surrogate_.fit(buildObsFrom(data_), rng_, hypers);
+    {
+      obs::ScopedPhase fit_phase("gp_fit", round);
+      surrogate_.fit(buildObsFrom(data_), rng_, hypers);
+    }
 
     // Candidate subset, shared across fidelities this round.
     std::vector<std::size_t> cand = pool;
@@ -389,7 +404,11 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
     std::vector<char> taken(n, 0);
     std::vector<runtime::EvalJob> jobs;
     std::array<FidelityData, kNumFidelities> fantasy;
+    std::optional<obs::ScopedPhase> acq_phase;
+    acq_phase.emplace("acquisition", round);
     for (int b = 0; b < q; ++b) {
+      obs::Span pick_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                          "acq_pick", "optimizer");
       const int round_fidelity =
           b == 0 ? -1 : static_cast<int>(jobs.front().fidelity);
       const Pick pick = scanBest(b == 0 ? data_ : fantasy, cand, taken,
@@ -399,6 +418,14 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
       ++result.picks_per_fidelity[static_cast<int>(pick.fidelity)];
       result.iterations.push_back(
           {t + b, pick.fidelity, pick.config, pick.peipv, round});
+      pick_span.round(round)
+          .fidelity(static_cast<int>(pick.fidelity))
+          .id(static_cast<std::int64_t>(pick.config))
+          .value(pick.peipv);
+      if (obs::metrics().enabled())
+        obs::metrics().observe(std::string("acq.peipv.") +
+                                   sim::fidelityName(pick.fidelity),
+                               pick.peipv);
 
       if (b + 1 < q) {
         // Believe the model: append its predicted means at every stage the
@@ -414,11 +441,35 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
       }
     }
 
-    for (const runtime::EvalResult& res : scheduler.runBatch(jobs))
-      record(res);
+    acq_phase.reset();
+
+    {
+      obs::ScopedPhase eval_phase("evaluate", round);
+      for (const runtime::EvalResult& res : scheduler.runBatch(jobs))
+        record(res);
+    }
     t += q;
     ++result.rounds_run;
-    checkpoint(round + 1);
+
+    // Diagnostics-only progression metrics: computed from already-recorded
+    // data when enabled, never read back by the algorithm.
+    if (obs::metrics().enabled()) {
+      obs::metrics().set("opt.round", static_cast<double>(round));
+      obs::metrics().set("opt.proposals", static_cast<double>(t));
+      const FidelityData& top = data_[kNumFidelities - 1];
+      if (!top.y.empty()) {
+        const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
+        obs::metrics().set(
+            "opt.hypervolume.impl",
+            pareto::hypervolume(pareto::paretoFilter(pts),
+                                pareto::referencePoint(pts)));
+      }
+    }
+
+    {
+      obs::ScopedPhase ckpt_phase("checkpoint", round);
+      checkpoint(round + 1);
+    }
     if (opts_.max_rounds > 0 && result.rounds_run >= opts_.max_rounds) break;
   }
 

@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "gp/ard_kernels.h"
 #include "linalg/vec_ops.h"
+#include "obs/obs.h"
+#include "obs/profile.h"
 
 namespace cmmfo::core {
 
@@ -83,11 +86,30 @@ void MultiFidelitySurrogate::fit(const std::vector<FidelityObs>& obs,
       }
     }
 
+    obs::Span fit_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                       "gp_fit_level", "gp");
+    fit_span.fidelity(static_cast<int>(l))
+        .outcome(optimize_hypers ? "mle" : "refit");
     if (opts_.obj == ObjModelKind::kCorrelated) {
       if (optimize_hypers)
         mt_models_[l].fit(inputs, targets, rng);
       else
         mt_models_[l].refitPosterior(inputs, targets);
+      if (obs::metrics().enabled()) {
+        obs::MetricsRegistry& met = obs::metrics();
+        if (optimize_hypers) {
+          met.defineHistogram("gp.fit_iters",
+                              obs::MetricsRegistry::countBounds());
+          met.observe("gp.fit_iters",
+                      static_cast<double>(mt_models_[l].lastFitIterations()));
+        }
+        met.defineHistogram("gp.cond_log10",
+                            obs::MetricsRegistry::conditionBounds());
+        met.observe("gp.cond_log10",
+                    std::log10(mt_models_[l].gramConditionEstimate()));
+        met.set("gp.lml.level" + std::to_string(l),
+                mt_models_[l].logMarginalLikelihood());
+      }
     } else {
       for (std::size_t mm = 0; mm < m_; ++mm) {
         const gp::Vec col = targets.col(mm);
@@ -95,6 +117,20 @@ void MultiFidelitySurrogate::fit(const std::vector<FidelityObs>& obs,
           ind_models_[l][mm].fit(inputs, col, rng);
         else
           ind_models_[l][mm].refitPosterior(inputs, col);
+        if (obs::metrics().enabled()) {
+          obs::MetricsRegistry& met = obs::metrics();
+          if (optimize_hypers) {
+            met.defineHistogram("gp.fit_iters",
+                                obs::MetricsRegistry::countBounds());
+            met.observe(
+                "gp.fit_iters",
+                static_cast<double>(ind_models_[l][mm].lastFitIterations()));
+          }
+          met.defineHistogram("gp.cond_log10",
+                              obs::MetricsRegistry::conditionBounds());
+          met.observe("gp.cond_log10",
+                      std::log10(ind_models_[l][mm].gramConditionEstimate()));
+        }
       }
     }
   }

@@ -26,6 +26,7 @@ GpRegressor::GpRegressor(const GpRegressor& o)
     : kernel_(o.kernel_->clone()),
       opts_(o.opts_),
       log_noise_(o.log_noise_),
+      last_fit_iters_(o.last_fit_iters_),
       x_(o.x_),
       y_std_(o.y_std_),
       standardizer_(o.standardizer_),
@@ -38,6 +39,7 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& o) {
   kernel_ = o.kernel_->clone();
   opts_ = o.opts_;
   log_noise_ = o.log_noise_;
+  last_fit_iters_ = o.last_fit_iters_;
   x_ = o.x_;
   y_std_ = o.y_std_;
   standardizer_ = o.standardizer_;
@@ -109,6 +111,14 @@ double GpRegressor::negLml(const Vec& packed, Vec& grad) const {
   return nll;
 }
 
+double GpRegressor::evalNegLogMarginalLikelihood(const Vec& packed,
+                                                 Vec* grad) const {
+  Vec g;
+  const double v = negLml(packed, g);
+  if (grad != nullptr) *grad = std::move(g);
+  return v;
+}
+
 void GpRegressor::fit(const Dataset& x, const Vec& y, rng::Rng& rng) {
   assert(!x.empty() && x.size() == y.size());
   x_ = x;
@@ -146,8 +156,10 @@ void GpRegressor::fit(const Dataset& x, const Vec& y, rng::Rng& rng) {
   }
   opt::OptResult best;
   best.value = std::numeric_limits<double>::infinity();
+  last_fit_iters_ = 0;
   for (const auto& start : starts) {
     const opt::OptResult r = opt::minimizeLbfgs(objective, start, lopts);
+    last_fit_iters_ += r.iterations;
     if (std::isfinite(r.value) && r.value < best.value) best = r;
   }
   if (std::isfinite(best.value)) applyPacked(best.x);

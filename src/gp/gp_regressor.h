@@ -76,6 +76,20 @@ class GpRegressor {
   Vec packedParams() const;
   void applyPacked(const Vec& packed);
 
+  /// Negative log marginal likelihood (and, if grad != nullptr, its analytic
+  /// gradient) at arbitrary packed parameters, evaluated on the cached
+  /// training data (set by fit()/refitPosterior()). Exposed for the
+  /// finite-difference gradient-check test battery; does not mutate state.
+  double evalNegLogMarginalLikelihood(const Vec& packed,
+                                      Vec* grad = nullptr) const;
+
+  /// Total L-BFGS iterations spent across all restarts in the last fit().
+  int lastFitIterations() const { return last_fit_iters_; }
+  /// Condition estimate of the fitted (noise-augmented) Gram matrix.
+  double gramConditionEstimate() const {
+    return chol_ ? chol_->conditionEstimate() : 1.0;
+  }
+
  private:
   /// Negative LML and gradient at packed parameters [kernel..., log noise].
   double negLml(const Vec& packed, Vec& grad) const;
@@ -83,6 +97,7 @@ class GpRegressor {
   KernelPtr kernel_;
   GpFitOptions opts_;
   double log_noise_ = 0.0;
+  int last_fit_iters_ = 0;
 
   // Cached posterior state.
   Dataset x_;

@@ -31,6 +31,7 @@ MultiTaskGp::MultiTaskGp(const MultiTaskGp& o)
       opts_(o.opts_),
       l_entries_(o.l_entries_),
       log_noise_(o.log_noise_),
+      last_fit_iters_(o.last_fit_iters_),
       x_(o.x_),
       standardizers_(o.standardizers_),
       y_stacked_(o.y_stacked_),
@@ -45,6 +46,7 @@ MultiTaskGp& MultiTaskGp::operator=(const MultiTaskGp& o) {
   opts_ = o.opts_;
   l_entries_ = o.l_entries_;
   log_noise_ = o.log_noise_;
+  last_fit_iters_ = o.last_fit_iters_;
   x_ = o.x_;
   standardizers_ = o.standardizers_;
   y_stacked_ = o.y_stacked_;
@@ -243,13 +245,23 @@ void MultiTaskGp::fit(const Dataset& x, const linalg::Matrix& y,
   }
   opt::OptResult best;
   best.value = std::numeric_limits<double>::infinity();
+  last_fit_iters_ = 0;
   for (const auto& start : starts) {
     const opt::OptResult r = opt::minimizeLbfgs(objective, start, lopts);
+    last_fit_iters_ += r.iterations;
     if (std::isfinite(r.value) && r.value < best.value) best = r;
   }
   if (std::isfinite(best.value)) applyPacked(best.x);
 
   refitPosterior(x, y);
+}
+
+double MultiTaskGp::evalNegLogMarginalLikelihood(const Vec& packed,
+                                                 Vec* grad) const {
+  Vec g;
+  const double v = negLml(packed, g);
+  if (grad != nullptr) *grad = std::move(g);
+  return v;
 }
 
 void MultiTaskGp::refitPosterior(const Dataset& x, const linalg::Matrix& y) {

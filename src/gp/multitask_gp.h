@@ -71,6 +71,20 @@ class MultiTaskGp {
   Vec packedParams() const;
   void applyPacked(const Vec& p);
 
+  /// Negative log marginal likelihood (and, if grad != nullptr, its analytic
+  /// gradient) at arbitrary packed parameters, evaluated on the cached
+  /// training data (set by fit()/refitPosterior()). Exposed for the
+  /// finite-difference gradient-check test battery; does not mutate state.
+  double evalNegLogMarginalLikelihood(const Vec& packed,
+                                      Vec* grad = nullptr) const;
+
+  /// Total L-BFGS iterations spent across all restarts in the last fit().
+  int lastFitIterations() const { return last_fit_iters_; }
+  /// Condition estimate of the fitted stacked (noise-augmented) Gram matrix.
+  double gramConditionEstimate() const {
+    return chol_ ? chol_->conditionEstimate() : 1.0;
+  }
+
  private:
   std::size_t numPacked() const;
   static linalg::Matrix buildB(const Vec& l_entries, std::size_t m);
@@ -83,6 +97,7 @@ class MultiTaskGp {
   MultiTaskFitOptions opts_;
   Vec l_entries_;   // lower-triangular parameterization of B
   Vec log_noise_;   // per task
+  int last_fit_iters_ = 0;
 
   // Cached posterior state.
   Dataset x_;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace cmmfo::linalg {
 
@@ -94,6 +95,19 @@ double Cholesky::logDet() const {
 }
 
 Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+
+double Cholesky::conditionEstimate() const {
+  const std::size_t n = dim();
+  if (n == 0) return 1.0;
+  double lo = l_(0, 0), hi = l_(0, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, l_(i, i));
+    hi = std::max(hi, l_(i, i));
+  }
+  if (lo <= 0.0) return std::numeric_limits<double>::infinity();
+  const double r = hi / lo;
+  return r * r;
+}
 
 std::vector<double> mvnSample(const std::vector<double>& mu,
                               const Cholesky& chol,

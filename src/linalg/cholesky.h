@@ -37,6 +37,10 @@ class Cholesky {
   Matrix inverse() const;
   /// The lower-triangular factor.
   const Matrix& lower() const { return l_; }
+  /// Cheap 2-norm condition estimate of A from the factor diagonal:
+  /// (max_i L_ii / min_i L_ii)^2. A lower bound on cond_2(A), accurate
+  /// enough to flag ill-conditioned Gram matrices in diagnostics.
+  double conditionEstimate() const;
   /// Jitter that was actually added to the diagonal (0 if none).
   double jitterUsed() const { return jitter_; }
 

@@ -1,0 +1,10 @@
+#include "obs/obs.h"
+
+namespace cmmfo::obs {
+
+Observability& global() {
+  static Observability instance;
+  return instance;
+}
+
+}  // namespace cmmfo::obs

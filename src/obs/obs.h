@@ -1,0 +1,36 @@
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cmmfo::obs {
+
+/// The process-wide observability facade: one tracer + one metrics registry.
+/// Both are disabled by default, so instrumented code in the hot path pays a
+/// single relaxed atomic load when observability is off.
+///
+/// Tests run one gtest case per process (gtest_discover_tests), so global
+/// state here cannot leak between test cases; still, tests that flip the
+/// enabled flags should reset() in their teardown for in-process hygiene.
+struct Observability {
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  bool anyEnabled() const { return tracer.enabled() || metrics.enabled(); }
+
+  /// Disable everything and drop all buffered events/series.
+  void reset() {
+    tracer.setEnabled(false);
+    metrics.setEnabled(false);
+    tracer.clear();
+    metrics.clear();
+  }
+};
+
+Observability& global();
+
+/// Shorthands used at instrumentation sites.
+inline Tracer& tracer() { return global().tracer; }
+inline MetricsRegistry& metrics() { return global().metrics; }
+
+}  // namespace cmmfo::obs

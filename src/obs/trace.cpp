@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+namespace cmmfo::obs {
+
+namespace {
+
+std::uint64_t thisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+void putI64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void putDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+bool writeText(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+Span::Span(Tracer* tracer, const char* name, const char* cat) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  start_ = std::chrono::steady_clock::now();
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.tid = thisThreadId();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  ev_.start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     start_ - tracer_->epoch())
+                     .count();
+  ev_.dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  tracer_->record(std::move(ev_));
+}
+
+void Tracer::setEnabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string Tracer::toJsonl() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string out;
+  for (const TraceEvent& e : evs) {
+    out += "{\"name\": \"" + e.name + "\", \"cat\": \"" + e.cat +
+           "\", \"tid\": ";
+    putU64(out, e.tid);
+    out += ", \"start_us\": ";
+    putI64(out, e.start_us);
+    out += ", \"dur_us\": ";
+    putI64(out, e.dur_us);
+    if (e.round >= 0) {
+      out += ", \"round\": ";
+      putI64(out, e.round);
+    }
+    if (e.fidelity >= 0) {
+      out += ", \"fidelity\": ";
+      putI64(out, e.fidelity);
+    }
+    if (e.id >= 0) {
+      out += ", \"id\": ";
+      putI64(out, e.id);
+    }
+    if (e.attempts > 0) {
+      out += ", \"attempts\": ";
+      putI64(out, e.attempts);
+    }
+    if (e.has_value) {
+      out += ", \"value\": ";
+      putDouble(out, e.value);
+    }
+    if (!e.outcome.empty()) out += ", \"outcome\": \"" + e.outcome + "\"";
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string Tracer::toChromeTrace() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"ph\": \"X\", \"pid\": 1, \"name\": \"" + e.name +
+           "\", \"cat\": \"" + e.cat + "\", \"tid\": ";
+    // chrome://tracing wants small tids; fold the hash to keep lanes stable.
+    putU64(out, e.tid % 10000);
+    out += ", \"ts\": ";
+    putI64(out, e.start_us);
+    out += ", \"dur\": ";
+    putI64(out, e.dur_us);
+    out += ", \"args\": {";
+    bool farg = true;
+    auto arg = [&](const char* key) {
+      if (!farg) out += ", ";
+      farg = false;
+      out += '\"';
+      out += key;
+      out += "\": ";
+    };
+    if (e.round >= 0) { arg("round"); putI64(out, e.round); }
+    if (e.fidelity >= 0) { arg("fidelity"); putI64(out, e.fidelity); }
+    if (e.id >= 0) { arg("id"); putI64(out, e.id); }
+    if (e.attempts > 0) { arg("attempts"); putI64(out, e.attempts); }
+    if (e.has_value) { arg("value"); putDouble(out, e.value); }
+    if (!e.outcome.empty()) {
+      arg("outcome");
+      out += "\"" + e.outcome + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::writeJsonl(const std::string& path) const {
+  return writeText(path, toJsonl());
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  return writeText(path, toChromeTrace());
+}
+
+}  // namespace cmmfo::obs

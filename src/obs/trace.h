@@ -1,0 +1,90 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cmmfo::obs {
+
+/// One completed span. Timestamps are microseconds relative to the tracer's
+/// epoch (steady_clock at construction/reset), so traces from one process
+/// are internally comparable but carry no wall-clock information.
+struct TraceEvent {
+  std::string name;        // e.g. "round", "gp_fit", "job", "flow_attempt"
+  std::string cat;         // coarse category: "optimizer", "scheduler", ...
+  std::uint64_t tid = 0;   // hashed thread id (stable within a process)
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+  int round = -1;          // -1 = not applicable
+  int fidelity = -1;       // -1 = not applicable
+  std::int64_t id = -1;    // candidate/config id, job index, ... (-1 = n/a)
+  int attempts = 0;        // retry count for scheduler jobs
+  double value = 0.0;      // span-specific payload (peipv, seconds charged…)
+  bool has_value = false;
+  std::string outcome;     // "" | "ok" | "failed" | "degraded" | ...
+};
+
+class Tracer;
+
+/// RAII span: samples the clock on construction and records the completed
+/// event on destruction. When the tracer is disabled (or null) construction
+/// is a cheap no-op — no clock read, no allocation.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name, const char* cat);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& round(int r) { ev_.round = r; return *this; }
+  Span& fidelity(int f) { ev_.fidelity = f; return *this; }
+  Span& id(std::int64_t i) { ev_.id = i; return *this; }
+  Span& attempts(int a) { ev_.attempts = a; return *this; }
+  Span& value(double v) { ev_.value = v; ev_.has_value = true; return *this; }
+  Span& outcome(std::string o) { ev_.outcome = std::move(o); return *this; }
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing is disabled
+  std::chrono::steady_clock::time_point start_{};
+  TraceEvent ev_;
+};
+
+/// Collects spans from any thread into an in-memory buffer, dumped at run
+/// end as JSONL (one event per line) or as a chrome://tracing JSON array.
+/// Disabled by default; while disabled every record path is a no-op so the
+/// optimization loop pays only one relaxed atomic load per would-be span.
+class Tracer {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on);
+
+  void record(TraceEvent ev);
+  std::size_t eventCount() const;
+  std::vector<TraceEvent> events() const;
+  /// Drop buffered events and restart the epoch; enabled flag untouched.
+  void clear();
+
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// One JSON object per line (the native dump format).
+  std::string toJsonl() const;
+  /// chrome://tracing / Perfetto "traceEvents" JSON ("X" complete events).
+  std::string toChromeTrace() const;
+  bool writeJsonl(const std::string& path) const;
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cmmfo::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 
+#include "obs/obs.h"
 #include "rng/hash_noise.h"
 
 namespace cmmfo::runtime {
@@ -33,18 +34,37 @@ ToolScheduler::ToolScheduler(const hls::DesignSpace& space,
 }
 
 void ToolScheduler::resetAccounting() {
-  totals_ = {};
-  last_ = {};
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    totals_ = {};
+    last_ = {};
+  }
   sim_->resetAccounting();
 }
 
+SchedulerStats ToolScheduler::totals() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return totals_;
+}
+
+SchedulerStats ToolScheduler::lastBatch() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_;
+}
+
 EvalResult ToolScheduler::execute(const EvalJob& job) {
+  // Worker-side span: pure timing/labeling, never feeds back into the run.
+  obs::Span span(obs::tracer().enabled() ? &obs::tracer() : nullptr, "job",
+                 "scheduler");
+  span.id(static_cast<std::int64_t>(job.config))
+      .fidelity(static_cast<int>(job.fidelity));
   EvalResult res;
   res.job = job;
   if (auto cached = cache_->findFlow(job.config, job.fidelity)) {
     res.stages = *cached;
     res.cache_hit = true;
     res.completed_fidelity = static_cast<int>(job.fidelity);
+    span.outcome("cache_hit");
     return res;  // the artifacts already exist; nothing to charge
   }
   // One charged invocation runs the flow up to the requested fidelity; the
@@ -89,15 +109,33 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
     cache_->storeFlow(job.config,
                       static_cast<sim::Fidelity>(res.completed_fidelity),
                       res.stages);
+  span.attempts(res.attempts).value(res.charged_seconds);
+  if (res.persistent_failure)
+    span.outcome("persistent_failure");
+  else if (res.completed_fidelity < 0)
+    span.outcome("failed");
+  else if (res.degraded())
+    span.outcome("degraded");
+  else
+    span.outcome("ok");
   return res;
 }
 
 std::vector<EvalResult> ToolScheduler::runBatch(
     const std::vector<EvalJob>& jobs) {
+  obs::Span span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                 "run_batch", "scheduler");
   std::vector<std::future<EvalResult>> futures;
   futures.reserve(jobs.size());
   for (const EvalJob& job : jobs)
     futures.push_back(pool_.submit([this, job] { return execute(job); }));
+
+  if (obs::metrics().enabled()) {
+    obs::metrics().defineHistogram("sched.queue_depth",
+                                   obs::MetricsRegistry::countBounds());
+    obs::metrics().observe("sched.queue_depth",
+                           static_cast<double>(pool_.queueDepth()));
+  }
 
   std::vector<EvalResult> results;
   results.reserve(jobs.size());
@@ -134,18 +172,53 @@ std::vector<EvalResult> ToolScheduler::runBatch(
   }
   round.wall_seconds = *std::max_element(load.begin(), load.end());
 
-  last_ = round;
-  totals_.charged_seconds += round.charged_seconds;
-  totals_.wall_seconds += round.wall_seconds;
-  totals_.tool_runs += round.tool_runs;
-  totals_.cache_hits += round.cache_hits;
-  totals_.attempts += round.attempts;
-  totals_.transient_failures += round.transient_failures;
-  totals_.timeouts += round.timeouts;
-  totals_.persistent_failures += round.persistent_failures;
-  totals_.degraded_jobs += round.degraded_jobs;
-  totals_.retry_seconds_wasted += round.retry_seconds_wasted;
-  totals_.backoff_seconds += round.backoff_seconds;
+  SchedulerStats after;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_ = round;
+    totals_.charged_seconds += round.charged_seconds;
+    totals_.wall_seconds += round.wall_seconds;
+    totals_.tool_runs += round.tool_runs;
+    totals_.cache_hits += round.cache_hits;
+    totals_.attempts += round.attempts;
+    totals_.transient_failures += round.transient_failures;
+    totals_.timeouts += round.timeouts;
+    totals_.persistent_failures += round.persistent_failures;
+    totals_.degraded_jobs += round.degraded_jobs;
+    totals_.retry_seconds_wasted += round.retry_seconds_wasted;
+    totals_.backoff_seconds += round.backoff_seconds;
+    after = totals_;
+  }
+
+  // Metrics mirror the ledgers exactly: gauges are SET from the very totals
+  // the scheduler reports (not re-accumulated), on the main thread, in job
+  // order, so the metrics dump ties out with totals() bit-for-bit.
+  if (obs::metrics().enabled()) {
+    obs::MetricsRegistry& m = obs::metrics();
+    m.set("sched.charged_seconds", after.charged_seconds);
+    m.set("sched.wall_seconds", after.wall_seconds);
+    m.set("sched.retry_seconds_wasted", after.retry_seconds_wasted);
+    m.set("sched.backoff_seconds", after.backoff_seconds);
+    m.set("sched.tool_runs", static_cast<double>(after.tool_runs));
+    m.set("sched.cache_hits", static_cast<double>(after.cache_hits));
+    m.set("sched.attempts", static_cast<double>(after.attempts));
+    m.set("sched.transient_failures",
+          static_cast<double>(after.transient_failures));
+    m.set("sched.timeouts", static_cast<double>(after.timeouts));
+    m.set("sched.persistent_failures",
+          static_cast<double>(after.persistent_failures));
+    m.set("sched.degraded_jobs", static_cast<double>(after.degraded_jobs));
+    const double lookups =
+        static_cast<double>(after.cache_hits + after.tool_runs);
+    m.set("sched.cache_hit_rate",
+          lookups > 0.0 ? static_cast<double>(after.cache_hits) / lookups
+                        : 0.0);
+    m.defineHistogram("sched.batch_size",
+                      obs::MetricsRegistry::countBounds());
+    m.observe("sched.batch_size", static_cast<double>(jobs.size()));
+  }
+  span.id(static_cast<std::int64_t>(jobs.size()))
+      .value(round.charged_seconds);
   return results;
 }
 

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "hls/design_space.h"
@@ -129,8 +130,12 @@ class ToolScheduler {
   /// Execute one round of jobs; results come back in job order.
   std::vector<EvalResult> runBatch(const std::vector<EvalJob>& jobs);
 
-  const SchedulerStats& totals() const { return totals_; }
-  const SchedulerStats& lastBatch() const { return last_; }
+  /// Accounting snapshots, returned BY VALUE under the stats lock so that a
+  /// concurrent observer (metrics scraper, progress UI) polling during
+  /// runBatch() never sees a torn ledger — e.g. retry_seconds_wasted from
+  /// one round paired with charged_seconds from the previous one.
+  SchedulerStats totals() const;
+  SchedulerStats lastBatch() const;
   const RetryPolicy& policy() const { return policy_; }
   int numWorkers() const { return pool_.numWorkers(); }
 
@@ -143,7 +148,10 @@ class ToolScheduler {
   /// Restore totals from a checkpoint (the caller restores the simulator's
   /// own accumulator, which can differ in the last bits under parallel
   /// summation, via FpgaToolSim::setAccounting).
-  void restoreTotals(const SchedulerStats& totals) { totals_ = totals; }
+  void restoreTotals(const SchedulerStats& totals) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    totals_ = totals;
+  }
 
  private:
   /// Worker-side execution of one job (cache lookup, retry loop, store).
@@ -154,6 +162,10 @@ class ToolScheduler {
   EvalCache* cache_;
   RetryPolicy policy_;
   ThreadPool pool_;
+  /// Guards totals_ and last_: written by runBatch()/resetAccounting()/
+  /// restoreTotals() on the driving thread, read by totals()/lastBatch()
+  /// possibly from observer threads.
+  mutable std::mutex stats_mu_;
   SchedulerStats totals_;
   SchedulerStats last_;
 };

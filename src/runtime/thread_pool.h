@@ -37,6 +37,14 @@ class ThreadPool {
 
   int numWorkers() const { return num_workers_; }
 
+  /// Tasks accepted but not yet picked up by a worker, read under the pool
+  /// lock (same synchronization as submit/worker handoff, so an observer
+  /// thread polling the depth mid-batch never races the queue).
+  std::size_t queueDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// Drain the queue, join the workers and reject all future submissions.
   /// Idempotent and safe to race with submit(); must not be called from a
   /// worker thread.
@@ -68,7 +76,7 @@ class ThreadPool {
  private:
   void workerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
   bool stopping_ = false;

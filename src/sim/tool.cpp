@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/obs.h"
 #include "rng/hash_noise.h"
 
 namespace cmmfo::sim {
@@ -255,8 +257,19 @@ FlowAttempt FpgaToolSim::runFlowAttempt(const hls::DirectiveConfig& cfg,
 FlowAttempt FpgaToolSim::runFlowAttemptCounted(const hls::DirectiveConfig& cfg,
                                                Fidelity fidelity, int attempt,
                                                double timeout_seconds) {
+  // Span and counters are worker-thread-safe: integer counter increments are
+  // order-independent, and nothing here feeds back into the simulation.
+  obs::Span span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                 "flow_attempt", "sim");
+  span.fidelity(static_cast<int>(fidelity)).attempts(attempt);
   FlowAttempt fa = runFlowAttempt(cfg, fidelity, attempt, timeout_seconds);
   total_tool_seconds_.fetch_add(fa.attempt_seconds, std::memory_order_relaxed);
+  span.value(fa.attempt_seconds).outcome(attemptStatusName(fa.status));
+  if (obs::metrics().enabled()) {
+    obs::metrics().add("sim.flow_attempts");
+    obs::metrics().add(std::string("sim.attempt_status.") +
+                       attemptStatusName(fa.status));
+  }
   return fa;
 }
 

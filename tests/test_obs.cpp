@@ -1,0 +1,484 @@
+// Observability layer tests. The load-bearing property is the determinism
+// invariant: tracing and metrics must never perturb the optimization — the
+// seed-77 golden trajectory pinned in test_runtime.cpp must come out
+// bit-for-bit identical with full instrumentation enabled, and the metrics
+// dump must tie out EXACTLY (EXPECT_DOUBLE_EQ, not NEAR) with the
+// scheduler's own accounting ledgers. All suites here are named Obs* so the
+// TSan smoke (run_benches.sh --tsan-smoke) picks them up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/benchmarks.h"
+#include "core/checkpoint.h"
+#include "core/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "runtime/scheduler.h"
+#include "runtime/thread_pool.h"
+
+namespace cmmfo {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricPoint;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using sim::Fidelity;
+
+// Tests share a process when the binary runs un-filtered, so every test
+// that touches obs::global() wipes it on entry and on exit.
+struct GlobalObsGuard {
+  GlobalObsGuard() { reset(); }
+  ~GlobalObsGuard() { reset(); }
+  static void reset() {
+    obs::tracer().setEnabled(false);
+    obs::tracer().clear();
+    obs::metrics().setEnabled(false);
+    obs::metrics().clear();
+  }
+};
+
+const MetricPoint* find(const MetricsSnapshot& snap, const std::string& name) {
+  for (const MetricPoint& p : snap)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+// ---------------------------------------------------------- MetricsUnit ----
+
+TEST(ObsMetrics, DisabledMutatorsAreNoOps) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.enabled());
+  reg.add("c");
+  reg.set("g", 3.0);
+  reg.observe("h", 1.0);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(ObsMetrics, CounterGaugeHistogramSemantics) {
+  MetricsRegistry reg;
+  reg.setEnabled(true);
+  reg.add("runs");
+  reg.add("runs", 2.0);
+  reg.set("depth", 5.0);
+  reg.set("depth", 3.0);
+  reg.defineHistogram("t", {1.0, 10.0, 100.0});
+  reg.observe("t", 0.5);
+  reg.observe("t", 10.0);   // boundary: counts in the <=10 bucket
+  reg.observe("t", 1e6);    // overflow bucket
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Snapshot is name-sorted.
+  EXPECT_EQ(snap[0].name, "depth");
+  EXPECT_EQ(snap[1].name, "runs");
+  EXPECT_EQ(snap[2].name, "t");
+
+  const MetricPoint* runs = find(snap, "runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_EQ(runs->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(runs->value, 3.0);
+  EXPECT_EQ(runs->count, 2u);
+
+  const MetricPoint* depth = find(snap, "depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(depth->value, 3.0);  // last set wins
+
+  const MetricPoint* t = find(snap, "t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind, MetricKind::kHistogram);
+  EXPECT_EQ(t->count, 3u);
+  EXPECT_DOUBLE_EQ(t->sum, 0.5 + 10.0 + 1e6);
+  EXPECT_DOUBLE_EQ(t->min, 0.5);
+  EXPECT_DOUBLE_EQ(t->max, 1e6);
+  ASSERT_EQ(t->bounds.size(), 3u);
+  ASSERT_EQ(t->buckets.size(), 4u);
+  EXPECT_EQ(t->buckets[0], 1u);  // 0.5 <= 1
+  EXPECT_EQ(t->buckets[1], 1u);  // 10 <= 10
+  EXPECT_EQ(t->buckets[2], 0u);
+  EXPECT_EQ(t->buckets[3], 1u);  // 1e6 overflows past 100
+}
+
+TEST(ObsMetrics, RestoreRoundTripsSnapshotExactly) {
+  MetricsRegistry reg;
+  reg.setEnabled(true);
+  reg.add("a", 0.1);
+  reg.add("a", 0.2);  // 0.1 + 0.2 != 0.3: exercises exact double transport
+  reg.set("b", 3062.9170931904364);
+  reg.observe("c", 1e-7);
+  reg.observe("c", 123.456);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  MetricsRegistry other;
+  other.setEnabled(true);
+  other.add("stale", 9.0);  // must be dropped by restore
+  other.restore(snap);
+  EXPECT_EQ(other.snapshot(), snap);
+}
+
+TEST(ObsMetrics, CsvAndJsonDumpsCarryEverySeries) {
+  MetricsRegistry reg;
+  reg.setEnabled(true);
+  reg.add("sched.tool_runs", 18.0);
+  reg.set("sched.charged_seconds", 3062.9170931904364);
+  reg.defineHistogram("phase.round.seconds", MetricsRegistry::defaultBounds());
+  reg.observe("phase.round.seconds", 0.02);
+
+  const std::string csv = reg.toCsv();
+  EXPECT_NE(csv.find("name,kind,value,count,sum,min,max"), std::string::npos);
+  EXPECT_NE(csv.find("sched.tool_runs"), std::string::npos);
+  EXPECT_NE(csv.find("3062.9170931904364"), std::string::npos);
+  EXPECT_NE(csv.find("le_"), std::string::npos);
+
+  const std::string json = reg.toJson();
+  EXPECT_NE(json.find("\"sched.charged_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.round.seconds\""), std::string::npos);
+}
+
+TEST(ObsMetrics, FixedBucketLayoutsAreStrictlyIncreasing) {
+  for (const auto& bounds :
+       {MetricsRegistry::defaultBounds(), MetricsRegistry::conditionBounds(),
+        MetricsRegistry::countBounds()}) {
+    ASSERT_GE(bounds.size(), 2u);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ------------------------------------------------------------ TraceUnit ----
+
+TEST(ObsTrace, DisabledSpanRecordsNothing) {
+  obs::Tracer tracer;
+  {
+    obs::Span s(tracer.enabled() ? &tracer : nullptr, "round", "optimizer");
+    EXPECT_FALSE(s.active());
+    s.round(3).value(1.0);
+  }
+  EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(ObsTrace, SpanRecordsFieldsAndDuration) {
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  {
+    obs::Span s(&tracer, "job", "scheduler");
+    EXPECT_TRUE(s.active());
+    s.round(2).fidelity(1).id(42).attempts(3).value(7.5).outcome("ok");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  const obs::TraceEvent& ev = events[0];
+  EXPECT_EQ(ev.name, "job");
+  EXPECT_EQ(ev.cat, "scheduler");
+  EXPECT_EQ(ev.round, 2);
+  EXPECT_EQ(ev.fidelity, 1);
+  EXPECT_EQ(ev.id, 42);
+  EXPECT_EQ(ev.attempts, 3);
+  EXPECT_TRUE(ev.has_value);
+  EXPECT_DOUBLE_EQ(ev.value, 7.5);
+  EXPECT_EQ(ev.outcome, "ok");
+  EXPECT_GE(ev.start_us, 0);
+  EXPECT_GE(ev.dur_us, 1000);
+
+  const std::string jsonl = tracer.toJsonl();
+  EXPECT_NE(jsonl.find("\"name\": \"job\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"outcome\": \"ok\""), std::string::npos);
+  const std::string chrome = tracer.toChromeTrace();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ObsTrace, ScopedPhaseEmitsSpanAndHistogram) {
+  GlobalObsGuard guard;
+  obs::tracer().setEnabled(true);
+  obs::metrics().setEnabled(true);
+  { obs::ScopedPhase p("unit_test_phase", 4); }
+  const auto events = obs::tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit_test_phase");
+  EXPECT_EQ(events[0].round, 4);
+  const MetricsSnapshot snap = obs::metrics().snapshot();
+  const MetricPoint* h = find(snap, "phase.unit_test_phase.seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricKind::kHistogram);
+  EXPECT_EQ(h->count, 1u);
+}
+
+TEST(ObsTrace, ConcurrentSpansFromManyThreadsAllLand) {
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  constexpr int kThreads = 8, kSpansPer = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPer; ++i)
+        obs::Span(&tracer, "worker_span", "test").id(t * kSpansPer + i);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.eventCount(),
+            static_cast<std::size_t>(kThreads * kSpansPer));
+}
+
+// --------------------------------------------------- Golden invariance ----
+
+struct Fixture {
+  Fixture()
+      : bm(bench_suite::makeSpmvCrs()),
+        space(hls::DesignSpace::buildPruned(bm.kernel, bm.spec)),
+        sim(bm.kernel, sim::DeviceModel::virtex7Vc707(), bm.sim_params, 42) {}
+  bench_suite::Benchmark bm;
+  hls::DesignSpace space;
+  sim::FpgaToolSim sim;
+};
+
+core::OptimizerOptions fastOpts() {
+  core::OptimizerOptions o;
+  o.n_iter = 10;
+  o.mc_samples = 16;
+  o.max_candidates = 60;
+  o.hyper_refit_interval = 5;
+  o.surrogate.mtgp.mle_restarts = 0;
+  o.surrogate.mtgp.max_mle_iters = 25;
+  o.surrogate.gp.mle_restarts = 0;
+  o.surrogate.gp.max_mle_iters = 25;
+  return o;
+}
+
+// The same seed-77 trajectory test_runtime.cpp pins with observability off,
+// re-run here with tracer AND metrics fully on. Instrumentation must be
+// invisible to the algorithm: identical picks, identical charged seconds to
+// the last bit — and the metrics ledger must tie out exactly against the
+// run's own result accounting.
+TEST(ObsInvariance, GoldenTrajectoryIdenticalWithFullInstrumentationOn) {
+  GlobalObsGuard guard;
+  obs::tracer().setEnabled(true);
+  obs::metrics().setEnabled(true);
+
+  Fixture f;
+  core::OptimizerOptions o = fastOpts();
+  o.seed = 77;
+  core::CorrelatedMfMoboOptimizer opt(f.space, f.sim, o);
+  const auto res = opt.run();
+
+  const std::vector<std::pair<std::size_t, Fidelity>> golden = {
+      {275, Fidelity::kImpl}, {184, Fidelity::kImpl}, {132, Fidelity::kImpl},
+      {228, Fidelity::kSyn},  {20, Fidelity::kSyn},   {89, Fidelity::kHls},
+      {194, Fidelity::kHls},  {57, Fidelity::kHls},   {75, Fidelity::kHls},
+      {35, Fidelity::kHls},   {3, Fidelity::kHls},    {0, Fidelity::kHls},
+      {7, Fidelity::kHls},    {5, Fidelity::kHls},    {17, Fidelity::kHls},
+      {52, Fidelity::kHls},   {1, Fidelity::kHls},    {15, Fidelity::kHls},
+  };
+  ASSERT_EQ(res.cs.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(res.cs[i].config, golden[i].first) << "at index " << i;
+    EXPECT_EQ(res.cs[i].fidelity, golden[i].second) << "at index " << i;
+  }
+  EXPECT_DOUBLE_EQ(res.tool_seconds, 3062.9170931904364);
+  EXPECT_EQ(res.tool_runs, 18);
+  EXPECT_DOUBLE_EQ(res.wall_seconds, res.tool_seconds);
+  EXPECT_EQ(res.cache_hits, 0);
+
+  // ---- Exact ledger tie-out: metrics vs the run's own accounting. ----
+  const MetricsSnapshot snap = obs::metrics().snapshot();
+
+  const MetricPoint* charged = find(snap, "sched.charged_seconds");
+  ASSERT_NE(charged, nullptr);
+  EXPECT_EQ(charged->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(charged->value, res.tool_seconds);
+
+  const MetricPoint* wall = find(snap, "sched.wall_seconds");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->value, res.wall_seconds);
+
+  const MetricPoint* runs = find(snap, "sched.tool_runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_DOUBLE_EQ(runs->value, 18.0);
+
+  const MetricPoint* hits = find(snap, "sched.cache_hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_DOUBLE_EQ(hits->value, 0.0);
+
+  // Worker-side counter: one flow attempt per tool run (no faults here).
+  const MetricPoint* attempts = find(snap, "sim.flow_attempts");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_EQ(attempts->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(attempts->value, static_cast<double>(res.attempts));
+  EXPECT_DOUBLE_EQ(attempts->value, 18.0);
+
+  const MetricPoint* completed = find(snap, "sim.attempt_status.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_DOUBLE_EQ(completed->value, 18.0);
+
+  // Per-fidelity PEIPV histograms cover the BO picks (the golden run makes
+  // all 10 acquisition picks at the HLS fidelity; the impl/syn entries in
+  // the trajectory are the initial design, which has no PEIPV).
+  const MetricPoint* p_hls = find(snap, "acq.peipv.hls");
+  ASSERT_NE(p_hls, nullptr);
+  EXPECT_EQ(p_hls->count, 10u);
+
+  // Phase profiling and progression gauges exist.
+  EXPECT_NE(find(snap, "phase.round.seconds"), nullptr);
+  EXPECT_NE(find(snap, "phase.gp_fit.seconds"), nullptr);
+  EXPECT_NE(find(snap, "phase.acquisition.seconds"), nullptr);
+  EXPECT_NE(find(snap, "phase.evaluate.seconds"), nullptr);
+  EXPECT_NE(find(snap, "gp.fit_iters"), nullptr);
+  EXPECT_NE(find(snap, "gp.cond_log10"), nullptr);
+  const MetricPoint* hv = find(snap, "opt.hypervolume.impl");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_GT(hv->value, 0.0);
+
+  // The trace saw the whole run: rounds, GP fits, picks, jobs, attempts.
+  const auto events = obs::tracer().events();
+  ASSERT_FALSE(events.empty());
+  const auto count = [&events](const char* name) {
+    return std::count_if(events.begin(), events.end(),
+                         [name](const obs::TraceEvent& e) {
+                           return e.name == name;
+                         });
+  };
+  EXPECT_EQ(count("round"), 10);
+  EXPECT_EQ(count("acq_pick"), 10);  // one BO pick per round
+  EXPECT_EQ(count("job"), 18);       // 8 initial designs + 10 picks
+  EXPECT_EQ(count("flow_attempt"), 18);
+  EXPECT_GE(count("gp_fit_level"), 3);
+}
+
+// ------------------------------------------------- Checkpoint round-trip ----
+
+TEST(ObsCheckpoint, MetricsLedgerSurvivesJournalRoundTripExactly) {
+  MetricsRegistry reg;
+  reg.setEnabled(true);
+  reg.add("sim.flow_attempts", 18.0);
+  reg.set("sched.charged_seconds", 3062.9170931904364);
+  reg.set("tiny", 4.9406564584124654e-324);  // denormal min: worst case
+  reg.defineHistogram("gp.cond_log10", MetricsRegistry::conditionBounds());
+  reg.observe("gp.cond_log10", 3.7);
+  reg.observe("gp.cond_log10", 12.1);
+
+  core::CheckpointState st;
+  st.fingerprint = 0xDEADBEEF;
+  st.metrics = reg.snapshot();
+
+  core::CheckpointState back;
+  std::string err;
+  ASSERT_TRUE(core::parseCheckpoint(core::serializeCheckpoint(st), &back,
+                                    &err))
+      << err;
+  EXPECT_EQ(back.metrics, st.metrics);
+
+  // Restoring into a registry with stale content reproduces the snapshot.
+  MetricsRegistry resumed;
+  resumed.setEnabled(true);
+  resumed.add("leftover", 1.0);
+  resumed.restore(back.metrics);
+  EXPECT_EQ(resumed.snapshot(), st.metrics);
+}
+
+TEST(ObsCheckpoint, JournalsWithoutMetricsKeyStillLoad) {
+  // Version-1 journals predating the metrics ledger have no "metrics" key;
+  // the parser must treat it as optional.
+  core::CheckpointState st;
+  std::string text = core::serializeCheckpoint(st);
+  const auto pos = text.find("\"metrics\"");
+  ASSERT_NE(pos, std::string::npos);
+  // Splice the key out: find the preceding comma and the closing ']'.
+  const auto comma = text.rfind(',', pos);
+  const auto close = text.find(']', pos);
+  ASSERT_NE(comma, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  text.erase(comma, close - comma + 1);
+
+  core::CheckpointState back;
+  std::string err;
+  EXPECT_TRUE(core::parseCheckpoint(text, &back, &err)) << err;
+  EXPECT_TRUE(back.metrics.empty());
+}
+
+// ------------------------------------------- Concurrent observer (TSan) ----
+
+TEST(ObsThreadPool, QueueDepthReadableWhileWorkersRun) {
+  runtime::ThreadPool pool(2);
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop.load()) {
+      const std::size_t d = pool.queueDepth();
+      EXPECT_LE(d, 512u);
+    }
+  });
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 256; ++i)
+    futures.push_back(pool.submit([i] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      return i;
+    }));
+  for (auto& f : futures) (void)f.get();
+  stop.store(true);
+  observer.join();
+  EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+// An observer thread hammers totals()/lastBatch()/metrics snapshots while
+// runBatch() executes faulty jobs. Under TSan this proves the stats mutex
+// covers every ledger access; the assertions prove snapshots are never torn
+// (wasted retries can never exceed total charged seconds within ONE
+// consistent snapshot).
+TEST(ObsScheduler, ConcurrentStatsSnapshotsAreNeverTorn) {
+  GlobalObsGuard guard;
+  obs::metrics().setEnabled(true);
+
+  Fixture f;
+  sim::FaultParams faults;
+  faults.transient_crash_prob = 0.3;
+  f.sim.setFaultParams(faults);
+
+  runtime::EvalCache cache;
+  runtime::RetryPolicy policy;
+  policy.max_attempts = 3;
+  runtime::ToolScheduler sched(f.space, f.sim, cache, /*n_workers=*/4,
+                               policy);
+
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop.load()) {
+      const runtime::SchedulerStats t = sched.totals();
+      EXPECT_LE(t.retry_seconds_wasted, t.charged_seconds + 1e-9);
+      EXPECT_GE(t.attempts, t.tool_runs);
+      const runtime::SchedulerStats lb = sched.lastBatch();
+      EXPECT_LE(lb.retry_seconds_wasted, lb.charged_seconds + 1e-9);
+      (void)obs::metrics().snapshot();
+    }
+  });
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<runtime::EvalJob> jobs;
+    for (std::size_t c = 0; c < 12; ++c)
+      jobs.push_back({(round * 12 + c) % f.space.size(), Fidelity::kHls});
+    const auto results = sched.runBatch(jobs);
+    EXPECT_EQ(results.size(), jobs.size());
+  }
+  stop.store(true);
+  observer.join();
+
+  // After quiescence the gauges equal the ledger exactly.
+  const runtime::SchedulerStats t = sched.totals();
+  const MetricsSnapshot snap = obs::metrics().snapshot();
+  const MetricPoint* charged = find(snap, "sched.charged_seconds");
+  ASSERT_NE(charged, nullptr);
+  EXPECT_DOUBLE_EQ(charged->value, t.charged_seconds);
+  const MetricPoint* attempts = find(snap, "sched.attempts");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_DOUBLE_EQ(attempts->value, static_cast<double>(t.attempts));
+}
+
+}  // namespace
+}  // namespace cmmfo

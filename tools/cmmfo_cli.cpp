@@ -25,6 +25,7 @@
 #include "bench_suite/extended_benchmarks.h"
 #include "exp/harness.h"
 #include "hls/tcl_emitter.h"
+#include "obs/obs.h"
 
 using namespace cmmfo;
 
@@ -77,7 +78,9 @@ int usage() {
                "[--stall-rate P] [--persistent-rate P] [--timeout SECS] "
                "[--retries K]\n"
                "  checkpointing (run):   [--checkpoint FILE] [--resume] "
-               "[--max-rounds R]\n");
+               "[--max-rounds R]\n"
+               "  observability (run):   [--trace FILE.jsonl] "
+               "[--chrome-trace FILE.json] [--metrics FILE.csv|.json]\n");
   return 2;
 }
 
@@ -158,6 +161,15 @@ int cmdRun(const Args& args) {
     return 2;
   }
 
+  // Observability: flip the global switches before any run. The run itself
+  // is bit-for-bit unchanged (pinned by tests); only dumps are added.
+  const std::string trace_path = args.get("trace");
+  const std::string chrome_path = args.get("chrome-trace");
+  const std::string metrics_path = args.get("metrics");
+  if (!trace_path.empty() || !chrome_path.empty())
+    obs::tracer().setEnabled(true);
+  if (!metrics_path.empty()) obs::metrics().setEnabled(true);
+
   exp::BenchmarkContext ctx(bench_suite::makeAnyBenchmark(name));
   ctx.sim().setFaultParams(faults);
   std::printf("%s: %zu configurations, %zu true Pareto points\n", name.c_str(),
@@ -194,6 +206,29 @@ int cmdRun(const Args& args) {
     const auto& y = front.points()[i];
     std::printf("%10.3f %12.2f %10.4f %8zu\n", y[0], y[1], y[2],
                 front.ids()[i]);
+  }
+
+  if (!trace_path.empty()) {
+    if (obs::tracer().writeJsonl(trace_path))
+      std::printf("\ntrace: %zu events -> %s\n", obs::tracer().eventCount(),
+                  trace_path.c_str());
+    else
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+  }
+  if (!chrome_path.empty()) {
+    if (obs::tracer().writeChromeTrace(chrome_path))
+      std::printf("chrome trace: %s (open in chrome://tracing)\n",
+                  chrome_path.c_str());
+    else
+      std::fprintf(stderr, "chrome trace: cannot write %s\n",
+                   chrome_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (obs::metrics().writeFile(metrics_path))
+      std::printf("metrics: %zu series -> %s\n",
+                  obs::metrics().snapshot().size(), metrics_path.c_str());
+    else
+      std::fprintf(stderr, "metrics: cannot write %s\n", metrics_path.c_str());
   }
   return 0;
 }
