@@ -18,7 +18,7 @@ core::OptimizerOptions baseOpts(bool fast) {
   bo.n_iter = fast ? 10 : 30;
   bo.mc_samples = fast ? 16 : 32;
   bo.max_candidates = fast ? 80 : 250;
-  bo.hyper_refit_interval = 4;
+  bo.refit_every = 4;
   return bo;
 }
 

@@ -36,7 +36,7 @@ int main() {
   o.n_iter = fast ? 12 : 40;
   o.mc_samples = fast ? 16 : 32;
   o.max_candidates = fast ? 100 : 300;
-  o.hyper_refit_interval = 4;
+  o.refit_every = 4;
   o.seed = 99;
 
   runAndDump(ctx, "Ours", o);

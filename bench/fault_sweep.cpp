@@ -35,7 +35,7 @@ int main() {
   base.n_iter = fast ? 12 : 32;
   base.max_candidates = fast ? 80 : 250;
   base.mc_samples = fast ? 16 : 32;
-  base.hyper_refit_interval = 4;
+  base.refit_every = 4;
   if (fast) {
     base.surrogate.mtgp.mle_restarts = 0;
     base.surrogate.gp.mle_restarts = 0;

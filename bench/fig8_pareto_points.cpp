@@ -44,7 +44,7 @@ int main() {
   bo.n_iter = fast ? 12 : 40;
   bo.mc_samples = fast ? 16 : 32;
   bo.max_candidates = fast ? 100 : 300;
-  bo.hyper_refit_interval = 4;
+  bo.refit_every = 4;
   baselines::MlpOptions mlp;
   if (fast) mlp.epochs = 300;
 

@@ -26,7 +26,7 @@ int main() {
   bo.n_iter = fast ? 12 : 40;  // paper: 40 optimization steps
   bo.mc_samples = fast ? 16 : 32;
   bo.max_candidates = fast ? 100 : 300;
-  bo.hyper_refit_interval = fast ? 6 : 4;
+  bo.refit_every = fast ? 6 : 4;
   if (fast) {
     bo.surrogate.mtgp.max_mle_iters = 25;
     bo.surrogate.gp.max_mle_iters = 25;

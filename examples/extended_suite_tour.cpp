@@ -26,7 +26,7 @@ int main() {
     opts.n_iter = 15;
     opts.mc_samples = 16;
     opts.max_candidates = 120;
-    opts.hyper_refit_interval = 5;
+    opts.refit_every = 5;
     opts.init_design = core::InitDesign::kMaximin;
     opts.seed = 21;
     core::CorrelatedMfMoboOptimizer optimizer(ctx.space(), ctx.sim(), opts);

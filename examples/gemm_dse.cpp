@@ -19,7 +19,7 @@ int main() {
   core::OptimizerOptions opts;
   opts.n_iter = 30;
   opts.max_candidates = 250;
-  opts.hyper_refit_interval = 4;
+  opts.refit_every = 4;
   opts.seed = 11;
 
   // --- Ours.

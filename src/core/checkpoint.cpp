@@ -359,6 +359,13 @@ std::string serializeCheckpoint(const CheckpointState& st) {
   }
   out += "]";
 
+  out += ",\n\"surrogate_base\": [";
+  for (std::size_t i = 0; i < st.surrogate_base.size(); ++i) {
+    if (i) out += ',';
+    putU64(out, st.surrogate_base[i]);
+  }
+  out += "]";
+
   // Metric names stay within [A-Za-z0-9._] by convention, so no escaping.
   out += ",\n\"metrics\": [";
   for (std::size_t i = 0; i < st.metrics.size(); ++i) {
@@ -532,6 +539,15 @@ bool parseCheckpoint(const std::string& text, CheckpointState* out,
       std::vector<double> vec;
       if (!getVec(row, vec)) return fail("checkpoint: bad hyper row");
       st.surrogate_hypers.push_back(std::move(vec));
+    }
+
+  // Optional: journals written before the incremental-posterior resume path
+  // existed lack the key; restore then falls back to a dense refit.
+  if (const Json* j = root.find("surrogate_base"); j && j->kind == Json::kArr)
+    for (const Json& e : j->arr) {
+      std::uint64_t u = 0;
+      if (!getU64(e, u)) return fail("checkpoint: bad surrogate_base entry");
+      st.surrogate_base.push_back(u);
     }
 
   // Optional: version-1 journals written before the metrics ledger existed

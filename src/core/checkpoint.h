@@ -73,6 +73,15 @@ struct CheckpointState {
 
   std::vector<std::vector<double>> surrogate_hypers;
 
+  /// Per-model dense-base point counts of the surrogate's committed
+  /// posterior (hyperState() order). Resume rebuilds each factor as a dense
+  /// factorization of the first `base` points followed by sequential
+  /// rank-appends of the remainder — bit-identical to the factor the
+  /// journaling run evolved incrementally. Optional in the journal: files
+  /// without it (or empty, e.g. pre-fit init checkpoints) fall back to a
+  /// full dense refit on the next round.
+  std::vector<std::uint64_t> surrogate_base;
+
   /// Metrics ledger at checkpoint time (empty when metrics are disabled).
   /// Optional in the journal — version-1 files without it still load.
   obs::MetricsSnapshot metrics;

@@ -133,9 +133,21 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
             ? costPenalty(stage_seconds[f], stage_seconds[kNumFidelities - 1])
             : 1.0;
 
+    // One batched posterior sweep over the untaken candidates (single
+    // cross-Gram + multi-RHS solve per GP in the chain), then the same
+    // strict-argmax scan in candidate order as the scalar loop.
+    std::vector<std::size_t> open;
+    open.reserve(cand.size());
+    gp::Dataset feats;
+    feats.reserve(cand.size());
     for (std::size_t ci : cand) {
       if (taken[ci]) continue;
-      const gp::MultiPosterior post = surrogate_.predict(f, space_->features(ci));
+      open.push_back(ci);
+      feats.push_back(space_->features(ci));
+    }
+    const std::vector<gp::MultiPosterior> posts = surrogate_.predictBatch(f, feats);
+    for (std::size_t k = 0; k < open.size(); ++k) {
+      const gp::MultiPosterior& post = posts[k];
       gp::Vec mu(kNumObjectives);
       linalg::Matrix cov(kNumObjectives, kNumObjectives);
       for (int m = 0; m < kNumObjectives; ++m) {
@@ -146,7 +158,7 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
       const double peipv = penalty * mcEipv(mu, cov, front, ref, z);
       if (!any || peipv > best.peipv) {
         any = true;
-        best.config = ci;
+        best.config = open[k];
         best.fidelity = static_cast<Fidelity>(f);
         best.peipv = peipv;
       }
@@ -191,7 +203,7 @@ std::uint64_t CorrelatedMfMoboOptimizer::checkpointFingerprint() const {
   mix(static_cast<std::uint64_t>(opts_.n_init_impl));
   mix(static_cast<std::uint64_t>(opts_.mc_samples));
   mix(static_cast<std::uint64_t>(opts_.max_candidates));
-  mix(static_cast<std::uint64_t>(opts_.hyper_refit_interval));
+  mix(static_cast<std::uint64_t>(opts_.refit_every));
   mix(static_cast<std::uint64_t>(opts_.init_design));
   mix(static_cast<std::uint64_t>(opts_.surrogate.mf));
   mix(static_cast<std::uint64_t>(opts_.surrogate.obj));
@@ -240,6 +252,10 @@ CheckpointState CorrelatedMfMoboOptimizer::captureCheckpoint(
   st.cache_hits = cstats.hits;
   st.cache_misses = cstats.misses;
   st.surrogate_hypers = surrogate_.hyperState();
+  // Committed dense-base counts (empty before the first fit): resume
+  // replays dense(base) + rank-appends, bit-identical to this run's factors.
+  for (const std::size_t b : surrogate_.committedBaseCounts())
+    st.surrogate_base.push_back(static_cast<std::uint64_t>(b));
   // Journal the metrics ledger so a resumed run's dump continues where the
   // crashed run left off instead of restarting the counters from zero.
   if (obs::metrics().enabled()) st.metrics = obs::metrics().snapshot();
@@ -267,6 +283,16 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
   rng_.setState(st.rng);
   if (!st.surrogate_hypers.empty())
     surrogate_.setHyperState(st.surrogate_hypers);
+  if (!st.surrogate_base.empty()) {
+    // Rebuild the committed posterior exactly as the journaling run held
+    // it (dense base factorization + sequential rank-appends), so rounds
+    // between MLE refits continue bit-identically after resume.
+    std::vector<std::size_t> base;
+    base.reserve(st.surrogate_base.size());
+    for (const std::uint64_t b : st.surrogate_base)
+      base.push_back(static_cast<std::size_t>(b));
+    surrogate_.restorePosterior(buildObsFrom(data_), base);
+  }
 
   result.iterations.clear();
   for (const CheckpointState::IterEntry& it : st.iterations)
@@ -375,10 +401,16 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
       if (!sampled_[i]) pool.push_back(i);
     if (pool.empty()) break;
 
-    const bool hypers = round % std::max(opts_.hyper_refit_interval, 1) == 0;
+    const bool hypers = round % std::max(opts_.refit_every, 1) == 0;
     {
       obs::ScopedPhase fit_phase("gp_fit", round);
-      surrogate_.fit(buildObsFrom(data_), rng_, hypers);
+      if (hypers || !surrogate_.fitted())
+        surrogate_.fit(buildObsFrom(data_), rng_, true);
+      else
+        // Between MLE refits the new observations enter via O(n^2)
+        // rank-append posterior updates; commit also rolls back any
+        // Kriging-believer speculation left from the previous round.
+        surrogate_.appendObservations(buildObsFrom(data_), /*commit=*/true);
     }
 
     // Candidate subset, shared across fidelities this round.
@@ -437,7 +469,9 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
           fantasy[f].y.push_back(
               surrogate_.predict(f, space_->features(pick.config)).mean);
         }
-        surrogate_.fit(buildObsFrom(fantasy), rng_, false);
+        // Speculative (uncommitted) rank-appends: the next commit or full
+        // fit rolls the fantasy back by exact factor truncation.
+        surrogate_.appendObservations(buildObsFrom(fantasy), /*commit=*/false);
       }
     }
 

@@ -36,9 +36,11 @@ struct OptimizerOptions {
   /// traverses the full space; a uniformly drawn subset preserves the
   /// argmax in expectation at a fraction of the cost).
   int max_candidates = 400;
-  /// Re-run hyperparameter MLE every k-th round (posterior-only updates in
-  /// between). 1 = every round.
-  int hyper_refit_interval = 1;
+  /// Re-run hyperparameter MLE every k-th round. Rounds in between absorb
+  /// the new observations with O(n^2) rank-append posterior updates (dense
+  /// refits only where an incremental update is unsound). 1 = full MLE
+  /// every round.
+  int refit_every = 1;
   SurrogateOptions surrogate;
   /// Apply the Eq. (10) fidelity-cost penalty.
   bool cost_penalty = true;

@@ -1,6 +1,8 @@
 #include "core/surrogate.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <string>
 
@@ -10,6 +12,14 @@
 #include "obs/profile.h"
 
 namespace cmmfo::core {
+
+namespace {
+double elapsedUs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
 
 MultiFidelitySurrogate::MultiFidelitySurrogate(std::size_t input_dim,
                                                std::size_t num_objectives,
@@ -50,6 +60,41 @@ gp::Vec MultiFidelitySurrogate::augmented(std::size_t level,
   return linalg::concat(x, lowerMeans(level, x));
 }
 
+void MultiFidelitySurrogate::buildLevelTraining(std::size_t level,
+                                                const FidelityObs& o,
+                                                gp::Dataset* inputs,
+                                                linalg::Matrix* targets) {
+  // Build this level's inputs and targets per the chaining mode. Lower
+  // levels are already (re)fitted, so their posteriors are usable here.
+  const std::size_t l = level;
+  inputs->clear();
+  inputs->reserve(o.x.size());
+  *targets = o.y;
+
+  if (opts_.mf == MfKind::kNonlinear && l > 0) {
+    for (const auto& xi : o.x) inputs->push_back(augmented(l, xi));
+  } else {
+    *inputs = o.x;
+  }
+
+  if (opts_.mf == MfKind::kLinear && l > 0) {
+    // Estimate the per-objective AR(1) scale against the lower level's
+    // posterior mean, then model the residual.
+    for (std::size_t mm = 0; mm < m_; ++mm) {
+      double num = 0.0, den = 0.0;
+      std::vector<double> mu(o.x.size());
+      for (std::size_t i = 0; i < o.x.size(); ++i) {
+        mu[i] = predict(l - 1, o.x[i]).mean[mm];
+        num += mu[i] * o.y(i, mm);
+        den += mu[i] * mu[i];
+      }
+      rho_[l][mm] = den > 1e-12 ? num / den : 1.0;
+      for (std::size_t i = 0; i < o.x.size(); ++i)
+        (*targets)(i, mm) = o.y(i, mm) - rho_[l][mm] * mu[i];
+    }
+  }
+}
+
 void MultiFidelitySurrogate::fit(const std::vector<FidelityObs>& obs,
                                  rng::Rng& rng, bool optimize_hypers) {
   assert(obs.size() == levels_);
@@ -57,34 +102,9 @@ void MultiFidelitySurrogate::fit(const std::vector<FidelityObs>& obs,
     const FidelityObs& o = obs[l];
     assert(o.x.size() >= 2 && o.y.rows() == o.x.size() && o.y.cols() == m_);
 
-    // Build this level's inputs and targets per the chaining mode. Lower
-    // levels are already (re)fitted, so their posteriors are usable here.
     gp::Dataset inputs;
-    inputs.reserve(o.x.size());
-    linalg::Matrix targets = o.y;
-
-    if (opts_.mf == MfKind::kNonlinear && l > 0) {
-      for (const auto& xi : o.x) inputs.push_back(augmented(l, xi));
-    } else {
-      inputs = o.x;
-    }
-
-    if (opts_.mf == MfKind::kLinear && l > 0) {
-      // Estimate the per-objective AR(1) scale against the lower level's
-      // posterior mean, then model the residual.
-      for (std::size_t mm = 0; mm < m_; ++mm) {
-        double num = 0.0, den = 0.0;
-        std::vector<double> mu(o.x.size());
-        for (std::size_t i = 0; i < o.x.size(); ++i) {
-          mu[i] = predict(l - 1, o.x[i]).mean[mm];
-          num += mu[i] * o.y(i, mm);
-          den += mu[i] * mu[i];
-        }
-        rho_[l][mm] = den > 1e-12 ? num / den : 1.0;
-        for (std::size_t i = 0; i < o.x.size(); ++i)
-          targets(i, mm) = o.y(i, mm) - rho_[l][mm] * mu[i];
-      }
-    }
+    linalg::Matrix targets;
+    buildLevelTraining(l, o, &inputs, &targets);
 
     obs::Span fit_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
                        "gp_fit_level", "gp");
@@ -135,6 +155,197 @@ void MultiFidelitySurrogate::fit(const std::vector<FidelityObs>& obs,
     }
   }
   fitted_ = true;
+  // A full (re)fit densifies every factor: the fitted state becomes the new
+  // committed baseline for incremental appends and checkpointing.
+  committed_n_.resize(levels_);
+  for (std::size_t l = 0; l < levels_; ++l) committed_n_[l] = obs[l].x.size();
+  spec_dirty_.assign(levels_, 0);
+  committed_base_ = currentBaseCounts();
+}
+
+std::size_t MultiFidelitySurrogate::levelPoints(std::size_t level) const {
+  return opts_.obj == ObjModelKind::kCorrelated
+             ? mt_models_[level].numData()
+             : ind_models_[level][0].numData();
+}
+
+std::vector<std::size_t> MultiFidelitySurrogate::currentBaseCounts() const {
+  std::vector<std::size_t> base;
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    for (const auto& model : mt_models_) base.push_back(model.denseBasePoints());
+  } else {
+    for (const auto& level : ind_models_)
+      for (const auto& model : level) base.push_back(model.denseBaseSize());
+  }
+  return base;
+}
+
+std::vector<std::size_t> MultiFidelitySurrogate::committedBaseCounts() const {
+  return committed_base_;
+}
+
+void MultiFidelitySurrogate::denseRefitLevel(std::size_t level,
+                                             const FidelityObs& o) {
+  assert(o.x.size() >= 2 && o.y.rows() == o.x.size() && o.y.cols() == m_);
+  gp::Dataset inputs;
+  linalg::Matrix targets;
+  buildLevelTraining(level, o, &inputs, &targets);
+  obs::Span span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                 "gp_fit_level", "gp");
+  span.fidelity(static_cast<int>(level)).outcome("refit");
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    mt_models_[level].refitPosterior(inputs, targets);
+  } else {
+    for (std::size_t mm = 0; mm < m_; ++mm)
+      ind_models_[level][mm].refitPosterior(inputs, targets.col(mm));
+  }
+}
+
+bool MultiFidelitySurrogate::appendLevelRows(std::size_t level,
+                                             const FidelityObs& o,
+                                             std::size_t from) {
+  obs::Span span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                 "gp_fit_level", "gp");
+  span.fidelity(static_cast<int>(level)).outcome("append");
+  const bool timed = obs::metrics().enabled();
+  if (timed)
+    obs::metrics().defineHistogram("gp.append_us",
+                                   obs::MetricsRegistry::defaultBounds());
+  bool all_incremental = true;
+  for (std::size_t i = from; i < o.x.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const gp::Vec input = augmented(level, o.x[i]);
+    if (opts_.obj == ObjModelKind::kCorrelated) {
+      gp::Vec y_row(m_);
+      for (std::size_t mm = 0; mm < m_; ++mm) y_row[mm] = o.y(i, mm);
+      all_incremental &= mt_models_[level].appendObservation(input, y_row);
+    } else {
+      for (std::size_t mm = 0; mm < m_; ++mm)
+        all_incremental &=
+            ind_models_[level][mm].appendObservation(input, o.y(i, mm));
+    }
+    if (timed) obs::metrics().observe("gp.append_us", elapsedUs(t0));
+  }
+  return all_incremental;
+}
+
+void MultiFidelitySurrogate::truncateLevel(std::size_t level, std::size_t n) {
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    mt_models_[level].truncateToPoints(n);
+  } else {
+    for (std::size_t mm = 0; mm < m_; ++mm)
+      ind_models_[level][mm].truncateTo(n);
+  }
+}
+
+void MultiFidelitySurrogate::appendObservations(
+    const std::vector<FidelityObs>& obs, bool commit) {
+  assert(fitted_ && obs.size() == levels_ &&
+         committed_n_.size() == levels_);
+  bool lower_changed = false;
+  for (std::size_t l = 0; l < levels_; ++l) {
+    const FidelityObs& o = obs[l];
+    assert(o.y.rows() == o.x.size() && o.y.cols() == m_);
+    const std::size_t target = o.x.size();
+    const bool chained = l > 0 && opts_.mf != MfKind::kSingleFidelity;
+    // AR(1) levels re-estimate rho from all their data, which rewrites every
+    // residual target — growing them is never a pure row append.
+    const bool append_rewrites_targets = opts_.mf == MfKind::kLinear && l > 0;
+    const std::size_t cur = levelPoints(l);
+    bool changed_here = false;
+
+    if (commit) {
+      assert(target >= committed_n_[l]);
+      const bool grows = target > committed_n_[l];
+      if (spec_dirty_[l] || (chained && lower_changed) ||
+          (grows && append_rewrites_targets)) {
+        denseRefitLevel(l, o);
+        changed_here = true;
+      } else {
+        // Speculation on this level is pure rank-appends on top of the
+        // committed factor: truncation is its exact (bitwise) inverse.
+        if (cur > committed_n_[l]) truncateLevel(l, committed_n_[l]);
+        if (grows) {
+          appendLevelRows(l, o, committed_n_[l]);
+          changed_here = true;
+        }
+      }
+      committed_n_[l] = target;
+      spec_dirty_[l] = 0;
+    } else {
+      assert(target >= cur);
+      if (chained && lower_changed) {
+        denseRefitLevel(l, o);
+        spec_dirty_[l] = 1;
+        changed_here = true;
+      } else if (target > cur) {
+        if (append_rewrites_targets) {
+          denseRefitLevel(l, o);
+          spec_dirty_[l] = 1;
+        } else if (!appendLevelRows(l, o, cur)) {
+          // An internal dense fallback (jittered or non-PD factor) rebuilt
+          // the model on fantasy data; truncation can no longer restore the
+          // committed factor, so the next commit must refit densely.
+          spec_dirty_[l] = 1;
+        }
+        changed_here = true;
+      }
+    }
+    lower_changed = lower_changed || changed_here;
+  }
+  if (commit) committed_base_ = currentBaseCounts();
+}
+
+void MultiFidelitySurrogate::restorePosterior(
+    const std::vector<FidelityObs>& obs,
+    const std::vector<std::size_t>& base_counts) {
+  assert(obs.size() == levels_);
+  // Lower levels are rebuilt before a higher level reads them through
+  // augmented()/predict(), exactly as in fit().
+  fitted_ = true;
+  std::size_t bi = 0;
+  const auto baseFor = [&](std::size_t n) {
+    // Journals without base counts (or pre-fit ones) mean "all dense".
+    std::size_t b = bi < base_counts.size() ? base_counts[bi] : n;
+    ++bi;
+    return std::min(std::max<std::size_t>(b, 2), n);
+  };
+  for (std::size_t l = 0; l < levels_; ++l) {
+    const FidelityObs& o = obs[l];
+    assert(o.x.size() >= 2 && o.y.rows() == o.x.size() && o.y.cols() == m_);
+    const std::size_t n = o.x.size();
+    gp::Dataset inputs;
+    linalg::Matrix targets;
+    buildLevelTraining(l, o, &inputs, &targets);
+    if (opts_.obj == ObjModelKind::kCorrelated) {
+      const std::size_t base = baseFor(n);
+      gp::Dataset prefix_x(inputs.begin(), inputs.begin() + base);
+      linalg::Matrix prefix_y(base, m_);
+      for (std::size_t i = 0; i < base; ++i)
+        for (std::size_t mm = 0; mm < m_; ++mm)
+          prefix_y(i, mm) = targets(i, mm);
+      mt_models_[l].refitPosterior(prefix_x, prefix_y);
+      for (std::size_t i = base; i < n; ++i) {
+        gp::Vec y_row(m_);
+        for (std::size_t mm = 0; mm < m_; ++mm) y_row[mm] = targets(i, mm);
+        mt_models_[l].appendObservation(inputs[i], y_row);
+      }
+    } else {
+      for (std::size_t mm = 0; mm < m_; ++mm) {
+        const std::size_t base = baseFor(n);
+        const gp::Vec col = targets.col(mm);
+        gp::Dataset prefix_x(inputs.begin(), inputs.begin() + base);
+        ind_models_[l][mm].refitPosterior(
+            prefix_x, gp::Vec(col.begin(), col.begin() + base));
+        for (std::size_t i = base; i < n; ++i)
+          ind_models_[l][mm].appendObservation(inputs[i], col[i]);
+      }
+    }
+  }
+  committed_n_.resize(levels_);
+  for (std::size_t l = 0; l < levels_; ++l) committed_n_[l] = obs[l].x.size();
+  spec_dirty_.assign(levels_, 0);
+  committed_base_ = currentBaseCounts();
 }
 
 gp::MultiPosterior MultiFidelitySurrogate::predict(std::size_t level,
@@ -166,6 +377,70 @@ gp::MultiPosterior MultiFidelitySurrogate::predict(std::size_t level,
             rho_[level][mm] * rho_[level][mp] * lower.cov(mm, mp);
   }
   return post;
+}
+
+std::vector<gp::MultiPosterior> MultiFidelitySurrogate::predictBatch(
+    std::size_t level, const gp::Dataset& x) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<gp::MultiPosterior> out = predictBatchImpl(level, x);
+  if (obs::metrics().enabled()) {
+    obs::MetricsRegistry& met = obs::metrics();
+    met.defineHistogram("gp.predict_batch_us",
+                        obs::MetricsRegistry::defaultBounds());
+    met.observe("gp.predict_batch_us", elapsedUs(t0));
+  }
+  return out;
+}
+
+std::vector<gp::MultiPosterior> MultiFidelitySurrogate::predictBatchImpl(
+    std::size_t level, const gp::Dataset& x) const {
+  assert(fitted_ && level < levels_);
+  std::vector<gp::MultiPosterior> out;
+  if (x.empty()) return out;
+
+  // Chained augmentation for the whole block: the lower level is itself
+  // evaluated batched, then its means become this level's fidelity feature.
+  gp::Dataset inputs;
+  std::vector<gp::MultiPosterior> lower;
+  if (opts_.mf == MfKind::kNonlinear && level > 0) {
+    lower = predictBatchImpl(level - 1, x);
+    inputs.reserve(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c)
+      inputs.push_back(linalg::concat(x[c], lower[c].mean));
+  } else {
+    inputs = x;
+  }
+
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    out = mt_models_[level].predictBatch(inputs);
+  } else {
+    out.resize(x.size());
+    for (auto& post : out) {
+      post.mean.resize(m_);
+      post.cov = linalg::Matrix(m_, m_);
+    }
+    for (std::size_t mm = 0; mm < m_; ++mm) {
+      const std::vector<gp::Posterior> col =
+          ind_models_[level][mm].predictBatch(inputs);
+      for (std::size_t c = 0; c < x.size(); ++c) {
+        out[c].mean[mm] = col[c].mean;
+        out[c].cov(mm, mm) = col[c].var;
+      }
+    }
+  }
+
+  if (opts_.mf == MfKind::kLinear && level > 0) {
+    lower = predictBatchImpl(level - 1, x);
+    for (std::size_t c = 0; c < x.size(); ++c) {
+      for (std::size_t mm = 0; mm < m_; ++mm)
+        out[c].mean[mm] += rho_[level][mm] * lower[c].mean[mm];
+      for (std::size_t mm = 0; mm < m_; ++mm)
+        for (std::size_t mp = 0; mp < m_; ++mp)
+          out[c].cov(mm, mp) +=
+              rho_[level][mm] * rho_[level][mp] * lower[c].cov(mm, mp);
+    }
+  }
+  return out;
 }
 
 std::vector<std::vector<double>> MultiFidelitySurrogate::hyperState() const {

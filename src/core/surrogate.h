@@ -55,8 +55,28 @@ class MultiFidelitySurrogate {
   void fit(const std::vector<FidelityObs>& obs, rng::Rng& rng,
            bool optimize_hypers = true);
 
+  /// Absorb the observations `obs` gained since the last commit with O(n^2)
+  /// rank-append posterior updates instead of dense O(n^3) refits, falling
+  /// back per level where incremental updates are unsound (AR(1) residual
+  /// targets, chained levels whose lower posterior changed, numerically
+  /// unsafe factors). Requires fitted() and that each level's observation
+  /// list is append-only relative to the last committed state.
+  ///
+  /// `commit == true` first rolls back any uncommitted speculation (exact
+  /// factor truncation where possible) and advances the committed state to
+  /// `obs`. `commit == false` stacks Kriging-believer fantasy observations
+  /// on top of the committed state without advancing it; hyperparameters
+  /// are never touched either way.
+  void appendObservations(const std::vector<FidelityObs>& obs, bool commit);
+
   /// Joint posterior over the M objectives at fidelity `level`.
   gp::MultiPosterior predict(std::size_t level, const gp::Vec& x) const;
+
+  /// Batched posteriors at one fidelity: each level of the chain runs one
+  /// cross-Gram + one multi-RHS solve over the whole candidate block. Per
+  /// candidate bit-identical to predict().
+  std::vector<gp::MultiPosterior> predictBatch(std::size_t level,
+                                               const gp::Dataset& x) const;
 
   std::size_t numLevels() const { return levels_; }
   std::size_t numObjectives() const { return m_; }
@@ -77,10 +97,43 @@ class MultiFidelitySurrogate {
   std::vector<std::vector<double>> hyperState() const;
   void setHyperState(const std::vector<std::vector<double>>& state);
 
+  /// Per-model dense-base point counts of the last committed posterior
+  /// (hyperState() order). A factor is always the dense factorization of
+  /// its first `base` points plus sequential rank-appends of the rest, so
+  /// journaling these counts lets restorePosterior() rebuild it
+  /// bit-identically. Empty before the first fit.
+  std::vector<std::size_t> committedBaseCounts() const;
+
+  /// Rebuild the committed posterior from raw observations and journaled
+  /// base counts: per model, a dense refit of the first `base` points then
+  /// sequential rank-appends of the remainder — bit-identical to the factor
+  /// the journaling run evolved incrementally. Hyperparameters must already
+  /// be restored (setHyperState). An empty `base_counts` means "all dense".
+  void restorePosterior(const std::vector<FidelityObs>& obs,
+                        const std::vector<std::size_t>& base_counts);
+
  private:
   gp::Vec augmented(std::size_t level, const gp::Vec& x) const;
   /// Per-objective mean vector of the lower level at x.
   gp::Vec lowerMeans(std::size_t level, const gp::Vec& x) const;
+  /// Recursive body of predictBatch (the public wrapper times the call).
+  std::vector<gp::MultiPosterior> predictBatchImpl(std::size_t level,
+                                                   const gp::Dataset& x) const;
+  /// This level's training inputs (chained augmentation) and targets
+  /// (AR(1) residuals, updating rho_) — the shared front half of fit().
+  void buildLevelTraining(std::size_t level, const FidelityObs& o,
+                          gp::Dataset* inputs, linalg::Matrix* targets);
+  /// Dense posterior rebuild of one level on `o` (fresh augmentation/rho).
+  void denseRefitLevel(std::size_t level, const FidelityObs& o);
+  /// Rank-append rows [from, o.x.size()) into this level's model(s);
+  /// returns true when every append took the incremental path.
+  bool appendLevelRows(std::size_t level, const FidelityObs& o,
+                       std::size_t from);
+  /// Exact rollback of this level's model(s) to the first n points.
+  void truncateLevel(std::size_t level, std::size_t n);
+  /// Training points currently held by this level's model(s).
+  std::size_t levelPoints(std::size_t level) const;
+  std::vector<std::size_t> currentBaseCounts() const;
 
   std::size_t input_dim_;
   std::size_t m_;
@@ -94,6 +147,17 @@ class MultiFidelitySurrogate {
   std::vector<std::vector<gp::GpRegressor>> ind_models_;
   // Linear MF chaining: per level (>0), per objective rho.
   std::vector<std::vector<double>> rho_;
+
+  // Incremental-update bookkeeping. committed_n_[l] is the point count of
+  // level l at the last commit (fit(), commit-append, or restore);
+  // spec_dirty_[l] means the level's posterior holds speculative content
+  // that factor truncation cannot undo (a dense refit on fantasy data, or
+  // an internal dense fallback during a speculative append), so the next
+  // commit rebuilds it densely. committed_base_ snapshots the per-model
+  // dense-base counts at the last commit for checkpointing.
+  std::vector<std::size_t> committed_n_;
+  std::vector<std::size_t> committed_base_;
+  std::vector<char> spec_dirty_;
 };
 
 }  // namespace cmmfo::core

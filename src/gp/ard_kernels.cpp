@@ -7,22 +7,30 @@
 namespace cmmfo::gp {
 
 ArdKernelBase::ArdKernelBase(std::size_t dim, bool unit_variance)
-    : dim_(dim), unit_variance_(unit_variance), log_ls_(dim, 0.0) {}
+    : dim_(dim), unit_variance_(unit_variance), log_ls_(dim, 0.0) {
+  refreshParamCache();
+}
+
+void ArdKernelBase::refreshParamCache() {
+  inv_ls_.resize(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) inv_ls_[d] = std::exp(-log_ls_[d]);
+  sf2_ = unit_variance_ ? 1.0 : std::exp(2.0 * log_sf_);
+}
 
 double ArdKernelBase::lengthscale(std::size_t d) const {
   return std::exp(log_ls_[d]);
 }
 
-double ArdKernelBase::signalVariance() const {
-  return unit_variance_ ? 1.0 : std::exp(2.0 * log_sf_);
-}
+double ArdKernelBase::signalVariance() const { return sf2_; }
 
 void ArdKernelBase::setLengthscale(std::size_t d, double value) {
   log_ls_[d] = std::log(value);
+  refreshParamCache();
 }
 
 void ArdKernelBase::setSignalStddev(double value) {
   log_sf_ = std::log(value);
+  refreshParamCache();
 }
 
 std::size_t ArdKernelBase::numParams() const {
@@ -39,6 +47,7 @@ void ArdKernelBase::setParams(const Vec& p) {
   assert(p.size() == numParams());
   for (std::size_t d = 0; d < dim_; ++d) log_ls_[d] = p[d];
   if (!unit_variance_) log_sf_ = p[dim_];
+  refreshParamCache();
 }
 
 void ArdKernelBase::initFromData(const Dataset& x) {
@@ -57,19 +66,20 @@ void ArdKernelBase::initFromData(const Dataset& x) {
                      dists.end());
     log_ls_[d] = std::log(std::max(dists[dists.size() / 2], 1e-3));
   }
+  refreshParamCache();
 }
 
 void ArdKernelBase::scaleLengthscales(double factor) {
   const double lf = std::log(factor);
   for (auto& l : log_ls_) l += lf;
+  refreshParamCache();
 }
 
 double ArdKernelBase::scaledSqDist(const Vec& x, const Vec& y) const {
   assert(x.size() >= dim_ && y.size() >= dim_);
   double r2 = 0.0;
   for (std::size_t d = 0; d < dim_; ++d) {
-    const double inv_l = std::exp(-log_ls_[d]);
-    const double diff = (x[d] - y[d]) * inv_l;
+    const double diff = (x[d] - y[d]) * inv_ls_[d];
     r2 += diff * diff;
   }
   return r2;

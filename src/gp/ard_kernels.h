@@ -44,6 +44,15 @@ class ArdKernelBase : public Kernel {
   bool unit_variance_;
   Vec log_ls_;          // per-dimension log lengthscales
   double log_sf_ = 0.0; // log signal stddev (ignored if unit_variance_)
+
+ private:
+  /// Re-derive the cached exp(-log_ls_) / exp(2 log_sf_) values. Every
+  /// parameter mutator calls this so eval() spends no transcendentals on
+  /// parameters — the same exp of the same argument, just hoisted out of
+  /// the O(n^2) pair loops, so kernel values are bit-identical.
+  void refreshParamCache();
+  Vec inv_ls_;          // exp(-log_ls_) per dimension
+  double sf2_ = 1.0;    // exp(2 log_sf_), pinned at 1 when unit_variance_
 };
 
 /// Squared-exponential (RBF) ARD kernel:

@@ -28,11 +28,8 @@ GpRegressor::GpRegressor(const GpRegressor& o)
       log_noise_(o.log_noise_),
       last_fit_iters_(o.last_fit_iters_),
       x_(o.x_),
-      y_std_(o.y_std_),
-      standardizer_(o.standardizer_),
-      chol_(o.chol_),
-      alpha_(o.alpha_),
-      lml_(o.lml_) {}
+      y_raw_(o.y_raw_),
+      state_(o.state_) {}
 
 GpRegressor& GpRegressor::operator=(const GpRegressor& o) {
   if (this == &o) return *this;
@@ -41,11 +38,8 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& o) {
   log_noise_ = o.log_noise_;
   last_fit_iters_ = o.last_fit_iters_;
   x_ = o.x_;
-  y_std_ = o.y_std_;
-  standardizer_ = o.standardizer_;
-  chol_ = o.chol_;
-  alpha_ = o.alpha_;
-  lml_ = o.lml_;
+  y_raw_ = o.y_raw_;
+  state_ = o.state_;
   return *this;
 }
 
@@ -80,8 +74,8 @@ double GpRegressor::negLml(const Vec& packed, Vec& grad) const {
   auto chol = linalg::Cholesky::factorizeWithJitter(gram);
   if (!chol) return std::numeric_limits<double>::infinity();
 
-  const Vec alpha = chol->solve(y_std_);
-  const double data_fit = 0.5 * linalg::dot(y_std_, alpha);
+  const Vec alpha = chol->solve(state_.y_std);
+  const double data_fit = 0.5 * linalg::dot(state_.y_std, alpha);
   const double nll = data_fit + 0.5 * chol->logDet() +
                      0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
 
@@ -122,8 +116,9 @@ double GpRegressor::evalNegLogMarginalLikelihood(const Vec& packed,
 void GpRegressor::fit(const Dataset& x, const Vec& y, rng::Rng& rng) {
   assert(!x.empty() && x.size() == y.size());
   x_ = x;
-  standardizer_ = linalg::Standardizer::fit(y);
-  y_std_ = standardizer_.transform(y);
+  y_raw_ = y;
+  state_.standardizers.assign(1, linalg::Standardizer::fit(y));
+  state_.y_std = state_.standardizers[0].transform(y);
 
   opt::GradObjectiveFn objective = [this](const Vec& p, Vec& g) {
     return negLml(p, g);
@@ -167,41 +162,107 @@ void GpRegressor::fit(const Dataset& x, const Vec& y, rng::Rng& rng) {
   refitPosterior(x, y);
 }
 
-void GpRegressor::refitPosterior(const Dataset& x, const Vec& y) {
-  assert(!x.empty() && x.size() == y.size());
-  x_ = x;
-  standardizer_ = linalg::Standardizer::fit(y);
-  y_std_ = standardizer_.transform(y);
-
+void GpRegressor::rebuildDense() {
   const std::size_t n = x_.size();
   linalg::Matrix gram = kernel_->gram(x_);
   const double noise_var = std::exp(2.0 * log_noise_);
   for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise_var;
-  chol_ = linalg::Cholesky::factorizeWithJitter(gram);
-  assert(chol_ && "Gram matrix not factorizable even with jitter");
-  alpha_ = chol_->solve(y_std_);
-  lml_ = -(0.5 * linalg::dot(y_std_, alpha_) + 0.5 * chol_->logDet() +
-           0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi));
+  const bool ok = state_.refitDense(gram);
+  assert(ok && "Gram matrix not factorizable even with jitter");
+  (void)ok;
+  state_.solveTargets();
+}
+
+void GpRegressor::resolveTargets() {
+  state_.standardizers.assign(1, linalg::Standardizer::fit(y_raw_));
+  state_.y_std = state_.standardizers[0].transform(y_raw_);
+  state_.solveTargets();
+}
+
+void GpRegressor::refitPosterior(const Dataset& x, const Vec& y) {
+  assert(!x.empty() && x.size() == y.size());
+  x_ = x;
+  y_raw_ = y;
+  state_.standardizers.assign(1, linalg::Standardizer::fit(y));
+  state_.y_std = state_.standardizers[0].transform(y);
+  rebuildDense();
+}
+
+bool GpRegressor::appendObservation(const Vec& x, double y) {
+  if (!fitted() || state_.chol->jitterUsed() != 0.0 ||
+      state_.rows() != x_.size()) {
+    x_.push_back(x);
+    y_raw_.push_back(y);
+    refitPosterior(x_, y_raw_);
+    return false;
+  }
+  // Rank-append: the cross-covariance row and noise-augmented diagonal are
+  // exactly the entries a dense Gram of the extended data would hold, so
+  // the grown factor (and thus alpha, lml, predictions) is bit-identical to
+  // refitPosterior on x_ + {x}.
+  Vec cross = kernel_->crossVec(x_, x);
+  const double diag = kernel_->eval(x, x) + std::exp(2.0 * log_noise_);
+  if (!state_.appendRow(cross, diag)) {
+    x_.push_back(x);
+    y_raw_.push_back(y);
+    refitPosterior(x_, y_raw_);
+    return false;
+  }
+  x_.push_back(x);
+  y_raw_.push_back(y);
+  resolveTargets();
+  return true;
+}
+
+void GpRegressor::truncateTo(std::size_t n) {
+  assert(fitted() && n >= 1 && n <= x_.size() && state_.rows() == x_.size());
+  if (n == x_.size()) return;
+  x_.resize(n);
+  y_raw_.resize(n);
+  state_.truncateTo(n);
+  resolveTargets();
 }
 
 Posterior GpRegressor::predict(const Vec& x) const {
   assert(fitted());
   const Vec kstar = kernel_->crossVec(x_, x);
   Posterior p;
-  const double z_mean = linalg::dot(kstar, alpha_);
-  const Vec v = chol_->solveLower(kstar);
+  const double z_mean = linalg::dot(kstar, state_.alpha);
+  const Vec v = state_.chol->solveLower(kstar);
   const double kxx = kernel_->eval(x, x);
   double z_var = kxx - linalg::dot(v, v);
   z_var = std::max(z_var, 0.0);
-  p.mean = standardizer_.inverse(z_mean);
-  p.var = standardizer_.inverseVar(z_var);
+  p.mean = state_.standardizers[0].inverse(z_mean);
+  p.var = state_.standardizers[0].inverseVar(z_var);
   return p;
 }
 
 std::vector<Posterior> GpRegressor::predictBatch(const Dataset& x) const {
+  assert(fitted());
   std::vector<Posterior> out;
+  if (x.empty()) return out;
   out.reserve(x.size());
-  for (const auto& xi : x) out.push_back(predict(xi));
+  const std::size_t n = x_.size(), nc = x.size();
+  // One cross-Gram build and ONE multi-RHS forward substitution for the
+  // whole candidate block; the per-candidate reductions below accumulate in
+  // the same index order as predict()'s dot products, so every entry is
+  // bit-identical to the scalar path.
+  const linalg::Matrix kstar = kernel_->cross(x_, x);
+  const linalg::Matrix v = state_.chol->solveLower(kstar);
+  const linalg::Standardizer& std1 = state_.standardizers[0];
+  for (std::size_t c = 0; c < nc; ++c) {
+    double z_mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) z_mean += kstar(i, c) * state_.alpha[i];
+    double vv = 0.0;
+    for (std::size_t i = 0; i < n; ++i) vv += v(i, c) * v(i, c);
+    const double kxx = kernel_->eval(x[c], x[c]);
+    double z_var = kxx - vv;
+    z_var = std::max(z_var, 0.0);
+    Posterior p;
+    p.mean = std1.inverse(z_mean);
+    p.var = std1.inverseVar(z_var);
+    out.push_back(p);
+  }
   return out;
 }
 

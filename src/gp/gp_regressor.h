@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "gp/kernel.h"
+#include "gp/posterior_state.h"
 #include "linalg/cholesky.h"
 #include "linalg/stats.h"
 #include "rng/rng.h"
@@ -53,20 +54,39 @@ class GpRegressor {
   /// Requires x.size() == y.size() >= 1.
   void fit(const Dataset& x, const Vec& y, rng::Rng& rng);
 
-  /// Refit the posterior state with current hyperparameters on new data
-  /// (cheap incremental update path when hyperparameters are kept).
+  /// Rebuild the posterior state densely (O(n^3)) with current
+  /// hyperparameters on new data.
   void refitPosterior(const Dataset& x, const Vec& y);
 
+  /// Append one observation with an O(n^2) rank-append posterior update.
+  /// When the factor is jitter-free the result is bit-identical to a dense
+  /// refitPosterior on the extended data; if the update is numerically
+  /// unsafe (jittered factor or non-positive Schur complement) the model
+  /// falls back to the dense path internally. Returns true when the
+  /// incremental path was taken.
+  bool appendObservation(const Vec& x, double y);
+
+  /// Exact rollback to the first n observations (bitwise inverse of a
+  /// sequence of appendObservation calls) — Kriging-believer speculation.
+  void truncateTo(std::size_t n);
+
+  /// Observations covered by the last dense factorization (appends sit on
+  /// top). Journaled by checkpoints so resume can replay dense(base) +
+  /// appends bit-identically.
+  std::size_t denseBaseSize() const { return state_.base_rows; }
+
   Posterior predict(const Vec& x) const;
+  /// Batched prediction: one cross-Gram build + one multi-RHS triangular
+  /// solve for all candidates. Per candidate bit-identical to predict().
   std::vector<Posterior> predictBatch(const Dataset& x) const;
 
   /// Log marginal likelihood of the training data at the fitted
   /// hyperparameters (standardized units).
-  double logMarginalLikelihood() const { return lml_; }
+  double logMarginalLikelihood() const { return state_.lml; }
   double noiseStddev() const;
   const Kernel& kernel() const { return *kernel_; }
   std::size_t numData() const { return x_.size(); }
-  bool fitted() const { return chol_.has_value(); }
+  bool fitted() const { return state_.fitted(); }
 
   /// Packed hyperparameters [kernel log-params..., log noise]. Exposed so
   /// checkpoints can journal them: fit() warm-starts MLE from the current
@@ -87,25 +107,27 @@ class GpRegressor {
   int lastFitIterations() const { return last_fit_iters_; }
   /// Condition estimate of the fitted (noise-augmented) Gram matrix.
   double gramConditionEstimate() const {
-    return chol_ ? chol_->conditionEstimate() : 1.0;
+    return state_.chol ? state_.chol->conditionEstimate() : 1.0;
   }
 
  private:
   /// Negative LML and gradient at packed parameters [kernel..., log noise].
   double negLml(const Vec& packed, Vec& grad) const;
+  /// Dense rebuild of `state_` from the cached (x_, y_raw_).
+  void rebuildDense();
+  /// Restandardize y_raw_, refresh state_.y_std, and re-solve targets —
+  /// the O(n^2) tail shared by the append and truncate paths.
+  void resolveTargets();
 
   KernelPtr kernel_;
   GpFitOptions opts_;
   double log_noise_ = 0.0;
   int last_fit_iters_ = 0;
 
-  // Cached posterior state.
+  // Cached training data and shared posterior core.
   Dataset x_;
-  Vec y_std_;  // standardized targets
-  linalg::Standardizer standardizer_;
-  std::optional<linalg::Cholesky> chol_;
-  Vec alpha_;  // K^{-1} y_std
-  double lml_ = 0.0;
+  Vec y_raw_;  // original-unit targets (append paths restandardize)
+  PosteriorState state_;
 };
 
 }  // namespace cmmfo::gp

@@ -3,16 +3,12 @@
 namespace cmmfo::gp {
 
 linalg::Matrix Kernel::gram(const Dataset& x) const {
-  const std::size_t n = x.size();
-  linalg::Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double v = eval(x[i], x[j]);
-      k(i, j) = v;
-      k(j, i) = v;
-    }
-  }
-  return k;
+  // Blocked lower-triangle sweep writing straight into contiguous row-major
+  // storage; entry values are pure functions of (i, j), so this is
+  // bit-identical to the naive loop while keeping the mirrored writes in
+  // cache for large n.
+  return linalg::assembleSymmetricBlocked(
+      x.size(), [&](std::size_t i, std::size_t j) { return eval(x[i], x[j]); });
 }
 
 linalg::Matrix Kernel::cross(const Dataset& x, const Dataset& z) const {

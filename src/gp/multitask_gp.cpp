@@ -33,11 +33,10 @@ MultiTaskGp::MultiTaskGp(const MultiTaskGp& o)
       log_noise_(o.log_noise_),
       last_fit_iters_(o.last_fit_iters_),
       x_(o.x_),
-      standardizers_(o.standardizers_),
-      y_stacked_(o.y_stacked_),
-      chol_(o.chol_),
-      alpha_(o.alpha_),
-      lml_(o.lml_) {}
+      y_raw_(o.y_raw_),
+      state_(o.state_),
+      row_point_(o.row_point_),
+      row_task_(o.row_task_) {}
 
 MultiTaskGp& MultiTaskGp::operator=(const MultiTaskGp& o) {
   if (this == &o) return *this;
@@ -48,11 +47,10 @@ MultiTaskGp& MultiTaskGp::operator=(const MultiTaskGp& o) {
   log_noise_ = o.log_noise_;
   last_fit_iters_ = o.last_fit_iters_;
   x_ = o.x_;
-  standardizers_ = o.standardizers_;
-  y_stacked_ = o.y_stacked_;
-  chol_ = o.chol_;
-  alpha_ = o.alpha_;
-  lml_ = o.lml_;
+  y_raw_ = o.y_raw_;
+  state_ = o.state_;
+  row_point_ = o.row_point_;
+  row_task_ = o.row_task_;
   return *this;
 }
 
@@ -126,13 +124,22 @@ double MultiTaskGp::negLml(const Vec& packed, Vec& grad) const {
   for (auto& ln : log_noise)
     ln = std::clamp(ln, std::log(opts_.min_noise), std::log(4.0));
 
+  // Task-major standardized targets, rebuilt from the raw targets so the
+  // MLE objective is valid even when the cached factor is in bordered
+  // (append) order. Bit-identical to the cached y_std after a dense refit.
+  Vec y_stacked(nn);
+  for (std::size_t mm = 0; mm < m_; ++mm)
+    for (std::size_t i = 0; i < n; ++i)
+      y_stacked[mm * n + i] =
+          state_.standardizers[mm].transform(y_raw_(i, mm));
+
   const linalg::Matrix gram = buildStackedGram(*k, l_entries, log_noise);
   auto chol = linalg::Cholesky::factorizeWithJitter(gram);
   if (!chol) return std::numeric_limits<double>::infinity();
 
-  const Vec alpha = chol->solve(y_stacked_);
+  const Vec alpha = chol->solve(y_stacked);
   const double nll =
-      0.5 * linalg::dot(y_stacked_, alpha) + 0.5 * chol->logDet() +
+      0.5 * linalg::dot(y_stacked, alpha) + 0.5 * chol->logDet() +
       0.5 * static_cast<double>(nn) * std::log(2.0 * std::numbers::pi);
 
   // W = alpha alpha^T - K^{-1}; dNLL/dtheta = -1/2 tr(W dK/dtheta).
@@ -267,61 +274,227 @@ double MultiTaskGp::evalNegLogMarginalLikelihood(const Vec& packed,
 void MultiTaskGp::refitPosterior(const Dataset& x, const linalg::Matrix& y) {
   assert(!x.empty() && y.rows() == x.size() && y.cols() == m_);
   x_ = x;
+  y_raw_ = y;
   const std::size_t n = x_.size();
-  standardizers_.resize(m_);
-  y_stacked_.assign(n * m_, 0.0);
+  state_.standardizers.resize(m_);
+  state_.y_std.assign(n * m_, 0.0);
   for (std::size_t mm = 0; mm < m_; ++mm) {
     const Vec col = y.col(mm);
-    standardizers_[mm] = linalg::Standardizer::fit(col);
+    state_.standardizers[mm] = linalg::Standardizer::fit(col);
     for (std::size_t i = 0; i < n; ++i)
-      y_stacked_[mm * n + i] = standardizers_[mm].transform(col[i]);
+      state_.y_std[mm * n + i] = state_.standardizers[mm].transform(col[i]);
   }
+  // Task-major factor-row ordering (row = m*n + i).
+  row_point_.resize(n * m_);
+  row_task_.resize(n * m_);
+  for (std::size_t mm = 0; mm < m_; ++mm)
+    for (std::size_t i = 0; i < n; ++i) {
+      row_point_[mm * n + i] = i;
+      row_task_[mm * n + i] = mm;
+    }
   const linalg::Matrix gram = buildStackedGram(*kernel_, l_entries_, log_noise_);
-  chol_ = linalg::Cholesky::factorizeWithJitter(gram);
-  assert(chol_ && "multi-task Gram not factorizable");
-  alpha_ = chol_->solve(y_stacked_);
-  lml_ = -(0.5 * linalg::dot(y_stacked_, alpha_) + 0.5 * chol_->logDet() +
-           0.5 * static_cast<double>(n * m_) * std::log(2.0 * std::numbers::pi));
+  const bool ok = state_.refitDense(gram);
+  assert(ok && "multi-task Gram not factorizable");
+  (void)ok;
+  state_.solveTargets();
+}
+
+void MultiTaskGp::resolveTargets() {
+  const std::size_t rows = state_.rows();
+  state_.standardizers.resize(m_);
+  for (std::size_t mm = 0; mm < m_; ++mm)
+    state_.standardizers[mm] = linalg::Standardizer::fit(y_raw_.col(mm));
+  state_.y_std.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    state_.y_std[r] = state_.standardizers[row_task_[r]].transform(
+        y_raw_(row_point_[r], row_task_[r]));
+  state_.solveTargets();
+}
+
+bool MultiTaskGp::appendObservation(const Vec& x, const Vec& y_row) {
+  assert(y_row.size() == m_);
+  const auto appendRaw = [&] {
+    const std::size_t n = y_raw_.rows();
+    linalg::Matrix grown(n + 1, m_);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t mm = 0; mm < m_; ++mm) grown(i, mm) = y_raw_(i, mm);
+    for (std::size_t mm = 0; mm < m_; ++mm) grown(n, mm) = y_row[mm];
+    y_raw_ = std::move(grown);
+  };
+
+  if (!fitted() || state_.chol->jitterUsed() != 0.0 ||
+      state_.rows() != x_.size() * m_) {
+    x_.push_back(x);
+    appendRaw();
+    refitPosterior(x_, y_raw_);
+    return false;
+  }
+
+  // Bordered rank-append: the new point's M factor rows go at the tail (a
+  // symmetric permutation of the task-major stacked Gram, so the posterior
+  // is exact). Cross-covariances against every existing factor row follow
+  // the ICM structure K[(i,mi),(j,mj)] = B(mi,mj) k(x_i, x_j).
+  const std::size_t new_pt = x_.size();
+  const Vec kx = kernel_->crossVec(x_, x);
+  const double kss = kernel_->eval(x, x);
+  const linalg::Matrix b = buildB(l_entries_, m_);
+  x_.push_back(x);
+  appendRaw();
+  for (std::size_t mm = 0; mm < m_; ++mm) {
+    const std::size_t rows = state_.rows();
+    Vec cross(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double kval = row_point_[r] == new_pt ? kss : kx[row_point_[r]];
+      cross[r] = b(mm, row_task_[r]) * kval;
+    }
+    const double diag = b(mm, mm) * kss + std::exp(2.0 * log_noise_[mm]);
+    if (!state_.appendRow(cross, diag)) {
+      // Numerically unsafe mid-point: discard any partially appended task
+      // rows by rebuilding densely (also restores task-major ordering).
+      refitPosterior(x_, y_raw_);
+      return false;
+    }
+    row_point_.push_back(new_pt);
+    row_task_.push_back(mm);
+  }
+  resolveTargets();
+  return true;
+}
+
+void MultiTaskGp::truncateToPoints(std::size_t n) {
+  assert(fitted() && n >= 1 && n <= x_.size() &&
+         state_.rows() == x_.size() * m_);
+  if (n == x_.size()) return;
+  assert(n * m_ >= state_.base_rows &&
+         "cannot truncate into the dense task-major base block");
+  x_.resize(n);
+  linalg::Matrix shrunk(n, m_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t mm = 0; mm < m_; ++mm) shrunk(i, mm) = y_raw_(i, mm);
+  y_raw_ = std::move(shrunk);
+  row_point_.resize(n * m_);
+  row_task_.resize(n * m_);
+  state_.truncateTo(n * m_);
+  resolveTargets();
 }
 
 MultiPosterior MultiTaskGp::predict(const Vec& x) const {
   assert(fitted());
-  const std::size_t n = x_.size();
+  const std::size_t rows = state_.rows();
   const linalg::Matrix b = buildB(l_entries_, m_);
   const Vec kxstar = kernel_->crossVec(x_, x);
   const double kss = kernel_->eval(x, x);
 
-  // Cross-covariance K_* is (nM) x M: K_*[(mm,i), mp] = B(mm,mp) kx(i).
-  linalg::Matrix kstar(n * m_, m_);
-  for (std::size_t mm = 0; mm < m_; ++mm)
-    for (std::size_t mp = 0; mp < m_; ++mp) {
-      const double bmm = b(mm, mp);
-      for (std::size_t i = 0; i < n; ++i) kstar(mm * n + i, mp) = bmm * kxstar[i];
-    }
+  // Cross-covariance K_* is (nM) x M in factor-row order:
+  // K_*[r, mp] = B(task(r), mp) kx(point(r)).
+  linalg::Matrix kstar(rows, m_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double kval = kxstar[row_point_[r]];
+    double* dst = kstar.rowPtr(r);
+    const double* brow = b.rowPtr(row_task_[r]);
+    for (std::size_t mp = 0; mp < m_; ++mp) dst[mp] = brow[mp] * kval;
+  }
 
   MultiPosterior post;
   post.mean.resize(m_);
   post.cov = linalg::Matrix(m_, m_);
 
-  // Mean: K_*^T alpha. Covariance: B kss - K_*^T K^{-1} K_*.
-  const linalg::Matrix kinv_kstar = chol_->solve(kstar);
+  // Mean: K_*^T alpha. Covariance: B kss - V^T V with V = L^{-1} K_* —
+  // the same Schur complement as K_*^T K^{-1} K_* but through one forward
+  // substitution instead of two, and V^T V keeps the reduction symmetric
+  // PSD by construction. The single-point path runs one per-vector
+  // substitution per task column, matching GpRegressor::predict; each
+  // column is bit-identical to the multi-RHS path predictBatch takes.
+  linalg::Matrix v(rows, m_);
+  {
+    Vec col(rows);
+    for (std::size_t mp = 0; mp < m_; ++mp) {
+      for (std::size_t a = 0; a < rows; ++a) col[a] = kstar(a, mp);
+      const Vec vc = state_.chol->solveLower(col);
+      for (std::size_t a = 0; a < rows; ++a) v(a, mp) = vc[a];
+    }
+  }
   for (std::size_t mp = 0; mp < m_; ++mp) {
     double mu = 0.0;
-    for (std::size_t a = 0; a < n * m_; ++a) mu += kstar(a, mp) * alpha_[a];
-    post.mean[mp] = standardizers_[mp].inverse(mu);
+    for (std::size_t a = 0; a < rows; ++a) mu += kstar(a, mp) * state_.alpha[a];
+    post.mean[mp] = state_.standardizers[mp].inverse(mu);
   }
   for (std::size_t mp = 0; mp < m_; ++mp)
     for (std::size_t mq = 0; mq < m_; ++mq) {
       double red = 0.0;
-      for (std::size_t a = 0; a < n * m_; ++a)
-        red += kstar(a, mp) * kinv_kstar(a, mq);
+      for (std::size_t a = 0; a < rows; ++a) red += v(a, mp) * v(a, mq);
       double cz = b(mp, mq) * kss - red;
       if (mp == mq) cz = std::max(cz, 0.0);
-      post.cov(mp, mq) =
-          cz * standardizers_[mp].stddev * standardizers_[mq].stddev;
+      post.cov(mp, mq) = cz * state_.standardizers[mp].stddev *
+                         state_.standardizers[mq].stddev;
     }
   post.cov.symmetrize();
   return post;
+}
+
+std::vector<MultiPosterior> MultiTaskGp::predictBatch(const Dataset& x) const {
+  assert(fitted());
+  std::vector<MultiPosterior> out;
+  if (x.empty()) return out;
+  out.reserve(x.size());
+  const std::size_t rows = state_.rows();
+  const std::size_t nc = x.size();
+  const linalg::Matrix b = buildB(l_entries_, m_);
+  // One cross-Gram over all candidates and ONE multi-RHS forward substitution
+  // for the whole (candidate x task) RHS block — the covariance uses the same
+  // B kss - V^T V Schur complement as predict(), and the per-candidate
+  // reductions below run in the same index order, so every entry is
+  // bit-identical to the scalar path.
+  const linalg::Matrix kx = kernel_->cross(x_, x);
+  linalg::Matrix kstar(rows, nc * m_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* kxp = kx.rowPtr(row_point_[r]);
+    const double* brow = b.rowPtr(row_task_[r]);
+    double* dst = kstar.rowPtr(r);
+    for (std::size_t c = 0; c < nc; ++c) {
+      const double kval = kxp[c];
+      for (std::size_t mp = 0; mp < m_; ++mp) dst[c * m_ + mp] = brow[mp] * kval;
+    }
+  }
+  const linalg::Matrix v = state_.chol->solveLower(kstar);
+
+  // One row sweep per candidate accumulates all m means and m^2 covariance
+  // reductions together: each accumulator still sums its terms in ascending
+  // row order, so folding the sweeps changes memory traffic only (one pass
+  // over the kstar/v rows instead of m + m^2 strided column walks), never a
+  // single bit of any sum.
+  Vec mu(m_);
+  std::vector<double> red(m_ * m_);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const double kss = kernel_->eval(x[c], x[c]);
+    MultiPosterior post;
+    post.mean.resize(m_);
+    post.cov = linalg::Matrix(m_, m_);
+    std::fill(mu.begin(), mu.end(), 0.0);
+    std::fill(red.begin(), red.end(), 0.0);
+    for (std::size_t a = 0; a < rows; ++a) {
+      const double* ks = kstar.rowPtr(a) + c * m_;
+      const double* vr = v.rowPtr(a) + c * m_;
+      const double al = state_.alpha[a];
+      for (std::size_t mp = 0; mp < m_; ++mp) {
+        mu[mp] += ks[mp] * al;
+        for (std::size_t mq = 0; mq < m_; ++mq)
+          red[mp * m_ + mq] += vr[mp] * vr[mq];
+      }
+    }
+    for (std::size_t mp = 0; mp < m_; ++mp)
+      post.mean[mp] = state_.standardizers[mp].inverse(mu[mp]);
+    for (std::size_t mp = 0; mp < m_; ++mp)
+      for (std::size_t mq = 0; mq < m_; ++mq) {
+        double cz = b(mp, mq) * kss - red[mp * m_ + mq];
+        if (mp == mq) cz = std::max(cz, 0.0);
+        post.cov(mp, mq) = cz * state_.standardizers[mp].stddev *
+                           state_.standardizers[mq].stddev;
+      }
+    post.cov.symmetrize();
+    out.push_back(std::move(post));
+  }
+  return out;
 }
 
 linalg::Matrix MultiTaskGp::taskCovariance() const {
@@ -329,9 +502,10 @@ linalg::Matrix MultiTaskGp::taskCovariance() const {
   // Report in original target units.
   for (std::size_t i = 0; i < m_; ++i)
     for (std::size_t j = 0; j < m_; ++j)
-      b(i, j) *= standardizers_.empty()
+      b(i, j) *= state_.standardizers.empty()
                      ? 1.0
-                     : standardizers_[i].stddev * standardizers_[j].stddev;
+                     : state_.standardizers[i].stddev *
+                           state_.standardizers[j].stddev;
   return b;
 }
 

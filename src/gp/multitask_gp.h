@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "gp/kernel.h"
+#include "gp/posterior_state.h"
 #include "linalg/cholesky.h"
 #include "linalg/stats.h"
 #include "rng/rng.h"
@@ -44,19 +45,41 @@ class MultiTaskGp {
 
   /// Fit hyperparameters; y is n x M (row i = all objectives at x[i]).
   void fit(const Dataset& x, const linalg::Matrix& y, rng::Rng& rng);
-  /// Rebuild the posterior with current hyperparameters on new data.
+  /// Rebuild the posterior densely (O((nM)^3)) with current
+  /// hyperparameters on new data; factor rows return to task-major order.
   void refitPosterior(const Dataset& x, const linalg::Matrix& y);
 
+  /// Append one point (all M objectives) with M rank-append factor updates,
+  /// O((nM)^2) total. The stacked Gram is task-major, where a new point
+  /// inserts interior rows; instead the appended rows go at the factor's
+  /// tail ("bordered" ordering — a symmetric permutation of the task-major
+  /// matrix, so the posterior is exact; predictions agree with a dense
+  /// refit to roundoff, though not bit-for-bit). Falls back to a dense
+  /// rebuild when numerically unsafe; returns true on the incremental path.
+  bool appendObservation(const Vec& x, const Vec& y_row);
+
+  /// Exact rollback to the first n points (inverse of appendObservation) —
+  /// Kriging-believer speculation. n must cover the dense base block.
+  void truncateToPoints(std::size_t n);
+
+  /// Points covered by the last dense factorization (appended points sit on
+  /// top in bordered order). Journaled by checkpoints so resume can replay
+  /// dense(base) + appends bit-identically.
+  std::size_t denseBasePoints() const { return state_.base_rows / m_; }
+
   MultiPosterior predict(const Vec& x) const;
+  /// Batched prediction: one cross-Gram build + one multi-RHS solve for the
+  /// whole candidate block. Per candidate bit-identical to predict().
+  std::vector<MultiPosterior> predictBatch(const Dataset& x) const;
 
   /// Learned task covariance B (standardized-target units).
   linalg::Matrix taskCovariance() const;
   /// Task correlation matrix derived from B.
   linalg::Matrix taskCorrelation() const;
-  double logMarginalLikelihood() const { return lml_; }
+  double logMarginalLikelihood() const { return state_.lml; }
   std::size_t numTasks() const { return m_; }
   std::size_t numData() const { return x_.size(); }
-  bool fitted() const { return chol_.has_value(); }
+  bool fitted() const { return state_.fitted(); }
   const Kernel& inputKernel() const { return *kernel_; }
 
   // Packed parameter layout:
@@ -82,7 +105,7 @@ class MultiTaskGp {
   int lastFitIterations() const { return last_fit_iters_; }
   /// Condition estimate of the fitted stacked (noise-augmented) Gram matrix.
   double gramConditionEstimate() const {
-    return chol_ ? chol_->conditionEstimate() : 1.0;
+    return state_.chol ? state_.chol->conditionEstimate() : 1.0;
   }
 
  private:
@@ -91,6 +114,9 @@ class MultiTaskGp {
   double negLml(const Vec& packed, Vec& grad) const;
   linalg::Matrix buildStackedGram(const Kernel& k, const Vec& l_entries,
                                   const Vec& log_noise) const;
+  /// Restandardize y_raw_, refresh state_.y_std in factor-row order, and
+  /// re-solve targets (shared by the append and truncate paths).
+  void resolveTargets();
 
   KernelPtr kernel_;
   std::size_t m_;
@@ -99,13 +125,15 @@ class MultiTaskGp {
   Vec log_noise_;   // per task
   int last_fit_iters_ = 0;
 
-  // Cached posterior state.
+  // Cached training data and shared posterior core. After a dense refit the
+  // factor rows are task-major (row = m*n + i); appended points add their M
+  // rows at the tail instead, and the row_point_/row_task_ maps record the
+  // factor-row -> (point, task) ordering either way.
   Dataset x_;
-  std::vector<linalg::Standardizer> standardizers_;
-  Vec y_stacked_;  // task-major: index m*n + i
-  std::optional<linalg::Cholesky> chol_;
-  Vec alpha_;
-  double lml_ = 0.0;
+  linalg::Matrix y_raw_;  // n x M original-unit targets
+  PosteriorState state_;
+  std::vector<std::size_t> row_point_;
+  std::vector<std::size_t> row_task_;
 };
 
 }  // namespace cmmfo::gp

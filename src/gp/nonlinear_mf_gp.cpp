@@ -51,6 +51,7 @@ Vec NonlinearMfGp::augment(std::size_t level, const Vec& x) const {
 
 void NonlinearMfGp::fit(const std::vector<FidelityData>& data, rng::Rng& rng) {
   assert(data.size() == models_.size());
+  data_ = data;
   for (std::size_t l = 0; l < models_.size(); ++l) {
     assert(!data[l].x.empty() && data[l].x.size() == data[l].y.size());
     Dataset inputs;
@@ -58,6 +59,50 @@ void NonlinearMfGp::fit(const std::vector<FidelityData>& data, rng::Rng& rng) {
     for (const auto& xi : data[l].x) inputs.push_back(augment(l, xi));
     models_[l].fit(inputs, data[l].y, rng);
   }
+}
+
+void NonlinearMfGp::refitPosterior(const std::vector<FidelityData>& data) {
+  assert(data.size() == models_.size());
+  data_ = data;
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    assert(!data[l].x.empty() && data[l].x.size() == data[l].y.size());
+    Dataset inputs;
+    inputs.reserve(data[l].x.size());
+    for (const auto& xi : data[l].x) inputs.push_back(augment(l, xi));
+    models_[l].refitPosterior(inputs, data[l].y);
+  }
+}
+
+void NonlinearMfGp::refitLevelsAbove(std::size_t level) {
+  for (std::size_t l = level + 1; l < models_.size(); ++l) {
+    Dataset inputs;
+    inputs.reserve(data_[l].x.size());
+    for (const auto& xi : data_[l].x) inputs.push_back(augment(l, xi));
+    models_[l].refitPosterior(inputs, data_[l].y);
+  }
+}
+
+bool NonlinearMfGp::appendObservation(std::size_t level, const Vec& x,
+                                      double y) {
+  assert(level < models_.size() && data_.size() == models_.size());
+  // Augment BEFORE touching the level's model: the lower levels (and thus
+  // the fidelity feature) are exactly what a dense rebuild would see.
+  const Vec input = augment(level, x);
+  data_[level].x.push_back(x);
+  data_[level].y.push_back(y);
+  const bool incremental = models_[level].appendObservation(input, y);
+  refitLevelsAbove(level);
+  return incremental;
+}
+
+void NonlinearMfGp::truncateTo(std::size_t level, std::size_t n) {
+  assert(level < models_.size() && data_.size() == models_.size());
+  assert(n >= 1 && n <= data_[level].x.size());
+  if (n == data_[level].x.size()) return;
+  data_[level].x.resize(n);
+  data_[level].y.resize(n);
+  models_[level].truncateTo(n);
+  refitLevelsAbove(level);
 }
 
 Posterior NonlinearMfGp::predict(std::size_t level, const Vec& x) const {
@@ -86,6 +131,54 @@ Posterior NonlinearMfGp::predict(std::size_t level, const Vec& x) const {
 
 Posterior NonlinearMfGp::predictHighest(const Vec& x) const {
   return predict(models_.size() - 1, x);
+}
+
+std::vector<Posterior> NonlinearMfGp::predictBatch(std::size_t level,
+                                                   const Dataset& x) const {
+  assert(level < models_.size());
+  if (level == 0) return models_[0].predictBatch(x);
+
+  const std::vector<Posterior> lower = predictBatch(level - 1, x);
+  Dataset aug;
+  aug.reserve(x.size());
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    Vec a = x[c];
+    a.push_back(lower[c].mean);
+    aug.push_back(std::move(a));
+  }
+  std::vector<Posterior> out = models_[level].predictBatch(aug);
+
+  if (opts_.propagate_variance) {
+    // Batch the +-h central-difference probes for every candidate whose
+    // lower-level variance is positive; GpRegressor::predictBatch is
+    // bit-identical per candidate, so dmu matches the scalar path.
+    std::vector<std::size_t> idx;
+    std::vector<double> hs;
+    Dataset probes;
+    for (std::size_t c = 0; c < x.size(); ++c) {
+      if (!(lower[c].var > 0.0)) continue;
+      const double h = std::sqrt(lower[c].var) * 0.5 + 1e-9;
+      Vec ap = aug[c], am = aug[c];
+      ap.back() += h;
+      am.back() -= h;
+      idx.push_back(c);
+      hs.push_back(h);
+      probes.push_back(std::move(ap));
+      probes.push_back(std::move(am));
+    }
+    if (!idx.empty()) {
+      const std::vector<Posterior> probe_post =
+          models_[level].predictBatch(probes);
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        const std::size_t c = idx[k];
+        const double dmu =
+            (probe_post[2 * k].mean - probe_post[2 * k + 1].mean) /
+            (2.0 * hs[k]);
+        out[c].var += dmu * dmu * lower[c].var;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace cmmfo::gp

@@ -47,20 +47,47 @@ class NonlinearMfGp {
   /// but this is not required by the model.
   void fit(const std::vector<FidelityData>& data, rng::Rng& rng);
 
+  /// Rebuild every level's posterior densely (bottom-up, fresh augmentation)
+  /// with current hyperparameters on new data. No MLE.
+  void refitPosterior(const std::vector<FidelityData>& data);
+
+  /// Append one observation at `level` with an O(n^2) rank-append on that
+  /// level's GP, then densely refit the levels above it (their augmented
+  /// training inputs depend on the changed posterior; they hold far fewer
+  /// points, so the dense rebuilds are cheap). Equivalent to refitPosterior
+  /// on the extended data. Returns true when `level` took the incremental
+  /// path rather than an internal dense fallback.
+  bool appendObservation(std::size_t level, const Vec& x, double y);
+
+  /// Roll back `level` to its first n points (exact inverse of
+  /// appendObservation at that level) and densely refit the levels above.
+  void truncateTo(std::size_t level, std::size_t n);
+
   /// Posterior at fidelity `level` (mean-propagated through lower levels).
   Posterior predict(std::size_t level, const Vec& x) const;
   /// Posterior at the highest fidelity.
   Posterior predictHighest(const Vec& x) const;
+  /// Batched prediction: the whole candidate block is propagated through
+  /// the hierarchy with one cross-Gram + multi-RHS solve per level (the
+  /// central-difference variance probes are batched too). Per candidate
+  /// bit-identical to predict().
+  std::vector<Posterior> predictBatch(std::size_t level,
+                                      const Dataset& x) const;
 
   std::size_t numLevels() const { return models_.size(); }
   const GpRegressor& model(std::size_t level) const { return models_[level]; }
 
  private:
   Vec augment(std::size_t level, const Vec& x) const;
+  /// Dense posterior rebuilds (fresh augmentation) for levels above `level`.
+  void refitLevelsAbove(std::size_t level);
 
   std::size_t input_dim_;
   Options opts_;
   std::vector<GpRegressor> models_;
+  /// Raw per-level training data, cached by fit()/refitPosterior() so the
+  /// append/truncate paths can re-augment the upper levels.
+  std::vector<FidelityData> data_;
 };
 
 }  // namespace cmmfo::gp

@@ -1,0 +1,47 @@
+#include "gp/posterior_state.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/vec_ops.h"
+
+namespace cmmfo::gp {
+
+bool PosteriorState::refitDense(const linalg::Matrix& gram_with_noise) {
+  chol = linalg::Cholesky::factorizeWithJitter(gram_with_noise);
+  if (!chol) return false;
+  base_rows = chol->dim();
+  return true;
+}
+
+bool PosteriorState::appendRow(const Vec& cross, double diag) {
+  if (!chol) return false;
+  return chol->appendRow(cross, diag);
+}
+
+void PosteriorState::truncateTo(std::size_t n) {
+  assert(chol && n <= chol->dim());
+  chol->truncateTo(n);
+  if (y_std.size() > n) y_std.resize(n);
+  if (base_rows > n) base_rows = n;
+}
+
+void PosteriorState::solveTargets() {
+  assert(chol && y_std.size() == chol->dim());
+  alpha = chol->solve(y_std);
+  lml = -(0.5 * linalg::dot(y_std, alpha) + 0.5 * chol->logDet() +
+          0.5 * static_cast<double>(chol->dim()) *
+              std::log(2.0 * std::numbers::pi));
+}
+
+void PosteriorState::reset() {
+  chol.reset();
+  standardizers.clear();
+  y_std.clear();
+  alpha.clear();
+  lml = 0.0;
+  base_rows = 0;
+}
+
+}  // namespace cmmfo::gp

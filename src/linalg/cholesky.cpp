@@ -1,5 +1,6 @@
 #include "linalg/cholesky.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -75,17 +76,247 @@ std::vector<double> Cholesky::solveUpper(const std::vector<double>& y) const {
 }
 
 std::vector<double> Cholesky::solve(const std::vector<double>& b) const {
-  return solveUpper(solveLower(b));
-}
-
-Matrix Cholesky::solve(const Matrix& b) const {
-  assert(b.rows() == dim());
-  Matrix x(b.rows(), b.cols());
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    auto xc = solve(b.col(c));
-    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  // One allocation for the result; both substitutions run in place on it
+  // (the old solveUpper(solveLower(b)) pair allocated an intermediate per
+  // call, which dominated the acquisition sweep's allocator traffic). Each
+  // element still accumulates through a scalar in the exact order of the
+  // out-of-place substitutions, so results are bit-identical.
+  const std::size_t n = dim();
+  assert(b.size() == n);
+  std::vector<double> x = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    const double* li = l_.rowPtr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * x[k];
+    x[i] = s / li[i];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
   }
   return x;
+}
+
+namespace {
+/// Column tile of the multi-RHS substitutions: bounds the active slice of
+/// the RHS block to ~n * kSolveTile * 8 bytes so it stays cache-resident
+/// while L streams through once per tile. Without it a wide block (e.g. a
+/// 1024-candidate sweep) is re-streamed from memory on every factor row and
+/// the solve goes memory-bound. Tiling only partitions the independent
+/// columns — each column's operation sequence is untouched.
+constexpr std::size_t kSolveTile = 64;
+
+#if defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__)
+// Runtime-dispatched wide clones of the tile kernels: 4/8-wide mul+sub over
+// the columns. With contraction off (the build pins -ffp-contract=off for
+// this file — AVX-512F carries its own FMA forms) multiply and subtract
+// stay separately rounded exactly like the baseline ISA, so the wide clones
+// are bit-identical to the default one.
+#define CMMFO_SOLVE_TILE_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define CMMFO_SOLVE_TILE_CLONES
+#endif
+
+/// Forward substitution L x = b over a compact n x kSolveTile tile buffer
+/// (row stride kSolveTile, first tw columns active), in place. The caller
+/// copies the tile out of the wide RHS block first: the compact layout
+/// turns every x[k] slice load into a short fixed-stride sequential run
+/// instead of a gather across multi-KB-strided rows. Rows accumulate in
+/// local buffers: without them the compiler must spill the running row to
+/// memory on every k step, putting a store-to-load round-trip on the
+/// critical path. Four output rows advance together so each loaded x[k]
+/// slice feeds four rows' updates. Per column every row still subtracts
+/// its k terms in ascending order against finalized earlier rows — the
+/// blocking reorders row interleaving only, never a column's operation
+/// sequence, so results stay bit-identical to the per-vector solveLower.
+CMMFO_SOLVE_TILE_CLONES
+void forwardSubTile(const Matrix& l, double* xb, std::size_t tw) {
+  const std::size_t n = l.rows();
+  double a0[kSolveTile], a1[kSolveTile], a2[kSolveTile], a3[kSolveTile];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double* x0 = xb + i * kSolveTile;
+    double* x1 = x0 + kSolveTile;
+    double* x2 = x1 + kSolveTile;
+    double* x3 = x2 + kSolveTile;
+    for (std::size_t c = 0; c < tw; ++c) {
+      a0[c] = x0[c];
+      a1[c] = x1[c];
+      a2[c] = x2[c];
+      a3[c] = x3[c];
+    }
+    const double* l0 = l.rowPtr(i);
+    const double* l1 = l.rowPtr(i + 1);
+    const double* l2 = l.rowPtr(i + 2);
+    const double* l3 = l.rowPtr(i + 3);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double* xk = xb + k * kSolveTile;
+      const double m0 = l0[k], m1 = l1[k], m2 = l2[k], m3 = l3[k];
+      for (std::size_t c = 0; c < tw; ++c) {
+        const double v = xk[c];
+        a0[c] -= m0 * v;
+        a1[c] -= m1 * v;
+        a2[c] -= m2 * v;
+        a3[c] -= m3 * v;
+      }
+    }
+    // Triangular corner: finalize the rows in order; each later row's
+    // remaining k terms (still ascending) use the freshly finalized rows.
+    const double d0 = l0[i];
+    for (std::size_t c = 0; c < tw; ++c) x0[c] = a0[c] / d0;
+    const double e1 = l1[i], d1 = l1[i + 1];
+    for (std::size_t c = 0; c < tw; ++c) {
+      a1[c] -= e1 * x0[c];
+      x1[c] = a1[c] / d1;
+    }
+    const double e2 = l2[i], f2 = l2[i + 1], d2 = l2[i + 2];
+    for (std::size_t c = 0; c < tw; ++c) {
+      a2[c] -= e2 * x0[c];
+      a2[c] -= f2 * x1[c];
+      x2[c] = a2[c] / d2;
+    }
+    const double e3 = l3[i], f3 = l3[i + 1], g3 = l3[i + 2], d3 = l3[i + 3];
+    for (std::size_t c = 0; c < tw; ++c) {
+      a3[c] -= e3 * x0[c];
+      a3[c] -= f3 * x1[c];
+      a3[c] -= g3 * x2[c];
+      x3[c] = a3[c] / d3;
+    }
+  }
+  for (; i < n; ++i) {
+    double* xi = xb + i * kSolveTile;
+    for (std::size_t c = 0; c < tw; ++c) a0[c] = xi[c];
+    const double* li = l.rowPtr(i);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      const double* xk = xb + k * kSolveTile;
+      for (std::size_t c = 0; c < tw; ++c) a0[c] -= lik * xk[c];
+    }
+    const double lii = li[i];
+    for (std::size_t c = 0; c < tw; ++c) xi[c] = a0[c] / lii;
+  }
+}
+
+/// Backward substitution L^T x = y over the compact tile buffer, in place
+/// (rows high to low, k ascending per row, matching the per-vector
+/// solveUpper; row blocking would put each row's corner terms after its
+/// tail terms, changing the per-column order, so this one stays unblocked).
+CMMFO_SOLVE_TILE_CLONES
+void backwardSubTile(const Matrix& l, double* xb, std::size_t tw) {
+  const std::size_t n = l.rows();
+  double acc[kSolveTile];
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* xi = xb + ii * kSolveTile;
+    for (std::size_t c = 0; c < tw; ++c) acc[c] = xi[c];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      const double lki = l(k, ii);
+      const double* xk = xb + k * kSolveTile;
+      for (std::size_t c = 0; c < tw; ++c) acc[c] -= lki * xk[c];
+    }
+    const double lii = l(ii, ii);
+    for (std::size_t c = 0; c < tw; ++c) xi[c] = acc[c] / lii;
+  }
+}
+
+/// Copy columns [c0, c0 + tw) of src into the compact tile buffer (and back
+/// out with unpackTile). Pure data movement — no arithmetic, so packing
+/// cannot perturb a single bit of the solve.
+void packTile(const Matrix& src, std::size_t c0, std::size_t tw, double* xb) {
+  for (std::size_t i = 0; i < src.rows(); ++i) {
+    const double* s = src.rowPtr(i) + c0;
+    double* d = xb + i * kSolveTile;
+    for (std::size_t c = 0; c < tw; ++c) d[c] = s[c];
+  }
+}
+
+void unpackTile(const double* xb, std::size_t c0, std::size_t tw,
+                Matrix& dst) {
+  for (std::size_t i = 0; i < dst.rows(); ++i) {
+    const double* s = xb + i * kSolveTile;
+    double* d = dst.rowPtr(i) + c0;
+    for (std::size_t c = 0; c < tw; ++c) d[c] = s[c];
+  }
+}
+}  // namespace
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  // Multi-RHS path: within a column tile, sweep every column per factor
+  // row. For each column the subtraction order (k ascending / descending)
+  // and the final division match solve(b.col(c)) exactly, so the result is
+  // bit-identical to the per-vector loop.
+  const std::size_t n = dim();
+  assert(b.rows() == n);
+  const std::size_t nc = b.cols();
+  Matrix x = b;
+  std::vector<double> xb(n * kSolveTile);
+  for (std::size_t c0 = 0; c0 < nc; c0 += kSolveTile) {
+    const std::size_t tw = std::min(kSolveTile, nc - c0);
+    packTile(x, c0, tw, xb.data());
+    forwardSubTile(l_, xb.data(), tw);
+    backwardSubTile(l_, xb.data(), tw);
+    unpackTile(xb.data(), c0, tw, x);
+  }
+  return x;
+}
+
+Matrix Cholesky::solveLower(const Matrix& b) const {
+  const std::size_t n = dim();
+  assert(b.rows() == n);
+  const std::size_t nc = b.cols();
+  Matrix x = b;
+  std::vector<double> xb(n * kSolveTile);
+  for (std::size_t c0 = 0; c0 < nc; c0 += kSolveTile) {
+    const std::size_t tw = std::min(kSolveTile, nc - c0);
+    packTile(x, c0, tw, xb.data());
+    forwardSubTile(l_, xb.data(), tw);
+    unpackTile(xb.data(), c0, tw, x);
+  }
+  return x;
+}
+
+bool Cholesky::appendRow(const std::vector<double>& cross, double diag) {
+  const std::size_t n = dim();
+  assert(cross.size() == n);
+  if (jitter_ != 0.0) return false;
+  // New bottom row of L, computed with exactly the operations factorize()
+  // would spend on the last row of the bordered matrix — one forward
+  // substitution against the existing factor, then the Schur complement.
+  std::vector<double> row(n + 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = cross[j];
+    const double* lj = l_.rowPtr(j);
+    for (std::size_t k = 0; k < j; ++k) s -= row[k] * lj[k];
+    row[j] = s / lj[j];
+  }
+  double d = diag;
+  for (std::size_t k = 0; k < n; ++k) d -= row[k] * row[k];
+  if (!(d > 0.0) || !std::isfinite(d)) return false;
+  row[n] = std::sqrt(d);
+
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = l_.rowPtr(i);
+    double* dst = grown.rowPtr(i);
+    for (std::size_t k = 0; k <= i; ++k) dst[k] = src[k];
+  }
+  double* last = grown.rowPtr(n);
+  for (std::size_t k = 0; k <= n; ++k) last[k] = row[k];
+  l_ = std::move(grown);
+  return true;
+}
+
+void Cholesky::truncateTo(std::size_t n) {
+  assert(n <= dim());
+  if (n == dim()) return;
+  Matrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = l_.rowPtr(i);
+    double* dst = t.rowPtr(i);
+    for (std::size_t k = 0; k <= i; ++k) dst[k] = src[k];
+  }
+  l_ = std::move(t);
 }
 
 double Cholesky::logDet() const {

@@ -24,12 +24,32 @@ class Cholesky {
 
   /// Solve A x = b.
   std::vector<double> solve(const std::vector<double>& b) const;
-  /// Solve A X = B column-block-wise.
+  /// Multi-RHS solve A X = B: both substitutions sweep all columns per
+  /// factor row, so L is streamed once instead of once per column. Each
+  /// column's operation sequence is identical to solve(b.col(c)), making the
+  /// result bit-for-bit equal to the per-vector path.
   Matrix solve(const Matrix& b) const;
   /// Solve L y = b (forward substitution).
   std::vector<double> solveLower(const std::vector<double>& b) const;
+  /// Multi-RHS forward substitution L Y = B (bit-equal per column).
+  Matrix solveLower(const Matrix& b) const;
   /// Solve L^T x = y (backward substitution).
   std::vector<double> solveUpper(const std::vector<double>& y) const;
+
+  /// Rank-append update: grow the factor of A to the factor of
+  ///   [A  c; c^T  d]
+  /// in O(n^2) — exactly the operations a fresh factorization would spend on
+  /// its last row, so the grown factor is bit-identical to refactorizing the
+  /// bordered matrix (when A factorized without jitter). Returns false (and
+  /// leaves the factor untouched) if the Schur complement d - l^T l is not
+  /// numerically positive; callers should fall back to a dense refactorize.
+  /// Refuses jittered factors: the implied bordered matrix would mix
+  /// jittered and unjittered diagonals.
+  bool appendRow(const std::vector<double>& cross, double diag);
+  /// Shrink the factor to its leading n x n block — the exact factor of the
+  /// leading principal submatrix, so append/truncate pairs round-trip
+  /// bit-identically (Kriging-believer speculation rollback).
+  void truncateTo(std::size_t n);
 
   /// log det(A) = 2 * sum_i log L_ii.
   double logDet() const;

@@ -118,7 +118,7 @@ TEST(Optimizer, SurvivesInvalidHeavyBenchmark) {
   o.n_iter = 12;
   o.mc_samples = 12;
   o.max_candidates = 60;
-  o.hyper_refit_interval = 6;
+  o.refit_every = 6;
   o.seed = 3;
   core::CorrelatedMfMoboOptimizer opt(ctx.space(), ctx.sim(), o);
   const auto res = opt.run();

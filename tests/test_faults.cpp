@@ -43,7 +43,7 @@ core::OptimizerOptions fastOpts() {
   o.n_iter = 10;
   o.mc_samples = 16;
   o.max_candidates = 60;
-  o.hyper_refit_interval = 5;
+  o.refit_every = 5;
   o.surrogate.mtgp.mle_restarts = 0;
   o.surrogate.mtgp.max_mle_iters = 25;
   o.surrogate.gp.mle_restarts = 0;
@@ -374,6 +374,7 @@ TEST(Checkpoint, SerializeParseRoundTripsEveryField) {
   st.cache_hits = 5;
   st.cache_misses = 11;
   st.surrogate_hypers = {{0.5, -0.25, 1.75}, {2.5}};
+  st.surrogate_base = {16, 8, 0};
 
   const std::string text = core::serializeCheckpoint(st);
   core::CheckpointState back;
@@ -414,6 +415,7 @@ TEST(Checkpoint, SerializeParseRoundTripsEveryField) {
   ASSERT_EQ(back.surrogate_hypers.size(), 2u);
   EXPECT_DOUBLE_EQ(back.surrogate_hypers[0][1], -0.25);
   EXPECT_DOUBLE_EQ(back.surrogate_hypers[1][0], 2.5);
+  EXPECT_EQ(back.surrogate_base, st.surrogate_base);
 }
 
 TEST(Checkpoint, ParserRejectsGarbage) {

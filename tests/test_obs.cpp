@@ -246,7 +246,7 @@ core::OptimizerOptions fastOpts() {
   o.n_iter = 10;
   o.mc_samples = 16;
   o.max_candidates = 60;
-  o.hyper_refit_interval = 5;
+  o.refit_every = 5;
   o.surrogate.mtgp.mle_restarts = 0;
   o.surrogate.mtgp.max_mle_iters = 25;
   o.surrogate.gp.mle_restarts = 0;

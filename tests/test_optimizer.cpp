@@ -13,7 +13,7 @@ OptimizerOptions fastOpts() {
   o.n_iter = 10;
   o.mc_samples = 16;
   o.max_candidates = 60;
-  o.hyper_refit_interval = 5;
+  o.refit_every = 5;
   o.surrogate.mtgp.mle_restarts = 0;
   o.surrogate.mtgp.max_mle_iters = 25;
   o.surrogate.gp.mle_restarts = 0;
@@ -137,7 +137,7 @@ TEST(Optimizer, ExhaustsTinySpaceGracefully) {
   o.n_iter = 1000;
   o.max_candidates = 10000;
   o.mc_samples = 4;
-  o.hyper_refit_interval = 50;
+  o.refit_every = 50;
   CorrelatedMfMoboOptimizer opt(space, sim, o);
   const auto res = opt.run();
   EXPECT_EQ(res.cs.size(), space.size());

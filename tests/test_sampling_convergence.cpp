@@ -80,7 +80,7 @@ TEST(Optimizer, MaximinInitDesignRuns) {
   o.n_iter = 6;
   o.mc_samples = 8;
   o.max_candidates = 40;
-  o.hyper_refit_interval = 6;
+  o.refit_every = 6;
   o.init_design = core::InitDesign::kMaximin;
   core::CorrelatedMfMoboOptimizer opt(ctx.space(), ctx.sim(), o);
   const auto res = opt.run();
@@ -93,7 +93,7 @@ TEST(Convergence, CurveTracksEverySample) {
   o.n_iter = 8;
   o.mc_samples = 8;
   o.max_candidates = 40;
-  o.hyper_refit_interval = 8;
+  o.refit_every = 8;
   core::CorrelatedMfMoboOptimizer opt(ctx.space(), ctx.sim(), o);
   const auto res = opt.run();
   const auto curve = exp::convergenceCurve(ctx, res);
