@@ -1,7 +1,10 @@
 #!/bin/sh
 # Runs every bench binary (the repo's reproduction sweep).
 #
-#   ./run_benches.sh               run all benches from build/bench
+#   ./run_benches.sh               run all benches from build/bench; micro
+#                                  benches additionally emit JSON, merged
+#                                  into BENCH_5.json (the perf trajectory
+#                                  archive)
 #   ./run_benches.sh --tsan-smoke  build the test binary under ThreadSanitizer
 #                                  (CMMFO_SANITIZE=thread) and run the
 #                                  parallel-runtime tests under it
@@ -12,13 +15,46 @@ if [ "$1" = "--tsan-smoke" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j --target cmmfo_tests
   exec ./build-tsan/tests/cmmfo_tests \
-    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*'
+    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*'
 fi
+
+OUTDIR=bench-out
+mkdir -p "$OUTDIR"
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "====================================================================="
   echo "===== $b"
   echo "====================================================================="
-  "$b"
+  case "$(basename "$b")" in
+    micro_*)
+      # Google-benchmark binaries archive their results as JSON so the perf
+      # trajectory accumulates across revisions.
+      "$b" --benchmark_out="$OUTDIR/$(basename "$b").json" \
+           --benchmark_out_format=json
+      ;;
+    *)
+      "$b"
+      ;;
+  esac
 done
+
+# Merge the per-binary JSON files into one archive keyed by binary name.
+if command -v python3 > /dev/null 2>&1 && [ -n "$(ls "$OUTDIR" 2>/dev/null)" ]; then
+  python3 - "$OUTDIR" BENCH_5.json <<'EOF'
+import json, os, sys
+outdir, dest = sys.argv[1], sys.argv[2]
+merged = {}
+for f in sorted(os.listdir(outdir)):
+    if not f.endswith(".json"):
+        continue
+    try:
+        with open(os.path.join(outdir, f)) as fh:
+            merged[f[:-5]] = json.load(fh)
+    except (OSError, ValueError):
+        pass
+with open(dest, "w") as fh:
+    json.dump(merged, fh, indent=1)
+print("archived %d bench result set(s) -> %s" % (len(merged), dest))
+EOF
+fi

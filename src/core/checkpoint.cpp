@@ -1,39 +1,28 @@
 #include "core/checkpoint.h"
 
-#include <cctype>
-#include <cinttypes>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "util/json.h"
 
 namespace cmmfo::core {
 
 namespace {
 
-// ------------------------------------------------------------- Writer ----
-// %.17g round-trips IEEE-754 binary64 exactly through strtod, which is what
-// makes resumed trajectories bit-identical. 64-bit integers are written as
-// strings (JSON numbers are doubles; 2^53 would truncate RNG words).
-
-void putDouble(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
-
-void putU64(std::string& out, std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "\"%" PRIu64 "\"", v);
-  out += buf;
-}
-
-void putInt(std::string& out, long long v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%lld", v);
-  out += buf;
-}
+// The writer/parser core lives in util/json (shared with the observability
+// and diagnostics dumps): %.17g doubles round-trip IEEE-754 binary64
+// exactly, which is what makes resumed trajectories bit-identical; 64-bit
+// integers are written as quoted strings (JSON numbers are doubles; 2^53
+// would truncate RNG words).
+using util::getU64;
+using util::getVec;
+using util::Json;
+using util::putDouble;
+using util::putInt;
+using util::putString;
+using util::putU64;
+using util::putVec;
 
 void putReport(std::string& out, const sim::Report& r) {
   out += '[';
@@ -44,161 +33,6 @@ void putReport(std::string& out, const sim::Report& r) {
     putDouble(out, v);
   }
   out += ']';
-}
-
-void putVec(std::string& out, const std::vector<double>& v) {
-  out += '[';
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i) out += ',';
-    putDouble(out, v[i]);
-  }
-  out += ']';
-}
-
-// ------------------------------------------------------------- Parser ----
-// Minimal recursive-descent JSON: objects, arrays, strings, numbers, bools,
-// null. Exactly what the writer above emits; not a general-purpose parser.
-
-struct Json {
-  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
-  Kind kind = kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<Json> arr;
-  std::vector<std::pair<std::string, Json>> obj;
-
-  const Json* find(const char* key) const {
-    for (const auto& [k, v] : obj)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-struct Parser {
-  const char* p;
-  const char* end;
-  std::string error;
-
-  explicit Parser(const std::string& s) : p(s.data()), end(s.data() + s.size()) {}
-
-  void skipWs() {
-    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
-  }
-  bool fail(const char* msg) {
-    if (error.empty()) error = msg;
-    return false;
-  }
-
-  bool parseValue(Json& out) {
-    skipWs();
-    if (p >= end) return fail("unexpected end of input");
-    switch (*p) {
-      case '{': return parseObject(out);
-      case '[': return parseArray(out);
-      case '"': out.kind = Json::kStr; return parseString(out.str);
-      case 't':
-        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
-          out.kind = Json::kBool; out.b = true; p += 4; return true;
-        }
-        return fail("bad literal");
-      case 'f':
-        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
-          out.kind = Json::kBool; out.b = false; p += 5; return true;
-        }
-        return fail("bad literal");
-      case 'n':
-        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
-          out.kind = Json::kNull; p += 4; return true;
-        }
-        return fail("bad literal");
-      default: {
-        char* num_end = nullptr;
-        out.num = std::strtod(p, &num_end);
-        if (num_end == p) return fail("bad number");
-        out.kind = Json::kNum;
-        p = num_end;
-        return true;
-      }
-    }
-  }
-
-  bool parseString(std::string& out) {
-    ++p;  // opening quote
-    out.clear();
-    while (p < end && *p != '"') {
-      if (*p == '\\') {
-        if (++p >= end) return fail("bad escape");
-        switch (*p) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          default: return fail("unsupported escape");
-        }
-        ++p;
-      } else {
-        out += *p++;
-      }
-    }
-    if (p >= end) return fail("unterminated string");
-    ++p;  // closing quote
-    return true;
-  }
-
-  bool parseArray(Json& out) {
-    out.kind = Json::kArr;
-    ++p;
-    skipWs();
-    if (p < end && *p == ']') { ++p; return true; }
-    for (;;) {
-      Json v;
-      if (!parseValue(v)) return false;
-      out.arr.push_back(std::move(v));
-      skipWs();
-      if (p < end && *p == ',') { ++p; continue; }
-      if (p < end && *p == ']') { ++p; return true; }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool parseObject(Json& out) {
-    out.kind = Json::kObj;
-    ++p;
-    skipWs();
-    if (p < end && *p == '}') { ++p; return true; }
-    for (;;) {
-      skipWs();
-      if (p >= end || *p != '"') return fail("expected object key");
-      std::string key;
-      if (!parseString(key)) return false;
-      skipWs();
-      if (p >= end || *p != ':') return fail("expected ':'");
-      ++p;
-      Json v;
-      if (!parseValue(v)) return false;
-      out.obj.emplace_back(std::move(key), std::move(v));
-      skipWs();
-      if (p < end && *p == ',') { ++p; continue; }
-      if (p < end && *p == '}') { ++p; return true; }
-      return fail("expected ',' or '}'");
-    }
-  }
-};
-
-// ---------------------------------------------------- Typed extraction ----
-
-bool getU64(const Json& j, std::uint64_t& out) {
-  if (j.kind == Json::kStr) {
-    out = std::strtoull(j.str.c_str(), nullptr, 10);
-    return true;
-  }
-  if (j.kind == Json::kNum) {
-    out = static_cast<std::uint64_t>(j.num);
-    return true;
-  }
-  return false;
 }
 
 bool getReport(const Json& j, sim::Report& r) {
@@ -213,17 +47,6 @@ bool getReport(const Json& j, sim::Report& r) {
   r.latency_cycles = j.arr[4].num;
   r.clock_ns = j.arr[5].num;
   r.tool_seconds = j.arr[6].num;
-  return true;
-}
-
-bool getVec(const Json& j, std::vector<double>& out) {
-  if (j.kind != Json::kArr) return false;
-  out.clear();
-  out.reserve(j.arr.size());
-  for (const Json& e : j.arr) {
-    if (e.kind != Json::kNum) return false;
-    out.push_back(e.num);
-  }
   return true;
 }
 
@@ -392,7 +215,62 @@ std::string serializeCheckpoint(const CheckpointState& st) {
     }
     out += "]}";
   }
-  out += "]\n}\n";
+  out += "]";
+
+  // Optional: the flight recorder's checkpointable digest (calibration
+  // aggregates + counters + health warnings). Absent when diagnostics are
+  // disabled, so undiagnosed journals are unchanged byte-for-byte.
+  if (st.has_diag) {
+    const diag::DiagState& dg = st.diag;
+    out += ",\n\"diag\": {\"agg\": [";
+    for (int l = 0; l < diag::kNumLevels; ++l) {
+      if (l) out += ',';
+      out += '[';
+      for (int m = 0; m < diag::kNumObjectives; ++m) {
+        const diag::CalibrationAgg& a = dg.agg[l][m];
+        if (m) out += ',';
+        out += '[';
+        putInt(out, a.n);
+        out += ',';
+        putInt(out, a.n_in95);
+        out += ',';
+        putDouble(out, a.nlpd_sum);
+        out += ',';
+        putDouble(out, a.resid_sum);
+        out += ',';
+        putDouble(out, a.resid_sq_sum);
+        out += ']';
+      }
+      out += ']';
+    }
+    out += "], \"rounds\": ";
+    putInt(out, dg.rounds);
+    out += ", \"samples\": ";
+    putInt(out, dg.samples);
+    out += ", \"decisions\": ";
+    putInt(out, dg.decisions);
+    out += ", \"warnings\": [";
+    for (std::size_t i = 0; i < dg.warnings.size(); ++i) {
+      const diag::HealthWarning& w = dg.warnings[i];
+      if (i) out += ',';
+      out += "\n{\"kind\": ";
+      putInt(out, static_cast<int>(w.kind));
+      out += ", \"round\": ";
+      putInt(out, w.round);
+      out += ", \"fidelity\": ";
+      putInt(out, w.fidelity);
+      out += ", \"value\": ";
+      putDouble(out, w.value);
+      out += ", \"threshold\": ";
+      putDouble(out, w.threshold);
+      out += ", \"message\": ";
+      putString(out, w.message);
+      out += '}';
+    }
+    out += "]}";
+  }
+
+  out += "\n}\n";
   return out;
 }
 
@@ -402,10 +280,10 @@ bool parseCheckpoint(const std::string& text, CheckpointState* out,
     if (error) *error = msg;
     return false;
   };
-  Parser parser(text);
   Json root;
-  if (!parser.parseValue(root) || root.kind != Json::kObj)
-    return fail("checkpoint: invalid JSON: " + parser.error);
+  std::string parse_error;
+  if (!util::parseJson(text, &root, &parse_error) || root.kind != Json::kObj)
+    return fail("checkpoint: invalid JSON: " + parse_error);
 
   CheckpointState st;
   const Json* v = root.find("version");
@@ -580,6 +458,59 @@ bool parseCheckpoint(const std::string& text, CheckpointState* out,
         }
       st.metrics.push_back(std::move(p));
     }
+
+  // Optional: diagnostics digest. Journals written without --diag (or before
+  // the flight recorder existed) lack the key; has_diag stays false.
+  if (const Json* j = root.find("diag"); j && j->kind == Json::kObj) {
+    st.has_diag = true;
+    if (const Json* agg = j->find("agg");
+        agg && agg->kind == Json::kArr &&
+        agg->arr.size() == diag::kNumLevels) {
+      for (int l = 0; l < diag::kNumLevels; ++l) {
+        const Json& row = agg->arr[l];
+        if (row.kind != Json::kArr || row.arr.size() != diag::kNumObjectives)
+          return fail("checkpoint: bad diag agg row");
+        for (int m = 0; m < diag::kNumObjectives; ++m) {
+          const Json& cell = row.arr[m];
+          if (cell.kind != Json::kArr || cell.arr.size() != 5)
+            return fail("checkpoint: bad diag agg cell");
+          for (const Json& x : cell.arr)
+            if (x.kind != Json::kNum)
+              return fail("checkpoint: bad diag agg cell");
+          diag::CalibrationAgg& a = st.diag.agg[l][m];
+          a.n = static_cast<long long>(cell.arr[0].num);
+          a.n_in95 = static_cast<long long>(cell.arr[1].num);
+          a.nlpd_sum = cell.arr[2].num;
+          a.resid_sum = cell.arr[3].num;
+          a.resid_sq_sum = cell.arr[4].num;
+        }
+      }
+    }
+    if (const Json* k = j->find("rounds"); k && k->kind == Json::kNum)
+      st.diag.rounds = static_cast<long long>(k->num);
+    if (const Json* k = j->find("samples"); k && k->kind == Json::kNum)
+      st.diag.samples = static_cast<long long>(k->num);
+    if (const Json* k = j->find("decisions"); k && k->kind == Json::kNum)
+      st.diag.decisions = static_cast<long long>(k->num);
+    if (const Json* k = j->find("warnings"); k && k->kind == Json::kArr)
+      for (const Json& e : k->arr) {
+        if (e.kind != Json::kObj) return fail("checkpoint: bad diag warning");
+        diag::HealthWarning w;
+        if (const Json* x = e.find("kind"); x && x->kind == Json::kNum)
+          w.kind = static_cast<diag::HealthKind>(static_cast<int>(x->num));
+        if (const Json* x = e.find("round"); x && x->kind == Json::kNum)
+          w.round = static_cast<int>(x->num);
+        if (const Json* x = e.find("fidelity"); x && x->kind == Json::kNum)
+          w.fidelity = static_cast<int>(x->num);
+        if (const Json* x = e.find("value"); x && x->kind == Json::kNum)
+          w.value = x->num;
+        if (const Json* x = e.find("threshold"); x && x->kind == Json::kNum)
+          w.threshold = x->num;
+        if (const Json* x = e.find("message"); x && x->kind == Json::kStr)
+          w.message = x->str;
+        st.diag.warnings.push_back(std::move(w));
+      }
+  }
 
   *out = std::move(st);
   return true;

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "diag/recorder.h"
 #include "obs/metrics.h"
 #include "rng/rng.h"
 #include "runtime/scheduler.h"
@@ -85,6 +86,12 @@ struct CheckpointState {
   /// Metrics ledger at checkpoint time (empty when metrics are disabled).
   /// Optional in the journal — version-1 files without it still load.
   obs::MetricsSnapshot metrics;
+
+  /// Diagnostics digest (calibration aggregates, counters, health warnings)
+  /// at checkpoint time. Optional in the journal — files without it still
+  /// load (has_diag stays false) and resume simply restarts the aggregates.
+  diag::DiagState diag;
+  bool has_diag = false;
 };
 
 /// JSON round-trip (self-contained writer/parser; no external deps).

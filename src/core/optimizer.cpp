@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -54,6 +55,23 @@ void CorrelatedMfMoboOptimizer::record(const runtime::EvalResult& res) {
     FidelityData& d = data_[f];
     d.configs.push_back(res.job.config);
     d.y.push_back(r.valid ? r.objectives() : penalizedObjectives(d));
+    // Flight recorder: join the observation with the posterior captured at
+    // pick time (predict-before-observe). Invalid reports are skipped — a
+    // Sec. IV-C penalty row says nothing about surrogate calibration.
+    if (r.valid && diag::recorder().enabled()) {
+      if (const auto it = pending_pred_.find({res.job.config, f});
+          it != pending_pred_.end()) {
+        diag::CalibrationSample s;
+        s.round = diag_round_;
+        s.config = res.job.config;
+        s.fidelity = f;
+        s.believer = it->second.believer;
+        s.y = r.objectives();
+        s.mu = it->second.mu;
+        s.var = it->second.var;
+        diag::recorder().addCalibrationSample(std::move(s));
+      }
+    }
   }
   sampled_[res.job.config] = true;
 
@@ -101,7 +119,8 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
     const std::array<FidelityData, kNumFidelities>& data,
     const std::vector<std::size_t>& cand, const std::vector<char>& taken,
     const std::array<double, kNumFidelities>& stage_seconds,
-    const std::vector<std::vector<double>>& z, int only_fidelity) const {
+    const std::vector<std::vector<double>>& z, int only_fidelity,
+    std::vector<diag::FidelityAudit>* audit) const {
   Pick best;
   bool any = false;
   for (int f = 0; f < kNumFidelities; ++f) {
@@ -146,6 +165,14 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
       feats.push_back(space_->features(ci));
     }
     const std::vector<gp::MultiPosterior> posts = surrogate_.predictBatch(f, feats);
+    diag::FidelityAudit* fa = nullptr;
+    if (audit != nullptr) {
+      audit->push_back({});
+      fa = &audit->back();
+      fa->fidelity = f;
+      fa->cost_penalty = penalty;
+      fa->top.reserve(open.size());
+    }
     for (std::size_t k = 0; k < open.size(); ++k) {
       const gp::MultiPosterior& post = posts[k];
       gp::Vec mu(kNumObjectives);
@@ -155,13 +182,26 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
         for (int m2 = 0; m2 < kNumObjectives; ++m2)
           cov(m, m2) = post.cov(m, m2) / (range[m] * range[m2]);
       }
-      const double peipv = penalty * mcEipv(mu, cov, front, ref, z);
+      const double eipv = mcEipv(mu, cov, front, ref, z);
+      const double peipv = penalty * eipv;
+      if (fa != nullptr) fa->top.push_back({open[k], eipv, peipv});
       if (!any || peipv > best.peipv) {
         any = true;
         best.config = open[k];
         best.fidelity = static_cast<Fidelity>(f);
         best.peipv = peipv;
       }
+    }
+    if (fa != nullptr) {
+      // Rank by the quantity the argmax uses; stable so candidate-order ties
+      // resolve deterministically. Truncated to the recorder's top-k.
+      std::stable_sort(fa->top.begin(), fa->top.end(),
+                       [](const diag::CandidateScore& a,
+                          const diag::CandidateScore& b) {
+                         return a.peipv > b.peipv;
+                       });
+      const std::size_t k = static_cast<std::size_t>(diag::recorder().topK());
+      if (fa->top.size() > k) fa->top.resize(k);
     }
   }
   return best;
@@ -259,6 +299,11 @@ CheckpointState CorrelatedMfMoboOptimizer::captureCheckpoint(
   // Journal the metrics ledger so a resumed run's dump continues where the
   // crashed run left off instead of restarting the counters from zero.
   if (obs::metrics().enabled()) st.metrics = obs::metrics().snapshot();
+  // Same for the flight recorder's calibration aggregates and warnings.
+  if (diag::recorder().enabled()) {
+    st.diag = diag::recorder().state();
+    st.has_diag = true;
+  }
   return st;
 }
 
@@ -315,6 +360,8 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
   cache.restoreCounters(st.cache_hits, st.cache_misses);
   if (obs::metrics().enabled() && !st.metrics.empty())
     obs::metrics().restore(st.metrics);
+  if (st.has_diag && diag::recorder().enabled())
+    diag::recorder().restore(st.diag);
 }
 
 OptimizeResult CorrelatedMfMoboOptimizer::run() {
@@ -402,15 +449,44 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
     if (pool.empty()) break;
 
     const bool hypers = round % std::max(opts_.refit_every, 1) == 0;
+    const bool did_mle = hypers || !surrogate_.fitted();
     {
       obs::ScopedPhase fit_phase("gp_fit", round);
-      if (hypers || !surrogate_.fitted())
+      if (did_mle)
         surrogate_.fit(buildObsFrom(data_), rng_, true);
       else
         // Between MLE refits the new observations enter via O(n^2)
         // rank-append posterior updates; commit also rolls back any
         // Kriging-believer speculation left from the previous round.
         surrogate_.appendObservations(buildObsFrom(data_), /*commit=*/true);
+    }
+    const bool diag_on = diag::recorder().enabled();
+    diag_round_ = round;
+    if (diag_on) {
+      // Per-level surrogate state for the journal: learned K_task (Eq. 9),
+      // MLE convergence, Gram conditioning, lower-fidelity relevance. All
+      // read-only accessors — nothing feeds back into the run.
+      for (int l = 0; l < kNumFidelities; ++l) {
+        diag::ModelRecord mr;
+        mr.round = round;
+        mr.level = l;
+        mr.correlated = surrogate_.correlated();
+        if (mr.correlated) {
+          const linalg::Matrix c = surrogate_.taskCorrelation(l);
+          mr.task_corr.assign(c.rows(), std::vector<double>(c.cols(), 0.0));
+          for (std::size_t i = 0; i < c.rows(); ++i)
+            for (std::size_t j = 0; j < c.cols(); ++j)
+              mr.task_corr[i][j] = c(i, j);
+        }
+        mr.lml = surrogate_.logMarginalLikelihood(l);
+        mr.fit_iters = surrogate_.lastFitIterations(l);
+        // Budget is only meaningful on rounds that actually ran the MLE;
+        // 0 disables the non-convergence check on rank-append rounds.
+        mr.max_iters = did_mle ? surrogate_.mleIterBudget(l) : 0;
+        mr.cond_log10 = surrogate_.gramConditionLog10(l);
+        mr.lowfid_relevance = surrogate_.lowerFidelityRelevance(l);
+        diag::recorder().addModelRecord(std::move(mr));
+      }
     }
 
     // Candidate subset, shared across fidelities this round.
@@ -443,8 +519,10 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
                           "acq_pick", "optimizer");
       const int round_fidelity =
           b == 0 ? -1 : static_cast<int>(jobs.front().fidelity);
+      std::vector<diag::FidelityAudit> audit;
       const Pick pick = scanBest(b == 0 ? data_ : fantasy, cand, taken,
-                                 stage_seconds, z, round_fidelity);
+                                 stage_seconds, z, round_fidelity,
+                                 diag_on ? &audit : nullptr);
       taken[pick.config] = 1;
       jobs.push_back({pick.config, pick.fidelity});
       ++result.picks_per_fidelity[static_cast<int>(pick.fidelity)];
@@ -458,6 +536,33 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
         obs::metrics().observe(std::string("acq.peipv.") +
                                    sim::fidelityName(pick.fidelity),
                                pick.peipv);
+
+      if (diag_on) {
+        diag::DecisionRecord dr;
+        dr.round = round;
+        dr.winner_config = pick.config;
+        dr.winner_fidelity = static_cast<int>(pick.fidelity);
+        dr.winner_peipv = pick.peipv;
+        dr.rationale =
+            b == 0 ? "argmax cost-penalized EIPV across fidelities (Eq. 10)"
+                   : "Kriging-believer batch fill at the round fidelity";
+        dr.fidelities = std::move(audit);
+        diag::recorder().addDecision(std::move(dr));
+        // Predict-before-observe: snapshot the posterior at every stage the
+        // job will run, before its observation can enter the model. Extra
+        // predict() calls only — no RNG, no state change, so the trajectory
+        // is bit-identical with diagnostics off.
+        for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
+          const gp::MultiPosterior post =
+              surrogate_.predict(f, space_->features(pick.config));
+          PendingPrediction pp;
+          pp.mu = post.mean;
+          pp.var.resize(kNumObjectives);
+          for (int m = 0; m < kNumObjectives; ++m) pp.var[m] = post.cov(m, m);
+          pp.believer = b > 0;
+          pending_pred_[{pick.config, f}] = std::move(pp);
+        }
+      }
 
       if (b + 1 < q) {
         // Believe the model: append its predicted means at every stage the
@@ -484,6 +589,27 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
     }
     t += q;
     ++result.rounds_run;
+
+    if (diag_on) {
+      // Convergence record: hypervolume of the current top-fidelity set,
+      // cumulative charged tool-seconds, cache counters; ADRS comes from
+      // the recorder's oracle (set by the harness) when available.
+      double hv = std::numeric_limits<double>::quiet_NaN();
+      const FidelityData& top_data = data_[kNumFidelities - 1];
+      if (!top_data.y.empty()) {
+        const std::vector<pareto::Point> pts(top_data.y.begin(),
+                                             top_data.y.end());
+        hv = pareto::hypervolume(pareto::paretoFilter(pts),
+                                 pareto::referencePoint(pts));
+      }
+      std::vector<std::size_t> selected;
+      selected.reserve(cs_.size());
+      for (const SampleRecord& rec : cs_) selected.push_back(rec.config);
+      const runtime::EvalCache::Stats cstats = cache.stats();
+      diag::recorder().endRound(round, hv, selected, sim_->totalToolSeconds(),
+                                cstats.hits, cstats.misses);
+      pending_pred_.clear();
+    }
 
     // Diagnostics-only progression metrics: computed from already-recorded
     // data when enabled, never read back by the algorithm.

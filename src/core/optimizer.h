@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/checkpoint.h"
 #include "core/surrogate.h"
+#include "diag/recorder.h"
 #include "hls/design_space.h"
 #include "runtime/scheduler.h"
 #include "sim/tool.h"
@@ -199,12 +202,16 @@ class CorrelatedMfMoboOptimizer {
   /// given (possibly fantasy-augmented) datasets and the current surrogate.
   /// `only_fidelity` >= 0 restricts the scan to that one fidelity (used to
   /// keep a round's batch fidelity-homogeneous).
+  /// When `audit` is non-null the scan additionally collects a per-fidelity
+  /// acquisition audit (cost penalty + top-k candidates by PEIPV) for the
+  /// flight recorder. Pure observation: the argmax is unchanged.
   Pick scanBest(const std::array<FidelityData, sim::kNumFidelities>& data,
                 const std::vector<std::size_t>& cand,
                 const std::vector<char>& taken,
                 const std::array<double, sim::kNumFidelities>& stage_seconds,
                 const std::vector<std::vector<double>>& z,
-                int only_fidelity = -1) const;
+                int only_fidelity = -1,
+                std::vector<diag::FidelityAudit>* audit = nullptr) const;
 
   const hls::DesignSpace* space_;
   sim::FpgaToolSim* sim_;
@@ -215,6 +222,18 @@ class CorrelatedMfMoboOptimizer {
   std::array<FidelityData, sim::kNumFidelities> data_;
   std::vector<bool> sampled_;
   std::vector<SampleRecord> cs_;
+
+  /// Flight-recorder state (only populated while diag::recorder() is
+  /// enabled; extra predict() calls are RNG-free so the trajectory is
+  /// bit-identical either way). Posterior (mu, var) captured at pick time,
+  /// keyed by (config, fidelity), joined with the observation in record().
+  struct PendingPrediction {
+    gp::Vec mu;
+    gp::Vec var;
+    bool believer = false;
+  };
+  std::map<std::pair<std::size_t, int>, PendingPrediction> pending_pred_;
+  int diag_round_ = -1;  ///< current BO round; -1 outside the round loop
 };
 
 }  // namespace cmmfo::core

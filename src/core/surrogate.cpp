@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "gp/ard_kernels.h"
@@ -476,6 +477,86 @@ void MultiFidelitySurrogate::setHyperState(
 linalg::Matrix MultiFidelitySurrogate::taskCorrelation(std::size_t level) const {
   assert(opts_.obj == ObjModelKind::kCorrelated && level < levels_);
   return mt_models_[level].taskCorrelation();
+}
+
+double MultiFidelitySurrogate::logMarginalLikelihood(std::size_t level) const {
+  if (!fitted_ || level >= levels_)
+    return std::numeric_limits<double>::quiet_NaN();
+  if (opts_.obj == ObjModelKind::kCorrelated)
+    return mt_models_[level].logMarginalLikelihood();
+  double sum = 0.0;
+  for (const auto& model : ind_models_[level])
+    sum += model.logMarginalLikelihood();
+  return sum;
+}
+
+long long MultiFidelitySurrogate::lastFitIterations(std::size_t level) const {
+  if (level >= levels_) return 0;
+  if (opts_.obj == ObjModelKind::kCorrelated)
+    return mt_models_[level].lastFitIterations();
+  long long sum = 0;
+  for (const auto& model : ind_models_[level]) sum += model.lastFitIterations();
+  return sum;
+}
+
+long long MultiFidelitySurrogate::mleIterBudget(std::size_t level) const {
+  // The MLE multi-start list is: current parameters, two data-informed
+  // initializations, and mle_restarts random perturbations — so the total
+  // L-BFGS budget is max_mle_iters * (mle_restarts + 3) per model.
+  if (level >= levels_) return 0;
+  if (opts_.obj == ObjModelKind::kCorrelated)
+    return static_cast<long long>(opts_.mtgp.max_mle_iters) *
+           (opts_.mtgp.mle_restarts + 3);
+  return static_cast<long long>(opts_.gp.max_mle_iters) *
+         (opts_.gp.mle_restarts + 3) * static_cast<long long>(m_);
+}
+
+double MultiFidelitySurrogate::gramConditionLog10(std::size_t level) const {
+  if (!fitted_ || level >= levels_)
+    return std::numeric_limits<double>::quiet_NaN();
+  double cond = 1.0;
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    cond = mt_models_[level].gramConditionEstimate();
+  } else {
+    for (const auto& model : ind_models_[level])
+      cond = std::max(cond, model.gramConditionEstimate());
+  }
+  return std::log10(std::max(cond, 1.0));
+}
+
+double MultiFidelitySurrogate::lowerFidelityRelevance(std::size_t level) const {
+  if (opts_.mf != MfKind::kNonlinear || level == 0 || level >= levels_)
+    return std::numeric_limits<double>::quiet_NaN();
+  // Relevance of dimension d under ARD is 1/l_d^2 (an infinite lengthscale
+  // switches the dimension off). The augmented input is [x (input_dim_),
+  // mu_lower (m_)], so the tail dims carry the cross-fidelity signal.
+  const auto share = [this](const gp::Kernel& k) {
+    const auto* ard = dynamic_cast<const gp::ArdKernelBase*>(&k);
+    if (ard == nullptr || ard->dim() != input_dim_ + m_)
+      return std::numeric_limits<double>::quiet_NaN();
+    double total = 0.0, lower = 0.0;
+    for (std::size_t d = 0; d < ard->dim(); ++d) {
+      const double ls = ard->lengthscale(d);
+      const double rel = 1.0 / (ls * ls);
+      total += rel;
+      if (d >= input_dim_) lower += rel;
+    }
+    return total > 0.0 ? lower / total
+                       : std::numeric_limits<double>::quiet_NaN();
+  };
+  if (opts_.obj == ObjModelKind::kCorrelated)
+    return share(mt_models_[level].inputKernel());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& model : ind_models_[level]) {
+    const double s = share(model.kernel());
+    if (!std::isnan(s)) {
+      sum += s;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n)
+               : std::numeric_limits<double>::quiet_NaN();
 }
 
 }  // namespace cmmfo::core

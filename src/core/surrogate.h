@@ -86,6 +86,28 @@ class MultiFidelitySurrogate {
   /// Learned task correlation at a level (correlated variant only).
   linalg::Matrix taskCorrelation(std::size_t level) const;
 
+  // ---- read-only diagnostics (flight recorder; never perturb the run) ----
+  bool correlated() const { return opts_.obj == ObjModelKind::kCorrelated; }
+  /// Log marginal likelihood at a level (summed over objectives for the
+  /// independent variant). NaN before the first fit.
+  double logMarginalLikelihood(std::size_t level) const;
+  /// L-BFGS iterations spent by the last MLE at a level (summed over
+  /// objectives for the independent variant).
+  long long lastFitIterations(std::size_t level) const;
+  /// Per-fit iteration budget at a level: max_mle_iters * (restarts + 1),
+  /// times M for the independent variant (matching lastFitIterations).
+  long long mleIterBudget(std::size_t level) const;
+  /// log10 condition estimate of the fitted Gram at a level (max over
+  /// objectives for the independent variant). NaN before the first fit.
+  double gramConditionLog10(std::size_t level) const;
+  /// Nonlinear chaining only: share of total ARD relevance (sum of 1/l_d^2)
+  /// sitting on the appended lower-fidelity-prediction dimensions — the
+  /// augmented-input analog of the NARGP error-term variance share (how much
+  /// the level actually listens to the fidelity below). NaN for level 0,
+  /// non-nonlinear chaining, or a non-ARD kernel; averaged over objectives
+  /// for the independent variant.
+  double lowerFidelityRelevance(std::size_t level) const;
+
   /// Packed hyperparameters of every underlying GP, in a deterministic
   /// per-level (then per-objective, for the independent variant) order.
   /// Together with the datasets and the RNG state this is the whole

@@ -1,0 +1,40 @@
+#include "diag/health.h"
+
+namespace cmmfo::diag {
+
+const char* healthKindName(HealthKind k) {
+  switch (k) {
+    case HealthKind::kCoverageDrift: return "coverage_drift";
+    case HealthKind::kGramConditionBlowup: return "gram_condition_blowup";
+    case HealthKind::kMleNonConvergence: return "mle_non_convergence";
+    case HealthKind::kCacheHitCollapse: return "cache_hit_collapse";
+    case HealthKind::kDegenerateKTask: return "degenerate_k_task";
+    case HealthKind::kRetryStorm: return "retry_storm";
+  }
+  return "?";
+}
+
+void HealthMonitor::emit(HealthWarning w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  warnings_.push_back(std::move(w));
+  count_.store(warnings_.size(), std::memory_order_release);
+}
+
+std::vector<HealthWarning> HealthMonitor::warnings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warnings_;
+}
+
+void HealthMonitor::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  warnings_.clear();
+  count_.store(0, std::memory_order_release);
+}
+
+void HealthMonitor::restore(std::vector<HealthWarning> ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  warnings_ = std::move(ws);
+  count_.store(warnings_.size(), std::memory_order_release);
+}
+
+}  // namespace cmmfo::diag

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cmmfo::diag {
+
+/// Non-fatal run-health conditions detected by the flight recorder. None of
+/// these aborts a run; each becomes a structured warning in the diagnostics
+/// journal and the end-of-run summary.
+enum class HealthKind : int {
+  kCoverageDrift = 0,       // empirical 95% coverage far from nominal
+  kGramConditionBlowup = 1, // GP Gram matrix condition estimate too large
+  kMleNonConvergence = 2,   // hyperparameter MLE exhausted its iteration cap
+  kCacheHitCollapse = 3,    // evaluation-cache hit rate collapsed
+  kDegenerateKTask = 4,     // ICM task correlation pinned at +-1 or non-finite
+  kRetryStorm = 5,          // scheduler job burned its whole retry budget
+};
+
+const char* healthKindName(HealthKind k);
+
+struct HealthWarning {
+  HealthKind kind = HealthKind::kCoverageDrift;
+  int round = -1;     // -1 = not tied to a BO round
+  int fidelity = -1;  // -1 = not fidelity-specific
+  double value = 0.0;      // the observed quantity that tripped the check
+  double threshold = 0.0;  // the configured trigger level
+  std::string message;
+
+  bool operator==(const HealthWarning&) const = default;
+};
+
+/// Trigger levels for the built-in checks. Defaults are deliberately loose —
+/// they flag genuinely pathological runs, not normal BO noise. Tests tighten
+/// them to force specific checks to fire.
+struct HealthThresholds {
+  /// Coverage below this (per fidelity, pooled over objectives) after at
+  /// least min_coverage_samples observations flags drift. Nominal is 0.95.
+  double min_coverage = 0.75;
+  long long min_coverage_samples = 20;
+  /// log10 condition estimate of the GP Gram matrix above this flags
+  /// blow-up (doubles hold ~15-16 digits; 12 leaves little headroom).
+  double max_gram_log10 = 12.0;
+  /// Cache hit rate below this after min_cache_lookups flags collapse.
+  double min_cache_hit_rate = 0.01;
+  long long min_cache_lookups = 20;
+  /// Off-diagonal |task correlation| above this flags a degenerate K_task.
+  double max_task_corr = 0.999;
+};
+
+/// Thread-safe warning sink. Scheduler worker threads emit retry-storm
+/// warnings concurrently with the optimizer thread's model checks, so every
+/// access goes through one mutex; `count()` additionally reads an atomic so
+/// hot paths can poll without the lock (and the TSan no-tear test has a
+/// lock-free observable).
+class HealthMonitor {
+ public:
+  void emit(HealthWarning w);
+  std::vector<HealthWarning> warnings() const;
+  std::size_t count() const { return count_.load(std::memory_order_acquire); }
+  void clear();
+  void restore(std::vector<HealthWarning> ws);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<HealthWarning> warnings_;
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace cmmfo::diag

@@ -1,0 +1,200 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diag/calibration.h"
+#include "diag/health.h"
+
+namespace cmmfo::diag {
+
+/// Fidelity levels and objectives mirror sim::Fidelity and the (power,
+/// delay, lut) objective vector; duplicated here as plain constants so the
+/// diagnostics layer stays free of sim/gp/core types (it links only util).
+inline constexpr int kNumLevels = 3;
+inline constexpr int kNumObjectives = 3;
+
+const char* levelName(int level);      // "hls" / "syn" / "impl"
+const char* objectiveName(int index);  // "power" / "delay" / "lut"
+
+/// Run provenance, written as the first journal line.
+struct Manifest {
+  std::string git_sha;
+  std::string build_type;
+  std::string tool;
+  std::string flags;
+  std::string benchmark;
+  std::string method;
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+};
+
+/// One scored candidate inside a per-fidelity acquisition audit.
+struct CandidateScore {
+  std::size_t config = 0;
+  double eipv = 0.0;   // raw MC-EIPV before the cost penalty
+  double peipv = 0.0;  // cost_penalty * eipv, the ranking quantity (Eq. 10)
+};
+
+/// Per-fidelity slice of one acquisition decision: the cost penalty
+/// T_impl/T_i applied at this fidelity and the top-k candidates by PEIPV.
+struct FidelityAudit {
+  int fidelity = -1;
+  double cost_penalty = 1.0;
+  std::vector<CandidateScore> top;  // peipv-descending, size <= topK()
+};
+
+/// One winning pick and the cross-fidelity evidence behind it.
+struct DecisionRecord {
+  int round = -1;
+  std::size_t winner_config = 0;
+  int winner_fidelity = -1;
+  double winner_peipv = 0.0;
+  std::string rationale;  // e.g. "argmax PEIPV across fidelities"
+  std::vector<FidelityAudit> fidelities;
+};
+
+/// One predict-before-observe calibration sample: the posterior (mu, var)
+/// captured at pick time joined with the observation y that arrived later.
+/// The recorder derives z / nlpd / in95 per objective on ingestion.
+struct CalibrationSample {
+  int round = -1;
+  std::size_t config = 0;
+  int fidelity = -1;
+  /// True when the posterior included Kriging-believer fantasy observations
+  /// (batch picks after the first); such samples are journaled but excluded
+  /// from the running aggregates so coverage reflects the real posterior.
+  bool believer = false;
+  std::vector<double> y;    // observed objectives
+  std::vector<double> mu;   // posterior mean per objective
+  std::vector<double> var;  // posterior variance per objective
+};
+
+/// Per-round surrogate state for one fidelity level.
+struct ModelRecord {
+  int round = -1;
+  int level = -1;
+  bool correlated = false;
+  /// Learned task correlation matrix from the ICM B = LL^T (Eq. 9);
+  /// empty for independent-GP surrogates.
+  std::vector<std::vector<double>> task_corr;
+  double lml = 0.0;            // log marginal likelihood after (re)fit
+  long long fit_iters = 0;     // MLE iterations actually used
+  long long max_iters = 0;     // MLE iteration budget (0 = unknown)
+  double cond_log10 = 0.0;     // log10 Gram condition estimate
+  /// Share of ARD relevance on the lower-fidelity input dimensions — the
+  /// augmented-input analog of the NARGP error-term variance share (0 for
+  /// level 0, NaN when unavailable).
+  double lowfid_relevance = 0.0;
+};
+
+/// Checkpointable digest of the recorder: running calibration aggregates
+/// and counters (NOT the full journal; journals are append-only files, the
+/// checkpoint only needs what future health checks depend on).
+struct DiagState {
+  std::array<std::array<CalibrationAgg, kNumObjectives>, kNumLevels> agg{};
+  long long rounds = 0;
+  long long samples = 0;
+  long long decisions = 0;
+  std::vector<HealthWarning> warnings;
+
+  bool operator==(const DiagState&) const = default;
+};
+
+/// Deterministic flight recorder for one optimization run.
+///
+/// Contract (shared with obs::Tracer / obs::MetricsRegistry): observation
+/// must never perturb the run. The recorder draws no RNG, feeds nothing
+/// back into algorithm state, and every mutator is a no-op while disabled —
+/// a run with diagnostics on is bit-identical in trajectory to one without
+/// (enforced by the seed-77 golden test).
+///
+/// Thread safety: one mutex guards all record state. Scheduler worker
+/// threads emit health warnings concurrently with the optimizer thread.
+class DiagRecorder {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on);
+
+  void setThresholds(const HealthThresholds& t);
+  HealthThresholds thresholds() const;
+  /// Candidates kept per fidelity in decision audits (default 5).
+  void setTopK(int k);
+  int topK() const;
+
+  void setManifest(Manifest m);
+  /// Optional ADRS oracle (the optimizer has no ground truth; the harness
+  /// does). Called at endRound with the currently selected config ids;
+  /// convergence records carry NaN ADRS when unset.
+  void setAdrsOracle(
+      std::function<double(const std::vector<std::size_t>&)> oracle);
+
+  // ---- record ingestion (all no-ops while disabled) ----
+  void addCalibrationSample(CalibrationSample s);
+  void addDecision(DecisionRecord d);
+  void addModelRecord(ModelRecord m);
+  void endRound(int round, double hypervolume,
+                const std::vector<std::size_t>& selected,
+                double charged_seconds, std::uint64_t cache_hits,
+                std::uint64_t cache_misses);
+  /// Direct warning emission — safe from any thread (used by scheduler
+  /// workers for retry storms).
+  void health(HealthWarning w);
+
+  // ---- introspection ----
+  std::size_t healthCount() const { return health_.count(); }
+  std::vector<HealthWarning> healthWarnings() const {
+    return health_.warnings();
+  }
+  std::size_t recordCount() const;
+  CalibrationAgg aggregate(int level, int objective) const;
+
+  // ---- persistence ----
+  DiagState state() const;
+  void restore(const DiagState& st);
+  /// Drop all records, aggregates and warnings; enabled flag untouched.
+  void clear();
+
+  /// Full JSONL journal: manifest line, records in ingestion order, one
+  /// summary line last. Strings are JSON-escaped; doubles are %.17g.
+  std::string journal() const;
+  bool writeJournal(const std::string& path) const;  // "-" = stdout
+  /// Human-readable end-of-run digest (coverage, NLPD, health warnings).
+  std::string summaryText() const;
+
+ private:
+  void emitLocked(HealthWarning w);  // dedupe + journal line; mu_ held
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Manifest manifest_;
+  bool has_manifest_ = false;
+  HealthThresholds thresholds_;
+  int top_k_ = 5;
+  std::function<double(const std::vector<std::size_t>&)> adrs_oracle_;
+
+  std::vector<std::string> lines_;  // pre-rendered record JSON, in order
+  std::array<std::array<CalibrationAgg, kNumObjectives>, kNumLevels> agg_{};
+  long long rounds_ = 0;
+  long long samples_ = 0;
+  long long decisions_ = 0;
+  /// (kind, fidelity) pairs already warned — each structural condition is
+  /// reported once per run, not once per round.
+  std::set<std::pair<int, int>> fired_;
+  HealthMonitor health_;
+};
+
+/// Process-wide recorder, mirroring obs::tracer()/obs::metrics(): disabled
+/// by default, enabled by the CLI for diagnosed runs. Global so scheduler
+/// worker threads can emit health warnings without plumbing.
+DiagRecorder& recorder();
+
+}  // namespace cmmfo::diag

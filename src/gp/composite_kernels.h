@@ -25,6 +25,10 @@ class SubspaceKernel final : public Kernel {
   }
   std::string name() const override;
 
+  /// Read-only view of the wrapped kernel (diagnostics: the NARGP error
+  /// term's variance lives on the inner ARD kernel).
+  const Kernel& inner() const { return *inner_; }
+
  private:
   Vec project(const Vec& x) const;
   Dataset projectAll(const Dataset& x) const;
@@ -50,6 +54,11 @@ class SumKernel final : public Kernel {
     return std::make_unique<SumKernel>(*this);
   }
   std::string name() const override;
+
+  /// Read-only views of the two terms (diagnostics: the NARGP kernel is
+  /// k_z + k_e and the variance split between them is a calibration signal).
+  const Kernel& termA() const { return *a_; }
+  const Kernel& termB() const { return *b_; }
 
  private:
   KernelPtr a_, b_;

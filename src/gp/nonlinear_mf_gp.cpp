@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "gp/ard_kernels.h"
 #include "gp/composite_kernels.h"
@@ -179,6 +180,24 @@ std::vector<Posterior> NonlinearMfGp::predictBatch(std::size_t level,
     }
   }
   return out;
+}
+
+double NonlinearMfGp::errorVarianceShare(std::size_t level) const {
+  if (level == 0 || level >= models_.size())
+    return std::numeric_limits<double>::quiet_NaN();
+  const auto* sum = dynamic_cast<const SumKernel*>(&models_[level].kernel());
+  if (sum == nullptr) return std::numeric_limits<double>::quiet_NaN();
+  const auto* kz = dynamic_cast<const ArdKernelBase*>(&sum->termA());
+  const auto* sub = dynamic_cast<const SubspaceKernel*>(&sum->termB());
+  const auto* ke =
+      sub ? dynamic_cast<const ArdKernelBase*>(&sub->inner()) : nullptr;
+  if (kz == nullptr || ke == nullptr)
+    return std::numeric_limits<double>::quiet_NaN();
+  const double vz = kz->signalVariance();
+  const double ve = ke->signalVariance();
+  const double total = vz + ve;
+  if (!(total > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  return ve / total;
 }
 
 }  // namespace cmmfo::gp

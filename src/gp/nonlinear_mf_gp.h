@@ -77,6 +77,14 @@ class NonlinearMfGp {
   std::size_t numLevels() const { return models_.size(); }
   const GpRegressor& model(std::size_t level) const { return models_[level]; }
 
+  /// Diagnostics: share of the level's prior signal variance carried by the
+  /// NARGP error term k_e, i.e. var(k_e) / (var(k_z) + var(k_e)) evaluated
+  /// at the fitted hyperparameters. Near 0 the level is explained almost
+  /// entirely through the lower-fidelity transfer; near 1 the chaining adds
+  /// nothing over an independent GP. Returns NaN for level 0 (no error
+  /// term) or when the kernel is not the k_z + k_e composite.
+  double errorVarianceShare(std::size_t level) const;
+
  private:
   Vec augment(std::size_t level, const Vec& x) const;
   /// Dense posterior rebuilds (fresh augmentation) for levels above `level`.

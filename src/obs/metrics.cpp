@@ -1,26 +1,18 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cstdio>
-#include <fstream>
 #include <limits>
+
+#include "util/json.h"
 
 namespace cmmfo::obs {
 
 namespace {
 
-void putDouble(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
+using util::putDouble;
+using util::putString;
 
-void putU64(std::string& out, std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  out += buf;
-}
+void putU64(std::string& out, std::uint64_t v) { util::putU64Bare(out, v); }
 
 }  // namespace
 
@@ -187,7 +179,9 @@ std::string MetricsRegistry::toJson() const {
   for (std::size_t k = 0; k < snap.size(); ++k) {
     const MetricPoint& p = snap[k];
     out += k ? ",\n" : "\n";
-    out += "{\"name\": \"" + p.name + "\", \"kind\": \"";
+    out += "{\"name\": ";
+    putString(out, p.name);
+    out += ", \"kind\": \"";
     out += metricKindName(p.kind);
     out += "\", \"value\": ";
     putDouble(out, p.value);
@@ -218,11 +212,7 @@ std::string MetricsRegistry::toJson() const {
 bool MetricsRegistry::writeFile(const std::string& path) const {
   const bool json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return false;
-  const std::string text = json ? toJson() : toCsv();
-  f.write(text.data(), static_cast<std::streamsize>(text.size()));
-  return static_cast<bool>(f);
+  return util::writeTextTo(path, json ? toJson() : toCsv());
 }
 
 }  // namespace cmmfo::obs

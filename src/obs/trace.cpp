@@ -1,42 +1,24 @@
 #include "obs/trace.h"
 
-#include <cinttypes>
-#include <cstdio>
-#include <fstream>
 #include <functional>
 #include <thread>
+
+#include "util/json.h"
 
 namespace cmmfo::obs {
 
 namespace {
+
+using util::putDouble;
+using util::putString;
+using util::putU64Bare;
 
 std::uint64_t thisThreadId() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
 void putI64(std::string& out, std::int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
-  out += buf;
-}
-
-void putU64(std::string& out, std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  out += buf;
-}
-
-void putDouble(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
-
-bool writeText(const std::string& path, const std::string& text) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return false;
-  f.write(text.data(), static_cast<std::streamsize>(text.size()));
-  return static_cast<bool>(f);
+  util::putInt(out, static_cast<long long>(v));
 }
 
 }  // namespace
@@ -92,9 +74,12 @@ std::string Tracer::toJsonl() const {
   const std::vector<TraceEvent> evs = events();
   std::string out;
   for (const TraceEvent& e : evs) {
-    out += "{\"name\": \"" + e.name + "\", \"cat\": \"" + e.cat +
-           "\", \"tid\": ";
-    putU64(out, e.tid);
+    out += "{\"name\": ";
+    putString(out, e.name);
+    out += ", \"cat\": ";
+    putString(out, e.cat);
+    out += ", \"tid\": ";
+    putU64Bare(out, e.tid);
     out += ", \"start_us\": ";
     putI64(out, e.start_us);
     out += ", \"dur_us\": ";
@@ -119,7 +104,10 @@ std::string Tracer::toJsonl() const {
       out += ", \"value\": ";
       putDouble(out, e.value);
     }
-    if (!e.outcome.empty()) out += ", \"outcome\": \"" + e.outcome + "\"";
+    if (!e.outcome.empty()) {
+      out += ", \"outcome\": ";
+      putString(out, e.outcome);
+    }
     out += "}\n";
   }
   return out;
@@ -132,10 +120,13 @@ std::string Tracer::toChromeTrace() const {
   for (const TraceEvent& e : evs) {
     if (!first) out += ',';
     first = false;
-    out += "\n{\"ph\": \"X\", \"pid\": 1, \"name\": \"" + e.name +
-           "\", \"cat\": \"" + e.cat + "\", \"tid\": ";
+    out += "\n{\"ph\": \"X\", \"pid\": 1, \"name\": ";
+    putString(out, e.name);
+    out += ", \"cat\": ";
+    putString(out, e.cat);
+    out += ", \"tid\": ";
     // chrome://tracing wants small tids; fold the hash to keep lanes stable.
-    putU64(out, e.tid % 10000);
+    putU64Bare(out, e.tid % 10000);
     out += ", \"ts\": ";
     putI64(out, e.start_us);
     out += ", \"dur\": ";
@@ -156,7 +147,7 @@ std::string Tracer::toChromeTrace() const {
     if (e.has_value) { arg("value"); putDouble(out, e.value); }
     if (!e.outcome.empty()) {
       arg("outcome");
-      out += "\"" + e.outcome + "\"";
+      putString(out, e.outcome);
     }
     out += "}}";
   }
@@ -165,11 +156,11 @@ std::string Tracer::toChromeTrace() const {
 }
 
 bool Tracer::writeJsonl(const std::string& path) const {
-  return writeText(path, toJsonl());
+  return util::writeTextTo(path, toJsonl());
 }
 
 bool Tracer::writeChromeTrace(const std::string& path) const {
-  return writeText(path, toChromeTrace());
+  return util::writeTextTo(path, toChromeTrace());
 }
 
 }  // namespace cmmfo::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <future>
+#include <string>
 
+#include "diag/recorder.h"
 #include "obs/obs.h"
 #include "rng/hash_noise.h"
 
@@ -118,6 +120,24 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
     span.outcome("degraded");
   else
     span.outcome("ok");
+  // Flight-recorder health: a job that burned its whole retry budget (or
+  // died persistently) is a retry storm. Emitted from the worker thread —
+  // the recorder's health sink is thread-safe by contract.
+  if (diag::recorder().enabled() &&
+      (res.persistent_failure ||
+       res.completed_fidelity < static_cast<int>(job.fidelity))) {
+    diag::HealthWarning w;
+    w.kind = diag::HealthKind::kRetryStorm;
+    w.fidelity = static_cast<int>(job.fidelity);
+    w.value = static_cast<double>(res.attempts);
+    w.threshold = static_cast<double>(policy_.max_attempts);
+    w.message = "config " + std::to_string(job.config) +
+                (res.persistent_failure
+                     ? " fails persistently at this stage"
+                     : " exhausted its retry budget short of the target "
+                       "fidelity");
+    diag::recorder().health(std::move(w));
+  }
   return res;
 }
 

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cmmfo::util {
+
+// ------------------------------------------------------------- Writer ----
+// Shared append-style JSON emission used by the checkpoint journal, the
+// observability dumps (trace/metrics) and the diagnostics flight recorder.
+// %.17g round-trips IEEE-754 binary64 exactly through strtod, which is what
+// makes resumed trajectories and replayed diagnostics bit-identical. 64-bit
+// integers are written as strings (JSON numbers are doubles; 2^53 would
+// truncate RNG words).
+
+void putDouble(std::string& out, double v);
+/// Like putDouble, but emits `null` for NaN/Inf (which have no JSON number
+/// form) — for diagnostic fields that are legitimately undefined, e.g. an
+/// ADRS with no oracle or coverage over an empty aggregate.
+void putDoubleOrNull(std::string& out, double v);
+void putInt(std::string& out, long long v);
+/// Quoted decimal string, e.g. "18446744073709551615".
+void putU64(std::string& out, std::uint64_t v);
+/// Bare (unquoted) decimal for u64 values known to fit a double exactly.
+void putU64Bare(std::string& out, std::uint64_t v);
+/// `[v0,v1,...]` with %.17g elements.
+void putVec(std::string& out, const std::vector<double>& v);
+/// putVec with putDoubleOrNull elements.
+void putVecOrNull(std::string& out, const std::vector<double>& v);
+
+/// JSON string-escape: backslash, quote, and control characters (\b \f \n
+/// \r \t, others as \u00XX). Input is treated as raw bytes, so any UTF-8
+/// payload passes through untouched.
+std::string jsonEscaped(std::string_view s);
+/// Append `"` + jsonEscaped(s) + `"`.
+void putString(std::string& out, std::string_view s);
+
+/// Write `text` to `path`, or to stdout when `path == "-"` (pipe-friendly
+/// dumps). Returns false only on a file-open/write failure.
+bool writeTextTo(const std::string& path, const std::string& text);
+
+// ------------------------------------------------------------- Parser ----
+// Minimal recursive-descent JSON: objects, arrays, strings, numbers, bools,
+// null. Exactly what the writers above emit (plus standard string escapes);
+// not a general-purpose parser.
+
+struct Json {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* find(const char* key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  /// Convenience typed getters (return the fallback on kind mismatch).
+  double numOr(const char* key, double def) const;
+  std::string strOr(const char* key, const std::string& def) const;
+};
+
+/// Parse one JSON value from `text`. Returns false (with `error` set when
+/// non-null) on malformed input or trailing garbage after the value.
+bool parseJson(const std::string& text, Json* out,
+               std::string* error = nullptr);
+
+/// Extract a u64 written either as a quoted decimal string (putU64) or as a
+/// plain number.
+bool getU64(const Json& j, std::uint64_t& out);
+
+/// Extract an array of numbers.
+bool getVec(const Json& j, std::vector<double>& out);
+
+}  // namespace cmmfo::util

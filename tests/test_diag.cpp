@@ -1,0 +1,558 @@
+// Flight-recorder (diagnostics) tests. The load-bearing property mirrors the
+// observability layer's: recording must never perturb the optimization — the
+// seed-77 golden trajectory pinned in test_runtime.cpp must come out
+// bit-for-bit identical with the recorder fully on. On top of that:
+// calibration math against hand-computed references (1e-12), JSON escaping
+// and %.17g round-trips of the checkpointable digest, seeded health checks
+// firing into both journal and summary, "-" stdout dumps, and the HTML
+// report renderer. All suites are named Diag* so the TSan smoke
+// (run_benches.sh --tsan-smoke) picks them up — the concurrent health
+// emission test is the no-tear witness for scheduler worker threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_suite/benchmarks.h"
+#include "core/checkpoint.h"
+#include "core/optimizer.h"
+#include "diag/calibration.h"
+#include "diag/health.h"
+#include "diag/recorder.h"
+#include "diag/report.h"
+#include "runtime/eval_cache.h"
+#include "runtime/scheduler.h"
+#include "util/json.h"
+
+namespace cmmfo {
+namespace {
+
+using diag::CalibrationAgg;
+using diag::CalibrationSample;
+using diag::DiagState;
+using diag::HealthKind;
+using diag::HealthThresholds;
+using diag::HealthWarning;
+using diag::kZ95;
+using sim::Fidelity;
+
+// The recorder is process-global (scheduler workers reach it without
+// plumbing), so every test that touches it wipes it on entry and exit.
+struct GlobalDiagGuard {
+  GlobalDiagGuard() { reset(); }
+  ~GlobalDiagGuard() { reset(); }
+  static void reset() {
+    diag::recorder().setEnabled(false);
+    diag::recorder().clear();
+    diag::recorder().setThresholds(HealthThresholds{});
+    diag::recorder().setTopK(5);
+    diag::recorder().setAdrsOracle({});
+  }
+};
+
+struct Fixture {
+  Fixture()
+      : bm(bench_suite::makeSpmvCrs()),
+        space(hls::DesignSpace::buildPruned(bm.kernel, bm.spec)),
+        sim(bm.kernel, sim::DeviceModel::virtex7Vc707(), bm.sim_params, 42) {}
+  bench_suite::Benchmark bm;
+  hls::DesignSpace space;
+  sim::FpgaToolSim sim;
+};
+
+core::OptimizerOptions fastOpts() {
+  core::OptimizerOptions o;
+  o.n_iter = 10;
+  o.mc_samples = 16;
+  o.max_candidates = 60;
+  o.refit_every = 5;
+  o.surrogate.mtgp.mle_restarts = 0;
+  o.surrogate.mtgp.max_mle_iters = 25;
+  o.surrogate.gp.mle_restarts = 0;
+  o.surrogate.gp.max_mle_iters = 25;
+  return o;
+}
+
+// ------------------------------------------------------- calibration ----
+
+// Hand-computed references: y = 1.3, mu = 1.0, var = 0.04 (sigma = 0.2).
+// z = 0.3 / 0.2 = 1.5 exactly; NLPD = 0.5 ln(2 pi 0.04) + 0.09 / 0.08.
+TEST(DiagCalibration, MatchesHandComputedReference) {
+  const double y = 1.3, mu = 1.0, var = 0.04;
+  EXPECT_NEAR(diag::standardizedResidual(y, mu, var), 1.5, 1e-12);
+  const double expected_nlpd =
+      0.5 * std::log(2.0 * M_PI * var) + 0.09 / (2.0 * var);
+  EXPECT_NEAR(diag::nlpd(y, mu, var), expected_nlpd, 1e-12);
+  EXPECT_TRUE(diag::in95(y, mu, var));  // |z| = 1.5 < 1.96
+
+  // The exact 95% boundary counts as inside; a hair beyond is outside.
+  const double sigma = 0.2;
+  EXPECT_TRUE(diag::in95(mu + kZ95 * sigma, mu, var));
+  EXPECT_FALSE(diag::in95(mu + (kZ95 + 1e-9) * sigma, mu, var));
+  EXPECT_TRUE(diag::in95(mu - kZ95 * sigma, mu, var));
+}
+
+TEST(DiagCalibration, NonpositiveVarianceIsClampedNotNan) {
+  for (const double var : {0.0, -1.0}) {
+    EXPECT_TRUE(std::isfinite(diag::nlpd(1.0, 1.0, var)));
+    EXPECT_TRUE(std::isfinite(diag::standardizedResidual(1.0, 1.0, var)));
+    // y == mu has residual 0 regardless of the clamp.
+    EXPECT_DOUBLE_EQ(diag::standardizedResidual(1.0, 1.0, var), 0.0);
+  }
+}
+
+TEST(DiagCalibration, AggregateMatchesDirectComputation) {
+  CalibrationAgg agg;
+  EXPECT_TRUE(std::isnan(agg.coverage()));
+  EXPECT_TRUE(std::isnan(agg.meanNlpd()));
+
+  // Four samples around N(0, 1): three inside the 95% interval, one far out.
+  const std::vector<double> ys = {0.5, -1.2, 0.3, 4.0};
+  double nlpd_sum = 0.0, z_sum = 0.0, z_sq = 0.0;
+  for (const double y : ys) {
+    agg.add(y, 0.0, 1.0);
+    nlpd_sum += diag::nlpd(y, 0.0, 1.0);
+    z_sum += y;  // sigma = 1, mu = 0 => z = y
+    z_sq += y * y;
+  }
+  EXPECT_EQ(agg.n, 4);
+  EXPECT_EQ(agg.n_in95, 3);
+  EXPECT_NEAR(agg.coverage(), 0.75, 1e-12);
+  EXPECT_NEAR(agg.meanNlpd(), nlpd_sum / 4.0, 1e-12);
+  EXPECT_NEAR(agg.meanResid(), z_sum / 4.0, 1e-12);
+  const double mean = z_sum / 4.0;
+  EXPECT_NEAR(agg.residStddev(), std::sqrt(z_sq / 4.0 - mean * mean), 1e-12);
+}
+
+// --------------------------------------------------- golden invariance ----
+
+// The same seed-77 trajectory test_runtime.cpp pins with diagnostics off,
+// re-run with the flight recorder fully on. The recorder's extra predict()
+// calls draw no RNG and feed nothing back, so every pick, every fidelity and
+// the charged seconds must come out bit-for-bit identical.
+TEST(DiagInvariance, GoldenTrajectoryIdenticalWithRecorderOn) {
+  GlobalDiagGuard guard;
+  diag::recorder().setAdrsOracle(
+      [](const std::vector<std::size_t>& sel) -> double {
+        return static_cast<double>(sel.size());
+      });
+  diag::recorder().setEnabled(true);
+
+  Fixture f;
+  core::OptimizerOptions o = fastOpts();
+  o.seed = 77;
+  core::CorrelatedMfMoboOptimizer opt(f.space, f.sim, o);
+  const auto res = opt.run();
+
+  const std::vector<std::pair<std::size_t, Fidelity>> golden = {
+      {275, Fidelity::kImpl}, {184, Fidelity::kImpl}, {132, Fidelity::kImpl},
+      {228, Fidelity::kSyn},  {20, Fidelity::kSyn},   {89, Fidelity::kHls},
+      {194, Fidelity::kHls},  {57, Fidelity::kHls},   {75, Fidelity::kHls},
+      {35, Fidelity::kHls},   {3, Fidelity::kHls},    {0, Fidelity::kHls},
+      {7, Fidelity::kHls},    {5, Fidelity::kHls},    {17, Fidelity::kHls},
+      {52, Fidelity::kHls},   {1, Fidelity::kHls},    {15, Fidelity::kHls},
+  };
+  ASSERT_EQ(res.cs.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(res.cs[i].config, golden[i].first) << "at index " << i;
+    EXPECT_EQ(res.cs[i].fidelity, golden[i].second) << "at index " << i;
+  }
+  EXPECT_DOUBLE_EQ(res.tool_seconds, 3062.9170931904364);
+  EXPECT_EQ(res.tool_runs, 18);
+
+  // The journal is populated: one decision per BO pick, one model record
+  // per (round, level), calibration joins for the valid picks, convergence
+  // lines carrying the oracle ADRS — and every line is valid JSON.
+  const DiagState st = diag::recorder().state();
+  EXPECT_EQ(st.decisions, 10);  // n_iter = 10 picks
+  EXPECT_GT(st.rounds, 0);
+  EXPECT_GT(st.samples, 0);
+  long long agg_n = 0;
+  for (int l = 0; l < diag::kNumLevels; ++l)
+    for (int m = 0; m < diag::kNumObjectives; ++m) agg_n += st.agg[l][m].n;
+  EXPECT_GT(agg_n, 0);
+
+  const std::string journal = diag::recorder().journal();
+  std::size_t lines = 0, pos = 0;
+  bool saw_decision = false, saw_model = false, saw_calibration = false,
+       saw_convergence = false, saw_adrs = false;
+  while (pos < journal.size()) {
+    const std::size_t nl = journal.find('\n', pos);
+    const std::string line = journal.substr(pos, nl - pos);
+    pos = nl == std::string::npos ? journal.size() : nl + 1;
+    if (line.empty()) continue;
+    ++lines;
+    util::Json j;
+    std::string err;
+    ASSERT_TRUE(util::parseJson(line, &j, &err)) << err << "\n" << line;
+    const std::string type = j.strOr("type", "");
+    saw_decision |= type == "decision";
+    saw_model |= type == "model";
+    saw_calibration |= type == "calibration";
+    if (type == "convergence") {
+      saw_convergence = true;
+      saw_adrs |= j.numOr("adrs", -1.0) > 0.0;
+    }
+  }
+  EXPECT_GE(lines, 3u);
+  EXPECT_TRUE(saw_decision);
+  EXPECT_TRUE(saw_model);
+  EXPECT_TRUE(saw_calibration);
+  EXPECT_TRUE(saw_convergence);
+  EXPECT_TRUE(saw_adrs);
+}
+
+TEST(DiagInvariance, DisabledRecorderIngestsNothing) {
+  GlobalDiagGuard guard;
+  ASSERT_FALSE(diag::recorder().enabled());
+  CalibrationSample s;
+  s.y = {1.0};
+  s.mu = {0.0};
+  s.var = {1.0};
+  diag::recorder().addCalibrationSample(std::move(s));
+  diag::recorder().addDecision({});
+  diag::recorder().addModelRecord({});
+  diag::recorder().endRound(0, 1.0, {}, 0.0, 0, 0);
+  diag::recorder().health({});
+  EXPECT_EQ(diag::recorder().recordCount(), 0u);
+  EXPECT_EQ(diag::recorder().healthCount(), 0u);
+}
+
+// ----------------------------------------------------- JSON round-trip ----
+
+TEST(DiagJson, StringEscapingRoundTripsThroughParser) {
+  const std::string nasty =
+      "quote \" backslash \\ newline \n tab \t cr \r bell \b ff \f ctrl \x01 "
+      "unicode \xc3\xa9";
+  std::string out;
+  util::putString(out, nasty);
+  // The escaped form is pure ASCII-visible JSON: no raw control bytes.
+  for (const char c : out)
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20) << "raw control byte";
+  util::Json j;
+  std::string err;
+  ASSERT_TRUE(util::parseJson(out, &j, &err)) << err;
+  ASSERT_EQ(j.kind, util::Json::kStr);
+  EXPECT_EQ(j.str, nasty);  // byte-exact, UTF-8 payload untouched
+}
+
+TEST(DiagJson, NonFiniteDoublesSerializeAsNull) {
+  std::string out;
+  util::putDoubleOrNull(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  util::putDoubleOrNull(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  util::putVecOrNull(out, {1.5, std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_EQ(out, "[1.5,null]");
+  util::Json j;
+  ASSERT_TRUE(util::parseJson(out, &j, nullptr));
+  ASSERT_EQ(j.arr.size(), 2u);
+  EXPECT_EQ(j.arr[1].kind, util::Json::kNull);
+}
+
+TEST(DiagJson, HealthMessagesWithSpecialCharsSurviveTheJournal) {
+  GlobalDiagGuard guard;
+  diag::recorder().setEnabled(true);
+  HealthWarning w;
+  w.kind = HealthKind::kRetryStorm;
+  w.fidelity = 1;
+  w.message = "path \"C:\\tools\"\nline2\ttab";
+  diag::recorder().health(w);
+  const std::string journal = diag::recorder().journal();
+  // Every journal line parses, and the message round-trips byte-exact.
+  const diag::Journal parsed = diag::parseJournal(journal);
+  EXPECT_EQ(parsed.skipped_lines, 0u);
+  bool found = false;
+  for (const util::Json& j : parsed.records)
+    if (j.strOr("type", "") == "health") {
+      EXPECT_EQ(j.strOr("message", ""), w.message);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------ checkpoint round-trip ----
+
+// %.17g round-trips IEEE-754 binary64 exactly — including denormals — so
+// the diagnostics digest restored from a checkpoint journal is the one that
+// was saved, bit for bit (operator== compares every double exactly).
+TEST(DiagCheckpoint, DigestRoundTripsThroughJournalExactly) {
+  core::CheckpointState st;
+  st.has_diag = true;
+  DiagState& dg = st.diag;
+  dg.rounds = 12;
+  dg.samples = 34;
+  dg.decisions = 56;
+  dg.agg[0][0] = {17, 16, 123.45678901234567, -0.000123456789012345,
+                  98.76543210987654};
+  dg.agg[1][2] = {3, 2, 5e-324,  // denormal min
+                  std::numeric_limits<double>::denorm_min(),
+                  std::numeric_limits<double>::min()};
+  dg.agg[2][1] = {1, 1, std::numeric_limits<double>::max(),
+                  -std::numeric_limits<double>::max(),
+                  1.0 + std::numeric_limits<double>::epsilon()};
+  HealthWarning w;
+  w.kind = HealthKind::kGramConditionBlowup;
+  w.round = 3;
+  w.fidelity = 2;
+  w.value = 13.000000000000002;
+  w.threshold = 12.0;
+  w.message = "Gram \"blowup\" at level impl\nnumerics suspect\t(1e13)";
+  dg.warnings.push_back(w);
+
+  const std::string text = core::serializeCheckpoint(st);
+  core::CheckpointState back;
+  std::string err;
+  ASSERT_TRUE(core::parseCheckpoint(text, &back, &err)) << err;
+  ASSERT_TRUE(back.has_diag);
+  EXPECT_TRUE(back.diag == st.diag);
+}
+
+TEST(DiagCheckpoint, JournalsWithoutDiagKeyStillLoad) {
+  core::CheckpointState st;
+  ASSERT_FALSE(st.has_diag);
+  const std::string text = core::serializeCheckpoint(st);
+  EXPECT_EQ(text.find("\"diag\""), std::string::npos);
+  core::CheckpointState back;
+  std::string err;
+  ASSERT_TRUE(core::parseCheckpoint(text, &back, &err)) << err;
+  EXPECT_FALSE(back.has_diag);
+}
+
+TEST(DiagCheckpoint, RecorderStateRestoreIsExact) {
+  GlobalDiagGuard guard;
+  diag::recorder().setEnabled(true);
+  CalibrationSample s;
+  s.round = 1;
+  s.config = 42;
+  s.fidelity = 0;
+  s.y = {1.25, 2.5, 0.125};
+  s.mu = {1.0, 2.0, 0.25};
+  s.var = {0.04, 0.25, 0.01};
+  diag::recorder().addCalibrationSample(s);
+  diag::recorder().endRound(1, 0.5, {42}, 100.0, 0, 1);
+  const DiagState before = diag::recorder().state();
+
+  diag::recorder().clear();
+  EXPECT_FALSE(diag::recorder().state() == before);
+  diag::recorder().restore(before);
+  EXPECT_TRUE(diag::recorder().state() == before);
+}
+
+// ----------------------------------------------------- health checks ----
+
+// Seeded ill-conditioned Gram: a model record whose condition estimate
+// exceeds the threshold must fire kGramConditionBlowup into BOTH the
+// journal and the end-of-run summary — once, not once per round.
+TEST(DiagHealth, IllConditionedGramFiresInJournalAndSummary) {
+  GlobalDiagGuard guard;
+  diag::recorder().setEnabled(true);
+  diag::ModelRecord m;
+  m.round = 2;
+  m.level = 1;
+  m.cond_log10 = 14.5;  // past the default 12.0
+  diag::recorder().addModelRecord(m);
+  m.round = 3;
+  diag::recorder().addModelRecord(m);  // same (kind, level): deduped
+
+  ASSERT_EQ(diag::recorder().healthCount(), 1u);
+  const std::vector<HealthWarning> ws = diag::recorder().healthWarnings();
+  EXPECT_EQ(ws[0].kind, HealthKind::kGramConditionBlowup);
+  EXPECT_EQ(ws[0].fidelity, 1);
+  EXPECT_DOUBLE_EQ(ws[0].value, 14.5);
+
+  const diag::Journal parsed = diag::parseJournal(diag::recorder().journal());
+  EXPECT_EQ(parsed.skipped_lines, 0u);
+  int health_lines = 0;
+  for (const util::Json& j : parsed.records)
+    if (j.strOr("type", "") == "health" &&
+        j.strOr("kind", "") == "gram_condition_blowup")
+      ++health_lines;
+  EXPECT_EQ(health_lines, 1);
+
+  const std::string summary = diag::recorder().summaryText();
+  EXPECT_NE(summary.find("gram_condition_blowup"), std::string::npos);
+  EXPECT_NE(summary.find("level=syn"), std::string::npos);
+}
+
+// Tightened thresholds force the seeded Gram check through a REAL optimizer
+// run end-to-end: threshold below any achievable conditioning, so the first
+// model record fires it, and the warning survives into journal + summary.
+TEST(DiagHealth, SeededGramCheckFiresThroughOptimizerRun) {
+  GlobalDiagGuard guard;
+  HealthThresholds t;
+  t.max_gram_log10 = -1.0;  // log10(cond) >= 0 always: guaranteed to trip
+  diag::recorder().setThresholds(t);
+  diag::recorder().setEnabled(true);
+
+  Fixture f;
+  core::OptimizerOptions o = fastOpts();
+  o.seed = 77;
+  o.n_iter = 2;
+  core::CorrelatedMfMoboOptimizer opt(f.space, f.sim, o);
+  opt.run();
+
+  bool fired = false;
+  for (const HealthWarning& w : diag::recorder().healthWarnings())
+    fired |= w.kind == HealthKind::kGramConditionBlowup;
+  EXPECT_TRUE(fired);
+  EXPECT_NE(diag::recorder().summaryText().find("gram_condition_blowup"),
+            std::string::npos);
+  const diag::Journal parsed = diag::parseJournal(diag::recorder().journal());
+  bool in_journal = false;
+  for (const util::Json& j : parsed.records)
+    in_journal |= j.strOr("kind", "") == "gram_condition_blowup";
+  EXPECT_TRUE(in_journal);
+}
+
+TEST(DiagHealth, SchedulerWorkersEmitRetryStormWarnings) {
+  GlobalDiagGuard guard;
+  diag::recorder().setEnabled(true);
+
+  Fixture f;
+  sim::FaultParams faults;
+  faults.persistent_failure_prob = 1.0;  // every config dies persistently
+  f.sim.setFaultParams(faults);
+  runtime::EvalCache cache;
+  runtime::RetryPolicy policy;
+  policy.max_attempts = 2;
+  runtime::ToolScheduler sched(f.space, f.sim, cache, 4, policy);
+  sched.runBatch({{0, Fidelity::kImpl},
+                  {1, Fidelity::kImpl},
+                  {2, Fidelity::kHls},
+                  {3, Fidelity::kSyn}});
+
+  // Worker threads emitted concurrently; every failed job left a warning.
+  EXPECT_GE(diag::recorder().healthCount(), 1u);
+  for (const HealthWarning& w : diag::recorder().healthWarnings())
+    EXPECT_EQ(w.kind, HealthKind::kRetryStorm);
+}
+
+// No-tear witness for the TSan smoke: many threads hammer health() while a
+// reader polls the lock-free counter and snapshots the warning list. Under
+// ThreadSanitizer any unsynchronized access reports; functionally, every
+// emission must land exactly once and every snapshot must be internally
+// consistent.
+TEST(DiagHealth, ConcurrentHealthEmissionIsNeverTorn) {
+  GlobalDiagGuard guard;
+  diag::recorder().setEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&stop] {
+    std::size_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::size_t n = diag::recorder().healthCount();
+      EXPECT_GE(n, last);  // monotone, never torn
+      last = n;
+      const auto ws = diag::recorder().healthWarnings();
+      EXPECT_LE(ws.size(), static_cast<std::size_t>(kThreads * kPerThread));
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        HealthWarning w;
+        w.kind = HealthKind::kRetryStorm;
+        w.fidelity = t % 3;
+        w.value = static_cast<double>(t * kPerThread + i);
+        w.message = "storm from worker " + std::to_string(t);
+        diag::recorder().health(std::move(w));
+      }
+    });
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(diag::recorder().healthCount(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(diag::recorder().healthWarnings().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// ------------------------------------------------------- stdout dumps ----
+
+TEST(DiagStdout, DashWritesToStdout) {
+  const std::string text = "line one\nline two\n";
+  testing::internal::CaptureStdout();
+  EXPECT_TRUE(util::writeTextTo("-", text));
+  EXPECT_EQ(testing::internal::GetCapturedStdout(), text);
+}
+
+TEST(DiagStdout, JournalDashWritesToStdout) {
+  GlobalDiagGuard guard;
+  diag::recorder().setEnabled(true);
+  diag::Manifest man;
+  man.tool = "test";
+  man.benchmark = "spmv";
+  diag::recorder().setManifest(std::move(man));
+  testing::internal::CaptureStdout();
+  EXPECT_TRUE(diag::recorder().writeJournal("-"));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(out, diag::recorder().journal());
+  EXPECT_NE(out.find("\"manifest\""), std::string::npos);
+}
+
+// ------------------------------------------------------- HTML report ----
+
+TEST(DiagReport, RendersSelfContainedHtmlFromRealJournal) {
+  GlobalDiagGuard guard;
+  diag::recorder().setEnabled(true);
+  diag::Manifest man;
+  man.git_sha = "abc123def456";
+  man.tool = "cmmfo";
+  man.benchmark = "spmv_crs";
+  man.method = "ours";
+  man.seed = 77;
+  man.has_seed = true;
+  diag::recorder().setManifest(std::move(man));
+
+  Fixture f;
+  core::OptimizerOptions o = fastOpts();
+  o.seed = 77;
+  o.n_iter = 4;
+  core::CorrelatedMfMoboOptimizer opt(f.space, f.sim, o);
+  opt.run();
+
+  const diag::Journal journal =
+      diag::parseJournal(diag::recorder().journal());
+  EXPECT_EQ(journal.skipped_lines, 0u);
+  const std::string html = diag::renderHtmlReport(journal);
+
+  // Self-contained: a real document with inline SVG charts and zero
+  // external fetches (no http(s) URLs, scripts, or stylesheet links).
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  // Manifest fields are rendered.
+  EXPECT_NE(html.find("abc123def456"), std::string::npos);
+  EXPECT_NE(html.find("spmv_crs"), std::string::npos);
+}
+
+TEST(DiagReport, GarbageJournalRendersWithSkippedLineNote) {
+  const diag::Journal journal =
+      diag::parseJournal("not json\n{\"type\": \"summary\"}\n{broken\n");
+  EXPECT_EQ(journal.skipped_lines, 2u);
+  EXPECT_EQ(journal.records.size(), 1u);
+  const std::string html = diag::renderHtmlReport(journal);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("2"), std::string::npos);  // skipped count shown
+}
+
+}  // namespace
+}  // namespace cmmfo

@@ -23,9 +23,12 @@
 #include <string>
 
 #include "bench_suite/extended_benchmarks.h"
+#include "diag/recorder.h"
 #include "exp/harness.h"
 #include "hls/tcl_emitter.h"
 #include "obs/obs.h"
+#include "obs/run_meta.h"
+#include "util/json.h"
 
 using namespace cmmfo;
 
@@ -80,7 +83,11 @@ int usage() {
                "  checkpointing (run):   [--checkpoint FILE] [--resume] "
                "[--max-rounds R]\n"
                "  observability (run):   [--trace FILE.jsonl] "
-               "[--chrome-trace FILE.json] [--metrics FILE.csv|.json]\n");
+               "[--chrome-trace FILE.json] [--metrics FILE.csv|.json]\n"
+               "  diagnostics (run):     [--diag FILE.jsonl] "
+               "(flight-recorder journal; render with cmmfo_report)\n"
+               "  FILE may be '-' to write the dump to stdout "
+               "(not --chrome-trace)\n");
   return 2;
 }
 
@@ -124,7 +131,7 @@ std::unique_ptr<baselines::DseMethod> makeMethod(const std::string& method,
   return nullptr;
 }
 
-int cmdRun(const Args& args) {
+int cmdRun(const Args& args, int argc, char** argv) {
   const std::string name = args.get("benchmark");
   if (name.empty()) return usage();
   const std::string method = args.get("method", "ours");
@@ -166,9 +173,20 @@ int cmdRun(const Args& args) {
   const std::string trace_path = args.get("trace");
   const std::string chrome_path = args.get("chrome-trace");
   const std::string metrics_path = args.get("metrics");
+  const std::string diag_path = args.get("diag");
   if (!trace_path.empty() || !chrome_path.empty())
     obs::tracer().setEnabled(true);
   if (!metrics_path.empty()) obs::metrics().setEnabled(true);
+
+  // Run provenance, prepended to every dump this invocation writes.
+  obs::RunMeta meta = obs::makeRunMeta();
+  meta.tool = "cmmfo";
+  meta.seed = seed;
+  meta.has_seed = true;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) meta.flags += ' ';
+    meta.flags += argv[i];
+  }
 
   exp::BenchmarkContext ctx(bench_suite::makeAnyBenchmark(name));
   ctx.sim().setFaultParams(faults);
@@ -182,6 +200,25 @@ int cmdRun(const Args& args) {
               stats.time_mean / 3600.0, stats.runs[0].tool_runs);
   std::printf("   wall-clock = %.1f h (batch %d, %d workers)\n",
               stats.wall_mean / 3600.0, batch, workers);
+
+  // Flight recorder: armed only for the showcase run below (not the repeat
+  // sweep), so the journal describes exactly one trajectory. Enabling it
+  // does not perturb the run (pinned by the seed-77 golden test).
+  if (!diag_path.empty()) {
+    diag::Manifest man;
+    man.git_sha = meta.git_sha;
+    man.build_type = meta.build_type;
+    man.tool = meta.tool;
+    man.flags = meta.flags;
+    man.benchmark = name;
+    man.method = method;
+    man.seed = seed;
+    man.has_seed = true;
+    diag::recorder().setManifest(std::move(man));
+    diag::recorder().setAdrsOracle(
+        [&ctx](const std::vector<std::size_t>& sel) { return ctx.adrsOf(sel); });
+    diag::recorder().setEnabled(true);
+  }
 
   // Learned front of the last repeat, at true post-impl values.
   const auto out = m->run(ctx.space(), ctx.sim(), seed);
@@ -208,14 +245,29 @@ int cmdRun(const Args& args) {
                 front.ids()[i]);
   }
 
+  if (!diag_path.empty()) {
+    diag::recorder().setEnabled(false);
+    if (diag::recorder().writeJournal(diag_path))
+      std::printf("\ndiag: %zu records -> %s\n",
+                  diag::recorder().recordCount(), diag_path.c_str());
+    else
+      std::fprintf(stderr, "diag: cannot write %s\n", diag_path.c_str());
+    std::fputs(diag::recorder().summaryText().c_str(), stdout);
+    diag::recorder().setAdrsOracle({});
+  }
+
   if (!trace_path.empty()) {
-    if (obs::tracer().writeJsonl(trace_path))
+    // Meta header line first, then the events — a JSONL dump found on disk
+    // later identifies the build and invocation that produced it.
+    if (util::writeTextTo(trace_path,
+                          obs::metaJsonLine(meta) + obs::tracer().toJsonl()))
       std::printf("\ntrace: %zu events -> %s\n", obs::tracer().eventCount(),
                   trace_path.c_str());
     else
       std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
   }
   if (!chrome_path.empty()) {
+    // chrome://tracing wants a single JSON document; no header line here.
     if (obs::tracer().writeChromeTrace(chrome_path))
       std::printf("chrome trace: %s (open in chrome://tracing)\n",
                   chrome_path.c_str());
@@ -224,7 +276,15 @@ int cmdRun(const Args& args) {
                    chrome_path.c_str());
   }
   if (!metrics_path.empty()) {
-    if (obs::metrics().writeFile(metrics_path))
+    // CSV gets a '#' comment header; .json becomes two JSON lines (meta,
+    // then the snapshot object) — line-oriented consumers read either.
+    const bool json = metrics_path.size() >= 5 &&
+                      metrics_path.rfind(".json") == metrics_path.size() - 5;
+    const std::string header =
+        json ? obs::metaJsonLine(meta) : obs::metaCsvComment(meta);
+    const std::string body =
+        json ? obs::metrics().toJson() : obs::metrics().toCsv();
+    if (util::writeTextTo(metrics_path, header + body))
       std::printf("metrics: %zu series -> %s\n",
                   obs::metrics().snapshot().size(), metrics_path.c_str());
     else
@@ -273,7 +333,7 @@ int cmdTcl(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parseArgs(argc, argv);
   if (args.command == "list") return cmdList();
-  if (args.command == "run") return cmdRun(args);
+  if (args.command == "run") return cmdRun(args, argc, argv);
   if (args.command == "prune") return cmdPrune(args);
   if (args.command == "tcl") return cmdTcl(args);
   return usage();
