@@ -3,7 +3,7 @@
 #
 #   ./run_benches.sh               run all benches from build/bench; micro
 #                                  benches additionally emit JSON, merged
-#                                  into BENCH_5.json (the perf trajectory
+#                                  into BENCH_6.json (the perf trajectory
 #                                  archive)
 #   ./run_benches.sh --tsan-smoke  build the test binary under ThreadSanitizer
 #                                  (CMMFO_SANITIZE=thread) and run the
@@ -15,7 +15,7 @@ if [ "$1" = "--tsan-smoke" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j --target cmmfo_tests
   exec ./build-tsan/tests/cmmfo_tests \
-    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*'
+    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*:Server*'
 fi
 
 OUTDIR=bench-out
@@ -33,6 +33,10 @@ for b in build/bench/*; do
       "$b" --benchmark_out="$OUTDIR/$(basename "$b").json" \
            --benchmark_out_format=json
       ;;
+    server_throughput)
+      # The multi-campaign server harness archives its own JSON summary.
+      "$b" --out "$OUTDIR/server_throughput.json"
+      ;;
     *)
       "$b"
       ;;
@@ -41,7 +45,7 @@ done
 
 # Merge the per-binary JSON files into one archive keyed by binary name.
 if command -v python3 > /dev/null 2>&1 && [ -n "$(ls "$OUTDIR" 2>/dev/null)" ]; then
-  python3 - "$OUTDIR" BENCH_5.json <<'EOF'
+  python3 - "$OUTDIR" BENCH_6.json <<'EOF'
 import json, os, sys
 outdir, dest = sys.argv[1], sys.argv[2]
 merged = {}

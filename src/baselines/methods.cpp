@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/acquisition.h"
+#include "core/campaign_stepper.h"
 #include "gp/ard_kernels.h"
 #include "pareto/dominance.h"
 
@@ -78,8 +79,11 @@ DseOutcome OursMethod::run(const hls::DesignSpace& space,
   sim.resetAccounting();
   core::OptimizerOptions o = opts_;
   o.seed = seed;
-  core::CorrelatedMfMoboOptimizer opt(space, sim, o);
-  const core::OptimizeResult res = opt.run();
+  // Drive through the campaign stepper — the same round-at-a-time loop the
+  // multi-campaign server interleaves, here run back to back.
+  core::CampaignStepper stepper(space, sim, o);
+  while (!stepper.done()) stepper.step();
+  const core::OptimizeResult res = stepper.finish();
   DseOutcome out;
   for (const auto& rec : res.cs) out.selected.push_back(rec.config);
   out.tool_seconds = res.tool_seconds;

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/optimizer.h"
+
+namespace cmmfo::core {
+
+/// Resumable one-round-at-a-time driver for a single BO campaign.
+///
+/// The monolithic run() loop, taken apart: construct with the campaign's
+/// space/simulator/options, then call step() until the outcome says done,
+/// then finish() for the final tallies. The first step() runs the
+/// initialization round (or restores the checkpoint journal when
+/// OptimizerOptions::resume is set); every later step() executes exactly
+/// one BO round and writes the journal. Stepping yields the identical
+/// trajectory to run() by construction — run() IS this loop.
+///
+/// The server holds one stepper per campaign and interleaves step() calls
+/// from many campaigns over a SharedRuntime (one worker pool, one
+/// namespaced eval cache); a stepper itself is single-threaded — callers
+/// serialize step()/finish() per instance.
+class CampaignStepper {
+ public:
+  CampaignStepper(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                  OptimizerOptions opts, SharedRuntime shared = {})
+      : opt_(space, sim, std::move(opts), shared) {}
+
+  /// Run the next unit of work: initialization/resume on the first call,
+  /// one BO round afterwards. No-op (done outcome) once the campaign is
+  /// complete.
+  RoundOutcome step() {
+    if (!started_) {
+      started_ = true;
+      return opt_.start();
+    }
+    return opt_.stepRound();
+  }
+
+  bool started() const { return started_; }
+  /// True once no further step() will execute work.
+  bool done() const { return started_ && opt_.done(); }
+
+  /// Final accounting; call exactly once, after done().
+  OptimizeResult finish() { return opt_.finish(); }
+  /// The in-progress result (valid once started).
+  const OptimizeResult& partialResult() const { return opt_.partialResult(); }
+  const MultiFidelitySurrogate& surrogate() const { return opt_.surrogate(); }
+
+ private:
+  CorrelatedMfMoboOptimizer opt_;
+  bool started_ = false;
+};
+
+}  // namespace cmmfo::core

@@ -24,10 +24,11 @@ using sim::kNumObjectives;
 
 CorrelatedMfMoboOptimizer::CorrelatedMfMoboOptimizer(
     const hls::DesignSpace& space, sim::FpgaToolSim& sim,
-    OptimizerOptions opts)
+    OptimizerOptions opts, SharedRuntime shared)
     : space_(&space),
       sim_(&sim),
       opts_(opts),
+      shared_(shared),
       surrogate_(space.featureDim(), kNumObjectives, kNumFidelities,
                  opts.surrogate),
       rng_(opts.seed),
@@ -286,9 +287,12 @@ CheckpointState CorrelatedMfMoboOptimizer::captureCheckpoint(
   st.picks_per_fidelity = result.picks_per_fidelity;
   st.totals = scheduler.totals();
   st.sim_tool_seconds = sim_->totalToolSeconds();
-  for (const auto& [config, fid] : cache.contents())
+  // Only this campaign's cache slice and counters enter the journal; under
+  // a shared server cache other tenants' artifacts are not ours to persist.
+  const std::uint64_t ns = scheduler.cacheNamespace();
+  for (const auto& [config, fid] : cache.contents(ns))
     st.cache.emplace_back(config, static_cast<int>(fid));
-  const runtime::EvalCache::Stats cstats = cache.stats();
+  const runtime::EvalCache::Stats cstats = cache.stats(ns);
   st.cache_hits = cstats.hits;
   st.cache_misses = cstats.misses;
   st.surrogate_hypers = surrogate_.hyperState();
@@ -349,56 +353,109 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
   scheduler.restoreTotals(st.totals);
   sim_->setAccounting(st.sim_tool_seconds);
   // Re-materialize the evaluation cache: reports are pure functions of
-  // (config, stage), so the journal only stores the keys.
+  // (config, stage), so the journal only stores the keys. Under a shared
+  // cache the flows land in this campaign's namespace (a no-op for slots
+  // another tenant already warmed — the tool is deterministic).
+  const std::uint64_t ns = scheduler.cacheNamespace();
   for (const auto& [config, fid] : st.cache) {
     std::array<sim::Report, kNumFidelities> stages{};
     const hls::DirectiveConfig cfg = space_->config(config);
     for (int f = 0; f <= fid; ++f)
       stages[f] = sim_->run(cfg, static_cast<Fidelity>(f));
-    cache.storeFlow(config, static_cast<Fidelity>(fid), stages);
+    cache.storeFlow(config, static_cast<Fidelity>(fid), stages, ns);
   }
-  cache.restoreCounters(st.cache_hits, st.cache_misses);
+  cache.restoreCounters(st.cache_hits, st.cache_misses, ns);
   if (obs::metrics().enabled() && !st.metrics.empty())
     obs::metrics().restore(st.metrics);
   if (st.has_diag && diag::recorder().enabled())
     diag::recorder().restore(st.diag);
 }
 
-OptimizeResult CorrelatedMfMoboOptimizer::run() {
+void CorrelatedMfMoboOptimizer::writeCheckpoint(int next_round) {
+  if (opts_.checkpoint_path.empty()) return;
+  saveCheckpoint(opts_.checkpoint_path,
+                 captureCheckpoint(next_round, t_, *scheduler_, *cache_,
+                                   result_));
+}
+
+RoundOutcome CorrelatedMfMoboOptimizer::makeOutcome(
+    int round, const std::vector<runtime::EvalResult>& results) {
+  RoundOutcome o;
+  o.round = round;
+  o.proposals = t_;
+  o.done = done();
+  o.resumed = result_.resumed;
+  const runtime::SchedulerStats totals = scheduler_->totals();
+  o.charged_seconds = totals.charged_seconds;
+  o.wall_seconds = totals.wall_seconds;
+  for (const runtime::EvalResult& r : results)
+    o.round_charged_seconds += r.charged_seconds;
+  const runtime::EvalCache::Stats cstats =
+      cache_->stats(scheduler_->cacheNamespace());
+  o.cache_hits = cstats.hits;
+  o.cache_misses = cstats.misses;
+  if (shared_.collect_outcomes) {
+    const FidelityData& top = data_[kNumFidelities - 1];
+    if (!top.y.empty()) {
+      const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
+      o.hypervolume = pareto::hypervolume(pareto::paretoFilter(pts),
+                                          pareto::referencePoint(pts));
+    }
+    // Worker occupancy of this round's tool runs (cache hits occupy no
+    // worker), in job order — the server's shared-farm placement input.
+    o.job_seconds.reserve(results.size());
+    for (const runtime::EvalResult& r : results)
+      if (!r.cache_hit)
+        o.job_seconds.push_back(r.charged_seconds + r.backoff_seconds);
+  }
+  return o;
+}
+
+bool CorrelatedMfMoboOptimizer::done() const {
+  if (finished_) return true;
+  if (!started_) return false;
+  return stopped_ || t_ >= opts_.n_iter;
+}
+
+RoundOutcome CorrelatedMfMoboOptimizer::start() {
+  assert(!started_);
   assert(opts_.n_init_hls >= opts_.n_init_syn &&
          opts_.n_init_syn >= opts_.n_init_impl && opts_.n_init_impl >= 2);
   const std::size_t n = space_->size();
-  const int batch = std::max(opts_.batch_size, 1);
 
-  runtime::EvalCache cache;
-  runtime::ToolScheduler scheduler(*space_, *sim_, cache,
-                                   std::max(opts_.n_workers, 1), opts_.retry);
-
-  OptimizeResult result;
-  int t = 0;            // global proposal counter
-  int start_round = 0;  // first BO round this process runs
+  // Bind the runtime: private cache/pool in the single-campaign regime,
+  // the server's shared ones otherwise (traffic keyed under the campaign's
+  // cache namespace).
+  if (shared_.cache != nullptr) {
+    cache_ = shared_.cache;
+  } else {
+    owned_cache_ = std::make_unique<runtime::EvalCache>();
+    cache_ = owned_cache_.get();
+  }
+  if (shared_.pool != nullptr)
+    scheduler_ = std::make_unique<runtime::ToolScheduler>(
+        *space_, *sim_, *cache_, *shared_.pool, opts_.retry,
+        shared_.cache_namespace);
+  else
+    scheduler_ = std::make_unique<runtime::ToolScheduler>(
+        *space_, *sim_, *cache_, std::max(opts_.n_workers, 1), opts_.retry);
 
   // ---- Resume path: restore the journal if one exists and matches. ----
   if (opts_.resume && !opts_.checkpoint_path.empty()) {
     CheckpointState st;
     std::string err;
     if (loadCheckpoint(opts_.checkpoint_path, &st, &err)) {
-      restoreCheckpoint(st, scheduler, cache, result);
-      t = st.t;
-      start_round = st.next_round;
-      result.resumed = true;
+      restoreCheckpoint(st, *scheduler_, *cache_, result_);
+      t_ = st.t;
+      round_ = st.next_round;
+      result_.resumed = true;
     }
     // A missing journal is a cold start, not an error (first run of a
     // --resume'd job); a present-but-mismatched one throws in restore.
   }
 
-  const auto checkpoint = [&](int next_round) {
-    if (opts_.checkpoint_path.empty()) return;
-    saveCheckpoint(opts_.checkpoint_path,
-                   captureCheckpoint(next_round, t, scheduler, cache, result));
-  };
-
-  if (!result.resumed) {
+  std::vector<runtime::EvalResult> init_results;
+  if (!result_.resumed) {
     obs::ScopedPhase init_phase("init");
     // ---- Initialization (Algorithm 2, lines 4-5): nested seed subsets. ----
     // The seed designs are mutually independent, so the whole set goes to
@@ -428,225 +485,251 @@ OptimizeResult CorrelatedMfMoboOptimizer::run() {
         f = Fidelity::kSyn;
       init_jobs.push_back({init[i], f});
     }
-    for (const runtime::EvalResult& res : scheduler.runBatch(init_jobs))
-      record(res);
+    init_results = scheduler_->runBatch(init_jobs);
+    for (const runtime::EvalResult& res : init_results) record(res);
     // Injected failures can leave a fidelity with fewer than the 2 samples
     // the surrogate needs; top it up (RNG-neutral no-op when healthy).
-    reseedThinFidelities(scheduler);
-    checkpoint(0);
+    reseedThinFidelities(*scheduler_);
+    writeCheckpoint(0);
   }
 
-  const auto stage_seconds = sim_->nominalStageSeconds();
+  stage_seconds_ = sim_->nominalStageSeconds();
+  started_ = true;
+  return makeOutcome(-1, init_results);
+}
 
-  // ---- Optimization loop (lines 6-15), batched. ----
-  for (int round = start_round; t < opts_.n_iter; ++round) {
-    obs::ScopedPhase round_phase("round", round);
-    // Remaining pool.
-    std::vector<std::size_t> pool;
-    pool.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-      if (!sampled_[i]) pool.push_back(i);
-    if (pool.empty()) break;
+RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
+  assert(started_ && !finished_);
+  if (done()) return makeOutcome(round_ - 1, {});
+  const std::size_t n = space_->size();
+  const int batch = std::max(opts_.batch_size, 1);
+  const int round = round_;
 
-    const bool hypers = round % std::max(opts_.refit_every, 1) == 0;
-    const bool did_mle = hypers || !surrogate_.fitted();
-    {
-      obs::ScopedPhase fit_phase("gp_fit", round);
-      if (did_mle)
-        surrogate_.fit(buildObsFrom(data_), rng_, true);
-      else
-        // Between MLE refits the new observations enter via O(n^2)
-        // rank-append posterior updates; commit also rolls back any
-        // Kriging-believer speculation left from the previous round.
-        surrogate_.appendObservations(buildObsFrom(data_), /*commit=*/true);
-    }
-    const bool diag_on = diag::recorder().enabled();
-    diag_round_ = round;
-    if (diag_on) {
-      // Per-level surrogate state for the journal: learned K_task (Eq. 9),
-      // MLE convergence, Gram conditioning, lower-fidelity relevance. All
-      // read-only accessors — nothing feeds back into the run.
-      for (int l = 0; l < kNumFidelities; ++l) {
-        diag::ModelRecord mr;
-        mr.round = round;
-        mr.level = l;
-        mr.correlated = surrogate_.correlated();
-        if (mr.correlated) {
-          const linalg::Matrix c = surrogate_.taskCorrelation(l);
-          mr.task_corr.assign(c.rows(), std::vector<double>(c.cols(), 0.0));
-          for (std::size_t i = 0; i < c.rows(); ++i)
-            for (std::size_t j = 0; j < c.cols(); ++j)
-              mr.task_corr[i][j] = c(i, j);
-        }
-        mr.lml = surrogate_.logMarginalLikelihood(l);
-        mr.fit_iters = surrogate_.lastFitIterations(l);
-        // Budget is only meaningful on rounds that actually ran the MLE;
-        // 0 disables the non-convergence check on rank-append rounds.
-        mr.max_iters = did_mle ? surrogate_.mleIterBudget(l) : 0;
-        mr.cond_log10 = surrogate_.gramConditionLog10(l);
-        mr.lowfid_relevance = surrogate_.lowerFidelityRelevance(l);
-        diag::recorder().addModelRecord(std::move(mr));
-      }
-    }
-
-    // Candidate subset, shared across fidelities this round.
-    std::vector<std::size_t> cand = pool;
-    if (cand.size() > static_cast<std::size_t>(opts_.max_candidates)) {
-      rng_.shuffle(cand);
-      cand.resize(opts_.max_candidates);
-    }
-
-    const auto z = drawStdNormals(opts_.mc_samples, kNumObjectives, rng_);
-
-    // Greedy q-PEIPV batch via Kriging believer: argmax, condition the
-    // posterior on the predicted mean of the pick, re-argmax. With q = 1
-    // no fantasy step runs and this is exactly the paper's line 11.
-    //
-    // The first pick decides the round's fidelity (the Eq. 10 cost/value
-    // trade-off is a per-round investment decision); believer picks fill
-    // the rest of the batch with diverse configs at that same stage. A
-    // homogeneous round parallelizes cleanly on the farm — one impl job
-    // mixed into a batch of hls jobs would dominate the round's makespan.
-    const int q = std::min<int>({batch, opts_.n_iter - t,
-                                 static_cast<int>(cand.size())});
-    std::vector<char> taken(n, 0);
-    std::vector<runtime::EvalJob> jobs;
-    std::array<FidelityData, kNumFidelities> fantasy;
-    std::optional<obs::ScopedPhase> acq_phase;
-    acq_phase.emplace("acquisition", round);
-    for (int b = 0; b < q; ++b) {
-      obs::Span pick_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
-                          "acq_pick", "optimizer");
-      const int round_fidelity =
-          b == 0 ? -1 : static_cast<int>(jobs.front().fidelity);
-      std::vector<diag::FidelityAudit> audit;
-      const Pick pick = scanBest(b == 0 ? data_ : fantasy, cand, taken,
-                                 stage_seconds, z, round_fidelity,
-                                 diag_on ? &audit : nullptr);
-      taken[pick.config] = 1;
-      jobs.push_back({pick.config, pick.fidelity});
-      ++result.picks_per_fidelity[static_cast<int>(pick.fidelity)];
-      result.iterations.push_back(
-          {t + b, pick.fidelity, pick.config, pick.peipv, round});
-      pick_span.round(round)
-          .fidelity(static_cast<int>(pick.fidelity))
-          .id(static_cast<std::int64_t>(pick.config))
-          .value(pick.peipv);
-      if (obs::metrics().enabled())
-        obs::metrics().observe(std::string("acq.peipv.") +
-                                   sim::fidelityName(pick.fidelity),
-                               pick.peipv);
-
-      if (diag_on) {
-        diag::DecisionRecord dr;
-        dr.round = round;
-        dr.winner_config = pick.config;
-        dr.winner_fidelity = static_cast<int>(pick.fidelity);
-        dr.winner_peipv = pick.peipv;
-        dr.rationale =
-            b == 0 ? "argmax cost-penalized EIPV across fidelities (Eq. 10)"
-                   : "Kriging-believer batch fill at the round fidelity";
-        dr.fidelities = std::move(audit);
-        diag::recorder().addDecision(std::move(dr));
-        // Predict-before-observe: snapshot the posterior at every stage the
-        // job will run, before its observation can enter the model. Extra
-        // predict() calls only — no RNG, no state change, so the trajectory
-        // is bit-identical with diagnostics off.
-        for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
-          const gp::MultiPosterior post =
-              surrogate_.predict(f, space_->features(pick.config));
-          PendingPrediction pp;
-          pp.mu = post.mean;
-          pp.var.resize(kNumObjectives);
-          for (int m = 0; m < kNumObjectives; ++m) pp.var[m] = post.cov(m, m);
-          pp.believer = b > 0;
-          pending_pred_[{pick.config, f}] = std::move(pp);
-        }
-      }
-
-      if (b + 1 < q) {
-        // Believe the model: append its predicted means at every stage the
-        // job will run, then refit the posterior (hyperparameters are not
-        // touched; the next round's fit on real data discards the fantasy).
-        if (b == 0) fantasy = data_;
-        for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
-          fantasy[f].configs.push_back(pick.config);
-          fantasy[f].y.push_back(
-              surrogate_.predict(f, space_->features(pick.config)).mean);
-        }
-        // Speculative (uncommitted) rank-appends: the next commit or full
-        // fit rolls the fantasy back by exact factor truncation.
-        surrogate_.appendObservations(buildObsFrom(fantasy), /*commit=*/false);
-      }
-    }
-
-    acq_phase.reset();
-
-    {
-      obs::ScopedPhase eval_phase("evaluate", round);
-      for (const runtime::EvalResult& res : scheduler.runBatch(jobs))
-        record(res);
-    }
-    t += q;
-    ++result.rounds_run;
-
-    if (diag_on) {
-      // Convergence record: hypervolume of the current top-fidelity set,
-      // cumulative charged tool-seconds, cache counters; ADRS comes from
-      // the recorder's oracle (set by the harness) when available.
-      double hv = std::numeric_limits<double>::quiet_NaN();
-      const FidelityData& top_data = data_[kNumFidelities - 1];
-      if (!top_data.y.empty()) {
-        const std::vector<pareto::Point> pts(top_data.y.begin(),
-                                             top_data.y.end());
-        hv = pareto::hypervolume(pareto::paretoFilter(pts),
-                                 pareto::referencePoint(pts));
-      }
-      std::vector<std::size_t> selected;
-      selected.reserve(cs_.size());
-      for (const SampleRecord& rec : cs_) selected.push_back(rec.config);
-      const runtime::EvalCache::Stats cstats = cache.stats();
-      diag::recorder().endRound(round, hv, selected, sim_->totalToolSeconds(),
-                                cstats.hits, cstats.misses);
-      pending_pred_.clear();
-    }
-
-    // Diagnostics-only progression metrics: computed from already-recorded
-    // data when enabled, never read back by the algorithm.
-    if (obs::metrics().enabled()) {
-      obs::metrics().set("opt.round", static_cast<double>(round));
-      obs::metrics().set("opt.proposals", static_cast<double>(t));
-      const FidelityData& top = data_[kNumFidelities - 1];
-      if (!top.y.empty()) {
-        const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
-        obs::metrics().set(
-            "opt.hypervolume.impl",
-            pareto::hypervolume(pareto::paretoFilter(pts),
-                                pareto::referencePoint(pts)));
-      }
-    }
-
-    {
-      obs::ScopedPhase ckpt_phase("checkpoint", round);
-      checkpoint(round + 1);
-    }
-    if (opts_.max_rounds > 0 && result.rounds_run >= opts_.max_rounds) break;
+  // ---- One round of the optimization loop (lines 6-15), batched. ----
+  obs::ScopedPhase round_phase("round", round);
+  // Remaining pool.
+  std::vector<std::size_t> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!sampled_[i]) pool.push_back(i);
+  if (pool.empty()) {
+    stopped_ = true;  // space exhausted before the proposal budget
+    return makeOutcome(round - 1, {});
   }
 
-  result.cs = cs_;
-  result.tool_seconds = sim_->totalToolSeconds();
-  const runtime::SchedulerStats& totals = scheduler.totals();
-  result.wall_seconds = totals.wall_seconds;
-  result.tool_runs = totals.tool_runs;
-  result.cache_hits = totals.cache_hits;
-  result.attempts = totals.attempts;
-  result.transient_failures = totals.transient_failures;
-  result.timeouts = totals.timeouts;
-  result.persistent_failures = totals.persistent_failures;
-  result.degraded_jobs = totals.degraded_jobs;
-  result.wasted_seconds = totals.retry_seconds_wasted;
-  result.backoff_seconds = totals.backoff_seconds;
-  return result;
+  const bool hypers = round % std::max(opts_.refit_every, 1) == 0;
+  const bool did_mle = hypers || !surrogate_.fitted();
+  {
+    obs::ScopedPhase fit_phase("gp_fit", round);
+    if (did_mle)
+      surrogate_.fit(buildObsFrom(data_), rng_, true);
+    else
+      // Between MLE refits the new observations enter via O(n^2)
+      // rank-append posterior updates; commit also rolls back any
+      // Kriging-believer speculation left from the previous round.
+      surrogate_.appendObservations(buildObsFrom(data_), /*commit=*/true);
+  }
+  const bool diag_on = diag::recorder().enabled();
+  diag_round_ = round;
+  if (diag_on) {
+    // Per-level surrogate state for the journal: learned K_task (Eq. 9),
+    // MLE convergence, Gram conditioning, lower-fidelity relevance. All
+    // read-only accessors — nothing feeds back into the run.
+    for (int l = 0; l < kNumFidelities; ++l) {
+      diag::ModelRecord mr;
+      mr.round = round;
+      mr.level = l;
+      mr.correlated = surrogate_.correlated();
+      if (mr.correlated) {
+        const linalg::Matrix c = surrogate_.taskCorrelation(l);
+        mr.task_corr.assign(c.rows(), std::vector<double>(c.cols(), 0.0));
+        for (std::size_t i = 0; i < c.rows(); ++i)
+          for (std::size_t j = 0; j < c.cols(); ++j)
+            mr.task_corr[i][j] = c(i, j);
+      }
+      mr.lml = surrogate_.logMarginalLikelihood(l);
+      mr.fit_iters = surrogate_.lastFitIterations(l);
+      // Budget is only meaningful on rounds that actually ran the MLE;
+      // 0 disables the non-convergence check on rank-append rounds.
+      mr.max_iters = did_mle ? surrogate_.mleIterBudget(l) : 0;
+      mr.cond_log10 = surrogate_.gramConditionLog10(l);
+      mr.lowfid_relevance = surrogate_.lowerFidelityRelevance(l);
+      diag::recorder().addModelRecord(std::move(mr));
+    }
+  }
+
+  // Candidate subset, shared across fidelities this round.
+  std::vector<std::size_t> cand = pool;
+  if (cand.size() > static_cast<std::size_t>(opts_.max_candidates)) {
+    rng_.shuffle(cand);
+    cand.resize(opts_.max_candidates);
+  }
+
+  const auto z = drawStdNormals(opts_.mc_samples, kNumObjectives, rng_);
+
+  // Greedy q-PEIPV batch via Kriging believer: argmax, condition the
+  // posterior on the predicted mean of the pick, re-argmax. With q = 1
+  // no fantasy step runs and this is exactly the paper's line 11.
+  //
+  // The first pick decides the round's fidelity (the Eq. 10 cost/value
+  // trade-off is a per-round investment decision); believer picks fill
+  // the rest of the batch with diverse configs at that same stage. A
+  // homogeneous round parallelizes cleanly on the farm — one impl job
+  // mixed into a batch of hls jobs would dominate the round's makespan.
+  const int q = std::min<int>({batch, opts_.n_iter - t_,
+                               static_cast<int>(cand.size())});
+  std::vector<char> taken(n, 0);
+  std::vector<runtime::EvalJob> jobs;
+  std::array<FidelityData, kNumFidelities> fantasy;
+  std::optional<obs::ScopedPhase> acq_phase;
+  acq_phase.emplace("acquisition", round);
+  for (int b = 0; b < q; ++b) {
+    obs::Span pick_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                        "acq_pick", "optimizer");
+    const int round_fidelity =
+        b == 0 ? -1 : static_cast<int>(jobs.front().fidelity);
+    std::vector<diag::FidelityAudit> audit;
+    const Pick pick = scanBest(b == 0 ? data_ : fantasy, cand, taken,
+                               stage_seconds_, z, round_fidelity,
+                               diag_on ? &audit : nullptr);
+    taken[pick.config] = 1;
+    jobs.push_back({pick.config, pick.fidelity});
+    ++result_.picks_per_fidelity[static_cast<int>(pick.fidelity)];
+    result_.iterations.push_back(
+        {t_ + b, pick.fidelity, pick.config, pick.peipv, round});
+    pick_span.round(round)
+        .fidelity(static_cast<int>(pick.fidelity))
+        .id(static_cast<std::int64_t>(pick.config))
+        .value(pick.peipv);
+    if (obs::metrics().enabled())
+      obs::metrics().observe(std::string("acq.peipv.") +
+                                 sim::fidelityName(pick.fidelity),
+                             pick.peipv);
+
+    if (diag_on) {
+      diag::DecisionRecord dr;
+      dr.round = round;
+      dr.winner_config = pick.config;
+      dr.winner_fidelity = static_cast<int>(pick.fidelity);
+      dr.winner_peipv = pick.peipv;
+      dr.rationale =
+          b == 0 ? "argmax cost-penalized EIPV across fidelities (Eq. 10)"
+                 : "Kriging-believer batch fill at the round fidelity";
+      dr.fidelities = std::move(audit);
+      diag::recorder().addDecision(std::move(dr));
+      // Predict-before-observe: snapshot the posterior at every stage the
+      // job will run, before its observation can enter the model. Extra
+      // predict() calls only — no RNG, no state change, so the trajectory
+      // is bit-identical with diagnostics off.
+      for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
+        const gp::MultiPosterior post =
+            surrogate_.predict(f, space_->features(pick.config));
+        PendingPrediction pp;
+        pp.mu = post.mean;
+        pp.var.resize(kNumObjectives);
+        for (int m = 0; m < kNumObjectives; ++m) pp.var[m] = post.cov(m, m);
+        pp.believer = b > 0;
+        pending_pred_[{pick.config, f}] = std::move(pp);
+      }
+    }
+
+    if (b + 1 < q) {
+      // Believe the model: append its predicted means at every stage the
+      // job will run, then refit the posterior (hyperparameters are not
+      // touched; the next round's fit on real data discards the fantasy).
+      if (b == 0) fantasy = data_;
+      for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
+        fantasy[f].configs.push_back(pick.config);
+        fantasy[f].y.push_back(
+            surrogate_.predict(f, space_->features(pick.config)).mean);
+      }
+      // Speculative (uncommitted) rank-appends: the next commit or full
+      // fit rolls the fantasy back by exact factor truncation.
+      surrogate_.appendObservations(buildObsFrom(fantasy), /*commit=*/false);
+    }
+  }
+
+  acq_phase.reset();
+
+  std::vector<runtime::EvalResult> results;
+  {
+    obs::ScopedPhase eval_phase("evaluate", round);
+    results = scheduler_->runBatch(jobs);
+    for (const runtime::EvalResult& res : results) record(res);
+  }
+  t_ += q;
+  ++result_.rounds_run;
+
+  if (diag_on) {
+    // Convergence record: hypervolume of the current top-fidelity set,
+    // cumulative charged tool-seconds, cache counters; ADRS comes from
+    // the recorder's oracle (set by the harness) when available.
+    double hv = std::numeric_limits<double>::quiet_NaN();
+    const FidelityData& top_data = data_[kNumFidelities - 1];
+    if (!top_data.y.empty()) {
+      const std::vector<pareto::Point> pts(top_data.y.begin(),
+                                           top_data.y.end());
+      hv = pareto::hypervolume(pareto::paretoFilter(pts),
+                               pareto::referencePoint(pts));
+    }
+    std::vector<std::size_t> selected;
+    selected.reserve(cs_.size());
+    for (const SampleRecord& rec : cs_) selected.push_back(rec.config);
+    const runtime::EvalCache::Stats cstats =
+        cache_->stats(scheduler_->cacheNamespace());
+    diag::recorder().endRound(round, hv, selected, sim_->totalToolSeconds(),
+                              cstats.hits, cstats.misses);
+    pending_pred_.clear();
+  }
+
+  // Diagnostics-only progression metrics: computed from already-recorded
+  // data when enabled, never read back by the algorithm.
+  if (obs::metrics().enabled()) {
+    obs::metrics().set("opt.round", static_cast<double>(round));
+    obs::metrics().set("opt.proposals", static_cast<double>(t_));
+    const FidelityData& top = data_[kNumFidelities - 1];
+    if (!top.y.empty()) {
+      const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
+      obs::metrics().set(
+          "opt.hypervolume.impl",
+          pareto::hypervolume(pareto::paretoFilter(pts),
+                              pareto::referencePoint(pts)));
+    }
+  }
+
+  {
+    obs::ScopedPhase ckpt_phase("checkpoint", round);
+    writeCheckpoint(round + 1);
+  }
+  if (opts_.max_rounds > 0 && result_.rounds_run >= opts_.max_rounds)
+    stopped_ = true;  // preemption point; the journal resumes from here
+  ++round_;
+  return makeOutcome(round, results);
+}
+
+OptimizeResult CorrelatedMfMoboOptimizer::finish() {
+  assert(started_ && !finished_);
+  finished_ = true;
+  result_.cs = cs_;
+  result_.tool_seconds = sim_->totalToolSeconds();
+  const runtime::SchedulerStats totals = scheduler_->totals();
+  result_.wall_seconds = totals.wall_seconds;
+  result_.tool_runs = totals.tool_runs;
+  result_.cache_hits = totals.cache_hits;
+  result_.attempts = totals.attempts;
+  result_.transient_failures = totals.transient_failures;
+  result_.timeouts = totals.timeouts;
+  result_.persistent_failures = totals.persistent_failures;
+  result_.degraded_jobs = totals.degraded_jobs;
+  result_.wasted_seconds = totals.retry_seconds_wasted;
+  result_.backoff_seconds = totals.backoff_seconds;
+  return result_;
+}
+
+OptimizeResult CorrelatedMfMoboOptimizer::run() {
+  start();
+  while (!done()) stepRound();
+  return finish();
 }
 
 }  // namespace cmmfo::core

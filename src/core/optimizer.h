@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -83,6 +85,49 @@ struct OptimizerOptions {
   int max_rounds = 0;
 };
 
+/// Shared multi-campaign runtime resources (the optimization server). All
+/// null/zero by default, in which case the optimizer owns a private cache
+/// and worker pool exactly as before — the single-campaign regime.
+struct SharedRuntime {
+  /// Long-lived cross-campaign evaluation cache; the optimizer keys all its
+  /// traffic (and its checkpoint's cache section) under cache_namespace.
+  runtime::EvalCache* cache = nullptr;
+  /// Shared eval worker pool (must outlive the optimizer). When set,
+  /// OptimizerOptions::n_workers is ignored for execution; the simulated
+  /// wall-clock models rounds on the shared pool's full width.
+  runtime::ThreadPool* pool = nullptr;
+  /// Benchmark/simulator fingerprint isolating this campaign's cache slice.
+  std::uint64_t cache_namespace = 0;
+  /// Fill the optional RoundOutcome fields (hypervolume, per-job seconds)
+  /// the server streams to subscribers. Pure observation — the trajectory
+  /// is bit-identical either way.
+  bool collect_outcomes = false;
+};
+
+/// Snapshot returned by each campaign step (pure observation, assembled
+/// after the round's state updates). The server turns these into streamed
+/// per-round records and simulated-farm placements.
+struct RoundOutcome {
+  int round = -1;       ///< BO round just executed; -1 for the init round
+  int proposals = 0;    ///< proposals executed so far (the loop's t)
+  bool done = false;    ///< no further step() will run work
+  bool resumed = false; ///< this process continued from a journal
+  /// Cumulative scheduler ledgers after the round.
+  double charged_seconds = 0.0;
+  double wall_seconds = 0.0;
+  /// This round's charge alone (sum over the round's completed jobs).
+  double round_charged_seconds = 0.0;
+  /// Campaign-namespace cache counters after the round.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Only when SharedRuntime::collect_outcomes: hypervolume of the current
+  /// top-fidelity observation set (NaN while empty) and the per-tool-run
+  /// worker occupancy (charged + backoff seconds) of this round's jobs, in
+  /// job order — the server's simulated shared-farm placement input.
+  double hypervolume = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> job_seconds;
+};
+
 /// One tool evaluation in the candidate set CS.
 struct SampleRecord {
   std::size_t config = 0;          // design-space index
@@ -150,9 +195,30 @@ struct OptimizeResult {
 class CorrelatedMfMoboOptimizer {
  public:
   CorrelatedMfMoboOptimizer(const hls::DesignSpace& space,
-                            sim::FpgaToolSim& sim, OptimizerOptions opts = {});
+                            sim::FpgaToolSim& sim, OptimizerOptions opts = {},
+                            SharedRuntime shared = {});
 
+  /// Run to completion: a thin wrapper over the campaign-stepping API below
+  /// (start(); while (!done()) stepRound(); finish()).
   OptimizeResult run();
+
+  // ---- Campaign-stepping API (the server interleaves rounds from many
+  // campaigns over one shared pool/cache; see core::CampaignStepper). ----
+  /// Bind runtime resources, resume from the checkpoint journal or run the
+  /// initialization round, and write checkpoint 0. Must be called exactly
+  /// once, before the first stepRound().
+  RoundOutcome start();
+  /// One BO round: fit/append the surrogate, propose the q-PEIPV batch,
+  /// execute it, record, checkpoint. Requires start(); no-op when done().
+  RoundOutcome stepRound();
+  /// True once the proposal budget is spent, the space is exhausted, or
+  /// OptimizerOptions::max_rounds stopped this process.
+  bool done() const;
+  /// Final accounting tallies; after this the result is complete. Both
+  /// run() and the server call it exactly once, after done().
+  OptimizeResult finish();
+  /// The in-progress result (valid between start() and finish()).
+  const OptimizeResult& partialResult() const { return result_; }
 
   /// Surrogate state after run() (for inspection / tests).
   const MultiFidelitySurrogate& surrogate() const { return surrogate_; }
@@ -213,11 +279,34 @@ class CorrelatedMfMoboOptimizer {
                 int only_fidelity = -1,
                 std::vector<diag::FidelityAudit>* audit = nullptr) const;
 
+  /// Write the journal for a resume at `next_round` (no-op without a
+  /// checkpoint path).
+  void writeCheckpoint(int next_round);
+  /// Assemble the post-round snapshot (ledgers, cache counters, optional
+  /// hypervolume + per-job seconds from `results`).
+  RoundOutcome makeOutcome(int round,
+                           const std::vector<runtime::EvalResult>& results);
+
   const hls::DesignSpace* space_;
   sim::FpgaToolSim* sim_;
   OptimizerOptions opts_;
+  SharedRuntime shared_;
   MultiFidelitySurrogate surrogate_;
   rng::Rng rng_;
+
+  // ---- Campaign-stepping state (locals of the former monolithic run()).
+  // owned_cache_ backs cache_ in the single-campaign regime; with a
+  // SharedRuntime both point at server-owned objects instead.
+  std::unique_ptr<runtime::EvalCache> owned_cache_;
+  runtime::EvalCache* cache_ = nullptr;
+  std::unique_ptr<runtime::ToolScheduler> scheduler_;
+  OptimizeResult result_;
+  std::array<double, sim::kNumFidelities> stage_seconds_{};
+  int t_ = 0;      ///< global proposal counter
+  int round_ = 0;  ///< next BO round to execute
+  bool started_ = false;
+  bool stopped_ = false;  ///< space exhausted or max_rounds hit
+  bool finished_ = false;
 
   std::array<FidelityData, sim::kNumFidelities> data_;
   std::vector<bool> sampled_;

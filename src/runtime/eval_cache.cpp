@@ -3,65 +3,165 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.h"
+
 namespace cmmfo::runtime {
 
-std::optional<sim::Report> EvalCache::find(std::size_t config,
-                                           sim::Fidelity fidelity) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(key(config, fidelity));
-  if (it == map_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+const EvalCache::Flow* EvalCache::findLocked(std::size_t config,
+                                             sim::Fidelity fidelity,
+                                             std::uint64_t ns) const {
+  const auto it = map_.find({ns, static_cast<std::uint64_t>(config)});
+  if (it == map_.end() || it->second.upto < static_cast<int>(fidelity)) {
+    ++counters_[ns].misses;
+    return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  ++counters_[ns].hits;
+  // Touch: a hit makes this flow the most recently used.
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return &it->second;
+}
+
+std::optional<sim::Report> EvalCache::find(std::size_t config,
+                                           sim::Fidelity fidelity,
+                                           std::uint64_t ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Flow* flow = findLocked(config, fidelity, ns);
+  if (flow == nullptr) return std::nullopt;
+  return flow->stages[static_cast<int>(fidelity)];
 }
 
 std::optional<std::array<sim::Report, sim::kNumFidelities>>
-EvalCache::findFlow(std::size_t config, sim::Fidelity fidelity) const {
+EvalCache::findFlow(std::size_t config, sim::Fidelity fidelity,
+                    std::uint64_t ns) const {
   std::lock_guard<std::mutex> lock(mu_);
+  const Flow* flow = findLocked(config, fidelity, ns);
+  if (flow == nullptr) return std::nullopt;
+  // Stages beyond the cached ladder stay default-constructed, exactly like
+  // the per-stage map used to return them.
   std::array<sim::Report, sim::kNumFidelities> stages{};
-  for (int f = 0; f <= static_cast<int>(fidelity); ++f) {
-    const auto it = map_.find(key(config, static_cast<sim::Fidelity>(f)));
-    if (it == map_.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
-      return std::nullopt;
-    }
-    stages[f] = it->second;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  for (int f = 0; f <= static_cast<int>(fidelity); ++f)
+    stages[f] = flow->stages[f];
   return stages;
+}
+
+int EvalCache::enforceCapacityLocked() {
+  int dropped = 0;
+  while (capacity_ > 0 && map_.size() > capacity_) {
+    const Key victim = lru_.back();
+    const auto it = map_.find(victim);
+    entries_ -= static_cast<std::size_t>(it->second.upto + 1);
+    lru_.pop_back();
+    map_.erase(it);
+    ++evictions_;
+    ++dropped;
+  }
+  return dropped;
 }
 
 void EvalCache::storeFlow(
     std::size_t config, sim::Fidelity upto,
-    const std::array<sim::Report, sim::kNumFidelities>& stages) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (int f = 0; f <= static_cast<int>(upto); ++f)
-    map_[key(config, static_cast<sim::Fidelity>(f))] = stages[f];
+    const std::array<sim::Report, sim::kNumFidelities>& stages,
+    std::uint64_t ns) {
+  int dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Key key{ns, static_cast<std::uint64_t>(config)};
+    auto [it, fresh] = map_.try_emplace(key);
+    Flow& flow = it->second;
+    if (fresh) {
+      lru_.push_front(key);
+      flow.lru = lru_.begin();
+    } else {
+      lru_.splice(lru_.begin(), lru_, flow.lru);
+    }
+    const int new_upto = std::max(flow.upto, static_cast<int>(upto));
+    for (int f = 0; f <= static_cast<int>(upto); ++f) flow.stages[f] = stages[f];
+    // A fresh flow starts at upto = -1, so this also counts its first ladder.
+    entries_ += static_cast<std::size_t>(new_upto - flow.upto);
+    flow.upto = new_upto;
+    dropped = enforceCapacityLocked();
+  }
+  // Metrics emission outside mu_ (the registry has its own lock).
+  if (dropped > 0 && obs::metrics().enabled())
+    obs::metrics().add("server.cache.evictions", static_cast<double>(dropped));
 }
 
 std::size_t EvalCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  return entries_;
+}
+
+void EvalCache::setCapacity(std::size_t max_flows) {
+  int dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = max_flows;
+    dropped = enforceCapacityLocked();
+  }
+  if (dropped > 0 && obs::metrics().enabled())
+    obs::metrics().add("server.cache.evictions", static_cast<double>(dropped));
+}
+
+std::size_t EvalCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::uint64_t EvalCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [ns, c] : counters_) total += c.hits;
+  return total;
+}
+
+std::uint64_t EvalCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [ns, c] : counters_) total += c.misses;
+  return total;
+}
+
+std::uint64_t EvalCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 EvalCache::Stats EvalCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return {map_.size(), hits_.load(std::memory_order_relaxed),
-          misses_.load(std::memory_order_relaxed)};
+  Stats s;
+  s.entries = entries_;
+  s.flows = map_.size();
+  for (const auto& [ns, c] : counters_) {
+    s.hits += c.hits;
+    s.misses += c.misses;
+  }
+  s.evictions = evictions_;
+  return s;
 }
 
-std::vector<std::pair<std::size_t, sim::Fidelity>> EvalCache::contents()
-    const {
+EvalCache::Stats EvalCache::stats(std::uint64_t ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  for (const auto& [key, flow] : map_) {
+    if (key.ns != ns) continue;
+    ++s.flows;
+    s.entries += static_cast<std::size_t>(flow.upto + 1);
+  }
+  if (const auto it = counters_.find(ns); it != counters_.end()) {
+    s.hits = it->second.hits;
+    s.misses = it->second.misses;
+  }
+  s.evictions = evictions_;
+  return s;
+}
+
+std::vector<std::pair<std::size_t, sim::Fidelity>> EvalCache::contents(
+    std::uint64_t ns) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::size_t, int> highest;
-  for (const auto& [k, report] : map_) {
-    const auto config = static_cast<std::size_t>(k / sim::kNumFidelities);
-    const int fid = static_cast<int>(k % sim::kNumFidelities);
-    auto [it, fresh] = highest.emplace(config, fid);
-    if (!fresh) it->second = std::max(it->second, fid);
-  }
+  for (const auto& [key, flow] : map_)
+    if (key.ns == ns)
+      highest.emplace(static_cast<std::size_t>(key.config), flow.upto);
   std::vector<std::pair<std::size_t, sim::Fidelity>> out;
   out.reserve(highest.size());
   for (const auto& [config, fid] : highest)
@@ -69,16 +169,19 @@ std::vector<std::pair<std::size_t, sim::Fidelity>> EvalCache::contents()
   return out;
 }
 
-void EvalCache::restoreCounters(std::uint64_t hits, std::uint64_t misses) {
-  hits_.store(hits, std::memory_order_relaxed);
-  misses_.store(misses, std::memory_order_relaxed);
+void EvalCache::restoreCounters(std::uint64_t hits, std::uint64_t misses,
+                                std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[ns] = {hits, misses};
 }
 
 void EvalCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
+  lru_.clear();
+  counters_.clear();
+  entries_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace cmmfo::runtime

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -13,7 +13,8 @@
 
 namespace cmmfo::runtime {
 
-/// Thread-safe memo of FPGA-tool reports keyed on (config id, fidelity).
+/// Thread-safe memo of FPGA-tool reports keyed on (namespace, config id,
+/// fidelity).
 ///
 /// The cache exploits the nesting of the design flow (Fig. 2): a single flow
 /// invocation up to fidelity h produces the reports of every stage i <= h
@@ -21,60 +22,123 @@ namespace cmmfo::runtime {
 /// logic-synthesis artifacts behind. storeFlow() therefore populates all
 /// stages up to the charged fidelity at once, so a later proposal of the
 /// same configuration at any lower fidelity is a free hit.
+///
+/// Multi-campaign serving (the optimization server) shares ONE long-lived
+/// cache across tenants, which needs two extensions — both dormant at their
+/// defaults so single-campaign users see the original behavior:
+///  - namespacing: every operation takes a `ns` key (default 0). Campaigns
+///    against the same benchmark/simulator fingerprint share a namespace and
+///    hit each other's artifacts; unrelated campaigns cannot collide on raw
+///    config ids. Hit/miss counters are kept per namespace so each
+///    campaign's checkpoint journals its own ledger.
+///  - bounded memory: setCapacity(N) turns on LRU eviction over *flows*
+///    (all stages of one (ns, config) evict together, preserving the
+///    storeFlow invariant). Evictions count into stats() and, when metrics
+///    are enabled, the `server.cache.evictions` counter. Capacity 0 (the
+///    default) never evicts.
 class EvalCache {
  public:
-  /// Report at (config, fidelity) if present. Counts a hit or a miss.
-  std::optional<sim::Report> find(std::size_t config,
-                                  sim::Fidelity fidelity) const;
+  /// Report at (config, fidelity) if present. Counts a hit or a miss
+  /// against `ns` and refreshes the flow's LRU position on a hit.
+  std::optional<sim::Report> find(std::size_t config, sim::Fidelity fidelity,
+                                  std::uint64_t ns = 0) const;
 
   /// The whole stage ladder [0..fidelity] in one lookup (one hit or miss
   /// counted). Present either fully or not at all, by the storeFlow
   /// invariant.
   std::optional<std::array<sim::Report, sim::kNumFidelities>> findFlow(
-      std::size_t config, sim::Fidelity fidelity) const;
+      std::size_t config, sim::Fidelity fidelity, std::uint64_t ns = 0) const;
 
   /// Record one flow run: `stages[0..upto]` are the per-stage reports of a
   /// single invocation that ran up to `upto`. Entries beyond `upto` are
   /// ignored. Re-stores overwrite (the tool is deterministic, so the value
-  /// cannot actually change).
+  /// cannot actually change); a deeper re-store extends the cached ladder.
   void storeFlow(std::size_t config, sim::Fidelity upto,
-                 const std::array<sim::Report, sim::kNumFidelities>& stages);
+                 const std::array<sim::Report, sim::kNumFidelities>& stages,
+                 std::uint64_t ns = 0);
 
+  /// Number of cached (config, stage) entries across every namespace.
   std::size_t size() const;
   void clear();
 
-  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::uint64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
+  /// LRU bound in *flows* (cached configs); 0 = unbounded.
+  void setCapacity(std::size_t max_flows);
+  std::size_t capacity() const;
 
-  /// One consistent snapshot of the cache state, for the journal.
+  /// Aggregate counters over all namespaces (the pre-server interface).
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+  /// One consistent snapshot of the cache state, for the journal and the
+  /// server's stats endpoint.
   struct Stats {
-    std::size_t entries = 0;
+    std::size_t entries = 0;  // (config, stage) pairs
+    std::size_t flows = 0;    // distinct (ns, config) ladders
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  // always the cache-wide total
+  };
+  Stats stats() const;
+  /// Restricted to one namespace (entries/flows/hits/misses of `ns` only;
+  /// evictions stay cache-wide — an eviction caused by tenant A can land on
+  /// tenant B's flow, so a per-tenant split would be misleading).
+  Stats stats(std::uint64_t ns) const;
+
+  /// The cached flows of `ns` as (config, highest cached fidelity) pairs,
+  /// sorted by config id. Because the tool is deterministic, this is a
+  /// complete serialization: reports can be regenerated with
+  /// FpgaToolSim::run.
+  std::vector<std::pair<std::size_t, sim::Fidelity>> contents(
+      std::uint64_t ns = 0) const;
+
+  /// Restore one namespace's counters from a checkpoint (entries are
+  /// re-stored separately via storeFlow, since reports are recomputable).
+  void restoreCounters(std::uint64_t hits, std::uint64_t misses,
+                       std::uint64_t ns = 0);
+
+ private:
+  struct Key {
+    std::uint64_t ns = 0;
+    std::uint64_t config = 0;
+    bool operator==(const Key& o) const {
+      return ns == o.ns && config == o.config;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix-style avalanche of the two words.
+      std::uint64_t h = k.ns + 0x9e3779b97f4a7c15ULL * (k.config + 1);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h * 0x94d049bb133111ebULL);
+    }
+  };
+  struct Flow {
+    int upto = -1;  // highest stage cached
+    std::array<sim::Report, sim::kNumFidelities> stages{};
+    std::list<Key>::iterator lru;  // position in lru_ (front = most recent)
+  };
+  struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
   };
-  Stats stats() const;
 
-  /// The cached flows as (config, highest cached fidelity) pairs, sorted by
-  /// config id. Because the tool is deterministic, this is a complete
-  /// serialization: reports can be regenerated with FpgaToolSim::run.
-  std::vector<std::pair<std::size_t, sim::Fidelity>> contents() const;
-
-  /// Restore counters from a checkpoint (entries are re-stored separately
-  /// via storeFlow, since reports are recomputable).
-  void restoreCounters(std::uint64_t hits, std::uint64_t misses);
-
- private:
-  static std::uint64_t key(std::size_t config, sim::Fidelity fidelity) {
-    return static_cast<std::uint64_t>(config) * sim::kNumFidelities +
-           static_cast<std::uint64_t>(fidelity);
-  }
+  /// Lookup + LRU touch + per-ns count; requires mu_ held.
+  const Flow* findLocked(std::size_t config, sim::Fidelity fidelity,
+                         std::uint64_t ns) const;
+  /// Evict LRU flows beyond capacity; requires mu_ held. Returns how many
+  /// flows were dropped (for the metrics emission outside the lock).
+  int enforceCapacityLocked();
 
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, sim::Report> map_;
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
+  std::unordered_map<Key, Flow, KeyHash> map_;
+  mutable std::list<Key> lru_;
+  mutable std::unordered_map<std::uint64_t, Counters> counters_;
+  std::size_t capacity_ = 0;  // flows; 0 = unbounded
+  std::size_t entries_ = 0;   // sum over flows of (upto + 1)
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace cmmfo::runtime

@@ -31,7 +31,21 @@ ToolScheduler::ToolScheduler(const hls::DesignSpace& space,
       sim_(&sim),
       cache_(&cache),
       policy_(policy),
-      pool_(n_workers) {
+      owned_pool_(std::make_unique<ThreadPool>(n_workers)),
+      pool_(owned_pool_.get()) {
+  policy_.max_attempts = std::max(policy_.max_attempts, 1);
+}
+
+ToolScheduler::ToolScheduler(const hls::DesignSpace& space,
+                             sim::FpgaToolSim& sim, EvalCache& cache,
+                             ThreadPool& shared_pool, RetryPolicy policy,
+                             std::uint64_t cache_ns)
+    : space_(&space),
+      sim_(&sim),
+      cache_(&cache),
+      policy_(policy),
+      cache_ns_(cache_ns),
+      pool_(&shared_pool) {
   policy_.max_attempts = std::max(policy_.max_attempts, 1);
 }
 
@@ -62,7 +76,7 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
       .fidelity(static_cast<int>(job.fidelity));
   EvalResult res;
   res.job = job;
-  if (auto cached = cache_->findFlow(job.config, job.fidelity)) {
+  if (auto cached = cache_->findFlow(job.config, job.fidelity, cache_ns_)) {
     res.stages = *cached;
     res.cache_hit = true;
     res.completed_fidelity = static_cast<int>(job.fidelity);
@@ -110,7 +124,7 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
   if (res.completed_fidelity >= 0)
     cache_->storeFlow(job.config,
                       static_cast<sim::Fidelity>(res.completed_fidelity),
-                      res.stages);
+                      res.stages, cache_ns_);
   span.attempts(res.attempts).value(res.charged_seconds);
   if (res.persistent_failure)
     span.outcome("persistent_failure");
@@ -148,13 +162,13 @@ std::vector<EvalResult> ToolScheduler::runBatch(
   std::vector<std::future<EvalResult>> futures;
   futures.reserve(jobs.size());
   for (const EvalJob& job : jobs)
-    futures.push_back(pool_.submit([this, job] { return execute(job); }));
+    futures.push_back(pool_->submit([this, job] { return execute(job); }));
 
   if (obs::metrics().enabled()) {
     obs::metrics().defineHistogram("sched.queue_depth",
                                    obs::MetricsRegistry::countBounds());
     obs::metrics().observe("sched.queue_depth",
-                           static_cast<double>(pool_.queueDepth()));
+                           static_cast<double>(pool_->queueDepth()));
   }
 
   std::vector<EvalResult> results;
@@ -168,7 +182,7 @@ std::vector<EvalResult> ToolScheduler::runBatch(
   // degenerates to the plain sum, i.e. wall == charged, the sequential
   // regime.
   SchedulerStats round;
-  std::vector<double> load(pool_.numWorkers(), 0.0);
+  std::vector<double> load(pool_->numWorkers(), 0.0);
   for (const EvalResult& r : results) {
     round.charged_seconds += r.charged_seconds;
     round.attempts += r.attempts;

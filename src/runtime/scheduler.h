@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -126,6 +127,16 @@ class ToolScheduler {
  public:
   ToolScheduler(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
                 EvalCache& cache, int n_workers, RetryPolicy policy = {});
+  /// Shared-pool variant for the multi-campaign server: jobs execute on an
+  /// externally owned pool (shared across campaigns; must outlive this
+  /// scheduler) and cache traffic is keyed under `cache_ns`, so campaigns
+  /// against the same benchmark share artifacts while unrelated ones cannot
+  /// collide on raw config ids. Accounting stays per-scheduler — the
+  /// simulated wall-clock models this campaign's rounds on the full shared
+  /// farm width.
+  ToolScheduler(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
+                EvalCache& cache, ThreadPool& shared_pool,
+                RetryPolicy policy = {}, std::uint64_t cache_ns = 0);
 
   /// Execute one round of jobs; results come back in job order.
   std::vector<EvalResult> runBatch(const std::vector<EvalJob>& jobs);
@@ -137,7 +148,8 @@ class ToolScheduler {
   SchedulerStats totals() const;
   SchedulerStats lastBatch() const;
   const RetryPolicy& policy() const { return policy_; }
-  int numWorkers() const { return pool_.numWorkers(); }
+  int numWorkers() const { return pool_->numWorkers(); }
+  std::uint64_t cacheNamespace() const { return cache_ns_; }
 
   /// Reset BOTH the scheduler totals and the simulator's tool-seconds
   /// accumulator, keeping the two ledgers tied out. (A bare
@@ -161,7 +173,11 @@ class ToolScheduler {
   sim::FpgaToolSim* sim_;
   EvalCache* cache_;
   RetryPolicy policy_;
-  ThreadPool pool_;
+  std::uint64_t cache_ns_ = 0;
+  /// Owned in the single-campaign regime, null when a shared pool was
+  /// injected; pool_ always points at the pool actually in use.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
   /// Guards totals_ and last_: written by runBatch()/resetAccounting()/
   /// restoreTotals() on the driving thread, read by totals()/lastBatch()
   /// possibly from observer threads.

@@ -1,0 +1,21 @@
+#include "server/fair_scheduler.h"
+
+namespace cmmfo::server {
+
+std::shared_ptr<Campaign> FairScheduler::pickNext(
+    const std::vector<std::shared_ptr<Campaign>>& candidates) {
+  std::shared_ptr<Campaign> best;
+  double best_deficit = 0.0;
+  for (const std::shared_ptr<Campaign>& c : candidates) {
+    if (c->state() != CampaignState::kQueued) continue;
+    const double d = c->deficit();
+    // Strict < keeps the first (smallest-id) campaign on a tie.
+    if (best == nullptr || d < best_deficit) {
+      best = c;
+      best_deficit = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace cmmfo::server

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "server/campaign.h"
+
+namespace cmmfo::server {
+
+/// Cost-aware cross-tenant dispatch: the next campaign to step is the
+/// runnable one that has consumed the least weighted tool time.
+///
+/// Each campaign carries a deficit = charged_seconds / weight. Always
+/// stepping the minimum-deficit queued campaign is the classic deficit
+/// round-robin guarantee: over any window, tenant i's charged seconds
+/// approach weight_i / sum(weights) of the total, off by at most one
+/// round's charge per tenant — an expensive impl round debits its tenant
+/// for a while instead of starving the cheap-hls tenants behind it.
+class FairScheduler {
+ public:
+  /// The queued campaign with the smallest deficit; ties break toward the
+  /// smaller id so dispatch order is deterministic (candidates come from
+  /// Registry::list(), which sorts by id). Null when nothing is runnable.
+  static std::shared_ptr<Campaign> pickNext(
+      const std::vector<std::shared_ptr<Campaign>>& candidates);
+};
+
+}  // namespace cmmfo::server

@@ -1,0 +1,33 @@
+#include "server/farm_model.h"
+
+#include <algorithm>
+
+namespace cmmfo::server {
+
+SharedFarmModel::SharedFarmModel(int workers)
+    : free_(static_cast<std::size_t>(std::max(workers, 1)), 0.0) {}
+
+double SharedFarmModel::placeRound(const std::string& campaign,
+                                   const std::vector<double>& job_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double ready = ready_[campaign];  // 0.0 for a first round
+  double round_end = ready;
+  for (const double dur : job_seconds) {
+    auto slot = std::min_element(free_.begin(), free_.end());
+    const double start = std::max(*slot, ready);
+    *slot = start + dur;
+    round_end = std::max(round_end, *slot);
+  }
+  ready_[campaign] = round_end;
+  return round_end;
+}
+
+double SharedFarmModel::makespan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double m = 0.0;
+  for (const double f : free_) m = std::max(m, f);
+  for (const auto& [id, r] : ready_) m = std::max(m, r);
+  return m;
+}
+
+}  // namespace cmmfo::server

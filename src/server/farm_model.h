@@ -1,0 +1,44 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cmmfo::server {
+
+/// Simulated wall-clock of the SHARED tool farm across all campaigns.
+///
+/// Each campaign's own scheduler already models its rounds as if it had the
+/// farm to itself (per-campaign wall_seconds); this model answers the
+/// multi-tenant question instead: how long does the whole workload take
+/// when every round's tool runs are packed onto one `workers`-wide farm?
+/// Same methodology as the per-round accounting (greedy list scheduling,
+/// makespan = latest completion), extended with two constraints:
+///  - rounds of one campaign are sequential (round r+1 cannot start before
+///    round r finished — the proposals depend on its observations);
+///  - jobs from different campaigns interleave freely on the workers.
+/// The concurrency win the server reports is
+///   sum of isolated per-campaign wall clocks / this makespan.
+class SharedFarmModel {
+ public:
+  explicit SharedFarmModel(int workers);
+
+  /// Place one round's tool runs (worker seconds, in job order) for
+  /// `campaign`, no earlier than that campaign's previous round finished.
+  /// Returns the round's completion time on the simulated clock. A round
+  /// with no tool runs (all cache hits) completes at its start time.
+  double placeRound(const std::string& campaign,
+                    const std::vector<double>& job_seconds);
+
+  /// Latest completion across all workers so far.
+  double makespan() const;
+  int workers() const { return static_cast<int>(free_.size()); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> free_;  ///< per-worker next-free time
+  std::unordered_map<std::string, double> ready_;  ///< per-campaign
+};
+
+}  // namespace cmmfo::server

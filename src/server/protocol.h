@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "runtime/eval_cache.h"
+#include "server/campaign.h"
+#include "util/json.h"
+
+namespace cmmfo::server {
+
+/// Newline-delimited JSON line protocol (one request line in, one response
+/// line out; subscribed connections additionally receive event lines).
+///
+/// Requests:  {"op":"submit","id":"c1","benchmark":"spmv_crs","seed":7,...}
+///            {"op":"status"|"pause"|"resume"|"cancel","id":"c1"}
+///            {"op":"list"} {"op":"stats"} {"op":"subscribe"}
+///            {"op":"drain"} {"op":"shutdown"}
+/// Responses: {"ok":true,...} | {"ok":false,"error":"..."}
+/// Events:    {"event":"round","id":"c1","round":3,...}
+///            {"event":"state","id":"c1","state":"done"}
+struct Request {
+  std::string op;
+  std::string id;    ///< empty for ops that take none
+  util::Json body;   ///< the full parsed request (submit reads spec keys)
+};
+
+/// Parse one request line. False (with `err`) on malformed JSON, a missing
+/// or non-string "op", or a non-object payload — the server answers with an
+/// error response and keeps the connection.
+bool parseRequest(const std::string& line, Request* out, std::string* err);
+
+// ---- Response/event builders (each returns one line, no trailing \n). ----
+std::string okResponse();
+std::string errorResponse(const std::string& error);
+std::string statusResponse(const StatusSnapshot& s);
+/// {"ok":true,"campaigns":[<status>...]} in id order.
+std::string listResponse(const std::vector<StatusSnapshot>& all);
+/// Shared-runtime stats: cache ledger plus campaign counts by state.
+std::string statsResponse(const runtime::EvalCache::Stats& cache,
+                          const std::vector<StatusSnapshot>& all,
+                          double farm_makespan);
+/// Streamed once per executed campaign step. `step_seconds` is the real
+/// (host) time the step took inside the driver.
+std::string roundEvent(const std::string& id, const core::RoundOutcome& o,
+                       double step_seconds);
+std::string stateEvent(const std::string& id, CampaignState state,
+                       const std::string& error = "");
+
+}  // namespace cmmfo::server

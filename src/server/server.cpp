@@ -1,0 +1,466 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "server/fair_scheduler.h"
+
+namespace cmmfo::server {
+
+namespace fs = std::filesystem;
+
+OptimizationServer::OptimizationServer(ServerOptions opts)
+    : opts_(std::move(opts)),
+      pool_(std::max(opts_.workers, 1)),
+      farm_(std::max(opts_.workers, 1)) {
+  if (opts_.cache_capacity > 0) cache_.setCapacity(opts_.cache_capacity);
+  if (!opts_.journal_dir.empty()) fs::create_directories(opts_.journal_dir);
+}
+
+OptimizationServer::~OptimizationServer() { stop(); }
+
+void OptimizationServer::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stopping_ = false;
+  }
+  if (opts_.resume && !opts_.journal_dir.empty()) resumeFromJournal();
+  const int slots = std::max(opts_.slots, 1);
+  for (int i = 0; i < slots; ++i)
+    drivers_.emplace_back([this] { driverLoop(); });
+}
+
+void OptimizationServer::stop() {
+  std::unique_lock<std::mutex> stop_lock(stop_mu_, std::try_to_lock);
+  if (!stop_lock.owns_lock()) return;  // another stop() is already in flight
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Unblock the accept loop, then the per-connection readers.
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  for (std::thread& t : drivers_)
+    if (t.joinable()) t.join();
+  drivers_.clear();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (!t.joinable()) continue;
+    // A connection thread that triggered shutdown cannot join itself.
+    if (t.get_id() == std::this_thread::get_id()) t.detach();
+    else t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void OptimizationServer::notifyAll() { cv_.notify_all(); }
+
+void OptimizationServer::driverLoop() {
+  while (true) {
+    std::shared_ptr<Campaign> claimed;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stopping_) {
+        const std::shared_ptr<Campaign> next =
+            FairScheduler::pickNext(registry_.list());
+        if (next == nullptr) {
+          cv_.wait(lock);
+          continue;
+        }
+        // Claims happen only under mu_, so this cannot race another
+        // driver; it can still lose to a concurrent pause/cancel, in
+        // which case re-scan.
+        if (next->beginStep()) {
+          claimed = next;
+          break;
+        }
+      }
+      if (claimed == nullptr) return;  // stopping
+    }
+
+    const std::string& id = claimed->spec().id;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::RoundOutcome outcome;
+    std::string what;
+    bool failed = false;
+    try {
+      outcome = claimed->runStep();
+    } catch (const std::exception& e) {
+      failed = true;
+      what = e.what();
+    } catch (...) {
+      failed = true;
+      what = "unknown exception in campaign step";
+    }
+    const double step_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (failed) {
+      claimed->fail(what);
+      writeFinalFile(id, CampaignState::kFailed);
+      publish(stateEvent(id, CampaignState::kFailed, what));
+    } else {
+      farm_.placeRound(id, outcome.job_seconds);
+      const CampaignState st = claimed->endStep(outcome);
+      ++steps_executed_;
+      publish(roundEvent(id, outcome, step_seconds));
+      if (terminal(st)) {
+        writeFinalFile(id, st);
+        publish(stateEvent(id, st));
+      } else if (st == CampaignState::kPaused) {
+        publish(stateEvent(id, st));
+      }
+    }
+    notifyAll();  // re-queued work for other drivers / drain() progress
+  }
+}
+
+void OptimizationServer::waitUntilStopped() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return stopping_ || !running_; });
+}
+
+void OptimizationServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    if (stopping_) return true;
+    for (const std::shared_ptr<Campaign>& c : registry_.list()) {
+      const CampaignState s = c->state();
+      if (s == CampaignState::kQueued || s == CampaignState::kRunning)
+        return false;
+    }
+    return true;
+  });
+}
+
+bool OptimizationServer::submit(const CampaignSpec& spec, std::string* err) {
+  if (!validCampaignId(spec.id)) {
+    if (err != nullptr) *err = "invalid campaign id";
+    return false;
+  }
+  CampaignSpec s = spec;
+  if (!opts_.journal_dir.empty())
+    s.opts.checkpoint_path = journalPath(s.id, ".ckpt.json");
+
+  std::shared_ptr<const hls::DesignSpace> space;
+  try {
+    std::lock_guard<std::mutex> lock(spaces_mu_);
+    auto& slot = spaces_[s.benchmark];
+    if (slot == nullptr) slot = makeSpaceFor(s.benchmark);
+    space = slot;
+  } catch (const std::exception& e) {
+    if (err != nullptr) *err = e.what();
+    return false;
+  }
+
+  core::SharedRuntime shared;
+  shared.cache = &cache_;
+  shared.pool = &pool_;
+  shared.cache_namespace = cacheNamespaceOf(s);
+  shared.collect_outcomes = true;
+  std::shared_ptr<Campaign> campaign;
+  try {
+    campaign = std::make_shared<Campaign>(s, space, shared);
+  } catch (const std::exception& e) {
+    if (err != nullptr) *err = e.what();
+    return false;
+  }
+  if (!registry_.add(campaign)) {
+    if (err != nullptr) *err = "duplicate campaign id";
+    return false;
+  }
+  if (!s.opts.resume) writeSpecFile(s);
+  notifyAll();
+  return true;
+}
+
+bool OptimizationServer::pause(const std::string& id, std::string* err) {
+  const std::shared_ptr<Campaign> c = registry_.get(id);
+  if (c == nullptr) {
+    if (err != nullptr) *err = "unknown campaign id";
+    return false;
+  }
+  if (!c->requestPause(err)) return false;
+  if (c->state() == CampaignState::kPaused)
+    publish(stateEvent(id, CampaignState::kPaused));
+  return true;
+}
+
+bool OptimizationServer::resumeCampaign(const std::string& id,
+                                        std::string* err) {
+  const std::shared_ptr<Campaign> c = registry_.get(id);
+  if (c == nullptr) {
+    if (err != nullptr) *err = "unknown campaign id";
+    return false;
+  }
+  if (!c->requestResume(err)) return false;
+  notifyAll();
+  return true;
+}
+
+bool OptimizationServer::cancel(const std::string& id, std::string* err) {
+  const std::shared_ptr<Campaign> c = registry_.get(id);
+  if (c == nullptr) {
+    if (err != nullptr) *err = "unknown campaign id";
+    return false;
+  }
+  if (!c->requestCancel(err)) return false;
+  if (c->state() == CampaignState::kCancelled) {
+    // Cancelled in place (was queued/paused); running ones finish their
+    // round first and the driver publishes the transition.
+    writeFinalFile(id, CampaignState::kCancelled);
+    publish(stateEvent(id, CampaignState::kCancelled));
+  }
+  notifyAll();
+  return true;
+}
+
+std::shared_ptr<Campaign> OptimizationServer::campaign(
+    const std::string& id) const {
+  return registry_.get(id);
+}
+
+std::vector<StatusSnapshot> OptimizationServer::list() const {
+  std::vector<StatusSnapshot> out;
+  for (const std::shared_ptr<Campaign>& c : registry_.list())
+    out.push_back(c->snapshot());
+  return out;
+}
+
+ServerStats OptimizationServer::stats() const {
+  ServerStats s;
+  s.cache = cache_.stats();
+  s.farm_makespan_seconds = farm_.makespan();
+  s.campaigns = registry_.size();
+  s.steps_executed = steps_executed_.load();
+  return s;
+}
+
+int OptimizationServer::subscribe(EventSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int token = next_token_++;
+  subscribers_[token] = std::move(sink);
+  return token;
+}
+
+void OptimizationServer::unsubscribe(int token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(token);
+}
+
+void OptimizationServer::publish(const std::string& line) {
+  // Sinks are invoked UNDER mu_: once unsubscribe() returns, no further
+  // call into that sink is possible, so a transport can safely tear down
+  // its stream right after unsubscribing. The flip side is the contract
+  // from the class comment — sinks only write bytes, never call back into
+  // the server.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [token, sink] : subscribers_) sink(line);
+}
+
+// ------------------------------------------------------------- Journal ----
+
+std::string OptimizationServer::journalPath(const std::string& id,
+                                            const char* suffix) const {
+  return (fs::path(opts_.journal_dir) / (id + suffix)).string();
+}
+
+void OptimizationServer::writeSpecFile(const CampaignSpec& spec) const {
+  if (opts_.journal_dir.empty()) return;
+  util::writeTextTo(journalPath(spec.id, ".spec.json"),
+                    specToJson(spec) + "\n");
+}
+
+void OptimizationServer::writeFinalFile(const std::string& id,
+                                        CampaignState state) const {
+  if (opts_.journal_dir.empty()) return;
+  std::string s = "{\"id\":";
+  util::putString(s, id);
+  s += ",\"state\":";
+  util::putString(s, stateName(state));
+  s += "}\n";
+  util::writeTextTo(journalPath(id, ".final.json"), s);
+}
+
+void OptimizationServer::resumeFromJournal() {
+  const std::string kSpec = ".spec.json";
+  std::vector<std::string> ids;
+  for (const auto& entry : fs::directory_iterator(opts_.journal_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= kSpec.size() ||
+        name.compare(name.size() - kSpec.size(), kSpec.size(), kSpec) != 0)
+      continue;
+    ids.push_back(name.substr(0, name.size() - kSpec.size()));
+  }
+  std::sort(ids.begin(), ids.end());  // deterministic re-submit order
+  for (const std::string& id : ids) {
+    if (fs::exists(journalPath(id, ".final.json"))) continue;  // finished
+    std::ifstream in(journalPath(id, ".spec.json"));
+    std::stringstream buf;
+    buf << in.rdbuf();
+    util::Json j;
+    CampaignSpec spec;
+    std::string err;
+    if (!util::parseJson(buf.str(), &j, &err) ||
+        !specFromJson(j, &spec, &err))
+      continue;  // a corrupt spec must not take the whole daemon down
+    spec.opts.resume = true;  // pick the trajectory up from <id>.ckpt.json
+    submit(spec, &err);
+  }
+}
+
+// ------------------------------------------------------- Line protocol ----
+
+std::string OptimizationServer::handleLine(const std::string& line,
+                                           const EventSink& sink, bool* quit,
+                                           int* sub_token) {
+  Request req;
+  std::string err;
+  if (!parseRequest(line, &req, &err)) return errorResponse(err);
+
+  if (req.op == "submit") {
+    CampaignSpec spec;
+    if (!specFromJson(req.body, &spec, &err)) return errorResponse(err);
+    if (!submit(spec, &err)) return errorResponse(err);
+    return okResponse();
+  }
+  if (req.op == "status") {
+    const std::shared_ptr<Campaign> c = campaign(req.id);
+    if (c == nullptr) return errorResponse("unknown campaign id");
+    return statusResponse(c->snapshot());
+  }
+  if (req.op == "list") return listResponse(list());
+  if (req.op == "stats") {
+    const ServerStats st = stats();
+    return statsResponse(st.cache, list(), st.farm_makespan_seconds);
+  }
+  if (req.op == "pause")
+    return pause(req.id, &err) ? okResponse() : errorResponse(err);
+  if (req.op == "resume")
+    return resumeCampaign(req.id, &err) ? okResponse() : errorResponse(err);
+  if (req.op == "cancel")
+    return cancel(req.id, &err) ? okResponse() : errorResponse(err);
+  if (req.op == "subscribe") {
+    if (!sink) return errorResponse("transport does not support events");
+    const int token = subscribe(sink);
+    if (sub_token != nullptr) *sub_token = token;
+    return okResponse();
+  }
+  if (req.op == "drain") {
+    drain();
+    return okResponse();
+  }
+  if (req.op == "shutdown") {
+    if (quit != nullptr) *quit = true;
+    return okResponse();
+  }
+  return errorResponse("unknown op: " + req.op);
+}
+
+void OptimizationServer::serveStdio(std::istream& in, std::ostream& out) {
+  const auto out_mu = std::make_shared<std::mutex>();
+  const EventSink sink = [&out, out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(*out_mu);
+    out << line << "\n";
+    out.flush();
+  };
+  int sub_token = -1;
+  bool quit = false;
+  std::string line;
+  while (!quit && std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::string resp = handleLine(line, sink, &quit, &sub_token);
+    std::lock_guard<std::mutex> lock(*out_mu);
+    out << resp << "\n";
+    out.flush();
+  }
+  // Drop the subscription before `out` goes out of the caller's scope.
+  if (sub_token >= 0) unsubscribe(sub_token);
+  if (quit) stop();
+}
+
+int OptimizationServer::listenTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_.store(fd);
+  accept_thread_ = std::thread([this] { acceptLoop(); });
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+void OptimizationServer::acceptLoop() {
+  while (true) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) return;  // listener closed by stop()
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_threads_.emplace_back([this, conn] { serveFd(conn); });
+  }
+}
+
+void OptimizationServer::serveFd(int fd) {
+  const auto write_mu = std::make_shared<std::mutex>();
+  const auto writeLine = [fd, write_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(*write_mu);
+    std::string msg = line + "\n";
+    // Best effort: a peer that hung up just stops receiving events.
+    (void)::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL);
+  };
+  int sub_token = -1;
+  bool quit = false;
+  std::string buf;
+  char chunk[4096];
+  while (!quit) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (!quit && (pos = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (line.empty()) continue;
+      writeLine(handleLine(line, writeLine, &quit, &sub_token));
+    }
+  }
+  if (sub_token >= 0) unsubscribe(sub_token);
+  ::close(fd);
+  if (quit) stop();  // stop() detaches this thread instead of self-joining
+}
+
+}  // namespace cmmfo::server

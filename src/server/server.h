@@ -1,0 +1,159 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/eval_cache.h"
+#include "runtime/thread_pool.h"
+#include "server/farm_model.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+
+namespace cmmfo::server {
+
+struct ServerOptions {
+  /// Width of the shared tool-worker pool all campaigns' jobs execute on.
+  int workers = 4;
+  /// Driver threads = campaign steps in flight at once. Each driver claims
+  /// the minimum-deficit queued campaign, runs one round, and re-queues it,
+  /// so `slots` campaigns interleave on the shared pool at any moment.
+  int slots = 2;
+  /// Directory for per-campaign journals (`<id>.spec.json` at submit,
+  /// `<id>.ckpt.json` after every round, `<id>.final.json` on completion).
+  /// Empty disables persistence.
+  std::string journal_dir;
+  /// Re-submit (resume=true) every journaled campaign without a final
+  /// marker on start(). Requires journal_dir.
+  bool resume = false;
+  /// Shared eval-cache LRU bound in flows; 0 = unbounded.
+  std::size_t cache_capacity = 0;
+};
+
+/// Aggregate counters for the stats endpoint / throughput bench.
+struct ServerStats {
+  runtime::EvalCache::Stats cache;
+  double farm_makespan_seconds = 0.0;
+  std::size_t campaigns = 0;
+  std::size_t steps_executed = 0;
+};
+
+/// Long-running multi-campaign optimization daemon: many tenants' BO
+/// campaigns multiplexed over ONE shared worker pool and ONE shared
+/// fidelity-aware eval cache.
+///
+/// Architecture: submit() builds a Campaign (design space cached per
+/// benchmark; simulator private per campaign) and registers it queued.
+/// `slots` driver threads loop {pick minimum-deficit queued campaign, run
+/// one BO round on the shared pool, write its checkpoint journal, publish a
+/// round event, re-queue}. Fairness, persistence, and streaming all hang
+/// off that one loop.
+///
+/// Threading: Registry and Campaign carry their own locks; mu_ below only
+/// guards the driver wakeup condition, subscribers, and counters. Event
+/// sinks are called with no campaign lock held but MUST NOT call back into
+/// stop()/drain() (they run on driver threads).
+class OptimizationServer {
+ public:
+  explicit OptimizationServer(ServerOptions opts);
+  ~OptimizationServer();
+
+  /// Launch the driver threads (and journal resume when configured).
+  void start();
+  /// Finish in-flight steps, then stop the drivers. Idempotent. Campaigns
+  /// keep their states; a journaled server can be restarted later.
+  void stop();
+  /// Block until no campaign is queued or running (paused ones keep the
+  /// server drained — they only re-enter on an explicit resume).
+  void drain();
+  /// Block until stop() is initiated (the TCP daemon's main-thread park).
+  void waitUntilStopped();
+
+  // ---- Tenant operations (all safe from any thread). ----
+  bool submit(const CampaignSpec& spec, std::string* err);
+  bool pause(const std::string& id, std::string* err);
+  bool resumeCampaign(const std::string& id, std::string* err);
+  bool cancel(const std::string& id, std::string* err);
+  std::shared_ptr<Campaign> campaign(const std::string& id) const;
+  std::vector<StatusSnapshot> list() const;
+  ServerStats stats() const;
+
+  // ---- Event streaming. ----
+  using EventSink = std::function<void(const std::string& line)>;
+  int subscribe(EventSink sink);
+  void unsubscribe(int token);
+
+  // ---- Protocol front ends. ----
+  /// Handle one NDJSON request line; returns the response line. subscribe
+  /// registers `sink` (when non-null) for this connection's event stream
+  /// and stores the subscription token in `*sub_token` (for the
+  /// transport's cleanup on disconnect). drain blocks inside this call;
+  /// shutdown sets `*quit` and leaves stopping to the transport.
+  std::string handleLine(const std::string& line, const EventSink& sink,
+                         bool* quit, int* sub_token);
+  /// Serve the line protocol over streams (tests, CI smoke, --stdio mode):
+  /// requests from `in`, responses AND subscribed events to `out`
+  /// (interleaved whole lines, write-locked). Returns on EOF or shutdown.
+  void serveStdio(std::istream& in, std::ostream& out);
+  /// Listen on 127.0.0.1:`port` (0 = ephemeral) and serve each connection
+  /// on its own thread. Returns the bound port; serving continues until
+  /// stop().
+  int listenTcp(int port);
+
+  runtime::EvalCache& cache() { return cache_; }
+  const SharedFarmModel& farm() const { return farm_; }
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  void driverLoop();
+  void acceptLoop();
+  void serveFd(int fd);
+  /// Journal helpers (no-ops without journal_dir).
+  void writeSpecFile(const CampaignSpec& spec) const;
+  void writeFinalFile(const std::string& id, CampaignState state) const;
+  void resumeFromJournal();
+  std::string journalPath(const std::string& id, const char* suffix) const;
+  void publish(const std::string& line);
+  /// Wake drivers (new work) and drain()ers (work finished).
+  void notifyAll();
+
+  ServerOptions opts_;
+  runtime::EvalCache cache_;
+  runtime::ThreadPool pool_;
+  SharedFarmModel farm_;
+  Registry registry_;
+
+  /// Serializes stop() itself (try-lock: a second concurrent stop returns
+  /// immediately instead of double-joining the threads).
+  std::mutex stop_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> drivers_;
+  int next_token_ = 1;
+  std::map<int, EventSink> subscribers_;
+  std::atomic<std::size_t> steps_executed_{0};
+
+  /// Design spaces are immutable and expensive to build: shared across
+  /// campaigns of the same benchmark. Guarded by spaces_mu_.
+  mutable std::mutex spaces_mu_;
+  std::map<std::string, std::shared_ptr<const hls::DesignSpace>> spaces_;
+
+  /// TCP listener state.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace cmmfo::server

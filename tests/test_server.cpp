@@ -1,0 +1,479 @@
+// Multi-campaign optimization server tests: registry concurrency, fair-share
+// dispatch, the shared-farm clock, the NDJSON line protocol (stdio + TCP),
+// and kill-and-resume of a whole journaled daemon.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign_stepper.h"
+#include "core/optimizer.h"
+#include "server/campaign.h"
+#include "server/fair_scheduler.h"
+#include "server/farm_model.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "util/json.h"
+
+namespace cmmfo {
+namespace {
+
+namespace fs = std::filesystem;
+using server::Campaign;
+using server::CampaignSpec;
+using server::CampaignState;
+using server::OptimizationServer;
+using server::ServerOptions;
+
+core::OptimizerOptions fastOpts() {
+  core::OptimizerOptions o;
+  o.n_iter = 10;
+  o.mc_samples = 16;
+  o.max_candidates = 60;
+  o.refit_every = 5;
+  o.surrogate.mtgp.mle_restarts = 0;
+  o.surrogate.mtgp.max_mle_iters = 25;
+  o.surrogate.gp.mle_restarts = 0;
+  o.surrogate.gp.max_mle_iters = 25;
+  return o;
+}
+
+CampaignSpec fastSpec(const std::string& id, std::uint64_t seed,
+                      std::uint64_t sim_seed, int n_iter = 6) {
+  CampaignSpec spec;
+  spec.id = id;
+  spec.benchmark = "spmv_crs";
+  spec.sim_seed = sim_seed;
+  spec.opts = fastOpts();
+  spec.opts.seed = seed;
+  spec.opts.n_iter = n_iter;
+  spec.opts.batch_size = 2;
+  return spec;
+}
+
+/// Isolated single-campaign run of a spec (its own cache + pool) — the
+/// golden the multiplexed server must reproduce bit-for-bit.
+core::OptimizeResult runIsolated(const CampaignSpec& spec) {
+  const auto space = server::makeSpaceFor(spec.benchmark);
+  const auto bm = server::makeBenchmarkFor(spec.benchmark);
+  const auto sim = server::makeSimFor(spec, *bm);
+  core::CampaignStepper stepper(*space, *sim, spec.opts);
+  while (!stepper.done()) stepper.step();
+  return stepper.finish();
+}
+
+void expectSameTrajectory(const core::OptimizeResult& a,
+                          const core::OptimizeResult& b) {
+  ASSERT_EQ(a.cs.size(), b.cs.size());
+  for (std::size_t i = 0; i < a.cs.size(); ++i) {
+    EXPECT_EQ(a.cs[i].config, b.cs[i].config) << "cs entry " << i;
+    EXPECT_EQ(a.cs[i].fidelity, b.cs[i].fidelity) << "cs entry " << i;
+    EXPECT_DOUBLE_EQ(a.cs[i].report.tool_seconds, b.cs[i].report.tool_seconds);
+  }
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].config, b.iterations[i].config) << "iter " << i;
+    EXPECT_EQ(a.iterations[i].fidelity, b.iterations[i].fidelity);
+    EXPECT_DOUBLE_EQ(a.iterations[i].peipv, b.iterations[i].peipv);
+  }
+  EXPECT_EQ(a.picks_per_fidelity, b.picks_per_fidelity);
+  EXPECT_DOUBLE_EQ(a.tool_seconds, b.tool_seconds);
+  EXPECT_EQ(a.tool_runs, b.tool_runs);
+}
+
+// ------------------------------------------------------ cache namespace ----
+
+TEST(ServerCacheNamespace, KeysOnBenchmarkAndSimSeedOnly) {
+  const CampaignSpec a = fastSpec("a", 7, 42);
+  CampaignSpec b = a;
+  b.id = "b";
+  b.opts.seed = 99;  // different search trajectory, same tool ground truth
+  EXPECT_EQ(server::cacheNamespaceOf(a), server::cacheNamespaceOf(b));
+
+  CampaignSpec other_tool = a;
+  other_tool.sim_seed = 43;
+  EXPECT_NE(server::cacheNamespaceOf(a), server::cacheNamespaceOf(other_tool));
+
+  CampaignSpec other_bench = a;
+  other_bench.benchmark = "gemm";
+  EXPECT_NE(server::cacheNamespaceOf(a),
+            server::cacheNamespaceOf(other_bench));
+
+  // 0 is reserved for the single-campaign default namespace.
+  EXPECT_NE(server::cacheNamespaceOf(a), 0u);
+}
+
+// ------------------------------------------------------------- stepper ----
+
+TEST(ServerStepper, StepLoopMatchesMonolithicRunExactly) {
+  CampaignSpec spec = fastSpec("golden", 77, 42, 10);
+
+  const auto space = server::makeSpaceFor(spec.benchmark);
+  const auto bm = server::makeBenchmarkFor(spec.benchmark);
+  const auto sim_a = server::makeSimFor(spec, *bm);
+  core::CorrelatedMfMoboOptimizer monolithic(*space, *sim_a, spec.opts);
+  const core::OptimizeResult golden = monolithic.run();
+
+  const core::OptimizeResult stepped = runIsolated(spec);
+  expectSameTrajectory(golden, stepped);
+}
+
+// ------------------------------------------------------------ registry ----
+
+TEST(ServerRegistry, RejectsDuplicatesAndListsSorted) {
+  server::Registry reg;
+  const auto space = server::makeSpaceFor("spmv_crs");
+  const auto mk = [&](const std::string& id) {
+    return std::make_shared<Campaign>(fastSpec(id, 1, 42), space,
+                                      core::SharedRuntime{});
+  };
+  EXPECT_TRUE(reg.add(mk("b")));
+  EXPECT_TRUE(reg.add(mk("a")));
+  EXPECT_FALSE(reg.add(mk("a")));  // duplicate id
+  EXPECT_EQ(reg.size(), 2u);
+  const auto all = reg.list();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->spec().id, "a");
+  EXPECT_EQ(all[1]->spec().id, "b");
+  EXPECT_NE(reg.get("a"), nullptr);
+  EXPECT_EQ(reg.get("missing"), nullptr);
+}
+
+TEST(ServerRegistry, ConcurrentSubmitAndLookupIsSafe) {
+  server::Registry reg;
+  const auto space = server::makeSpaceFor("spmv_crs");
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 8;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const std::string id =
+            "w" + std::to_string(w) + "_" + std::to_string(i);
+        ASSERT_TRUE(reg.add(std::make_shared<Campaign>(
+            fastSpec(id, 1, 42), space, core::SharedRuntime{})));
+      }
+    });
+  }
+  // Readers hammer get/list while writers insert.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        (void)reg.get("w0_0");
+        const auto all = reg.list();
+        for (std::size_t k = 1; k < all.size(); ++k)
+          EXPECT_LT(all[k - 1]->spec().id, all[k]->spec().id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.size(), static_cast<std::size_t>(kWriters * kPerWriter));
+  EXPECT_EQ(reg.list().size(), reg.size());
+}
+
+// ---------------------------------------------------------- fair share ----
+
+TEST(ServerFairShare, PicksMinDeficitQueuedAndBreaksTiesTowardFirst) {
+  const auto space = server::makeSpaceFor("spmv_crs");
+  const auto mk = [&](const std::string& id, double weight) {
+    CampaignSpec s = fastSpec(id, 1, 42);
+    s.weight = weight;
+    return std::make_shared<Campaign>(s, space, core::SharedRuntime{});
+  };
+  auto a = mk("a", 1.0);
+  auto b = mk("b", 1.0);
+  auto c = mk("c", 1.0);
+  const std::vector<std::shared_ptr<Campaign>> all = {a, b, c};
+
+  // All deficits are 0: the tie breaks toward the first (= smallest id,
+  // Registry::list() order).
+  EXPECT_EQ(server::FairScheduler::pickNext(all), a);
+
+  // One step charges `a` some tool seconds; the pick moves on.
+  ASSERT_TRUE(a->beginStep());
+  a->endStep(a->runStep());
+  EXPECT_GT(a->deficit(), 0.0);
+  EXPECT_EQ(server::FairScheduler::pickNext(all), b);
+
+  // Paused campaigns are not runnable.
+  std::string err;
+  ASSERT_TRUE(b->requestPause(&err)) << err;
+  EXPECT_EQ(server::FairScheduler::pickNext(all), c);
+
+  // Nothing queued -> null.
+  ASSERT_TRUE(c->requestPause(&err)) << err;
+  EXPECT_EQ(server::FairScheduler::pickNext({b, c}), nullptr);
+}
+
+TEST(ServerFairShare, DeficitIsChargedSecondsOverWeight) {
+  const auto space = server::makeSpaceFor("spmv_crs");
+  CampaignSpec heavy_spec = fastSpec("heavy", 3, 42);
+  heavy_spec.weight = 4.0;
+  auto heavy =
+      std::make_shared<Campaign>(heavy_spec, space, core::SharedRuntime{});
+  auto light = std::make_shared<Campaign>(fastSpec("light", 3, 42), space,
+                                          core::SharedRuntime{});
+
+  // Same spec, same step: identical charge, 4x-weighted tenant gets a
+  // quarter of the deficit — it is entitled to 4x the tool time.
+  for (const auto& c : {heavy, light}) {
+    ASSERT_TRUE(c->beginStep());
+    c->endStep(c->runStep());
+  }
+  const auto hs = heavy->snapshot();
+  const auto ls = light->snapshot();
+  ASSERT_GT(hs.charged_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(hs.charged_seconds, ls.charged_seconds);
+  EXPECT_DOUBLE_EQ(heavy->deficit(), hs.charged_seconds / 4.0);
+  EXPECT_DOUBLE_EQ(light->deficit(), ls.charged_seconds);
+  EXPECT_EQ(server::FairScheduler::pickNext({light, heavy}), heavy);
+}
+
+// ---------------------------------------------------------- farm model ----
+
+TEST(ServerFarm, GreedyPlacementRespectsRoundOrderAndWorkerWidth) {
+  server::SharedFarmModel farm(2);
+  // 3 jobs of 10s on 2 workers: 10+10 in parallel, then 10 more -> 20.
+  EXPECT_DOUBLE_EQ(farm.placeRound("a", {10.0, 10.0, 10.0}), 20.0);
+  // Another campaign's round fills the idle worker: starts at 10, ends 15.
+  EXPECT_DOUBLE_EQ(farm.placeRound("b", {5.0}), 15.0);
+  EXPECT_DOUBLE_EQ(farm.makespan(), 20.0);
+  // Campaign a's next round cannot start before its round 1 finished (20)
+  // even though a worker frees up at 15.
+  EXPECT_DOUBLE_EQ(farm.placeRound("a", {1.0}), 21.0);
+  EXPECT_DOUBLE_EQ(farm.makespan(), 21.0);
+  // An all-cache-hit round occupies no worker time.
+  EXPECT_DOUBLE_EQ(farm.placeRound("c", {}), 0.0);
+  EXPECT_DOUBLE_EQ(farm.makespan(), 21.0);
+}
+
+// ------------------------------------------------------- line protocol ----
+
+TEST(ServerProtocol, ParseRejectsMalformedRequests) {
+  server::Request req;
+  std::string err;
+  EXPECT_FALSE(server::parseRequest("not json at all", &req, &err));
+  EXPECT_FALSE(server::parseRequest("[1,2,3]", &req, &err));
+  EXPECT_FALSE(server::parseRequest("{\"op\":5}", &req, &err));
+  EXPECT_FALSE(server::parseRequest("{}", &req, &err));
+  EXPECT_TRUE(
+      server::parseRequest("{\"op\":\"status\",\"id\":\"x\"}", &req, &err));
+  EXPECT_EQ(req.op, "status");
+  EXPECT_EQ(req.id, "x");
+}
+
+TEST(ServerProtocol, StdioSessionRunsACampaignAndRejectsBadInput) {
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.slots = 2;
+  OptimizationServer srv(opts);
+  srv.start();
+
+  std::stringstream in;
+  in << "this is not json\n"
+     << "{\"op\":\"definitely_not_an_op\"}\n"
+     << "{\"op\":\"submit\",\"id\":\"bad id!\"}\n"
+     << "{\"op\":\"status\",\"id\":\"missing\"}\n"
+     << "{\"op\":\"subscribe\"}\n"
+     << "{\"op\":\"submit\",\"id\":\"p1\",\"benchmark\":\"spmv_crs\","
+        "\"seed\":7,\"sim_seed\":11,\"n_iter\":4,\"batch_size\":2,"
+        "\"mc_samples\":16,\"max_candidates\":60,\"refit_every\":5,"
+        "\"mle_restarts\":0,\"max_mle_iters\":25}\n"
+     << "{\"op\":\"drain\"}\n"
+     << "{\"op\":\"status\",\"id\":\"p1\"}\n"
+     << "{\"op\":\"shutdown\"}\n";
+  std::stringstream out;
+  srv.serveStdio(in, out);
+  srv.stop();
+
+  int parse_failures = 0, errors = 0, rounds = 0, done_rounds = 0;
+  bool saw_done_state = false, saw_final_status = false;
+  std::string line;
+  while (std::getline(out, line)) {
+    util::Json j;
+    std::string jerr;
+    if (!util::parseJson(line, &j, &jerr)) {
+      ++parse_failures;
+      continue;
+    }
+    if (const util::Json* ok = j.find("ok");
+        ok != nullptr && ok->kind == util::Json::kBool && !ok->b)
+      ++errors;
+    if (j.strOr("event", "") == "round") {
+      ++rounds;
+      EXPECT_EQ(j.strOr("id", ""), "p1");
+      if (const util::Json* d = j.find("done");
+          d != nullptr && d->kind == util::Json::kBool && d->b)
+        ++done_rounds;
+    }
+    if (j.strOr("event", "") == "state" && j.strOr("state", "") == "done")
+      saw_done_state = true;
+    if (const util::Json* c = j.find("campaign");
+        c != nullptr && c->strOr("state", "") == "done")
+      saw_final_status = true;
+  }
+  EXPECT_EQ(parse_failures, 0) << "every output line must be valid JSON";
+  // garbage, unknown op, invalid id, unknown campaign status.
+  EXPECT_EQ(errors, 4);
+  // init round + ceil(4/2) BO rounds, all streamed to the subscriber.
+  EXPECT_GE(rounds, 3);
+  EXPECT_EQ(done_rounds, 1);
+  EXPECT_TRUE(saw_done_state);
+  EXPECT_TRUE(saw_final_status);
+}
+
+TEST(ServerProtocol, PauseHoldsProgressAndResumeFinishes) {
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.slots = 1;
+  OptimizationServer srv(opts);
+  srv.start();
+
+  std::string err;
+  ASSERT_TRUE(srv.submit(fastSpec("pc", 5, 21, 6), &err)) << err;
+  ASSERT_TRUE(srv.pause("pc", &err)) << err;
+  srv.drain();  // paused campaigns leave the server drained
+  const auto paused = srv.campaign("pc")->snapshot();
+  EXPECT_EQ(paused.state, CampaignState::kPaused);
+
+  ASSERT_TRUE(srv.resumeCampaign("pc", &err)) << err;
+  srv.drain();
+  const auto done = srv.campaign("pc")->snapshot();
+  EXPECT_EQ(done.state, CampaignState::kDone);
+  EXPECT_EQ(done.proposals, 6);
+  srv.stop();
+
+  // The multiplexed trajectory equals the isolated golden.
+  const auto result = srv.campaign("pc")->result();
+  ASSERT_TRUE(result.has_value());
+  expectSameTrajectory(runIsolated(fastSpec("pc", 5, 21, 6)), *result);
+}
+
+// ----------------------------------------------------- kill and resume ----
+
+TEST(ServerDaemon, KillAndResumeThreeCampaignsIsTrajectoryIdentical) {
+  const std::string dir = testing::TempDir() + "/cmmfo_server_journal_kr";
+  fs::remove_all(dir);
+
+  // Distinct sim seeds -> distinct cache namespaces -> each campaign's
+  // cache economics match its isolated golden exactly (no cross-tenant
+  // hits to perturb tool_seconds).
+  const std::vector<CampaignSpec> specs = {fastSpec("k0", 7, 101, 8),
+                                           fastSpec("k1", 8, 102, 8),
+                                           fastSpec("k2", 9, 103, 8)};
+  std::vector<core::OptimizeResult> golden;
+  golden.reserve(specs.size());
+  for (const auto& s : specs) golden.push_back(runIsolated(s));
+
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.slots = 2;
+  opts.journal_dir = dir;
+
+  // First daemon: submit all three, let every campaign get at least one BO
+  // round into its journal, then kill it mid-flight.
+  OptimizationServer first(opts);
+  first.start();
+  std::string err;
+  for (const auto& s : specs) ASSERT_TRUE(first.submit(s, &err)) << err;
+  const auto all_started = [&] {
+    for (const auto& s : specs)
+      if (first.campaign(s.id)->snapshot().rounds < 1) return false;
+    return true;
+  };
+  while (!all_started())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  first.stop();  // finishes in-flight steps, leaves the rest checkpointed
+
+  // Second daemon resumes the journal and runs everything to completion.
+  ServerOptions ropts = opts;
+  ropts.resume = true;
+  OptimizationServer second(ropts);
+  second.start();
+  second.drain();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string& id = specs[i].id;
+    // A campaign that happened to finish before the kill is journaled final
+    // and not re-submitted; its result lives in the first daemon.
+    auto campaign = second.campaign(id);
+    if (campaign == nullptr) campaign = first.campaign(id);
+    ASSERT_NE(campaign, nullptr) << id;
+    EXPECT_EQ(campaign->snapshot().state, CampaignState::kDone) << id;
+    const auto result = campaign->result();
+    ASSERT_TRUE(result.has_value()) << id;
+    expectSameTrajectory(golden[i], *result);
+  }
+  second.stop();
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------------ TCP ----
+
+std::string readLine(int fd) {
+  std::string line;
+  char c;
+  while (read(fd, &c, 1) == 1) {
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+  return line;
+}
+
+TEST(ServerTcp, SocketRoundTripServesRequestsUntilShutdown) {
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.slots = 1;
+  OptimizationServer srv(opts);
+  srv.start();
+  const int port = srv.listenTcp(0);
+  ASSERT_GT(port, 0);
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const auto send_line = [&](const std::string& s) {
+    const std::string msg = s + "\n";
+    ASSERT_EQ(write(fd, msg.data(), msg.size()),
+              static_cast<ssize_t>(msg.size()));
+  };
+
+  send_line("{\"op\":\"list\"}");
+  util::Json j;
+  ASSERT_TRUE(util::parseJson(readLine(fd), &j));
+  const util::Json* ok = j.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->b);
+
+  send_line("{\"op\":\"no_such_op\"}");
+  ASSERT_TRUE(util::parseJson(readLine(fd), &j));
+  ok = j.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->b);
+
+  send_line("{\"op\":\"shutdown\"}");
+  ASSERT_TRUE(util::parseJson(readLine(fd), &j));
+  close(fd);
+  srv.waitUntilStopped();
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace cmmfo

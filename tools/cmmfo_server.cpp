@@ -1,0 +1,102 @@
+// cmmfo_server — long-running multi-campaign optimization daemon.
+//
+// Many tenants' BO campaigns multiplex over one shared worker pool and one
+// shared fidelity-aware eval cache, driven by a fair cost-aware scheduler.
+// Control is a newline-delimited JSON line protocol:
+//   --stdio       serve requests on stdin, responses/events on stdout
+//                 (headless tests, CI smoke, driving from a script)
+//   --port N      listen on 127.0.0.1:N (0 = pick an ephemeral port)
+// With --journal DIR every campaign persists a spec file and a per-round
+// checkpoint; `--resume` on a restart picks every unfinished campaign up
+// trajectory-identically (kill -9 safe — checkpoints are atomic).
+//
+// Example session (stdio):
+//   {"op":"submit","id":"a","benchmark":"spmv_crs","seed":7,"n_iter":10}
+//   {"op":"subscribe"}
+//   {"op":"drain"}
+//   {"op":"shutdown"}
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cmmfo_server (--stdio | --port N) [options]\n"
+               "  --stdio            serve the line protocol on stdin/stdout\n"
+               "  --port N           listen on 127.0.0.1:N (0 = ephemeral)\n"
+               "  --workers N        shared eval-pool width (default 4)\n"
+               "  --slots N          concurrent campaign steps (default 2)\n"
+               "  --journal DIR      per-campaign spec+checkpoint journals\n"
+               "  --resume           resume unfinished journaled campaigns\n"
+               "  --cache-capacity N LRU bound in cached flows (0 = none)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cmmfo::server::ServerOptions opts;
+  bool stdio = false;
+  int port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cmmfo_server: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--stdio") stdio = true;
+    else if (a == "--port") port = std::atoi(next("--port"));
+    else if (a == "--workers") opts.workers = std::atoi(next("--workers"));
+    else if (a == "--slots") opts.slots = std::atoi(next("--slots"));
+    else if (a == "--journal") opts.journal_dir = next("--journal");
+    else if (a == "--resume") opts.resume = true;
+    else if (a == "--cache-capacity")
+      opts.cache_capacity = static_cast<std::size_t>(
+          std::atoll(next("--cache-capacity")));
+    else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "cmmfo_server: unknown flag %s\n", a.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (stdio == (port >= 0)) {  // exactly one transport
+    usage();
+    return 2;
+  }
+  if (opts.resume && opts.journal_dir.empty()) {
+    std::fprintf(stderr, "cmmfo_server: --resume requires --journal\n");
+    return 2;
+  }
+
+  cmmfo::server::OptimizationServer srv(opts);
+  srv.start();
+  if (stdio) {
+    srv.serveStdio(std::cin, std::cout);
+    srv.stop();
+    return 0;
+  }
+  const int bound = srv.listenTcp(port);
+  if (bound < 0) {
+    std::fprintf(stderr, "cmmfo_server: cannot listen on port %d\n", port);
+    return 1;
+  }
+  // Port on stdout so scripts with --port 0 can find the server.
+  std::printf("{\"listening\":%d}\n", bound);
+  std::fflush(stdout);
+  // Park until a client sends {"op":"shutdown"}.
+  srv.waitUntilStopped();
+  srv.stop();
+  return 0;
+}
