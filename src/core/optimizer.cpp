@@ -292,7 +292,8 @@ CheckpointState CorrelatedMfMoboOptimizer::captureCheckpoint(
   const std::uint64_t ns = scheduler.cacheNamespace();
   for (const auto& [config, fid] : cache.contents(ns))
     st.cache.emplace_back(config, static_cast<int>(fid));
-  const runtime::EvalCache::Stats cstats = cache.stats(ns);
+  const runtime::EvalCache::Stats cstats =
+      cache.stats(ns, scheduler.cacheLedger());
   st.cache_hits = cstats.hits;
   st.cache_misses = cstats.misses;
   st.surrogate_hypers = surrogate_.hyperState();
@@ -364,7 +365,10 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
       stages[f] = sim_->run(cfg, static_cast<Fidelity>(f));
     cache.storeFlow(config, static_cast<Fidelity>(fid), stages, ns);
   }
-  cache.restoreCounters(st.cache_hits, st.cache_misses, ns);
+  // Counters land on this campaign's ledger only — a co-tenant sharing the
+  // artifact namespace keeps its own hit/miss accounting untouched.
+  cache.restoreCounters(st.cache_hits, st.cache_misses,
+                        scheduler.cacheLedger());
   if (obs::metrics().enabled() && !st.metrics.empty())
     obs::metrics().restore(st.metrics);
   if (st.has_diag && diag::recorder().enabled())
@@ -391,7 +395,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::makeOutcome(
   for (const runtime::EvalResult& r : results)
     o.round_charged_seconds += r.charged_seconds;
   const runtime::EvalCache::Stats cstats =
-      cache_->stats(scheduler_->cacheNamespace());
+      cache_->stats(scheduler_->cacheNamespace(), scheduler_->cacheLedger());
   o.cache_hits = cstats.hits;
   o.cache_misses = cstats.misses;
   if (shared_.collect_outcomes) {
@@ -435,7 +439,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::start() {
   if (shared_.pool != nullptr)
     scheduler_ = std::make_unique<runtime::ToolScheduler>(
         *space_, *sim_, *cache_, *shared_.pool, opts_.retry,
-        shared_.cache_namespace);
+        shared_.cache_namespace, shared_.cache_ledger);
   else
     scheduler_ = std::make_unique<runtime::ToolScheduler>(
         *space_, *sim_, *cache_, std::max(opts_.n_workers, 1), opts_.retry);
@@ -495,7 +499,10 @@ RoundOutcome CorrelatedMfMoboOptimizer::start() {
 
   stage_seconds_ = sim_->nominalStageSeconds();
   started_ = true;
-  return makeOutcome(-1, init_results);
+  // A resumed process reports the last round the journal completed
+  // (round_ - 1) instead of the init sentinel, so a status snapshot taken
+  // before the next round doesn't understate prior progress.
+  return makeOutcome(result_.resumed ? round_ - 1 : -1, init_results);
 }
 
 RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
@@ -676,7 +683,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
     selected.reserve(cs_.size());
     for (const SampleRecord& rec : cs_) selected.push_back(rec.config);
     const runtime::EvalCache::Stats cstats =
-        cache_->stats(scheduler_->cacheNamespace());
+        cache_->stats(scheduler_->cacheNamespace(), scheduler_->cacheLedger());
     diag::recorder().endRound(round, hv, selected, sim_->totalToolSeconds(),
                               cstats.hits, cstats.misses);
     pending_pred_.clear();

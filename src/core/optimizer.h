@@ -98,6 +98,11 @@ struct SharedRuntime {
   runtime::ThreadPool* pool = nullptr;
   /// Benchmark/simulator fingerprint isolating this campaign's cache slice.
   std::uint64_t cache_namespace = 0;
+  /// Per-campaign key for the cache hit/miss ledger (0 = the namespace).
+  /// Campaigns sharing a namespace (same benchmark + sim seed) share
+  /// artifacts but must not share counters: the ledger keeps each tenant's
+  /// streamed/checkpointed cache accounting its own.
+  std::uint64_t cache_ledger = 0;
   /// Fill the optional RoundOutcome fields (hypervolume, per-job seconds)
   /// the server streams to subscribers. Pure observation — the trajectory
   /// is bit-identical either way.

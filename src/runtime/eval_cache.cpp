@@ -9,13 +9,15 @@ namespace cmmfo::runtime {
 
 const EvalCache::Flow* EvalCache::findLocked(std::size_t config,
                                              sim::Fidelity fidelity,
-                                             std::uint64_t ns) const {
+                                             std::uint64_t ns,
+                                             std::uint64_t ledger) const {
+  const std::uint64_t key = ledger != 0 ? ledger : ns;
   const auto it = map_.find({ns, static_cast<std::uint64_t>(config)});
   if (it == map_.end() || it->second.upto < static_cast<int>(fidelity)) {
-    ++counters_[ns].misses;
+    ++counters_[key].misses;
     return nullptr;
   }
-  ++counters_[ns].hits;
+  ++counters_[key].hits;
   // Touch: a hit makes this flow the most recently used.
   lru_.splice(lru_.begin(), lru_, it->second.lru);
   return &it->second;
@@ -23,18 +25,19 @@ const EvalCache::Flow* EvalCache::findLocked(std::size_t config,
 
 std::optional<sim::Report> EvalCache::find(std::size_t config,
                                            sim::Fidelity fidelity,
-                                           std::uint64_t ns) const {
+                                           std::uint64_t ns,
+                                           std::uint64_t ledger) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const Flow* flow = findLocked(config, fidelity, ns);
+  const Flow* flow = findLocked(config, fidelity, ns, ledger);
   if (flow == nullptr) return std::nullopt;
   return flow->stages[static_cast<int>(fidelity)];
 }
 
 std::optional<std::array<sim::Report, sim::kNumFidelities>>
 EvalCache::findFlow(std::size_t config, sim::Fidelity fidelity,
-                    std::uint64_t ns) const {
+                    std::uint64_t ns, std::uint64_t ledger) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const Flow* flow = findLocked(config, fidelity, ns);
+  const Flow* flow = findLocked(config, fidelity, ns, ledger);
   if (flow == nullptr) return std::nullopt;
   // Stages beyond the cached ladder stay default-constructed, exactly like
   // the per-stage map used to return them.
@@ -139,7 +142,8 @@ EvalCache::Stats EvalCache::stats() const {
   return s;
 }
 
-EvalCache::Stats EvalCache::stats(std::uint64_t ns) const {
+EvalCache::Stats EvalCache::stats(std::uint64_t ns,
+                                  std::uint64_t ledger) const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   for (const auto& [key, flow] : map_) {
@@ -147,7 +151,8 @@ EvalCache::Stats EvalCache::stats(std::uint64_t ns) const {
     ++s.flows;
     s.entries += static_cast<std::size_t>(flow.upto + 1);
   }
-  if (const auto it = counters_.find(ns); it != counters_.end()) {
+  const std::uint64_t counter_key = ledger != 0 ? ledger : ns;
+  if (const auto it = counters_.find(counter_key); it != counters_.end()) {
     s.hits = it->second.hits;
     s.misses = it->second.misses;
   }
@@ -170,9 +175,9 @@ std::vector<std::pair<std::size_t, sim::Fidelity>> EvalCache::contents(
 }
 
 void EvalCache::restoreCounters(std::uint64_t hits, std::uint64_t misses,
-                                std::uint64_t ns) {
+                                std::uint64_t ledger) {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_[ns] = {hits, misses};
+  counters_[ledger] = {hits, misses};
 }
 
 void EvalCache::clear() {

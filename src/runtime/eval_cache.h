@@ -29,8 +29,10 @@ namespace cmmfo::runtime {
 ///  - namespacing: every operation takes a `ns` key (default 0). Campaigns
 ///    against the same benchmark/simulator fingerprint share a namespace and
 ///    hit each other's artifacts; unrelated campaigns cannot collide on raw
-///    config ids. Hit/miss counters are kept per namespace so each
-///    campaign's checkpoint journals its own ledger.
+///    config ids. Hit/miss counters are kept under a separate `ledger` key
+///    (default: the namespace itself) so two live campaigns SHARING a
+///    namespace still account — and checkpoint — their own traffic; a
+///    restoreCounters() on one tenant can never clobber a co-tenant.
 ///  - bounded memory: setCapacity(N) turns on LRU eviction over *flows*
 ///    (all stages of one (ns, config) evict together, preserving the
 ///    storeFlow invariant). Evictions count into stats() and, when metrics
@@ -39,15 +41,18 @@ namespace cmmfo::runtime {
 class EvalCache {
  public:
   /// Report at (config, fidelity) if present. Counts a hit or a miss
-  /// against `ns` and refreshes the flow's LRU position on a hit.
+  /// against `ledger` (0 = use `ns`) and refreshes the flow's LRU position
+  /// on a hit.
   std::optional<sim::Report> find(std::size_t config, sim::Fidelity fidelity,
-                                  std::uint64_t ns = 0) const;
+                                  std::uint64_t ns = 0,
+                                  std::uint64_t ledger = 0) const;
 
   /// The whole stage ladder [0..fidelity] in one lookup (one hit or miss
   /// counted). Present either fully or not at all, by the storeFlow
   /// invariant.
   std::optional<std::array<sim::Report, sim::kNumFidelities>> findFlow(
-      std::size_t config, sim::Fidelity fidelity, std::uint64_t ns = 0) const;
+      std::size_t config, sim::Fidelity fidelity, std::uint64_t ns = 0,
+      std::uint64_t ledger = 0) const;
 
   /// Record one flow run: `stages[0..upto]` are the per-stage reports of a
   /// single invocation that ran up to `upto`. Entries beyond `upto` are
@@ -80,10 +85,11 @@ class EvalCache {
     std::uint64_t evictions = 0;  // always the cache-wide total
   };
   Stats stats() const;
-  /// Restricted to one namespace (entries/flows/hits/misses of `ns` only;
-  /// evictions stay cache-wide — an eviction caused by tenant A can land on
-  /// tenant B's flow, so a per-tenant split would be misleading).
-  Stats stats(std::uint64_t ns) const;
+  /// Restricted to one namespace (entries/flows of `ns`; hits/misses of
+  /// the counter key `ledger` when non-zero, else of `ns`; evictions stay
+  /// cache-wide — an eviction caused by tenant A can land on tenant B's
+  /// flow, so a per-tenant split would be misleading).
+  Stats stats(std::uint64_t ns, std::uint64_t ledger = 0) const;
 
   /// The cached flows of `ns` as (config, highest cached fidelity) pairs,
   /// sorted by config id. Because the tool is deterministic, this is a
@@ -92,10 +98,12 @@ class EvalCache {
   std::vector<std::pair<std::size_t, sim::Fidelity>> contents(
       std::uint64_t ns = 0) const;
 
-  /// Restore one namespace's counters from a checkpoint (entries are
+  /// Restore one ledger's counters from a checkpoint (entries are
   /// re-stored separately via storeFlow, since reports are recomputable).
+  /// Only the given counter key is overwritten — a co-tenant ledger in the
+  /// same artifact namespace is untouched.
   void restoreCounters(std::uint64_t hits, std::uint64_t misses,
-                       std::uint64_t ns = 0);
+                       std::uint64_t ledger = 0);
 
  private:
   struct Key {
@@ -125,9 +133,9 @@ class EvalCache {
     std::uint64_t misses = 0;
   };
 
-  /// Lookup + LRU touch + per-ns count; requires mu_ held.
+  /// Lookup + LRU touch + per-ledger count; requires mu_ held.
   const Flow* findLocked(std::size_t config, sim::Fidelity fidelity,
-                         std::uint64_t ns) const;
+                         std::uint64_t ns, std::uint64_t ledger) const;
   /// Evict LRU flows beyond capacity; requires mu_ held. Returns how many
   /// flows were dropped (for the metrics emission outside the lock).
   int enforceCapacityLocked();

@@ -39,12 +39,14 @@ ToolScheduler::ToolScheduler(const hls::DesignSpace& space,
 ToolScheduler::ToolScheduler(const hls::DesignSpace& space,
                              sim::FpgaToolSim& sim, EvalCache& cache,
                              ThreadPool& shared_pool, RetryPolicy policy,
-                             std::uint64_t cache_ns)
+                             std::uint64_t cache_ns,
+                             std::uint64_t cache_ledger)
     : space_(&space),
       sim_(&sim),
       cache_(&cache),
       policy_(policy),
       cache_ns_(cache_ns),
+      cache_ledger_(cache_ledger),
       pool_(&shared_pool) {
   policy_.max_attempts = std::max(policy_.max_attempts, 1);
 }
@@ -76,7 +78,9 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
       .fidelity(static_cast<int>(job.fidelity));
   EvalResult res;
   res.job = job;
-  if (auto cached = cache_->findFlow(job.config, job.fidelity, cache_ns_)) {
+  if (auto cached =
+          cache_->findFlow(job.config, job.fidelity, cache_ns_,
+                           cache_ledger_)) {
     res.stages = *cached;
     res.cache_hit = true;
     res.completed_fidelity = static_cast<int>(job.fidelity);

@@ -131,12 +131,15 @@ class ToolScheduler {
   /// externally owned pool (shared across campaigns; must outlive this
   /// scheduler) and cache traffic is keyed under `cache_ns`, so campaigns
   /// against the same benchmark share artifacts while unrelated ones cannot
-  /// collide on raw config ids. Accounting stays per-scheduler — the
+  /// collide on raw config ids. Hit/miss counts land on `cache_ledger`
+  /// (0 = the namespace itself) — per CAMPAIGN, so two tenants sharing a
+  /// namespace keep separate ledgers. Accounting stays per-scheduler — the
   /// simulated wall-clock models this campaign's rounds on the full shared
   /// farm width.
   ToolScheduler(const hls::DesignSpace& space, sim::FpgaToolSim& sim,
                 EvalCache& cache, ThreadPool& shared_pool,
-                RetryPolicy policy = {}, std::uint64_t cache_ns = 0);
+                RetryPolicy policy = {}, std::uint64_t cache_ns = 0,
+                std::uint64_t cache_ledger = 0);
 
   /// Execute one round of jobs; results come back in job order.
   std::vector<EvalResult> runBatch(const std::vector<EvalJob>& jobs);
@@ -150,6 +153,10 @@ class ToolScheduler {
   const RetryPolicy& policy() const { return policy_; }
   int numWorkers() const { return pool_->numWorkers(); }
   std::uint64_t cacheNamespace() const { return cache_ns_; }
+  /// Effective counter key for this campaign's cache hit/miss ledger.
+  std::uint64_t cacheLedger() const {
+    return cache_ledger_ != 0 ? cache_ledger_ : cache_ns_;
+  }
 
   /// Reset BOTH the scheduler totals and the simulator's tool-seconds
   /// accumulator, keeping the two ledgers tied out. (A bare
@@ -174,6 +181,7 @@ class ToolScheduler {
   EvalCache* cache_;
   RetryPolicy policy_;
   std::uint64_t cache_ns_ = 0;
+  std::uint64_t cache_ledger_ = 0;
   /// Owned in the single-campaign regime, null when a shared pool was
   /// injected; pool_ always points at the pool actually in use.
   std::unique_ptr<ThreadPool> owned_pool_;

@@ -32,6 +32,22 @@ std::uint64_t cacheNamespaceOf(const CampaignSpec& spec) {
   return h == 0 ? 1 : h;
 }
 
+std::uint64_t cacheLedgerOf(const CampaignSpec& spec) {
+  // FNV-1a over the campaign id, avalanched. Ids are unique per registry
+  // and stable across daemon restarts, so a resumed campaign lands on its
+  // own journaled counters and co-tenants never share a ledger.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : spec.id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  // 0 means "use the namespace" downstream; never hand it to a tenant.
+  return h == 0 ? 1 : h;
+}
+
 std::string specToJson(const CampaignSpec& spec) {
   std::string s = "{\"id\":";
   util::putString(s, spec.id);

@@ -41,6 +41,12 @@ bool validCampaignId(const std::string& id);
 /// artifacts.
 std::uint64_t cacheNamespaceOf(const CampaignSpec& spec);
 
+/// The per-campaign key for cache hit/miss accounting: a fingerprint of the
+/// campaign id. Campaigns sharing a namespace (same benchmark + sim_seed)
+/// share ARTIFACTS but keep separate counter ledgers, so one tenant's
+/// checkpoint restore or streamed stats can never clobber another's.
+std::uint64_t cacheLedgerOf(const CampaignSpec& spec);
+
 /// Spec <-> JSON (the submit message body and the journal spec file share
 /// this format). Unknown keys are ignored; missing keys take the defaults.
 std::string specToJson(const CampaignSpec& spec);

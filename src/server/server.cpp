@@ -35,27 +35,42 @@ void OptimizationServer::start() {
     running_ = true;
     stopping_ = false;
   }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_stopping_ = false;
+  }
   if (opts_.resume && !opts_.journal_dir.empty()) resumeFromJournal();
   const int slots = std::max(opts_.slots, 1);
   for (int i = 0; i < slots; ++i)
     drivers_.emplace_back([this] { driverLoop(); });
 }
 
-void OptimizationServer::stop() {
-  std::unique_lock<std::mutex> stop_lock(stop_mu_, std::try_to_lock);
-  if (!stop_lock.owns_lock()) return;  // another stop() is already in flight
+void OptimizationServer::requestStop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
     stopping_ = true;
   }
   cv_.notify_all();
-  // Unblock the accept loop, then the per-connection readers.
+  // Unblock the accept loop, then every per-connection reader: a thread
+  // parked in ::read on an idle-but-open connection only returns once its
+  // socket is shut down (the owning thread still does the ::close).
   const int lfd = listen_fd_.exchange(-1);
   if (lfd >= 0) {
     ::shutdown(lfd, SHUT_RDWR);
     ::close(lfd);
   }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_stopping_ = true;
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void OptimizationServer::stop() {
+  // Plain (blocking) lock: a concurrent stop() waits for the in-flight one
+  // to finish joining before returning, so callers — including the
+  // destructor racing a shutdown request — never tear the server down
+  // under a stop() still touching its members.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  requestStop();
   for (std::thread& t : drivers_)
     if (t.joinable()) t.join();
   drivers_.clear();
@@ -65,12 +80,8 @@ void OptimizationServer::stop() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns.swap(conn_threads_);
   }
-  for (std::thread& t : conns) {
-    if (!t.joinable()) continue;
-    // A connection thread that triggered shutdown cannot join itself.
-    if (t.get_id() == std::this_thread::get_id()) t.detach();
-    else t.join();
-  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
   std::lock_guard<std::mutex> lock(mu_);
   running_ = false;
 }
@@ -180,6 +191,7 @@ bool OptimizationServer::submit(const CampaignSpec& spec, std::string* err) {
   shared.cache = &cache_;
   shared.pool = &pool_;
   shared.cache_namespace = cacheNamespaceOf(s);
+  shared.cache_ledger = cacheLedgerOf(s);
   shared.collect_outcomes = true;
   std::shared_ptr<Campaign> campaign;
   try {
@@ -260,25 +272,47 @@ ServerStats OptimizationServer::stats() const {
 }
 
 int OptimizationServer::subscribe(EventSink sink) {
+  auto sub = std::make_shared<Subscriber>();
+  sub->sink = std::move(sink);
   std::lock_guard<std::mutex> lock(mu_);
   const int token = next_token_++;
-  subscribers_[token] = std::move(sink);
+  subscribers_[token] = std::move(sub);
   return token;
 }
 
 void OptimizationServer::unsubscribe(int token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  subscribers_.erase(token);
+  std::shared_ptr<Subscriber> sub;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = subscribers_.find(token);
+    if (it == subscribers_.end()) return;
+    sub = it->second;
+    subscribers_.erase(it);
+  }
+  // Block until any in-flight delivery to this sink finishes, then bar
+  // further ones: once unsubscribe() returns, the transport can safely
+  // close the stream/fd the sink writes to.
+  std::lock_guard<std::mutex> lock(sub->m);
+  sub->active = false;
 }
 
 void OptimizationServer::publish(const std::string& line) {
-  // Sinks are invoked UNDER mu_: once unsubscribe() returns, no further
-  // call into that sink is possible, so a transport can safely tear down
-  // its stream right after unsubscribing. The flip side is the contract
-  // from the class comment — sinks only write bytes, never call back into
-  // the server.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [token, sink] : subscribers_) sink(line);
+  // Snapshot under mu_, deliver OUTSIDE it: one stalled subscriber socket
+  // (blocking ::send into a full buffer) can only wedge its own deliveries,
+  // never submit/pause/cancel, drain(), the other drivers, or stop().
+  // Per-sink exclusion + the active flag preserve the unsubscribe contract
+  // above; the class-comment contract still holds — sinks only write bytes,
+  // never call back into the server.
+  std::vector<std::shared_ptr<Subscriber>> subs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subs.reserve(subscribers_.size());
+    for (const auto& [token, sub] : subscribers_) subs.push_back(sub);
+  }
+  for (const std::shared_ptr<Subscriber>& sub : subs) {
+    std::lock_guard<std::mutex> lock(sub->m);
+    if (sub->active) sub->sink(line);
+  }
 }
 
 // ------------------------------------------------------------- Journal ----
@@ -430,6 +464,13 @@ void OptimizationServer::acceptLoop() {
     const int conn = ::accept(lfd, nullptr, nullptr);
     if (conn < 0) return;  // listener closed by stop()
     std::lock_guard<std::mutex> lock(conns_mu_);
+    if (conns_stopping_) {
+      // Lost the race with requestStop()'s shutdown sweep: this fd would
+      // never be shut down and its reader never joined. Refuse it.
+      ::close(conn);
+      continue;
+    }
+    conn_fds_.push_back(conn);
     conn_threads_.emplace_back([this, conn] { serveFd(conn); });
   }
 }
@@ -459,8 +500,18 @@ void OptimizationServer::serveFd(int fd) {
     }
   }
   if (sub_token >= 0) unsubscribe(sub_token);
+  {
+    // Retire the fd from the shutdown sweep's ledger before closing it, so
+    // requestStop() cannot shut down a recycled descriptor number.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
   ::close(fd);
-  if (quit) stop();  // stop() detaches this thread instead of self-joining
+  // The shutdown op only INITIATES the stop from a connection thread; the
+  // joining happens in stop(), typically on the main thread parked in
+  // waitUntilStopped() — a connection thread never joins itself.
+  if (quit) requestStop();
 }
 
 }  // namespace cmmfo::server

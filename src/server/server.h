@@ -60,8 +60,11 @@ struct ServerStats {
 ///
 /// Threading: Registry and Campaign carry their own locks; mu_ below only
 /// guards the driver wakeup condition, subscribers, and counters. Event
-/// sinks are called with no campaign lock held but MUST NOT call back into
-/// stop()/drain() (they run on driver threads).
+/// sinks are invoked OUTSIDE mu_ (a stalled subscriber socket can only
+/// block its own delivery, never submit/pause/stop), serialized per
+/// subscriber; unsubscribe() blocks until in-flight deliveries to that sink
+/// finish, so a transport can tear its stream down right after. Sinks MUST
+/// NOT call back into the server (they run on driver threads).
 class OptimizationServer {
  public:
   explicit OptimizationServer(ServerOptions opts);
@@ -69,8 +72,12 @@ class OptimizationServer {
 
   /// Launch the driver threads (and journal resume when configured).
   void start();
-  /// Finish in-flight steps, then stop the drivers. Idempotent. Campaigns
-  /// keep their states; a journaled server can be restarted later.
+  /// Finish in-flight steps, then stop the drivers and join every transport
+  /// thread (live connections are shut down so blocked reads return).
+  /// Idempotent AND blocking: a concurrent stop() waits for the in-flight
+  /// one to finish before returning, so the caller may destroy the server
+  /// right after. Campaigns keep their states; a journaled server can be
+  /// restarted later. Must not be called from a driver/connection thread.
   void stop();
   /// Block until no campaign is queued or running (paused ones keep the
   /// server drained — they only re-enter on an explicit resume).
@@ -117,6 +124,11 @@ class OptimizationServer {
   void driverLoop();
   void acceptLoop();
   void serveFd(int fd);
+  /// Initiate shutdown without joining anything: set stopping_, close the
+  /// listener, and shut down live connection sockets so their readers
+  /// unblock. Safe from any thread (the shutdown op calls it from a
+  /// connection thread); stop() runs it first, then joins.
+  void requestStop();
   /// Journal helpers (no-ops without journal_dir).
   void writeSpecFile(const CampaignSpec& spec) const;
   void writeFinalFile(const std::string& id, CampaignState state) const;
@@ -132,16 +144,25 @@ class OptimizationServer {
   SharedFarmModel farm_;
   Registry registry_;
 
-  /// Serializes stop() itself (try-lock: a second concurrent stop returns
-  /// immediately instead of double-joining the threads).
+  /// Serializes stop() itself: a second concurrent stop blocks until the
+  /// first finishes joining, so whoever returns from stop() may safely
+  /// destroy the server.
   std::mutex stop_mu_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool running_ = false;
   bool stopping_ = false;
   std::vector<std::thread> drivers_;
+  /// One registered event sink. Deliveries happen outside mu_ under the
+  /// subscriber's own lock; unsubscribe flips `active` under that lock, so
+  /// it cannot return while a delivery to this sink is in flight.
+  struct Subscriber {
+    std::mutex m;
+    EventSink sink;
+    bool active = true;
+  };
   int next_token_ = 1;
-  std::map<int, EventSink> subscribers_;
+  std::map<int, std::shared_ptr<Subscriber>> subscribers_;
   std::atomic<std::size_t> steps_executed_{0};
 
   /// Design spaces are immutable and expensive to build: shared across
@@ -149,11 +170,16 @@ class OptimizationServer {
   mutable std::mutex spaces_mu_;
   std::map<std::string, std::shared_ptr<const hls::DesignSpace>> spaces_;
 
-  /// TCP listener state.
+  /// TCP listener state. conns_mu_ guards the connection ledger: the fds
+  /// requestStop() must shut down to unblock their readers, the threads
+  /// stop() joins, and the flag that tells acceptLoop() to refuse a
+  /// connection that races the shutdown sweep.
   std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
   std::mutex conns_mu_;
   std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  bool conns_stopping_ = false;
 };
 
 }  // namespace cmmfo::server

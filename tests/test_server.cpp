@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <chrono>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -18,6 +20,7 @@
 
 #include "core/campaign_stepper.h"
 #include "core/optimizer.h"
+#include "runtime/eval_cache.h"
 #include "server/campaign.h"
 #include "server/fair_scheduler.h"
 #include "server/farm_model.h"
@@ -114,6 +117,64 @@ TEST(ServerCacheNamespace, KeysOnBenchmarkAndSimSeedOnly) {
   EXPECT_NE(server::cacheNamespaceOf(a), 0u);
 }
 
+TEST(ServerCacheLedger, CountersArePerLedgerWithinSharedNamespace) {
+  runtime::EvalCache cache;
+  const std::uint64_t ns = 7, la = 100, lb = 200;
+  const std::array<sim::Report, sim::kNumFidelities> stages{};
+
+  // Tenant A misses, the flow is stored, then both tenants hit it.
+  EXPECT_FALSE(cache.find(1, sim::Fidelity::kHls, ns, la).has_value());
+  cache.storeFlow(1, sim::Fidelity::kHls, stages, ns);
+  EXPECT_TRUE(cache.find(1, sim::Fidelity::kHls, ns, la).has_value());
+  EXPECT_TRUE(cache.find(1, sim::Fidelity::kHls, ns, lb).has_value());
+
+  const auto sa = cache.stats(ns, la);
+  const auto sb = cache.stats(ns, lb);
+  EXPECT_EQ(sa.hits, 1u);
+  EXPECT_EQ(sa.misses, 1u);
+  EXPECT_EQ(sb.hits, 1u);
+  EXPECT_EQ(sb.misses, 0u);
+  // Artifacts (flows/entries) stay keyed on the shared namespace.
+  EXPECT_EQ(sa.flows, 1u);
+  EXPECT_EQ(sb.flows, 1u);
+
+  // Restoring A's journaled counters must not clobber B's ledger.
+  cache.restoreCounters(10, 20, la);
+  EXPECT_EQ(cache.stats(ns, la).hits, 10u);
+  EXPECT_EQ(cache.stats(ns, la).misses, 20u);
+  EXPECT_EQ(cache.stats(ns, lb).hits, 1u);
+
+  // Ledger 0 falls back to the namespace key (single-campaign regime).
+  EXPECT_EQ(cache.stats(ns).hits, 0u);
+  EXPECT_FALSE(cache.find(2, sim::Fidelity::kHls, ns).has_value());
+  EXPECT_EQ(cache.stats(ns).misses, 1u);
+}
+
+TEST(ServerCacheLedger, CoTenantsShareArtifactsButNotCounters) {
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.slots = 2;
+  OptimizationServer srv(opts);
+  srv.start();
+  std::string err;
+  // Same benchmark + sim_seed -> one shared artifact namespace; different
+  // search seeds -> different trajectories over it.
+  ASSERT_TRUE(srv.submit(fastSpec("ta", 5, 21, 4), &err)) << err;
+  ASSERT_TRUE(srv.submit(fastSpec("tb", 9, 21, 4), &err)) << err;
+  srv.drain();
+
+  const auto a = srv.campaign("ta")->snapshot();
+  const auto b = srv.campaign("tb")->snapshot();
+  EXPECT_GT(a.cache_misses, 0u);
+  EXPECT_GT(b.cache_misses, 0u);
+  // Every lookup lands on exactly one tenant's ledger: the per-campaign
+  // counters partition the cache-wide totals.
+  const auto total = srv.cache().stats();
+  EXPECT_EQ(total.hits, a.cache_hits + b.cache_hits);
+  EXPECT_EQ(total.misses, a.cache_misses + b.cache_misses);
+  srv.stop();
+}
+
 // ------------------------------------------------------------- stepper ----
 
 TEST(ServerStepper, StepLoopMatchesMonolithicRunExactly) {
@@ -127,6 +188,34 @@ TEST(ServerStepper, StepLoopMatchesMonolithicRunExactly) {
 
   const core::OptimizeResult stepped = runIsolated(spec);
   expectSameTrajectory(golden, stepped);
+}
+
+TEST(ServerStepper, ResumedFirstStepReportsJournaledRounds) {
+  const std::string dir = testing::TempDir() + "/cmmfo_stepper_resume_rounds";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  CampaignSpec spec = fastSpec("rr", 5, 33, 8);
+  spec.opts.checkpoint_path = dir + "/rr.ckpt.json";
+
+  const auto space = server::makeSpaceFor(spec.benchmark);
+  const auto bm = server::makeBenchmarkFor(spec.benchmark);
+  const auto sim_a = server::makeSimFor(spec, *bm);
+  core::CampaignStepper a(*space, *sim_a, spec.opts);
+  EXPECT_EQ(a.step().round, -1);  // init
+  EXPECT_EQ(a.step().round, 0);
+  EXPECT_EQ(a.step().round, 1);
+
+  // The resumed process's first step restores the journal and must report
+  // the last completed round — not the init sentinel, which would make a
+  // status snapshot claim 0 rounds of prior progress.
+  spec.opts.resume = true;
+  const auto sim_b = server::makeSimFor(spec, *bm);
+  core::CampaignStepper b(*space, *sim_b, spec.opts);
+  const core::RoundOutcome r0 = b.step();
+  EXPECT_TRUE(r0.resumed);
+  EXPECT_EQ(r0.round, 1);
+  EXPECT_EQ(b.step().round, 2);  // and the next round continues from there
+  fs::remove_all(dir);
 }
 
 // ------------------------------------------------------------ registry ----
@@ -432,6 +521,26 @@ std::string readLine(int fd) {
   return line;
 }
 
+int dialLoopback(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void sendLine(int fd, const std::string& s) {
+  const std::string msg = s + "\n";
+  ASSERT_EQ(write(fd, msg.data(), msg.size()),
+            static_cast<ssize_t>(msg.size()));
+}
+
 TEST(ServerTcp, SocketRoundTripServesRequestsUntilShutdown) {
   ServerOptions opts;
   opts.workers = 2;
@@ -473,6 +582,60 @@ TEST(ServerTcp, SocketRoundTripServesRequestsUntilShutdown) {
   close(fd);
   srv.waitUntilStopped();
   srv.stop();
+}
+
+TEST(ServerTcp, StopUnblocksIdleConnections) {
+  // Regression: a reader parked in ::read on an idle-but-open connection
+  // must be woken by stop()'s socket shutdown, or shutdown joins forever.
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.slots = 1;
+  OptimizationServer srv(opts);
+  srv.start();
+  const int port = srv.listenTcp(0);
+  ASSERT_GT(port, 0);
+
+  const int active = dialLoopback(port);
+  const int idle = dialLoopback(port);
+  ASSERT_GE(active, 0);
+  ASSERT_GE(idle, 0);
+  // One round-trip per connection, so both reader threads are provably up
+  // and parked in ::read afterwards.
+  util::Json j;
+  sendLine(active, "{\"op\":\"list\"}");
+  ASSERT_TRUE(util::parseJson(readLine(active), &j));
+  sendLine(idle, "{\"op\":\"list\"}");
+  ASSERT_TRUE(util::parseJson(readLine(idle), &j));
+
+  // Client-initiated shutdown: the connection thread only INITIATES the
+  // stop; the joining happens here on the test thread (the daemon's
+  // waitUntilStopped/stop sequence), never on a connection thread.
+  sendLine(active, "{\"op\":\"shutdown\"}");
+  ASSERT_TRUE(util::parseJson(readLine(active), &j));
+  srv.waitUntilStopped();
+  srv.stop();  // must not hang on the idle connection
+
+  // The server hung up on the idle client.
+  char c;
+  EXPECT_LE(read(idle, &c, 1), 0);
+  close(active);
+  close(idle);
+  // Scope exit re-runs stop() via the destructor: blocking + idempotent.
+}
+
+TEST(ServerTcp, ConcurrentStopIsBlockingAndIdempotent) {
+  // Regression: a second stop() must BLOCK until the first finishes, so
+  // destroying the server right after any stop() returns is safe.
+  auto srv = std::make_unique<OptimizationServer>(ServerOptions{});
+  srv->start();
+  ASSERT_GT(srv->listenTcp(0), 0);
+  std::string err;
+  ASSERT_TRUE(srv->submit(fastSpec("cs", 3, 17, 4), &err)) << err;
+  std::thread t1([&] { srv->stop(); });
+  std::thread t2([&] { srv->stop(); });
+  t1.join();
+  t2.join();
+  srv.reset();  // both stops returned -> teardown must be safe
 }
 
 }  // namespace
