@@ -3,7 +3,7 @@
 #
 #   ./run_benches.sh               run all benches from build/bench; micro
 #                                  benches additionally emit JSON, merged
-#                                  into BENCH_6.json (the perf trajectory
+#                                  into BENCH_7.json (the perf trajectory
 #                                  archive)
 #   ./run_benches.sh --tsan-smoke  build the test binary under ThreadSanitizer
 #                                  (CMMFO_SANITIZE=thread) and run the
@@ -15,7 +15,7 @@ if [ "$1" = "--tsan-smoke" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j --target cmmfo_tests
   exec ./build-tsan/tests/cmmfo_tests \
-    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*:Server*'
+    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*:Server*:Chaos*'
 fi
 
 OUTDIR=bench-out
@@ -37,6 +37,11 @@ for b in build/bench/*; do
       # The multi-campaign server harness archives its own JSON summary.
       "$b" --out "$OUTDIR/server_throughput.json"
       ;;
+    chaos_sweep)
+      # Crash-only supervision gate: exits non-zero on any trajectory
+      # deviation; counters are archived alongside the perf numbers.
+      "$b" --out "$OUTDIR/chaos_sweep.json"
+      ;;
     *)
       "$b"
       ;;
@@ -45,7 +50,7 @@ done
 
 # Merge the per-binary JSON files into one archive keyed by binary name.
 if command -v python3 > /dev/null 2>&1 && [ -n "$(ls "$OUTDIR" 2>/dev/null)" ]; then
-  python3 - "$OUTDIR" BENCH_6.json <<'EOF'
+  python3 - "$OUTDIR" BENCH_7.json <<'EOF'
 import json, os, sys
 outdir, dest = sys.argv[1], sys.argv[2]
 merged = {}

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/framed_log.h"
 #include "util/json.h"
 
 namespace cmmfo::core {
@@ -539,6 +540,94 @@ bool loadCheckpoint(const std::string& path, CheckpointState* out,
   std::ostringstream ss;
   ss << f.rdbuf();
   return parseCheckpoint(ss.str(), out, error);
+}
+
+namespace {
+
+/// Rollback window: current frame plus up to this many predecessors. Two
+/// predecessors means a torn newest frame still leaves a one-round-old
+/// intact state AND its own predecessor for double-fault tolerance.
+constexpr std::size_t kKeepPrevFrames = 2;
+
+bool isFramedFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4] = {0, 0, 0, 0};
+  f.read(magic, 4);
+  return f.gcount() == 4 && magic[0] == 'C' && magic[1] == 'M' &&
+         magic[2] == 'J' && magic[3] == '1';
+}
+
+}  // namespace
+
+bool saveCheckpointFramed(const std::string& path, const CheckpointState& st) {
+  const util::FramedReadResult prev = util::readFrames(path);
+  std::vector<std::string> keep;
+  const std::size_t n = prev.frames.size();
+  for (std::size_t i = n > kKeepPrevFrames ? n - kKeepPrevFrames : 0; i < n;
+       ++i)
+    keep.push_back(prev.frames[i]);
+  keep.push_back(serializeCheckpoint(st));
+  return util::rewriteFrames(path, keep);
+}
+
+bool loadCheckpointAny(const std::string& path, CheckpointState* out,
+                       std::string* error, JournalLoadInfo* info) {
+  if (info) *info = JournalLoadInfo{};
+  if (!isFramedFile(path)) return loadCheckpoint(path, out, error);
+
+  if (info) info->framed = true;
+  util::FramedReadResult r = util::readFrames(path);
+  if (info) info->frames = r.frames.size();
+
+  // Newest frame that both CRC-checks and parses wins; anything newer is a
+  // writer bug or tampering and gets rolled past just like a torn tail.
+  std::size_t chosen = r.frames.size();
+  CheckpointState st;
+  std::string parse_err;
+  for (std::size_t i = r.frames.size(); i-- > 0;) {
+    if (parseCheckpoint(r.frames[i], &st, &parse_err)) {
+      chosen = i;
+      break;
+    }
+  }
+  if (chosen == r.frames.size()) {
+    if (error)
+      *error = "checkpoint: no intact frame in " + path +
+               (r.corrupt_tail ? " (" + r.tail_reason + ")" : "") +
+               (parse_err.empty() ? "" : " (" + parse_err + ")");
+    return false;
+  }
+
+  const bool need_repair = r.corrupt_tail || chosen + 1 < r.frames.size();
+  if (need_repair) {
+    const std::string qpath = path + ".quarantine";
+    std::vector<std::string> keep(r.frames.begin(),
+                                  r.frames.begin() +
+                                      static_cast<std::ptrdiff_t>(chosen + 1));
+    // Quarantine from the first byte past the chosen frame: unparseable
+    // newer frames and the torn byte tail are one contiguous evidence blob.
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i <= chosen; ++i)
+      offset += 12 + r.frames[i].size();
+    if (util::quarantineTail(path, offset, keep, qpath)) {
+      if (info) {
+        info->rolled_back = true;
+        info->quarantine_path = qpath;
+        info->note = "rolled back to frame " + std::to_string(chosen + 1) +
+                     "/" + std::to_string(r.frames.size()) +
+                     (r.corrupt_tail ? " (" + r.tail_reason + ")"
+                                     : " (unparseable newer frame)") +
+                     "; corrupt tail quarantined to " + qpath;
+      }
+    } else if (info) {
+      info->rolled_back = true;
+      info->note = "rolled back in memory; quarantine write failed";
+    }
+  }
+
+  *out = std::move(st);
+  return true;
 }
 
 }  // namespace cmmfo::core

@@ -105,4 +105,31 @@ bool saveCheckpoint(const std::string& path, const CheckpointState& st);
 bool loadCheckpoint(const std::string& path, CheckpointState* out,
                     std::string* error = nullptr);
 
+/// What a framed-journal load found and (when necessary) repaired.
+struct JournalLoadInfo {
+  bool framed = false;       ///< file was in CMJ1 framed format
+  bool rolled_back = false;  ///< a corrupt tail forced rollback to an
+                             ///< earlier intact frame
+  std::size_t frames = 0;    ///< intact frames present before repair
+  std::string quarantine_path;  ///< where the corrupt tail was preserved
+  std::string note;             ///< human-readable recovery description
+};
+
+/// Framed journal variant: the file holds the last few checkpoints as
+/// CRC-32C frames (util/framed_log), rewritten atomically each round with a
+/// small rollback window (the current state plus up to two predecessors).
+/// Torn writes / external truncation are detected frame-by-frame on load;
+/// the corrupt tail is quarantined to `<path>.quarantine` and the load
+/// rolls back to the newest frame that both CRC-checks and parses. The
+/// server journals campaigns in this format.
+bool saveCheckpointFramed(const std::string& path, const CheckpointState& st);
+
+/// Load `path` in either format: CMJ1-framed (validated, self-repairing as
+/// described above) or plain JSON (the CLI's historical format). On framed
+/// corruption the quarantine + rollback happens here so every caller
+/// recovers identically; `info` (optional) reports what was done.
+bool loadCheckpointAny(const std::string& path, CheckpointState* out,
+                       std::string* error = nullptr,
+                       JournalLoadInfo* info = nullptr);
+
 }  // namespace cmmfo::core

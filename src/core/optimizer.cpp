@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -32,7 +34,9 @@ CorrelatedMfMoboOptimizer::CorrelatedMfMoboOptimizer(
       surrogate_(space.featureDim(), kNumObjectives, kNumFidelities,
                  opts.surrogate),
       rng_(opts.seed),
-      sampled_(space.size(), false) {}
+      sampled_(space.size(), false) {
+  surrogate_.setRecovery(opts_.recovery);
+}
 
 gp::Vec CorrelatedMfMoboOptimizer::penalizedObjectives(
     const FidelityData& data) const {
@@ -377,9 +381,12 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
 
 void CorrelatedMfMoboOptimizer::writeCheckpoint(int next_round) {
   if (opts_.checkpoint_path.empty()) return;
-  saveCheckpoint(opts_.checkpoint_path,
-                 captureCheckpoint(next_round, t_, *scheduler_, *cache_,
-                                   result_));
+  const CheckpointState st =
+      captureCheckpoint(next_round, t_, *scheduler_, *cache_, result_);
+  if (opts_.framed_journal)
+    saveCheckpointFramed(opts_.checkpoint_path, st);
+  else
+    saveCheckpoint(opts_.checkpoint_path, st);
 }
 
 RoundOutcome CorrelatedMfMoboOptimizer::makeOutcome(
@@ -411,6 +418,18 @@ RoundOutcome CorrelatedMfMoboOptimizer::makeOutcome(
     for (const runtime::EvalResult& r : results)
       if (!r.cache_hit)
         o.job_seconds.push_back(r.charged_seconds + r.backoff_seconds);
+  }
+  o.resume_note = resume_note_;
+  // Drain the surrogate's self-healing ledger into this outcome and (when
+  // diagnosed) the flight recorder. Empty in the healthy regime, so the
+  // pinned goldens see identical outcomes with recovery enabled.
+  for (const RecoveryEvent& ev : surrogate_.drainRecoveryEvents()) {
+    std::string note = ev.action + " (level " + std::to_string(ev.level) +
+                       "): " + ev.reason;
+    if (diag::recorder().enabled())
+      diag::recorder().addRecovery(
+          {round, ev.level, ev.action, ev.reason, ev.value});
+    o.recovery_notes.push_back(std::move(note));
   }
   return o;
 }
@@ -448,14 +467,50 @@ RoundOutcome CorrelatedMfMoboOptimizer::start() {
   if (opts_.resume && !opts_.checkpoint_path.empty()) {
     CheckpointState st;
     std::string err;
-    if (loadCheckpoint(opts_.checkpoint_path, &st, &err)) {
+    JournalLoadInfo jinfo;
+    const bool file_exists = [&] {
+      std::ifstream probe(opts_.checkpoint_path, std::ios::binary);
+      return static_cast<bool>(probe);
+    }();
+    bool loaded = loadCheckpointAny(opts_.checkpoint_path, &st, &err, &jinfo);
+    if (loaded && jinfo.rolled_back) resume_note_ = "journal: " + jinfo.note;
+    if (loaded && opts_.resume_lenient &&
+        st.fingerprint != checkpointFingerprint()) {
+      // Lenient regime (the daemon): a foreign journal must not abort the
+      // process. Quarantine it and start this campaign cold.
+      const std::string q = opts_.checkpoint_path + ".quarantine";
+      std::rename(opts_.checkpoint_path.c_str(), q.c_str());
+      resume_note_ =
+          "journal: fingerprint mismatch — quarantined to " + q +
+          "; campaign restarted cold from its spec";
+      loaded = false;
+    }
+    if (loaded) {
       restoreCheckpoint(st, *scheduler_, *cache_, result_);
       t_ = st.t;
       round_ = st.next_round;
       result_.resumed = true;
+    } else if (file_exists && resume_note_.empty()) {
+      // The journal exists but cannot be loaded (empty file, corrupt
+      // beyond every frame, unparseable JSON). Strict mode throws — a
+      // human pointing --resume at a bad file wants the error. The
+      // daemon's lenient mode quarantines the evidence and cold-starts so
+      // one bad file never takes down startup.
+      if (!opts_.resume_lenient)
+        throw std::runtime_error(err.empty()
+                                     ? "checkpoint: unreadable journal " +
+                                           opts_.checkpoint_path
+                                     : err);
+      const std::string q = opts_.checkpoint_path + ".quarantine";
+      std::rename(opts_.checkpoint_path.c_str(), q.c_str());
+      resume_note_ = "journal: unreadable (" +
+                     (err.empty() ? std::string("no intact frame") : err) +
+                     ") — quarantined to " + q +
+                     "; campaign restarted cold from its spec";
     }
     // A missing journal is a cold start, not an error (first run of a
-    // --resume'd job); a present-but-mismatched one throws in restore.
+    // --resume'd job); a present-but-mismatched one throws in restore
+    // (strict mode only — lenient mode quarantines above).
   }
 
   std::vector<runtime::EvalResult> init_results;

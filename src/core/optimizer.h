@@ -83,6 +83,25 @@ struct OptimizerOptions {
   /// process; 0 = run to completion. Simulates a crash/preemption for the
   /// kill-and-resume tests and for externally orchestrated time slicing.
   int max_rounds = 0;
+
+  // ---- Durability & self-healing (the server's crash-only regime). ----
+  /// Write the journal as a CRC-32C framed multi-frame log (the current
+  /// state plus a small rollback window) instead of one plain JSON file.
+  /// Loads accept either format; torn tails are detected and quarantined.
+  bool framed_journal = false;
+  /// Resume survivability: a corrupt, truncated, empty, or
+  /// fingerprint-mismatched journal is quarantined and the run starts cold
+  /// with a RoundOutcome::resume_note, instead of throwing. The daemon sets
+  /// this so one bad file can never abort startup; the CLI keeps the strict
+  /// default (a human pointing --resume at the wrong journal wants the
+  /// error).
+  bool resume_lenient = false;
+  /// Numerical self-healing thresholds (surrogate fallback, forced dense
+  /// refits, jitter escalation reporting). Enabled with loose-by-default
+  /// thresholds: healthy trajectories (the pinned seed-77 goldens) never
+  /// trip them, so recovery is bit-neutral until a run is genuinely
+  /// pathological.
+  RecoveryOptions recovery;
 };
 
 /// Shared multi-campaign runtime resources (the optimization server). All
@@ -131,6 +150,14 @@ struct RoundOutcome {
   /// job order — the server's simulated shared-farm placement input.
   double hypervolume = std::numeric_limits<double>::quiet_NaN();
   std::vector<double> job_seconds;
+  /// Non-empty when a lenient resume had to repair or discard the journal
+  /// (rollback to an earlier frame, quarantine, cold start); describes what
+  /// happened. Constant across the run's outcomes.
+  std::string resume_note;
+  /// Numerical recovery actions taken during THIS round (jitter
+  /// escalation, forced dense refit, surrogate fallback), human-readable.
+  /// Empty in the healthy regime.
+  std::vector<std::string> recovery_notes;
 };
 
 /// One tool evaluation in the candidate set CS.
@@ -309,6 +336,9 @@ class CorrelatedMfMoboOptimizer {
   std::array<double, sim::kNumFidelities> stage_seconds_{};
   int t_ = 0;      ///< global proposal counter
   int round_ = 0;  ///< next BO round to execute
+  /// Set when a lenient resume repaired/discarded the journal (see
+  /// RoundOutcome::resume_note).
+  std::string resume_note_;
   bool started_ = false;
   bool stopped_ = false;  ///< space exhausted or max_rounds hit
   bool finished_ = false;

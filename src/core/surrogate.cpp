@@ -47,6 +47,69 @@ MultiFidelitySurrogate::MultiFidelitySurrogate(std::size_t input_dim,
     }
   }
   rho_.assign(levels_, std::vector<double>(m_, 1.0));
+  mle_fail_streak_.assign(levels_, 0);
+  esc_seen_.assign(levels_, 0);
+  fallback_.resize(levels_);
+}
+
+std::uint64_t MultiFidelitySurrogate::levelEscalations(
+    std::size_t level) const {
+  if (opts_.obj == ObjModelKind::kCorrelated)
+    return mt_models_[level].jitterEscalations();
+  std::uint64_t sum = 0;
+  for (const auto& model : ind_models_[level]) sum += model.jitterEscalations();
+  return sum;
+}
+
+void MultiFidelitySurrogate::noteEscalations(std::size_t level) {
+  const std::uint64_t now = levelEscalations(level);
+  if (now == esc_seen_[level]) return;
+  double jitter = 0.0;
+  if (opts_.obj == ObjModelKind::kCorrelated) {
+    jitter = mt_models_[level].lastEscalationJitter();
+  } else {
+    for (const auto& model : ind_models_[level])
+      jitter = std::max(jitter, model.lastEscalationJitter());
+  }
+  if (recovery_.enabled)
+    recovery_events_.push_back(
+        {"jitter_escalation", static_cast<int>(level),
+         "Gram factorization needed the escalated jitter ladder", jitter});
+  esc_seen_[level] = now;
+}
+
+void MultiFidelitySurrogate::engageFallback(std::size_t level,
+                                            const FidelityObs& o, int streak) {
+  const std::size_t n = o.x.size();
+  Fallback& fb = fallback_[level];
+  fb.per_obj.clear();
+  fb.resid_var.assign(m_, 0.0);
+  for (std::size_t mm = 0; mm < m_; ++mm) {
+    // Private deterministic seed: the fallback must not consume the
+    // optimizer's RNG stream (that would perturb healthy-path bit-identity
+    // guarantees) yet must reproduce across identical runs.
+    rng::Rng fb_rng(0x8f1bbcdcbfa53e0bULL ^
+                    (static_cast<std::uint64_t>(level) << 40) ^
+                    (static_cast<std::uint64_t>(mm) << 32) ^ n);
+    baselines::Gbrt g;
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = o.y(i, mm);
+    g.fit(o.x, col, fb_rng);
+    double se = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = col[i] - g.predict(o.x[i]);
+      se += d * d;
+    }
+    fb.resid_var[mm] = std::max(se / static_cast<double>(n), 1e-8);
+    fb.per_obj.push_back(std::move(g));
+  }
+  const bool was_active = fb.active;
+  fb.active = true;
+  if (!was_active)
+    recovery_events_.push_back(
+        {"surrogate_fallback", static_cast<int>(level),
+         "repeated MLE non-convergence; serving GBRT baseline predictions",
+         static_cast<double>(streak)});
 }
 
 gp::Vec MultiFidelitySurrogate::lowerMeans(std::size_t level,
@@ -151,6 +214,29 @@ void MultiFidelitySurrogate::fit(const std::vector<FidelityObs>& obs,
                               obs::MetricsRegistry::conditionBounds());
           met.observe("gp.cond_log10",
                       std::log10(ind_models_[l][mm].gramConditionEstimate()));
+        }
+      }
+    }
+    noteEscalations(l);
+    if (optimize_hypers && recovery_.enabled) {
+      // Self-healing: a level whose MLE exhausts its full multi-start
+      // L-BFGS budget `mle_fail_streak` fits in a row stops serving GP
+      // predictions and falls back to a GBRT baseline; the first
+      // convergent MLE reinstates the GP. fitted_ must be set before the
+      // level is declared healthy again for chained upper levels to read
+      // it, so only the flag and the events are handled here.
+      const long long budget = mleIterBudget(l);
+      const bool exhausted = budget > 0 && lastFitIterations(l) >= budget;
+      if (exhausted) {
+        if (++mle_fail_streak_[l] >= recovery_.mle_fail_streak)
+          engageFallback(l, o, mle_fail_streak_[l]);
+      } else {
+        mle_fail_streak_[l] = 0;
+        if (fallback_[l].active) {
+          fallback_[l].active = false;
+          recovery_events_.push_back(
+              {"surrogate_reinstated", static_cast<int>(l),
+               "MLE converged; GP predictions reinstated", 0.0});
         }
       }
     }
@@ -273,6 +359,23 @@ void MultiFidelitySurrogate::appendObservations(
       }
       committed_n_[l] = target;
       spec_dirty_[l] = 0;
+      // Self-healing: an incrementally-grown committed factor whose
+      // condition estimate has blown past the recovery threshold is refit
+      // densely — the dense path re-enters the jitter ladder, which
+      // rank-appends structurally refuse, so this is the only way an
+      // append-degraded factor regains conditioning before the next MLE.
+      if (recovery_.enabled && fitted_) {
+        const double cond = gramConditionLog10(l);
+        if (cond > recovery_.dense_refit_cond_log10) {
+          denseRefitLevel(l, o);
+          changed_here = true;
+          recovery_events_.push_back(
+              {"dense_refit", static_cast<int>(l),
+               "posterior condition estimate blew past the recovery "
+               "threshold; forced dense refit",
+               cond});
+        }
+      }
     } else {
       assert(target >= cur);
       if (chained && lower_changed) {
@@ -292,6 +395,7 @@ void MultiFidelitySurrogate::appendObservations(
         changed_here = true;
       }
     }
+    noteEscalations(l);
     lower_changed = lower_changed || changed_here;
   }
   if (commit) committed_base_ = currentBaseCounts();
@@ -352,6 +456,20 @@ void MultiFidelitySurrogate::restorePosterior(
 gp::MultiPosterior MultiFidelitySurrogate::predict(std::size_t level,
                                                    const gp::Vec& x) const {
   assert(fitted_ && level < levels_);
+  if (fallback_[level].active) {
+    // Degraded mode: serve the GBRT fallback (raw inputs, diagonal
+    // covariance = training residual variance). The GP keeps training
+    // underneath and takes over again once its MLE converges.
+    const Fallback& fb = fallback_[level];
+    gp::MultiPosterior post;
+    post.mean.resize(m_);
+    post.cov = linalg::Matrix(m_, m_);
+    for (std::size_t mm = 0; mm < m_; ++mm) {
+      post.mean[mm] = fb.per_obj[mm].predict(x);
+      post.cov(mm, mm) = fb.resid_var[mm];
+    }
+    return post;
+  }
   const gp::Vec input = augmented(level, x);
 
   gp::MultiPosterior post;
@@ -398,6 +516,11 @@ std::vector<gp::MultiPosterior> MultiFidelitySurrogate::predictBatchImpl(
   assert(fitted_ && level < levels_);
   std::vector<gp::MultiPosterior> out;
   if (x.empty()) return out;
+  if (fallback_[level].active) {
+    out.reserve(x.size());
+    for (const auto& xi : x) out.push_back(predict(level, xi));
+    return out;
+  }
 
   // Chained augmentation for the whole block: the lower level is itself
   // evaluated batched, then its means become this level's fidelity feature.

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "baselines/gbrt.h"
 #include "gp/gp_regressor.h"
 #include "gp/multitask_gp.h"
 #include "linalg/matrix.h"
@@ -32,6 +35,36 @@ struct SurrogateOptions {
   ObjModelKind obj = ObjModelKind::kCorrelated;
   gp::MultiTaskFitOptions mtgp;
   gp::GpFitOptions gp;
+};
+
+/// Numerical self-healing policy: turns the health pathologies PR 5 only
+/// *detected* (Cholesky failure, condition blow-up, MLE non-convergence)
+/// into recovery actions. Thresholds are deliberately loose: a healthy
+/// trajectory (the pinned seed-77 goldens) never trips them, so compiling
+/// and enabling recovery is bit-neutral until a run is genuinely
+/// pathological.
+struct RecoveryOptions {
+  bool enabled = true;
+  /// Consecutive full-MLE fits at one level that exhaust the entire L-BFGS
+  /// budget (lastFitIterations >= mleIterBudget) before that level's
+  /// predictions fall back to a GBRT baseline. The GP keeps training in
+  /// parallel; the first convergent MLE reinstates it.
+  int mle_fail_streak = 3;
+  /// log10 condition estimate above which a committed incrementally-grown
+  /// factor is refit densely (a dense refit re-enters the jitter ladder,
+  /// which rank-appends refuse). The health warning threshold is 12; the
+  /// recovery action waits one more decade.
+  double dense_refit_cond_log10 = 13.0;
+};
+
+/// One recovery action taken by the self-healing layer (drained by the
+/// optimizer into `recovery` diag records and server event notes).
+struct RecoveryEvent {
+  std::string action;  ///< jitter_escalation | dense_refit |
+                       ///< surrogate_fallback | surrogate_reinstated
+  int level = -1;
+  std::string reason;
+  double value = 0.0;  ///< jitter used / cond log10 / failed-fit streak
 };
 
 /// Observations at one fidelity: shared inputs, all M objectives per row.
@@ -100,6 +133,21 @@ class MultiFidelitySurrogate {
   /// log10 condition estimate of the fitted Gram at a level (max over
   /// objectives for the independent variant). NaN before the first fit.
   double gramConditionLog10(std::size_t level) const;
+  // ---- numerical self-healing (RecoveryOptions; see struct docs) ----
+  void setRecovery(const RecoveryOptions& r) { recovery_ = r; }
+  const RecoveryOptions& recovery() const { return recovery_; }
+  /// True while `level` serves predictions from the GBRT fallback instead
+  /// of its (still-training) GP.
+  bool fallbackActive(std::size_t level) const {
+    return level < fallback_.size() && fallback_[level].active;
+  }
+  /// Recovery actions taken since the last drain, in occurrence order.
+  std::vector<RecoveryEvent> drainRecoveryEvents() {
+    std::vector<RecoveryEvent> out;
+    out.swap(recovery_events_);
+    return out;
+  }
+
   /// Nonlinear chaining only: share of total ARD relevance (sum of 1/l_d^2)
   /// sitting on the appended lower-fidelity-prediction dimensions — the
   /// augmented-input analog of the NARGP error-term variance share (how much
@@ -156,6 +204,13 @@ class MultiFidelitySurrogate {
   /// Training points currently held by this level's model(s).
   std::size_t levelPoints(std::size_t level) const;
   std::vector<std::size_t> currentBaseCounts() const;
+  /// Cumulative escalated-jitter factorizations across this level's models.
+  std::uint64_t levelEscalations(std::size_t level) const;
+  /// Diff `levelEscalations` against the last check and record a
+  /// jitter_escalation recovery event when a rescue happened.
+  void noteEscalations(std::size_t level);
+  /// (Re)train the GBRT fallback for `level` on its raw observations.
+  void engageFallback(std::size_t level, const FidelityObs& o, int streak);
 
   std::size_t input_dim_;
   std::size_t m_;
@@ -180,6 +235,23 @@ class MultiFidelitySurrogate {
   std::vector<std::size_t> committed_n_;
   std::vector<std::size_t> committed_base_;
   std::vector<char> spec_dirty_;
+
+  // ---- numerical self-healing state ----
+  RecoveryOptions recovery_;
+  std::vector<RecoveryEvent> recovery_events_;
+  /// Consecutive budget-exhausting MLE fits per level.
+  std::vector<int> mle_fail_streak_;
+  /// levelEscalations() value at the last noteEscalations() check.
+  std::vector<std::uint64_t> esc_seen_;
+  /// Per-level GBRT fallback (one model per objective, diagonal predictive
+  /// covariance = training residual variance). Trained on the level's RAW
+  /// inputs — deliberately independent of the (possibly sick) GP chain.
+  struct Fallback {
+    bool active = false;
+    std::vector<baselines::Gbrt> per_obj;
+    gp::Vec resid_var;
+  };
+  std::vector<Fallback> fallback_;
 };
 
 }  // namespace cmmfo::core

@@ -331,9 +331,33 @@ void DiagRecorder::emitLocked(HealthWarning w) {
   health_.emit(std::move(w));
 }
 
+void DiagRecorder::addRecovery(RecoveryRecord r) {
+  if (!enabled()) return;
+  std::string out = "{\"type\": \"recovery\", \"round\": ";
+  putInt(out, r.round);
+  out += ", \"level\": ";
+  putInt(out, r.level);
+  out += ", \"action\": ";
+  putString(out, r.action);
+  out += ", \"reason\": ";
+  putString(out, r.reason);
+  out += ", \"value\": ";
+  putDoubleOrNull(out, r.value);
+  out += "}";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(std::move(out));
+  ++recoveries_;
+}
+
 std::size_t DiagRecorder::recordCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lines_.size();
+}
+
+std::size_t DiagRecorder::recoveryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(recoveries_);
 }
 
 CalibrationAgg DiagRecorder::aggregate(int level, int objective) const {
@@ -371,7 +395,7 @@ void DiagRecorder::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lines_.clear();
   agg_ = {};
-  rounds_ = samples_ = decisions_ = 0;
+  rounds_ = samples_ = decisions_ = recoveries_ = 0;
   fired_.clear();
   health_.clear();
   has_manifest_ = false;

@@ -96,6 +96,19 @@ struct ModelRecord {
   double lowfid_relevance = 0.0;
 };
 
+/// One numerical self-healing action taken by the optimizer/GP layer —
+/// the *response* side of the health warnings above (PR 5 detected;
+/// recovery acts). Journaled so a diagnosed run shows what degraded and
+/// what the system did about it.
+struct RecoveryRecord {
+  int round = -1;
+  int level = -1;
+  std::string action;  // jitter_escalation | dense_refit |
+                       // surrogate_fallback | surrogate_reinstated
+  std::string reason;
+  double value = 0.0;  // jitter used / cond log10 / failed-fit streak
+};
+
 /// Checkpointable digest of the recorder: running calibration aggregates
 /// and counters (NOT the full journal; journals are append-only files, the
 /// checkpoint only needs what future health checks depend on).
@@ -141,6 +154,7 @@ class DiagRecorder {
   void addCalibrationSample(CalibrationSample s);
   void addDecision(DecisionRecord d);
   void addModelRecord(ModelRecord m);
+  void addRecovery(RecoveryRecord r);
   void endRound(int round, double hypervolume,
                 const std::vector<std::size_t>& selected,
                 double charged_seconds, std::uint64_t cache_hits,
@@ -156,6 +170,9 @@ class DiagRecorder {
   }
   std::size_t recordCount() const;
   CalibrationAgg aggregate(int level, int objective) const;
+  /// Recovery actions journaled so far (not checkpointed: the journal is
+  /// append-only and a resumed run's counter restarts, like record lines).
+  std::size_t recoveryCount() const;
 
   // ---- persistence ----
   DiagState state() const;
@@ -186,6 +203,7 @@ class DiagRecorder {
   long long rounds_ = 0;
   long long samples_ = 0;
   long long decisions_ = 0;
+  long long recoveries_ = 0;
   /// (kind, fidelity) pairs already warned — each structural condition is
   /// reported once per run, not once per round.
   std::set<std::pair<int, int>> fired_;

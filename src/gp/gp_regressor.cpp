@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <stdexcept>
 
 #include "linalg/vec_ops.h"
 #include "opt/lbfgs.h"
@@ -167,9 +168,15 @@ void GpRegressor::rebuildDense() {
   linalg::Matrix gram = kernel_->gram(x_);
   const double noise_var = std::exp(2.0 * log_noise_);
   for (std::size_t i = 0; i < n; ++i) gram(i, i) += noise_var;
-  const bool ok = state_.refitDense(gram);
-  assert(ok && "Gram matrix not factorizable even with jitter");
-  (void)ok;
+  // A Gram the escalated jitter ladder cannot factorize has non-finite
+  // entries (degenerate hyperparameters or poisoned targets). Throw instead
+  // of asserting: in Release an assert would compile out and the solve
+  // below would read an empty factor (UB); a throw lets the server's
+  // supervision isolate the failure to this campaign.
+  if (!state_.refitDense(gram))
+    throw std::runtime_error(
+        "gp: Gram matrix not factorizable even with escalated jitter "
+        "(non-finite entries?)");
   state_.solveTargets();
 }
 

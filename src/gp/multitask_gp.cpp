@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <stdexcept>
 
 #include "linalg/vec_ops.h"
 #include "opt/lbfgs.h"
@@ -293,9 +294,14 @@ void MultiTaskGp::refitPosterior(const Dataset& x, const linalg::Matrix& y) {
       row_task_[mm * n + i] = mm;
     }
   const linalg::Matrix gram = buildStackedGram(*kernel_, l_entries_, log_noise_);
-  const bool ok = state_.refitDense(gram);
-  assert(ok && "multi-task Gram not factorizable");
-  (void)ok;
+  // Throw (not assert) on an unfactorizable stacked Gram: Release builds
+  // compile the assert out and the subsequent solves would read an empty
+  // factor. The server's supervision layer turns this throw into a
+  // per-campaign failure + restart instead of a process death.
+  if (!state_.refitDense(gram))
+    throw std::runtime_error(
+        "gp: multi-task Gram not factorizable even with escalated jitter "
+        "(non-finite entries?)");
   state_.solveTargets();
 }
 

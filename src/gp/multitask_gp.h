@@ -107,6 +107,11 @@ class MultiTaskGp {
   double gramConditionEstimate() const {
     return state_.chol ? state_.chol->conditionEstimate() : 1.0;
   }
+  /// Factorizations that needed the escalated jitter ladder (cumulative;
+  /// diffed across fits by the self-healing layer) and the jitter the last
+  /// rescue used.
+  std::uint64_t jitterEscalations() const { return state_.jitter_escalations; }
+  double lastEscalationJitter() const { return state_.last_escalation_jitter; }
 
  private:
   std::size_t numPacked() const;

@@ -10,7 +10,18 @@ namespace cmmfo::gp {
 
 bool PosteriorState::refitDense(const linalg::Matrix& gram_with_noise) {
   chol = linalg::Cholesky::factorizeWithJitter(gram_with_noise);
-  if (!chol) return false;
+  if (!chol) {
+    // Standard ladder exhausted (tops out near 1e-1): escalate from a
+    // larger base jitter with more tries (up to ~1e7 — enough to swamp any
+    // finite near-singular Gram). Anything still failing here has
+    // non-finite entries, which no jitter can fix.
+    chol = linalg::Cholesky::factorizeWithJitter(gram_with_noise,
+                                                 /*initial_jitter=*/1e-6,
+                                                 /*max_tries=*/14);
+    if (!chol) return false;
+    ++jitter_escalations;
+    last_escalation_jitter = chol->jitterUsed();
+  }
   base_rows = chol->dim();
   return true;
 }

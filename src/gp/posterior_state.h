@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "gp/kernel.h"
@@ -32,13 +33,23 @@ struct PosteriorState {
   Vec alpha;
   double lml = 0.0;
   std::size_t base_rows = 0;
+  /// Self-healing ledger: refitDense() factorizations that only succeeded
+  /// after escalating past the standard jitter ladder, and the jitter the
+  /// last such rescue needed. Cumulative over the model's lifetime (not
+  /// cleared by reset()) so callers can diff across a fit to detect a
+  /// rescue and emit a recovery diag record.
+  std::uint64_t jitter_escalations = 0;
+  double last_escalation_jitter = 0.0;
 
   bool fitted() const { return chol.has_value(); }
   std::size_t rows() const { return chol ? chol->dim() : 0; }
 
-  /// Factorize the noise-augmented Gram (with jitter fallback); resets the
-  /// append base to the full size. Returns false only if even the largest
-  /// jitter fails.
+  /// Factorize the noise-augmented Gram. On failure of the standard jitter
+  /// ladder (1e-10 growing 10x for 10 tries) the ladder is escalated from a
+  /// larger base with more tries — a rescue for Grams so degenerate the
+  /// routine remedy is insufficient (counted in jitter_escalations). Resets
+  /// the append base to the full size. Returns false only when even the
+  /// escalated ladder fails (e.g. non-finite Gram entries).
   bool refitDense(const linalg::Matrix& gram_with_noise);
 
   /// Rank-append one factor row (Cholesky::appendRow). A false return means

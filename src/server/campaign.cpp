@@ -174,8 +174,10 @@ Campaign::Campaign(CampaignSpec spec,
     : spec_(std::move(spec)),
       space_(std::move(space)),
       bench_(makeBenchmarkFor(spec_.benchmark)),
+      shared_(shared),
       sim_(makeSimFor(spec_, *bench_)),
-      stepper_(*space_, *sim_, spec_.opts, shared) {}
+      stepper_(std::make_unique<core::CampaignStepper>(*space_, *sim_,
+                                                       spec_.opts, shared_)) {}
 
 CampaignState Campaign::state() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -196,6 +198,7 @@ StatusSnapshot Campaign::snapshot() const {
   s.hypervolume = last_.hypervolume;
   s.resumed = last_.resumed;
   s.weight = spec_.weight;
+  s.restarts = restarts_;
   s.error = error_;
   return s;
 }
@@ -208,21 +211,24 @@ double Campaign::deficit() const {
 bool Campaign::beginStep() {
   std::lock_guard<std::mutex> lock(mu_);
   if (state_ != CampaignState::kQueued) return false;
+  if (Clock::now() < eligible_at_) return false;  // restart backoff
   state_ = CampaignState::kRunning;
+  step_begin_ = Clock::now();
+  stall_reported_ = false;
   return true;
 }
 
-core::RoundOutcome Campaign::runStep() { return stepper_.step(); }
+core::RoundOutcome Campaign::runStep() { return stepper_->step(); }
 
 CampaignState Campaign::endStep(const core::RoundOutcome& outcome) {
   std::lock_guard<std::mutex> lock(mu_);
   last_ = outcome;
   if (outcome.done) {
     state_ = CampaignState::kDone;
-    result_ = stepper_.finish();
+    result_ = stepper_->finish();
   } else if (pending_cancel_) {
     state_ = CampaignState::kCancelled;
-    result_ = stepper_.finish();
+    result_ = stepper_->finish();
   } else if (pending_pause_) {
     state_ = CampaignState::kPaused;
   } else {
@@ -237,6 +243,57 @@ void Campaign::fail(const std::string& what) {
   state_ = CampaignState::kFailed;
   error_ = what;
   pending_pause_ = pending_cancel_ = false;
+}
+
+CampaignState Campaign::scheduleRestart(std::chrono::milliseconds backoff,
+                                        const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  error_ = what;  // status keeps showing the last failure across restarts
+  if (pending_cancel_) {
+    // The tenant asked to cancel while the failing step was in flight; a
+    // failed step has no outcome to finalize, so cancel in place.
+    state_ = CampaignState::kCancelled;
+    pending_pause_ = pending_cancel_ = false;
+    return state_;
+  }
+  // Rebuild the whole execution stack from the spec. The old stepper may
+  // have died mid-round with arbitrary internal state; resuming lenient
+  // from the journal restores the last good checkpoint (or cold-starts when
+  // no journal was configured/survives) and replays deterministically.
+  CampaignSpec rspec = spec_;
+  rspec.opts.resume = true;
+  rspec.opts.resume_lenient = true;
+  sim_ = makeSimFor(rspec, *bench_);
+  stepper_ = std::make_unique<core::CampaignStepper>(*space_, *sim_,
+                                                     rspec.opts, shared_);
+  ++restarts_;
+  eligible_at_ = Clock::now() + backoff;
+  state_ = pending_pause_ ? CampaignState::kPaused : CampaignState::kQueued;
+  pending_pause_ = pending_cancel_ = false;
+  return state_;
+}
+
+int Campaign::restarts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restarts_;
+}
+
+Campaign::Clock::time_point Campaign::eligibleAt() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return eligible_at_;
+}
+
+double Campaign::stepSeconds(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != CampaignState::kRunning) return 0.0;
+  return std::chrono::duration<double>(now - step_begin_).count();
+}
+
+bool Campaign::markStalled() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != CampaignState::kRunning || stall_reported_) return false;
+  stall_reported_ = true;
+  return true;
 }
 
 bool Campaign::requestPause(std::string* err) {
@@ -274,7 +331,7 @@ bool Campaign::requestCancel(std::string* err) {
   // Queued/paused: cancel immediately. A campaign that never stepped has
   // no partial result to finalize.
   state_ = CampaignState::kCancelled;
-  if (stepper_.started()) result_ = stepper_.finish();
+  if (stepper_->started()) result_ = stepper_->finish();
   return true;
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -76,6 +78,7 @@ struct StatusSnapshot {
   double hypervolume = 0.0;  ///< NaN until the top fidelity has data
   bool resumed = false;
   double weight = 1.0;
+  int restarts = 0;  ///< supervised restarts after step failures
   std::string error;
 };
 
@@ -90,6 +93,8 @@ struct StatusSnapshot {
 /// recorded as pending flags and applied by endStep(), i.e. between rounds.
 class Campaign {
  public:
+  using Clock = std::chrono::steady_clock;
+
   Campaign(CampaignSpec spec, std::shared_ptr<const hls::DesignSpace> space,
            core::SharedRuntime shared);
 
@@ -100,7 +105,8 @@ class Campaign {
   double deficit() const;
 
   /// kQueued -> kRunning; false when the campaign is not runnable (another
-  /// driver has it, it is paused, or it is terminal).
+  /// driver has it, it is paused, it is terminal, or it is inside a
+  /// restart-backoff window). Stamps the step start time for the watchdog.
   bool beginStep();
   /// Execute one unit of work (init/resume round or one BO round). Only the
   /// driver that won beginStep() may call this; runs unlocked.
@@ -111,6 +117,34 @@ class Campaign {
   CampaignState endStep(const core::RoundOutcome& outcome);
   /// Record a step() failure: the campaign parks in kFailed with `what`.
   void fail(const std::string& what);
+
+  // ---- Supervision (crash-only restart policy; see docs/robustness.md) ----
+
+  /// Recover from a failed step: rebuild the simulator and stepper from the
+  /// spec with resume=true (lenient), so the next step restores the last
+  /// good checkpoint — or cold-starts when no/unreadable journal exists —
+  /// and replays trajectory-identically. Only the driver that owns the
+  /// kRunning state may call this. Honors a pending cancel (-> kCancelled,
+  /// no rebuild) and a pending pause (-> kPaused after rebuild); otherwise
+  /// re-queues with eligibility pushed `backoff` into the future. Returns
+  /// the state entered. Throws if the rebuild itself fails (the caller then
+  /// parks the campaign in kFailed).
+  CampaignState scheduleRestart(std::chrono::milliseconds backoff,
+                                const std::string& what);
+  int restarts() const;
+  /// Restart-backoff gate: the instant this campaign becomes runnable again
+  /// (epoch = always eligible). The fair scheduler skips future instants.
+  Clock::time_point eligibleAt() const;
+  /// Seconds the in-flight step has been running (0 when not running) —
+  /// the watchdog's stall measure.
+  double stepSeconds(Clock::time_point now) const;
+  /// First call per in-flight step returns true (the watchdog reports each
+  /// stalled step once); re-armed by the next beginStep().
+  bool markStalled();
+  /// Monotone per-campaign draw counter for deterministic chaos injection;
+  /// deliberately NOT reset by scheduleRestart so a restarted step draws a
+  /// fresh fault coin instead of replaying the fatal one forever.
+  std::uint64_t nextChaosTick() { return chaos_ticks_.fetch_add(1); }
 
   /// Tenant operations (applied between rounds when currently running).
   bool requestPause(std::string* err);
@@ -126,8 +160,13 @@ class Campaign {
   std::shared_ptr<const hls::DesignSpace> space_;
   /// Owns the kernel the simulator points into — must outlive sim_.
   std::shared_ptr<const bench_suite::Benchmark> bench_;
+  /// Shared pool/cache handles, kept so scheduleRestart can rebuild the
+  /// stepper against the same runtime.
+  core::SharedRuntime shared_;
   std::unique_ptr<sim::FpgaToolSim> sim_;
-  core::CampaignStepper stepper_;
+  /// unique_ptr so a supervised restart can discard a stepper whose step
+  /// threw mid-round and rebuild from the journal.
+  std::unique_ptr<core::CampaignStepper> stepper_;
 
   mutable std::mutex mu_;
   CampaignState state_ = CampaignState::kQueued;
@@ -136,6 +175,11 @@ class Campaign {
   core::RoundOutcome last_;
   std::optional<core::OptimizeResult> result_;
   std::string error_;
+  int restarts_ = 0;
+  Clock::time_point eligible_at_{};  // epoch = always eligible
+  Clock::time_point step_begin_{};
+  bool stall_reported_ = false;
+  std::atomic<std::uint64_t> chaos_ticks_{0};
 };
 
 /// Build the benchmark definition for a name. The simulator keeps a pointer

@@ -3,11 +3,21 @@
 namespace cmmfo::server {
 
 std::shared_ptr<Campaign> FairScheduler::pickNext(
-    const std::vector<std::shared_ptr<Campaign>>& candidates) {
+    const std::vector<std::shared_ptr<Campaign>>& candidates,
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point* next_eligible) {
   std::shared_ptr<Campaign> best;
   double best_deficit = 0.0;
   for (const std::shared_ptr<Campaign>& c : candidates) {
     if (c->state() != CampaignState::kQueued) continue;
+    const auto eligible = c->eligibleAt();
+    if (eligible > now) {  // restart backoff: not runnable yet
+      if (next_eligible != nullptr &&
+          (*next_eligible == std::chrono::steady_clock::time_point{} ||
+           eligible < *next_eligible))
+        *next_eligible = eligible;
+      continue;
+    }
     const double d = c->deficit();
     // Strict < keeps the first (smallest-id) campaign on a tie.
     if (best == nullptr || d < best_deficit) {

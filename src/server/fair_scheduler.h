@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -21,8 +22,20 @@ class FairScheduler {
   /// The queued campaign with the smallest deficit; ties break toward the
   /// smaller id so dispatch order is deterministic (candidates come from
   /// Registry::list(), which sorts by id). Null when nothing is runnable.
+  ///
+  /// Campaigns inside a restart-backoff window (eligibleAt() > now) are not
+  /// runnable yet; when at least one queued campaign was skipped for that
+  /// reason and `next_eligible` is non-null, it receives the earliest
+  /// instant a skipped campaign becomes runnable, so the driver can
+  /// wait_until instead of spinning.
   static std::shared_ptr<Campaign> pickNext(
-      const std::vector<std::shared_ptr<Campaign>>& candidates);
+      const std::vector<std::shared_ptr<Campaign>>& candidates,
+      std::chrono::steady_clock::time_point now,
+      std::chrono::steady_clock::time_point* next_eligible = nullptr);
+  static std::shared_ptr<Campaign> pickNext(
+      const std::vector<std::shared_ptr<Campaign>>& candidates) {
+    return pickNext(candidates, std::chrono::steady_clock::now());
+  }
 };
 
 }  // namespace cmmfo::server

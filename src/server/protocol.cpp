@@ -34,6 +34,13 @@ std::string errorResponse(const std::string& error) {
   return s;
 }
 
+std::string shedResponse(const std::string& error) {
+  std::string s = "{\"ok\":false,\"shed\":true,\"error\":";
+  util::putString(s, error);
+  s += "}";
+  return s;
+}
+
 namespace {
 
 void putStatusBody(std::string& s, const StatusSnapshot& st) {
@@ -57,6 +64,8 @@ void putStatusBody(std::string& s, const StatusSnapshot& st) {
   util::putDoubleOrNull(s, st.hypervolume);
   s += ",\"weight\":";
   util::putDouble(s, st.weight);
+  s += ",\"restarts\":";
+  util::putInt(s, st.restarts);
   s += ",\"resumed\":";
   s += st.resumed ? "true" : "false";
   if (!st.error.empty()) {
@@ -87,7 +96,7 @@ std::string listResponse(const std::vector<StatusSnapshot>& all) {
 
 std::string statsResponse(const runtime::EvalCache::Stats& cache,
                           const std::vector<StatusSnapshot>& all,
-                          double farm_makespan) {
+                          double farm_makespan, const SupervisionStats& sup) {
   int by_state[6] = {0, 0, 0, 0, 0, 0};
   for (const StatusSnapshot& st : all) ++by_state[static_cast<int>(st.state)];
   std::string s = "{\"ok\":true,\"cache\":{\"entries\":";
@@ -113,7 +122,15 @@ std::string statsResponse(const runtime::EvalCache::Stats& cache,
   }
   s += "},\"farm_makespan_seconds\":";
   util::putDouble(s, farm_makespan);
-  s += "}";
+  s += ",\"supervision\":{\"restarts\":";
+  util::putU64Bare(s, sup.restarts);
+  s += ",\"stalled_steps\":";
+  util::putU64Bare(s, sup.stalled_steps);
+  s += ",\"load_shed\":";
+  util::putU64Bare(s, sup.load_shed);
+  s += ",\"reaped_conns\":";
+  util::putU64Bare(s, sup.reaped_conns);
+  s += "}}";
   return s;
 }
 
@@ -141,6 +158,53 @@ std::string roundEvent(const std::string& id, const core::RoundOutcome& o,
   util::putDoubleOrNull(s, o.hypervolume);
   s += ",\"step_seconds\":";
   util::putDouble(s, step_seconds);
+  s += "}";
+  return s;
+}
+
+std::string restartEvent(const std::string& id, int restarts,
+                         double backoff_ms, const std::string& error) {
+  std::string s = "{\"event\":\"restart\",\"id\":";
+  util::putString(s, id);
+  s += ",\"restarts\":";
+  util::putInt(s, restarts);
+  s += ",\"backoff_ms\":";
+  util::putDouble(s, backoff_ms);
+  s += ",\"error\":";
+  util::putString(s, error);
+  s += "}";
+  return s;
+}
+
+std::string stallEvent(const std::string& id, double step_seconds,
+                       double deadline_seconds) {
+  std::string s = "{\"event\":\"stall\",\"id\":";
+  util::putString(s, id);
+  s += ",\"step_seconds\":";
+  util::putDouble(s, step_seconds);
+  s += ",\"deadline_seconds\":";
+  util::putDouble(s, deadline_seconds);
+  s += "}";
+  return s;
+}
+
+std::string heartbeatEvent(std::size_t campaigns, std::size_t steps_executed,
+                           const SupervisionStats& sup,
+                           double uptime_seconds) {
+  std::string s = "{\"event\":\"heartbeat\",\"campaigns\":";
+  util::putU64Bare(s, campaigns);
+  s += ",\"steps_executed\":";
+  util::putU64Bare(s, steps_executed);
+  s += ",\"restarts\":";
+  util::putU64Bare(s, sup.restarts);
+  s += ",\"stalled_steps\":";
+  util::putU64Bare(s, sup.stalled_steps);
+  s += ",\"load_shed\":";
+  util::putU64Bare(s, sup.load_shed);
+  s += ",\"reaped_conns\":";
+  util::putU64Bare(s, sup.reaped_conns);
+  s += ",\"uptime_seconds\":";
+  util::putDouble(s, uptime_seconds);
   s += "}";
   return s;
 }

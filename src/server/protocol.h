@@ -31,21 +31,47 @@ struct Request {
 /// error response and keeps the connection.
 bool parseRequest(const std::string& line, Request* out, std::string* err);
 
+/// Supervision counters carried in stats responses and heartbeat events.
+struct SupervisionStats {
+  std::size_t restarts = 0;       ///< supervised campaign restarts
+  std::size_t stalled_steps = 0;  ///< watchdog deadline overruns reported
+  std::size_t load_shed = 0;      ///< submissions refused at capacity
+  std::size_t reaped_conns = 0;   ///< idle connections shut down
+};
+
 // ---- Response/event builders (each returns one line, no trailing \n). ----
 std::string okResponse();
 std::string errorResponse(const std::string& error);
+/// Load-shed reply: an error frame with "shed":true so clients can
+/// distinguish "retry later" from a malformed request.
+std::string shedResponse(const std::string& error);
 std::string statusResponse(const StatusSnapshot& s);
 /// {"ok":true,"campaigns":[<status>...]} in id order.
 std::string listResponse(const std::vector<StatusSnapshot>& all);
-/// Shared-runtime stats: cache ledger plus campaign counts by state.
+/// Shared-runtime stats: cache ledger plus campaign counts by state and
+/// the supervision counters.
 std::string statsResponse(const runtime::EvalCache::Stats& cache,
                           const std::vector<StatusSnapshot>& all,
-                          double farm_makespan);
+                          double farm_makespan,
+                          const SupervisionStats& sup = {});
 /// Streamed once per executed campaign step. `step_seconds` is the real
 /// (host) time the step took inside the driver.
 std::string roundEvent(const std::string& id, const core::RoundOutcome& o,
                        double step_seconds);
 std::string stateEvent(const std::string& id, CampaignState state,
                        const std::string& error = "");
+/// Streamed when supervision re-queues a failed campaign: which restart
+/// attempt this is, the backoff before it becomes runnable, and the error
+/// that triggered it.
+std::string restartEvent(const std::string& id, int restarts,
+                         double backoff_ms, const std::string& error);
+/// Streamed when the watchdog sees a step exceed its deadline (once per
+/// in-flight step).
+std::string stallEvent(const std::string& id, double step_seconds,
+                       double deadline_seconds);
+/// Periodic daemon liveness record on the event stream.
+std::string heartbeatEvent(std::size_t campaigns, std::size_t steps_executed,
+                           const SupervisionStats& sup,
+                           double uptime_seconds);
 
 }  // namespace cmmfo::server

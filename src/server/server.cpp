@@ -10,6 +10,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "server/fair_scheduler.h"
@@ -17,6 +19,48 @@
 namespace cmmfo::server {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic chaos coin in [0, 1): splitmix64 finalize over the chaos
+/// seed, an FNV-1a hash of the campaign id, and the per-campaign attempt
+/// counter. Same (seed, id, tick) -> same draw, on any host.
+double chaosUniform(std::uint64_t seed, const std::string& id,
+                    std::uint64_t tick) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t x = seed ^ h;
+  x += 0x9e3779b97f4a7c15ULL * (tick + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Atomic small-file write: temp in the same directory, then rename.
+void writeFileAtomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  fs::rename(tmp, path);
+}
+
+}  // namespace
 
 OptimizationServer::OptimizationServer(ServerOptions opts)
     : opts_(std::move(opts)),
@@ -39,10 +83,14 @@ void OptimizationServer::start() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_stopping_ = false;
   }
+  started_at_ = SteadyClock::now();
   if (opts_.resume && !opts_.journal_dir.empty()) resumeFromJournal();
   const int slots = std::max(opts_.slots, 1);
   for (int i = 0; i < slots; ++i)
     drivers_.emplace_back([this] { driverLoop(); });
+  if (opts_.heartbeat_seconds > 0.0 || opts_.step_deadline_seconds > 0.0 ||
+      opts_.idle_timeout_seconds > 0.0)
+    watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 void OptimizationServer::requestStop() {
@@ -61,7 +109,8 @@ void OptimizationServer::requestStop() {
   }
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_stopping_ = true;
-  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (const std::shared_ptr<ConnState>& c : conns_)
+    ::shutdown(c->fd, SHUT_RDWR);
 }
 
 void OptimizationServer::stop() {
@@ -74,6 +123,7 @@ void OptimizationServer::stop() {
   for (std::thread& t : drivers_)
     if (t.joinable()) t.join();
   drivers_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> conns;
   {
@@ -88,16 +138,87 @@ void OptimizationServer::stop() {
 
 void OptimizationServer::notifyAll() { cv_.notify_all(); }
 
+void OptimizationServer::maybeInjectChaos(Campaign& c) const {
+  const ServerOptions::ChaosOptions& ch = opts_.chaos;
+  if (ch.step_fault_prob <= 0.0 && ch.step_hang_prob <= 0.0) return;
+  const std::string& id = c.spec().id;
+  if (!ch.only_id.empty() && ch.only_id != id) return;
+  const double u = chaosUniform(ch.seed, id, c.nextChaosTick());
+  if (u < ch.step_fault_prob)
+    throw std::runtime_error("chaos: injected step fault");
+  // A hung eval: sleep, then run the step normally. The delay is invisible
+  // to the trajectory (nothing in the optimizer reads wall clocks into
+  // algorithm state) but the watchdog must report the overrun.
+  if (u < ch.step_fault_prob + ch.step_hang_prob)
+    std::this_thread::sleep_for(std::chrono::milliseconds(ch.hang_ms));
+}
+
+void OptimizationServer::superviseFailure(const std::shared_ptr<Campaign>& c,
+                                          const std::string& what) {
+  const std::string& id = c->spec().id;
+  std::string reason = what;
+  if (opts_.max_restarts > 0 && c->restarts() < opts_.max_restarts) {
+    const int prior = c->restarts();
+    const long long base = std::max(opts_.restart_backoff_ms, 0);
+    const auto backoff =
+        std::chrono::milliseconds(base << std::min(prior, 20));
+    try {
+      const CampaignState st = c->scheduleRestart(backoff, what);
+      if (st == CampaignState::kCancelled) {
+        writeFinalFile(id, st);
+        publish(stateEvent(id, st));
+        return;
+      }
+      ++restarts_total_;
+      std::string d = "{\"type\":\"failure\",\"action\":\"restart\",\"id\":";
+      util::putString(d, id);
+      d += ",\"restarts\":";
+      util::putInt(d, c->restarts());
+      d += ",\"backoff_ms\":";
+      util::putDouble(d, static_cast<double>(backoff.count()));
+      d += ",\"error\":";
+      util::putString(d, what);
+      d += "}";
+      appendDiag(id, d);
+      publish(restartEvent(id, c->restarts(),
+                           static_cast<double>(backoff.count()), what));
+      if (st == CampaignState::kPaused) publish(stateEvent(id, st));
+      return;
+    } catch (const std::exception& e) {
+      reason += std::string("; restart failed: ") + e.what();
+    } catch (...) {
+      reason += "; restart failed: unknown exception";
+    }
+  }
+  c->fail(reason);
+  std::string d = "{\"type\":\"failure\",\"action\":\"failed\",\"id\":";
+  util::putString(d, id);
+  d += ",\"restarts\":";
+  util::putInt(d, c->restarts());
+  d += ",\"error\":";
+  util::putString(d, reason);
+  d += "}";
+  appendDiag(id, d);
+  writeFinalFile(id, CampaignState::kFailed);
+  publish(stateEvent(id, CampaignState::kFailed, reason));
+}
+
 void OptimizationServer::driverLoop() {
   while (true) {
     std::shared_ptr<Campaign> claimed;
     {
       std::unique_lock<std::mutex> lock(mu_);
       while (!stopping_) {
-        const std::shared_ptr<Campaign> next =
-            FairScheduler::pickNext(registry_.list());
+        SteadyClock::time_point next_eligible{};
+        const std::shared_ptr<Campaign> next = FairScheduler::pickNext(
+            registry_.list(), SteadyClock::now(), &next_eligible);
         if (next == nullptr) {
-          cv_.wait(lock);
+          // Nothing runnable. If queued campaigns are merely inside their
+          // restart backoff, sleep until the earliest becomes eligible.
+          if (next_eligible != SteadyClock::time_point{})
+            cv_.wait_until(lock, next_eligible);
+          else
+            cv_.wait(lock);
           continue;
         }
         // Claims happen only under mu_, so this cannot race another
@@ -112,11 +233,12 @@ void OptimizationServer::driverLoop() {
     }
 
     const std::string& id = claimed->spec().id;
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = SteadyClock::now();
     core::RoundOutcome outcome;
     std::string what;
     bool failed = false;
     try {
+      maybeInjectChaos(*claimed);
       outcome = claimed->runStep();
     } catch (const std::exception& e) {
       failed = true;
@@ -126,17 +248,34 @@ void OptimizationServer::driverLoop() {
       what = "unknown exception in campaign step";
     }
     const double step_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+        std::chrono::duration<double>(SteadyClock::now() - t0).count();
 
     if (failed) {
-      claimed->fail(what);
-      writeFinalFile(id, CampaignState::kFailed);
-      publish(stateEvent(id, CampaignState::kFailed, what));
+      // Failure isolation: only THIS campaign restarts or fails; the
+      // daemon, the drivers, and every co-tenant keep running.
+      superviseFailure(claimed, what);
     } else {
       farm_.placeRound(id, outcome.job_seconds);
       const CampaignState st = claimed->endStep(outcome);
       ++steps_executed_;
+      if (!outcome.resume_note.empty()) {
+        std::string d = "{\"type\":\"journal\",\"id\":";
+        util::putString(d, id);
+        d += ",\"note\":";
+        util::putString(d, outcome.resume_note);
+        d += "}";
+        appendDiag(id, d);
+      }
+      for (const std::string& note : outcome.recovery_notes) {
+        std::string d = "{\"type\":\"recovery\",\"id\":";
+        util::putString(d, id);
+        d += ",\"round\":";
+        util::putInt(d, outcome.round);
+        d += ",\"note\":";
+        util::putString(d, note);
+        d += "}";
+        appendDiag(id, d);
+      }
       publish(roundEvent(id, outcome, step_seconds));
       if (terminal(st)) {
         writeFinalFile(id, st);
@@ -146,6 +285,71 @@ void OptimizationServer::driverLoop() {
       }
     }
     notifyAll();  // re-queued work for other drivers / drain() progress
+  }
+}
+
+void OptimizationServer::watchdogLoop() {
+  // Tick at the finest enabled granularity (half-period for the deadline
+  // and idle scans so an overrun is seen within ~1.5x its bound).
+  double tick = 3600.0;
+  if (opts_.heartbeat_seconds > 0.0) tick = std::min(tick, opts_.heartbeat_seconds);
+  if (opts_.step_deadline_seconds > 0.0)
+    tick = std::min(tick, opts_.step_deadline_seconds / 2.0);
+  if (opts_.idle_timeout_seconds > 0.0)
+    tick = std::min(tick, opts_.idle_timeout_seconds / 2.0);
+  tick = std::max(tick, 0.005);
+  auto last_heartbeat = SteadyClock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(tick));
+    if (stopping_) break;
+    lock.unlock();
+
+    const auto now = SteadyClock::now();
+    if (opts_.heartbeat_seconds > 0.0 &&
+        std::chrono::duration<double>(now - last_heartbeat).count() >=
+            opts_.heartbeat_seconds) {
+      last_heartbeat = now;
+      publish(heartbeatEvent(
+          registry_.size(), steps_executed_.load(), supervisionStats(),
+          std::chrono::duration<double>(now - started_at_).count()));
+    }
+    if (opts_.step_deadline_seconds > 0.0) {
+      for (const std::shared_ptr<Campaign>& c : registry_.list()) {
+        const double secs = c->stepSeconds(now);
+        if (secs > opts_.step_deadline_seconds && c->markStalled()) {
+          ++stalled_steps_;
+          const std::string& id = c->spec().id;
+          std::string d = "{\"type\":\"stall\",\"id\":";
+          util::putString(d, id);
+          d += ",\"step_seconds\":";
+          util::putDouble(d, secs);
+          d += ",\"deadline_seconds\":";
+          util::putDouble(d, opts_.step_deadline_seconds);
+          d += "}";
+          appendDiag(id, d);
+          publish(stallEvent(id, secs, opts_.step_deadline_seconds));
+        }
+      }
+    }
+    if (opts_.idle_timeout_seconds > 0.0) {
+      const std::int64_t cutoff_ms =
+          nowMs() -
+          static_cast<std::int64_t>(opts_.idle_timeout_seconds * 1000.0);
+      std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      for (const std::shared_ptr<ConnState>& c : conns_) {
+        if (c->subscribed.load() || c->last_active_ms.load() > cutoff_ms)
+          continue;
+        if (!c->reaped.exchange(true)) {
+          // The reader thread wakes with EOF and retires the connection;
+          // the latch keeps one idle socket from counting every tick.
+          ::shutdown(c->fd, SHUT_RDWR);
+          ++reaped_conns_;
+        }
+      }
+    }
+    lock.lock();
   }
 }
 
@@ -167,14 +371,38 @@ void OptimizationServer::drain() {
   });
 }
 
-bool OptimizationServer::submit(const CampaignSpec& spec, std::string* err) {
+bool OptimizationServer::submit(const CampaignSpec& spec, std::string* err,
+                                bool* shed) {
+  if (shed != nullptr) *shed = false;
   if (!validCampaignId(spec.id)) {
     if (err != nullptr) *err = "invalid campaign id";
     return false;
   }
+  // Admission control: serialize the capacity check with the insert so two
+  // racing submits cannot overshoot max_campaigns.
+  std::lock_guard<std::mutex> admission_lock(admission_mu_);
+  if (opts_.max_campaigns > 0) {
+    std::size_t active = 0;
+    for (const std::shared_ptr<Campaign>& c : registry_.list())
+      if (!terminal(c->state())) ++active;
+    if (active >= opts_.max_campaigns) {
+      ++load_shed_;
+      if (err != nullptr)
+        *err = "server at capacity (" +
+               std::to_string(opts_.max_campaigns) +
+               " active campaigns): submission shed, retry later";
+      if (shed != nullptr) *shed = true;
+      return false;
+    }
+  }
   CampaignSpec s = spec;
   if (!opts_.journal_dir.empty())
     s.opts.checkpoint_path = journalPath(s.id, ".ckpt.json");
+  // Daemon journaling policy: CRC-framed checkpoints with rollback frames,
+  // and lenient resume — a torn or missing journal quarantines/cold-starts
+  // the one campaign instead of refusing the whole daemon start.
+  s.opts.framed_journal = opts_.framed_journal;
+  s.opts.resume_lenient = true;
 
   std::shared_ptr<const hls::DesignSpace> space;
   try {
@@ -262,12 +490,22 @@ std::vector<StatusSnapshot> OptimizationServer::list() const {
   return out;
 }
 
+SupervisionStats OptimizationServer::supervisionStats() const {
+  SupervisionStats sup;
+  sup.restarts = restarts_total_.load();
+  sup.stalled_steps = stalled_steps_.load();
+  sup.load_shed = load_shed_.load();
+  sup.reaped_conns = reaped_conns_.load();
+  return sup;
+}
+
 ServerStats OptimizationServer::stats() const {
   ServerStats s;
   s.cache = cache_.stats();
   s.farm_makespan_seconds = farm_.makespan();
   s.campaigns = registry_.size();
   s.steps_executed = steps_executed_.load();
+  s.supervision = supervisionStats();
   return s;
 }
 
@@ -324,8 +562,7 @@ std::string OptimizationServer::journalPath(const std::string& id,
 
 void OptimizationServer::writeSpecFile(const CampaignSpec& spec) const {
   if (opts_.journal_dir.empty()) return;
-  util::writeTextTo(journalPath(spec.id, ".spec.json"),
-                    specToJson(spec) + "\n");
+  writeFileAtomic(journalPath(spec.id, ".spec.json"), specToJson(spec) + "\n");
 }
 
 void OptimizationServer::writeFinalFile(const std::string& id,
@@ -336,7 +573,15 @@ void OptimizationServer::writeFinalFile(const std::string& id,
   s += ",\"state\":";
   util::putString(s, stateName(state));
   s += "}\n";
-  util::writeTextTo(journalPath(id, ".final.json"), s);
+  writeFileAtomic(journalPath(id, ".final.json"), s);
+}
+
+void OptimizationServer::appendDiag(const std::string& id,
+                                    const std::string& line) const {
+  if (opts_.journal_dir.empty()) return;
+  std::lock_guard<std::mutex> lock(diag_mu_);
+  std::ofstream out(journalPath(id, ".diag.jsonl"), std::ios::app);
+  out << line << "\n";
 }
 
 void OptimizationServer::resumeFromJournal() {
@@ -350,19 +595,54 @@ void OptimizationServer::resumeFromJournal() {
     ids.push_back(name.substr(0, name.size() - kSpec.size()));
   }
   std::sort(ids.begin(), ids.end());  // deterministic re-submit order
-  for (const std::string& id : ids) {
-    if (fs::exists(journalPath(id, ".final.json"))) continue;  // finished
-    std::ifstream in(journalPath(id, ".spec.json"));
+  const auto readAll = [](const std::string& path) {
+    std::ifstream in(path);
     std::stringstream buf;
     buf << in.rdbuf();
+    return buf.str();
+  };
+  for (const std::string& id : ids) {
+    const std::string final_path = journalPath(id, ".final.json");
+    if (fs::exists(final_path)) {
+      // Trust the final marker only when it actually parses: an empty or
+      // torn one means the daemon died mid-write, so the campaign is NOT
+      // reliably finished — warn and re-queue it from its spec.
+      util::Json fj;
+      std::string ferr;
+      if (util::parseJson(readAll(final_path), &fj, &ferr) &&
+          fj.kind == util::Json::kObj && !fj.strOr("state", "").empty())
+        continue;  // genuinely finished
+      std::string d = "{\"type\":\"resume_warning\",\"id\":";
+      util::putString(d, id);
+      d += ",\"note\":\"final marker unreadable; re-queued from spec\"}";
+      appendDiag(id, d);
+    }
     util::Json j;
     CampaignSpec spec;
     std::string err;
-    if (!util::parseJson(buf.str(), &j, &err) ||
-        !specFromJson(j, &spec, &err))
-      continue;  // a corrupt spec must not take the whole daemon down
+    if (!util::parseJson(readAll(journalPath(id, ".spec.json")), &j, &err) ||
+        !specFromJson(j, &spec, &err)) {
+      // A corrupt spec must not take the whole daemon down: log and skip.
+      std::string d = "{\"type\":\"resume_warning\",\"id\":";
+      util::putString(d, id);
+      d += ",\"note\":";
+      util::putString(d, "corrupt spec file, campaign skipped: " + err);
+      d += "}";
+      appendDiag(id, d);
+      continue;
+    }
     spec.opts.resume = true;  // pick the trajectory up from <id>.ckpt.json
-    submit(spec, &err);
+    if (!submit(spec, &err)) {
+      std::string d = "{\"type\":\"resume_warning\",\"id\":";
+      util::putString(d, id);
+      d += ",\"note\":";
+      util::putString(d, "re-submit failed: " + err);
+      d += "}";
+      appendDiag(id, d);
+    }
+    // A missing, empty, or torn <id>.ckpt.json is handled downstream by
+    // the lenient resume: the optimizer rolls back to the last intact
+    // frame or cold-starts, and its resume_note lands in <id>.diag.jsonl.
   }
 }
 
@@ -378,7 +658,9 @@ std::string OptimizationServer::handleLine(const std::string& line,
   if (req.op == "submit") {
     CampaignSpec spec;
     if (!specFromJson(req.body, &spec, &err)) return errorResponse(err);
-    if (!submit(spec, &err)) return errorResponse(err);
+    bool shed = false;
+    if (!submit(spec, &err, &shed))
+      return shed ? shedResponse(err) : errorResponse(err);
     return okResponse();
   }
   if (req.op == "status") {
@@ -389,7 +671,8 @@ std::string OptimizationServer::handleLine(const std::string& line,
   if (req.op == "list") return listResponse(list());
   if (req.op == "stats") {
     const ServerStats st = stats();
-    return statsResponse(st.cache, list(), st.farm_makespan_seconds);
+    return statsResponse(st.cache, list(), st.farm_makespan_seconds,
+                         st.supervision);
   }
   if (req.op == "pause")
     return pause(req.id, &err) ? okResponse() : errorResponse(err);
@@ -426,7 +709,11 @@ void OptimizationServer::serveStdio(std::istream& in, std::ostream& out) {
   std::string line;
   while (!quit && std::getline(in, line)) {
     if (line.empty()) continue;
-    const std::string resp = handleLine(line, sink, &quit, &sub_token);
+    const std::string resp =
+        line.size() > opts_.max_line_bytes
+            ? errorResponse("request line exceeds max_line_bytes (" +
+                            std::to_string(opts_.max_line_bytes) + ")")
+            : handleLine(line, sink, &quit, &sub_token);
     std::lock_guard<std::mutex> lock(*out_mu);
     out << resp << "\n";
     out.flush();
@@ -470,12 +757,16 @@ void OptimizationServer::acceptLoop() {
       ::close(conn);
       continue;
     }
-    conn_fds_.push_back(conn);
-    conn_threads_.emplace_back([this, conn] { serveFd(conn); });
+    auto state = std::make_shared<ConnState>();
+    state->fd = conn;
+    state->last_active_ms.store(nowMs());
+    conns_.push_back(state);
+    conn_threads_.emplace_back([this, state] { serveFd(state); });
   }
 }
 
-void OptimizationServer::serveFd(int fd) {
+void OptimizationServer::serveFd(const std::shared_ptr<ConnState>& conn) {
+  const int fd = conn->fd;
   const auto write_mu = std::make_shared<std::mutex>();
   const auto writeLine = [fd, write_mu](const std::string& line) {
     std::lock_guard<std::mutex> lock(*write_mu);
@@ -490,13 +781,29 @@ void OptimizationServer::serveFd(int fd) {
   while (!quit) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n <= 0) break;
+    conn->last_active_ms.store(nowMs());
     buf.append(chunk, static_cast<std::size_t>(n));
     std::size_t pos;
     while (!quit && (pos = buf.find('\n')) != std::string::npos) {
       const std::string line = buf.substr(0, pos);
       buf.erase(0, pos + 1);
       if (line.empty()) continue;
+      if (line.size() > opts_.max_line_bytes) {
+        // A complete-but-oversized request: answer and resync at the
+        // newline we already found.
+        writeLine(errorResponse("request line exceeds max_line_bytes (" +
+                                std::to_string(opts_.max_line_bytes) + ")"));
+        continue;
+      }
       writeLine(handleLine(line, writeLine, &quit, &sub_token));
+      if (sub_token >= 0) conn->subscribed.store(true);
+    }
+    if (buf.size() > opts_.max_line_bytes) {
+      // A newline-free buffer past the bound is a hostile or broken peer:
+      // there is no frame boundary left to resync on, so hang up.
+      writeLine(errorResponse(
+          "unterminated request exceeds max_line_bytes; closing connection"));
+      break;
     }
   }
   if (sub_token >= 0) unsubscribe(sub_token);
@@ -504,8 +811,11 @@ void OptimizationServer::serveFd(int fd) {
     // Retire the fd from the shutdown sweep's ledger before closing it, so
     // requestStop() cannot shut down a recycled descriptor number.
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                    conn_fds_.end());
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [&](const std::shared_ptr<ConnState>& c) {
+                                  return c.get() == conn.get();
+                                }),
+                 conns_.end());
   }
   ::close(fd);
   // The shutdown op only INITIATES the stop from a connection thread; the

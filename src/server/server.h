@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -37,6 +38,46 @@ struct ServerOptions {
   bool resume = false;
   /// Shared eval-cache LRU bound in flows; 0 = unbounded.
   std::size_t cache_capacity = 0;
+
+  // ---- Supervision & robustness (see docs/robustness.md). ----
+  /// CRC-framed multi-generation checkpoint journals (torn-tail detection
+  /// + one-round rollback on resume). Plain single-JSON journals otherwise.
+  bool framed_journal = true;
+  /// Failed steps re-queue the campaign (rebuilt from its last good
+  /// checkpoint) up to this many times before it parks in kFailed
+  /// permanently; 0 disables restarts (first failure is final).
+  int max_restarts = 2;
+  /// Base restart backoff; doubles per restart already consumed.
+  int restart_backoff_ms = 100;
+  /// Watchdog: report (once per step) any step running longer than this;
+  /// 0 disables. The step is NOT killed — evals are cooperative — but the
+  /// stall is streamed, journaled, and counted.
+  double step_deadline_seconds = 0.0;
+  /// Emit a heartbeat event on the stream this often; 0 disables.
+  double heartbeat_seconds = 0.0;
+  /// Shut down TCP connections idle (no request, not subscribed) longer
+  /// than this; 0 disables.
+  double idle_timeout_seconds = 0.0;
+  /// Admission bound on non-terminal campaigns; submits beyond it are shed
+  /// with an explicit load-shed reply. 0 = unbounded.
+  std::size_t max_campaigns = 0;
+  /// Protocol line-length bound: a complete longer line gets an error
+  /// reply; an unbounded (newline-free) buffer closes the connection.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Deterministic fault injection for the chaos harness: before each
+  /// claimed step, a seeded per-(campaign, attempt) coin either throws a
+  /// synthetic step fault or sleeps `hang_ms` (a hung eval the watchdog
+  /// must catch). Injection happens BEFORE the stepper runs, so a
+  /// restarted campaign replays its trajectory bit-identically.
+  struct ChaosOptions {
+    std::uint64_t seed = 0;
+    double step_fault_prob = 0.0;
+    double step_hang_prob = 0.0;
+    int hang_ms = 20;
+    /// Restrict injection to one campaign id (empty = all): lets tests pin
+    /// faults on a victim and assert bystanders are untouched.
+    std::string only_id;
+  } chaos;
 };
 
 /// Aggregate counters for the stats endpoint / throughput bench.
@@ -45,6 +86,7 @@ struct ServerStats {
   double farm_makespan_seconds = 0.0;
   std::size_t campaigns = 0;
   std::size_t steps_executed = 0;
+  SupervisionStats supervision;
 };
 
 /// Long-running multi-campaign optimization daemon: many tenants' BO
@@ -86,7 +128,10 @@ class OptimizationServer {
   void waitUntilStopped();
 
   // ---- Tenant operations (all safe from any thread). ----
-  bool submit(const CampaignSpec& spec, std::string* err);
+  /// `shed` (when non-null) is set true iff the refusal was admission
+  /// control (server at max_campaigns), i.e. "retry later", not "bad spec".
+  bool submit(const CampaignSpec& spec, std::string* err,
+              bool* shed = nullptr);
   bool pause(const std::string& id, std::string* err);
   bool resumeCampaign(const std::string& id, std::string* err);
   bool cancel(const std::string& id, std::string* err);
@@ -121,19 +166,42 @@ class OptimizationServer {
   const ServerOptions& options() const { return opts_; }
 
  private:
+  /// Per-TCP-connection ledger entry: the fd plus the watchdog's idle-reap
+  /// inputs (last request instant, subscription flag, reaped-once latch).
+  struct ConnState {
+    int fd = -1;
+    std::atomic<std::int64_t> last_active_ms{0};
+    std::atomic<bool> subscribed{false};
+    std::atomic<bool> reaped{false};
+  };
+
   void driverLoop();
+  void watchdogLoop();
   void acceptLoop();
-  void serveFd(int fd);
+  void serveFd(const std::shared_ptr<ConnState>& conn);
   /// Initiate shutdown without joining anything: set stopping_, close the
   /// listener, and shut down live connection sockets so their readers
   /// unblock. Safe from any thread (the shutdown op calls it from a
   /// connection thread); stop() runs it first, then joins.
   void requestStop();
+  /// Throw/sleep per the seeded chaos coin for this campaign's next
+  /// attempt; no-op when chaos is off or the campaign is not targeted.
+  void maybeInjectChaos(Campaign& c) const;
+  /// Supervision response to a failed step: restart (with backoff) while
+  /// attempts remain, else park in kFailed; journals a diagnostic record
+  /// and publishes the transition either way.
+  void superviseFailure(const std::shared_ptr<Campaign>& c,
+                        const std::string& what);
   /// Journal helpers (no-ops without journal_dir).
   void writeSpecFile(const CampaignSpec& spec) const;
   void writeFinalFile(const std::string& id, CampaignState state) const;
   void resumeFromJournal();
   std::string journalPath(const std::string& id, const char* suffix) const;
+  /// Append one record line to `<id>.diag.jsonl` (no-op without
+  /// journal_dir): failures, restarts, stalls, journal rollbacks, surrogate
+  /// recovery notes.
+  void appendDiag(const std::string& id, const std::string& line) const;
+  SupervisionStats supervisionStats() const;
   void publish(const std::string& line);
   /// Wake drivers (new work) and drain()ers (work finished).
   void notifyAll();
@@ -165,6 +233,19 @@ class OptimizationServer {
   std::map<int, std::shared_ptr<Subscriber>> subscribers_;
   std::atomic<std::size_t> steps_executed_{0};
 
+  /// Supervision machinery. The watchdog thread ticks on cv_ (so stop()
+  /// wakes it), emits heartbeats, reports stalled steps, and reaps idle
+  /// connections. admission_mu_ serializes the max_campaigns check with the
+  /// registry insert so concurrent submits cannot overshoot the bound.
+  std::thread watchdog_;
+  std::chrono::steady_clock::time_point started_at_{};
+  mutable std::mutex admission_mu_;
+  mutable std::mutex diag_mu_;
+  std::atomic<std::size_t> restarts_total_{0};
+  std::atomic<std::size_t> stalled_steps_{0};
+  std::atomic<std::size_t> load_shed_{0};
+  std::atomic<std::size_t> reaped_conns_{0};
+
   /// Design spaces are immutable and expensive to build: shared across
   /// campaigns of the same benchmark. Guarded by spaces_mu_.
   mutable std::mutex spaces_mu_;
@@ -178,7 +259,7 @@ class OptimizationServer {
   std::thread accept_thread_;
   std::mutex conns_mu_;
   std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  std::vector<std::shared_ptr<ConnState>> conns_;
   bool conns_stopping_ = false;
 };
 

@@ -1,0 +1,33 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace cmmfo::util {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+constexpr std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = makeTable();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace cmmfo::util

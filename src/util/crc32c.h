@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cmmfo::util {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) over a
+/// byte range. Table-driven, no hardware requirement; the same polynomial
+/// used by iSCSI/ext4 journal framing, chosen over CRC-32 (IEEE) for its
+/// better burst-error detection on short records. `seed` lets callers chain
+/// ranges: crc32c(b, n2, crc32c(a, n1)) == crc32c(concat(a,b), n1+n2).
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace cmmfo::util

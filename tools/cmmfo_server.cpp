@@ -7,8 +7,16 @@
 //                 (headless tests, CI smoke, driving from a script)
 //   --port N      listen on 127.0.0.1:N (0 = pick an ephemeral port)
 // With --journal DIR every campaign persists a spec file and a per-round
-// checkpoint; `--resume` on a restart picks every unfinished campaign up
-// trajectory-identically (kill -9 safe — checkpoints are atomic).
+// CRC-framed checkpoint; `--resume` on a restart picks every unfinished
+// campaign up trajectory-identically (kill -9 safe — torn journal tails
+// are detected, quarantined, and rolled back to the last intact frame).
+//
+// Supervision: failed steps restart from the last good checkpoint with
+// exponential backoff (--max-restarts / --restart-backoff-ms); a watchdog
+// reports steps overrunning --step-deadline, emits --heartbeat liveness
+// events, and reaps TCP connections idle past --idle-timeout. SIGTERM and
+// SIGINT trigger one blocking graceful stop; a second signal exits
+// immediately with status 128+sig.
 //
 // Example session (stdio):
 //   {"op":"submit","id":"a","benchmark":"spmv_crs","seed":7,"n_iter":10}
@@ -16,26 +24,43 @@
 //   {"op":"drain"}
 //   {"op":"shutdown"}
 
+#include <pthread.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "server/server.h"
 
 namespace {
 
 void usage() {
-  std::fprintf(stderr,
-               "usage: cmmfo_server (--stdio | --port N) [options]\n"
-               "  --stdio            serve the line protocol on stdin/stdout\n"
-               "  --port N           listen on 127.0.0.1:N (0 = ephemeral)\n"
-               "  --workers N        shared eval-pool width (default 4)\n"
-               "  --slots N          concurrent campaign steps (default 2)\n"
-               "  --journal DIR      per-campaign spec+checkpoint journals\n"
-               "  --resume           resume unfinished journaled campaigns\n"
-               "  --cache-capacity N LRU bound in cached flows (0 = none)\n");
+  std::fprintf(
+      stderr,
+      "usage: cmmfo_server (--stdio | --port N) [options]\n"
+      "  --stdio               serve the line protocol on stdin/stdout\n"
+      "  --port N              listen on 127.0.0.1:N (0 = ephemeral)\n"
+      "  --workers N           shared eval-pool width (default 4)\n"
+      "  --slots N             concurrent campaign steps (default 2)\n"
+      "  --journal DIR         per-campaign spec+checkpoint journals\n"
+      "  --resume              resume unfinished journaled campaigns\n"
+      "  --cache-capacity N    LRU bound in cached flows (0 = none)\n"
+      "  --max-campaigns N     admission bound on active campaigns\n"
+      "  --max-line-bytes N    protocol line-length limit (default 1MiB)\n"
+      "  --max-restarts N      restarts per failed campaign (default 2)\n"
+      "  --restart-backoff-ms N base restart backoff, doubles (default 100)\n"
+      "  --step-deadline S     watchdog stall deadline in seconds\n"
+      "  --heartbeat S         heartbeat event period in seconds\n"
+      "  --idle-timeout S      reap idle TCP connections after S seconds\n"
+      "  --plain-journal       unframed single-JSON checkpoints (compat)\n"
+      "  --chaos-seed N        deterministic fault-injection seed\n"
+      "  --chaos-fault-prob P  per-step synthetic fault probability\n"
+      "  --chaos-hang-prob P   per-step synthetic hang probability\n"
+      "  --chaos-hang-ms N     synthetic hang duration (default 20)\n");
 }
 
 }  // namespace
@@ -62,6 +87,32 @@ int main(int argc, char** argv) {
     else if (a == "--cache-capacity")
       opts.cache_capacity = static_cast<std::size_t>(
           std::atoll(next("--cache-capacity")));
+    else if (a == "--max-campaigns")
+      opts.max_campaigns =
+          static_cast<std::size_t>(std::atoll(next("--max-campaigns")));
+    else if (a == "--max-line-bytes")
+      opts.max_line_bytes =
+          static_cast<std::size_t>(std::atoll(next("--max-line-bytes")));
+    else if (a == "--max-restarts")
+      opts.max_restarts = std::atoi(next("--max-restarts"));
+    else if (a == "--restart-backoff-ms")
+      opts.restart_backoff_ms = std::atoi(next("--restart-backoff-ms"));
+    else if (a == "--step-deadline")
+      opts.step_deadline_seconds = std::atof(next("--step-deadline"));
+    else if (a == "--heartbeat")
+      opts.heartbeat_seconds = std::atof(next("--heartbeat"));
+    else if (a == "--idle-timeout")
+      opts.idle_timeout_seconds = std::atof(next("--idle-timeout"));
+    else if (a == "--plain-journal") opts.framed_journal = false;
+    else if (a == "--chaos-seed")
+      opts.chaos.seed =
+          static_cast<std::uint64_t>(std::atoll(next("--chaos-seed")));
+    else if (a == "--chaos-fault-prob")
+      opts.chaos.step_fault_prob = std::atof(next("--chaos-fault-prob"));
+    else if (a == "--chaos-hang-prob")
+      opts.chaos.step_hang_prob = std::atof(next("--chaos-hang-prob"));
+    else if (a == "--chaos-hang-ms")
+      opts.chaos.hang_ms = std::atoi(next("--chaos-hang-ms"));
     else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -80,12 +131,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Block SIGTERM/SIGINT process-wide BEFORE any thread spawns, so every
+  // server thread inherits the mask and only the watcher below sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
   cmmfo::server::OptimizationServer srv(opts);
   srv.start();
+
+  // Signal watcher: the first SIGTERM/SIGINT runs one blocking graceful
+  // stop (drains in-flight steps, flushes journals, joins transports) and
+  // exits 0; a second signal while the stop is still draining aborts
+  // immediately with the conventional 128+sig status. _Exit (not exit)
+  // everywhere: `srv` lives on the main thread's stack, so no destructor
+  // may run while another thread still touches the server.
+  std::thread([&srv, sigs] {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) != 0) return;
+    std::thread([&srv] {
+      srv.stop();
+      std::fflush(stdout);
+      std::_Exit(0);
+    }).detach();
+    if (sigwait(&sigs, &sig) != 0) return;
+    std::fflush(stdout);
+    std::_Exit(128 + sig);
+  }).detach();
+
   if (stdio) {
     srv.serveStdio(std::cin, std::cout);
     srv.stop();
-    return 0;
+    std::fflush(stdout);
+    std::_Exit(0);
   }
   const int bound = srv.listenTcp(port);
   if (bound < 0) {
@@ -95,8 +175,9 @@ int main(int argc, char** argv) {
   // Port on stdout so scripts with --port 0 can find the server.
   std::printf("{\"listening\":%d}\n", bound);
   std::fflush(stdout);
-  // Park until a client sends {"op":"shutdown"}.
+  // Park until a client sends {"op":"shutdown"} or a signal arrives.
   srv.waitUntilStopped();
   srv.stop();
-  return 0;
+  std::fflush(stdout);
+  std::_Exit(0);
 }
