@@ -3,7 +3,7 @@
 #
 #   ./run_benches.sh               run all benches from build/bench; micro
 #                                  benches additionally emit JSON, merged
-#                                  into BENCH_7.json (the perf trajectory
+#                                  into BENCH_8.json (the perf trajectory
 #                                  archive)
 #   ./run_benches.sh --tsan-smoke  build the test binary under ThreadSanitizer
 #                                  (CMMFO_SANITIZE=thread) and run the
@@ -15,7 +15,7 @@ if [ "$1" = "--tsan-smoke" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j --target cmmfo_tests
   exec ./build-tsan/tests/cmmfo_tests \
-    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*:Server*:Chaos*'
+    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*:Server*:Chaos*:Scenario*'
 fi
 
 OUTDIR=bench-out
@@ -42,6 +42,11 @@ for b in build/bench/*; do
       # deviation; counters are archived alongside the perf numbers.
       "$b" --out "$OUTDIR/chaos_sweep.json"
       ;;
+    scenario_matrix)
+      # Procedural-scenario acceptance gates: pruning-audit soundness,
+      # budgeted oracle-ADRS, multi-die fidelity gap, diag capture.
+      "$b" --out "$OUTDIR/scenario_matrix.json"
+      ;;
     *)
       "$b"
       ;;
@@ -50,7 +55,7 @@ done
 
 # Merge the per-binary JSON files into one archive keyed by binary name.
 if command -v python3 > /dev/null 2>&1 && [ -n "$(ls "$OUTDIR" 2>/dev/null)" ]; then
-  python3 - "$OUTDIR" BENCH_7.json <<'EOF'
+  python3 - "$OUTDIR" BENCH_8.json <<'EOF'
 import json, os, sys
 outdir, dest = sys.argv[1], sys.argv[2]
 merged = {}

@@ -5,6 +5,7 @@
 
 #include "hls/directives.h"
 #include "hls/kernel_ir.h"
+#include "sim/die.h"
 #include "sim/tool.h"
 
 namespace cmmfo::bench_suite {
@@ -17,6 +18,9 @@ struct Benchmark {
   hls::SpaceSpec spec;
   sim::SimParams sim_params;
   std::string description;
+  /// Device floorplan; the default single-die map is a strict no-op (the
+  /// paper suite), generated multi-die scenarios fill it in.
+  sim::DieMap die_map = {};
 };
 
 /// MachSuite gemm/ncubed: dense 64x64x64 matrix multiply.

@@ -258,6 +258,9 @@ std::uint64_t CorrelatedMfMoboOptimizer::checkpointFingerprint() const {
   // a journal may be resumed on a different farm width).
   mix(static_cast<std::uint64_t>(std::max(opts_.retry.max_attempts, 1)));
   mixd(opts_.retry.attempt_timeout_seconds);
+  // Mixed only when set, so journals written before the budget knob existed
+  // (and every unbudgeted run) keep their fingerprint.
+  if (opts_.max_charged_seconds > 0.0) mixd(opts_.max_charged_seconds);
   const sim::FaultParams& fp = sim_->faultParams();
   mixd(fp.transient_crash_prob);
   mixd(fp.hang_prob);
@@ -765,6 +768,9 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
   }
   if (opts_.max_rounds > 0 && result_.rounds_run >= opts_.max_rounds)
     stopped_ = true;  // preemption point; the journal resumes from here
+  if (opts_.max_charged_seconds > 0.0 &&
+      scheduler_->totals().charged_seconds >= opts_.max_charged_seconds)
+    stopped_ = true;  // tool-time budget exhausted
   ++round_;
   return makeOutcome(round, results);
 }

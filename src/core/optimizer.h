@@ -83,6 +83,13 @@ struct OptimizerOptions {
   /// process; 0 = run to completion. Simulates a crash/preemption for the
   /// kill-and-resume tests and for externally orchestrated time slicing.
   int max_rounds = 0;
+  /// Stop (with a final checkpoint) once the scheduler's cumulative charged
+  /// tool seconds reach this budget; 0 = unlimited. Checked at round
+  /// boundaries, so the round that crosses the budget still completes —
+  /// matching how a real farm cannot claw back a dispatched Vivado run.
+  /// The scenario matrix uses this to give every cell the same simulated
+  /// tool-time allowance regardless of space size.
+  double max_charged_seconds = 0.0;
 
   // ---- Durability & self-healing (the server's crash-only regime). ----
   /// Write the journal as a CRC-32C framed multi-frame log (the current

@@ -14,6 +14,7 @@ BenchmarkContext::BenchmarkContext(bench_suite::Benchmark bm,
       hls::DesignSpace::buildPruned(bm_.kernel, bm_.spec));
   sim_ = std::make_unique<sim::FpgaToolSim>(
       bm_.kernel, sim::DeviceModel::virtex7Vc707(), bm_.sim_params, sim_seed);
+  sim_->setDieMap(bm_.die_map);
   gt_ = std::make_unique<sim::GroundTruth>(*space_, *sim_);
 
   lo_.assign(sim::kNumObjectives, 1e300);

@@ -46,16 +46,19 @@ struct LoopSiteOptions {
   std::vector<int> unroll_factors = {1};  // must include 1
   bool allow_pipeline = false;
   std::vector<int> pipeline_iis = {1};
+  bool operator==(const LoopSiteOptions&) const = default;
 };
 
 struct ArraySiteOptions {
   std::vector<PartitionType> types = {PartitionType::kNone};
   std::vector<int> factors = {1};  // used for cyclic/block
+  bool operator==(const ArraySiteOptions&) const = default;
 };
 
 struct SpaceSpec {
   std::vector<LoopSiteOptions> loops;    // indexed by LoopId
   std::vector<ArraySiteOptions> arrays;  // indexed by ArrayId
+  bool operator==(const SpaceSpec&) const = default;
 
   /// Number of configurations in the raw Cartesian space (can be astronomically
   /// large, hence double).

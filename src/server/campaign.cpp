@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bench_suite/benchmarks.h"
+#include "scenario/generator.h"
 
 namespace cmmfo::server {
 
@@ -79,6 +80,12 @@ std::string specToJson(const CampaignSpec& spec) {
   util::putInt(s, spec.opts.surrogate.mtgp.mle_restarts);
   s += ",\"max_mle_iters\":";
   util::putInt(s, spec.opts.surrogate.mtgp.max_mle_iters);
+  if (spec.opts.max_charged_seconds > 0.0) {
+    // Written only when set, mirroring the checkpoint fingerprint rule:
+    // unbudgeted specs keep their pre-knob JSON byte-for-byte.
+    s += ",\"max_charged_seconds\":";
+    util::putDouble(s, spec.opts.max_charged_seconds);
+  }
   s += "}";
   return s;
 }
@@ -112,6 +119,10 @@ bool specFromJson(const util::Json& j, CampaignSpec* out, std::string* err) {
   o.max_candidates =
       static_cast<int>(j.numOr("max_candidates", o.max_candidates));
   o.refit_every = static_cast<int>(j.numOr("refit_every", o.refit_every));
+  o.max_charged_seconds =
+      j.numOr("max_charged_seconds", o.max_charged_seconds);
+  if (o.max_charged_seconds < 0.0)
+    return fail("max_charged_seconds must be >= 0");
   if (o.n_iter < 1 || o.batch_size < 1 || o.mc_samples < 1 ||
       o.max_candidates < 1 || o.refit_every < 1)
     return fail("optimizer knobs must be >= 1");
@@ -150,22 +161,30 @@ bool terminal(CampaignState s) {
 
 std::shared_ptr<const bench_suite::Benchmark> makeBenchmarkFor(
     const std::string& benchmark) {
+  // "scenario:<seed>[:dies=d][:size=S]" names resolve to the procedural
+  // generator; anything else is a suite benchmark. Either way the campaign
+  // co-owns the benchmark so the simulator's kernel pointer stays alive.
+  if (scenario::isScenarioName(benchmark))
+    return scenario::generateFromName(benchmark).benchmark;
   return std::make_shared<const bench_suite::Benchmark>(
       bench_suite::makeBenchmark(benchmark));
 }
 
 std::unique_ptr<sim::FpgaToolSim> makeSimFor(const CampaignSpec& spec,
                                              const bench_suite::Benchmark& bm) {
-  return std::make_unique<sim::FpgaToolSim>(
+  auto sim = std::make_unique<sim::FpgaToolSim>(
       bm.kernel, sim::DeviceModel::virtex7Vc707(), bm.sim_params,
       spec.sim_seed);
+  sim->setDieMap(bm.die_map);
+  return sim;
 }
 
 std::shared_ptr<const hls::DesignSpace> makeSpaceFor(
     const std::string& benchmark) {
-  const bench_suite::Benchmark bm = bench_suite::makeBenchmark(benchmark);
+  const std::shared_ptr<const bench_suite::Benchmark> bm =
+      makeBenchmarkFor(benchmark);
   return std::make_shared<const hls::DesignSpace>(
-      hls::DesignSpace::buildPruned(bm.kernel, bm.spec));
+      hls::DesignSpace::buildPruned(bm->kernel, bm->spec));
 }
 
 Campaign::Campaign(CampaignSpec spec,

@@ -1,0 +1,40 @@
+#include "sim/die.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmmfo::sim {
+
+DieCrossing estimateDieCrossings(const hls::Kernel& kernel,
+                                 const hls::DirectiveConfig& cfg,
+                                 const DieMap& map) {
+  DieCrossing dx;
+  if (!map.enabled()) return dx;
+
+  for (std::size_t li = 0; li < kernel.numLoops(); ++li) {
+    const auto l = static_cast<hls::LoopId>(li);
+    const int loop_die = map.dieOfLoop(l);
+    for (const hls::ArrayRef& ref : kernel.loop(l).refs) {
+      const int hop = std::abs(loop_die - map.dieOfArray(ref.array));
+      if (hop == 0) continue;
+      // Unrolling this loop or any ancestor replicates the access hardware,
+      // so every replicated lane needs its own crossing wires.
+      double lanes = 1.0;
+      for (hls::LoopId cur = l; cur != hls::kNoLoop;
+           cur = kernel.loop(cur).parent)
+        if (cur < static_cast<int>(cfg.loops.size()))
+          lanes *= std::max(cfg.loops[cur].unroll, 1);
+      dx.sll_bits += static_cast<double>(kernel.array(ref.array).elem_bits) *
+                     ref.count * lanes * hop;
+      dx.max_hop = std::max(dx.max_hop, hop);
+    }
+  }
+
+  const double capacity = map.sll_capacity_bits * (map.num_dies - 1);
+  dx.sll_util = capacity > 0.0 ? dx.sll_bits / capacity
+                               : (dx.sll_bits > 0.0 ? 2.0 : 0.0);
+  dx.feasible = dx.sll_util <= 1.0;
+  return dx;
+}
+
+}  // namespace cmmfo::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/directives.h"
+#include "hls/kernel_ir.h"
+
+namespace cmmfo::sim {
+
+/// Multi-die (SSI / chiplet) device floorplan: which die each loop nest's
+/// compute and each array's memory lives on, plus the inter-die routing
+/// budget. FADO-style (Du et al.): signals between dies ride a limited pool
+/// of super-long-lines (SLLs) whose registered hops add delay, and a design
+/// that needs more SLLs than the boundary owns fails implementation.
+///
+/// The default (num_dies = 1) is a STRICT NO-OP: the simulator's reports are
+/// bit-identical to the die-blind model, the same contract FaultParams keeps
+/// for the fault layer. Crucially, die effects are applied to the IMPL stage
+/// only — HLS and synthesis reports never see the floorplan, which creates a
+/// failure mode low fidelities cannot observe.
+struct DieMap {
+  int num_dies = 1;
+  /// Die of each loop's compute logic, indexed by LoopId; loops beyond the
+  /// vector (or out-of-range entries) default to die 0.
+  std::vector<int> loop_die;
+  /// Die of each array's memory banks, indexed by ArrayId.
+  std::vector<int> array_die;
+  /// Registered SLL hop latency added to the routed clock per die crossed.
+  double crossing_delay_ns = 1.9;
+  /// SLL wire-bits available per adjacent die boundary.
+  double sll_capacity_bits = 20000.0;
+  /// Driver power of the crossing signals (W per kilobit of SLL traffic).
+  double crossing_power_w_per_kbit = 0.012;
+
+  bool enabled() const { return num_dies > 1; }
+  int dieOfLoop(hls::LoopId l) const { return clampDie(l, loop_die); }
+  int dieOfArray(hls::ArrayId a) const { return clampDie(a, array_die); }
+
+  bool operator==(const DieMap&) const = default;
+
+ private:
+  int clampDie(int idx, const std::vector<int>& dies) const {
+    if (idx < 0 || idx >= static_cast<int>(dies.size())) return 0;
+    const int d = dies[idx];
+    return d < 0 ? 0 : d >= num_dies ? num_dies - 1 : d;
+  }
+};
+
+/// Die-crossing demand of one directive configuration. Pure and analytic,
+/// like the rest of the performance model: every array reference whose
+/// compute loop sits on a different die than the array's memory consumes
+/// elem_bits x accesses/iter x unroll-replicated lanes of SLL wiring per
+/// die boundary crossed (dies are arranged linearly, as on real SSI parts).
+struct DieCrossing {
+  /// Longest die distance any crossing net travels (0 = no crossing).
+  int max_hop = 0;
+  /// Total SLL wire-bits demanded across all boundaries.
+  double sll_bits = 0.0;
+  /// sll_bits / aggregate capacity of the (num_dies - 1) boundaries.
+  double sll_util = 0.0;
+  /// False when the demand exceeds the SLL pool: the design cannot route
+  /// between dies and implementation fails.
+  bool feasible = true;
+};
+
+DieCrossing estimateDieCrossings(const hls::Kernel& kernel,
+                                 const hls::DirectiveConfig& cfg,
+                                 const DieMap& map);
+
+}  // namespace cmmfo::sim

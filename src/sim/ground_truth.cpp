@@ -15,6 +15,27 @@ GroundTruth::GroundTruth(const hls::DesignSpace& space, const FpgaToolSim& sim) 
   front_idx_ = front.ids();
 }
 
+namespace {
+pareto::ParetoFront frontOf(
+    const std::vector<std::array<Report, kNumFidelities>>& reports,
+    Fidelity f) {
+  pareto::ParetoFront front;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Report& r = reports[i][static_cast<int>(f)];
+    if (r.valid) front.insert(r.objectives(), i);
+  }
+  return front;
+}
+}  // namespace
+
+std::vector<pareto::Point> GroundTruth::frontAt(Fidelity f) const {
+  return frontOf(reports_, f).points();
+}
+
+std::vector<std::size_t> GroundTruth::frontIndicesAt(Fidelity f) const {
+  return frontOf(reports_, f).ids();
+}
+
 bool GroundTruth::valid(std::size_t config) const {
   return reports_[config][static_cast<int>(Fidelity::kImpl)].valid;
 }

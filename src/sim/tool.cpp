@@ -98,6 +98,12 @@ Report FpgaToolSim::run(const hls::DirectiveConfig& cfg,
   // Routing congestion bites hard past the knee; heavily utilized or
   // hopelessly slow designs fail placement/routing entirely (the "no valid
   // report" case of Sec. IV-C).
+  //
+  // On a multi-die device this is also where the floorplan bites: earlier
+  // stages are die-blind, but the placer must route loop-to-array nets over
+  // the inter-die SLLs. dx stays zero (and every term below a no-op) on the
+  // default single-die map.
+  DieCrossing dx;
   StageState impl_state;
   {
     impl_state.lut = syn_state.lut * (1.0 + 0.03 * std::fabs(noise.normal(ch, 21)));
@@ -112,10 +118,20 @@ Report FpgaToolSim::run(const hls::DirectiveConfig& cfg,
         (1.0 + 3.0 * ns * dv *
                    (0.6 * std::fabs(corner) +
                     0.4 * std::fabs(noise.normal(ch, 22))));
+    if (die_map_.enabled()) {
+      dx = estimateDieCrossings(*kernel_, cfg, die_map_);
+      // Registered SLL hops lengthen the routed critical path; congested
+      // crossing channels compound super-linearly, like on-die congestion.
+      impl_state.clock_ns += die_map_.crossing_delay_ns * dx.max_hop *
+                             (1.0 + 4.0 * dx.sll_util * dx.sll_util);
+    }
     const double invalid_util =
         params_.invalid_util * (1.0 + 0.04 * noise.normal(ch, 23));
+    // dx.feasible is always true on a single die; SLL overflow is a crisp
+    // (noise-free) failure, like running out of a physical wire pool.
     impl_state.valid = impl_state.util <= invalid_util &&
-                       impl_state.clock_ns <= 3.0 * device_.target_clock_ns;
+                       impl_state.clock_ns <= 3.0 * device_.target_clock_ns &&
+                       dx.feasible;
   }
 
   const StageState& s = fidelity == Fidelity::kHls   ? hls_state
@@ -144,6 +160,9 @@ Report FpgaToolSim::run(const hls::DirectiveConfig& cfg,
         (0.35 + 0.65 * std::min(est.peak_parallelism / 64.0, 1.0));
     const double mem_w = 0.004 * est.total_banks;
     r.power_w = (static_w + dynamic_w + mem_w) * stage_noise;
+    // SLL drivers burn power only the implemented netlist knows about.
+    if (fidelity == Fidelity::kImpl && die_map_.enabled())
+      r.power_w += die_map_.crossing_power_w_per_kbit * dx.sll_bits * 1e-3;
   }
 
   // Tool runtime: synthesis and implementation dominate, and both grow with
@@ -154,10 +173,13 @@ Report FpgaToolSim::run(const hls::DirectiveConfig& cfg,
     const double t_hls = params_.base_tool_seconds * (0.4 + 0.2 * size_factor);
     const double t_syn = t_hls + params_.base_tool_seconds *
                                      (2.0 + 2.5 * syn_state.util) * size_factor;
+    // Cross-die placement takes the placer longer; 1.0 exactly (and thus
+    // bit-identical times) when the die map is off.
+    const double die_effort = 1.0 + 0.6 * dx.sll_util;
     const double t_impl =
         t_syn + params_.base_tool_seconds *
                     (5.0 + 14.0 * impl_state.util * impl_state.util) *
-                    size_factor;
+                    size_factor * die_effort;
     r.tool_seconds = fidelity == Fidelity::kHls   ? t_hls
                      : fidelity == Fidelity::kSyn ? t_syn
                                                   : t_impl;

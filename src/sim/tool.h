@@ -8,6 +8,7 @@
 
 #include "hls/directives.h"
 #include "sim/device.h"
+#include "sim/die.h"
 #include "sim/perf_model.h"
 
 namespace cmmfo::sim {
@@ -147,6 +148,13 @@ class FpgaToolSim {
   void setFaultParams(const FaultParams& faults) { faults_ = faults; }
   const FaultParams& faultParams() const { return faults_; }
 
+  /// Multi-die floorplan (strict no-op at the default single-die map).
+  /// Effects — SLL hop delay, crossing power, SLL-overflow infeasibility,
+  /// placer effort — appear in IMPL reports only: lower fidelities stay
+  /// die-blind, a failure mode they cannot see.
+  void setDieMap(const DieMap& map) { die_map_ = map; }
+  const DieMap& dieMap() const { return die_map_; }
+
   /// run() plus tool-time accounting (used by the optimizers; Table I's
   /// "overall running time" is the sum of these charges). Safe to call
   /// concurrently: the accumulator is atomic so a worker pool running
@@ -178,6 +186,7 @@ class FpgaToolSim {
   DeviceModel device_;
   SimParams params_;
   FaultParams faults_;
+  DieMap die_map_;
   std::uint64_t seed_;
   std::atomic<double> total_tool_seconds_{0.0};
 };

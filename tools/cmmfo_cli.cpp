@@ -27,6 +27,7 @@
 #include "exp/harness.h"
 #include "hls/tcl_emitter.h"
 #include "obs/obs.h"
+#include "scenario/generator.h"
 #include "obs/run_meta.h"
 #include "util/json.h"
 
@@ -77,6 +78,8 @@ int usage() {
                "usage: cmmfo <list|run|prune|tcl> [--benchmark NAME] "
                "[--method M] [--iters N] [--repeats R] [--seed S] "
                "[--batch B] [--workers W] [--config IDX]\n"
+               "  NAME: a suite benchmark (see `cmmfo list`) or a generated "
+               "scenario `scenario:<seed>[:dies=D][:size=S]`\n"
                "  fault tolerance (run): [--fault-rate P] [--hang-rate P] "
                "[--stall-rate P] [--persistent-rate P] [--timeout SECS] "
                "[--retries K]\n"
@@ -89,6 +92,15 @@ int usage() {
                "  FILE may be '-' to write the dump to stdout "
                "(not --chrome-trace)\n");
   return 2;
+}
+
+/// Every command accepts either a suite benchmark name or a generated
+/// scenario name ("scenario:<seed>[:dies=d][:size=S]"). The returned
+/// Benchmark is a value copy, so the caller owns the kernel outright.
+bench_suite::Benchmark resolveBenchmark(const std::string& name) {
+  if (scenario::isScenarioName(name))
+    return *scenario::generateFromName(name).benchmark;
+  return bench_suite::makeAnyBenchmark(name);
 }
 
 std::vector<std::string> allNames() {
@@ -188,7 +200,7 @@ int cmdRun(const Args& args, int argc, char** argv) {
     meta.flags += argv[i];
   }
 
-  exp::BenchmarkContext ctx(bench_suite::makeAnyBenchmark(name));
+  exp::BenchmarkContext ctx(resolveBenchmark(name));
   ctx.sim().setFaultParams(faults);
   std::printf("%s: %zu configurations, %zu true Pareto points\n", name.c_str(),
               ctx.space().size(), ctx.groundTruth().paretoFront().size());
@@ -296,7 +308,7 @@ int cmdRun(const Args& args, int argc, char** argv) {
 int cmdPrune(const Args& args) {
   const std::string name = args.get("benchmark");
   if (name.empty()) return usage();
-  const auto bm = bench_suite::makeAnyBenchmark(name);
+  const auto bm = resolveBenchmark(name);
   const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
   std::printf("%s: raw %.4g -> pruned %zu (%.0fx), %zu features\n",
               name.c_str(), space.stats().raw_size, space.size(),
@@ -313,7 +325,7 @@ int cmdPrune(const Args& args) {
 int cmdTcl(const Args& args) {
   const std::string name = args.get("benchmark");
   if (name.empty()) return usage();
-  const auto bm = bench_suite::makeAnyBenchmark(name);
+  const auto bm = resolveBenchmark(name);
   const auto space = hls::DesignSpace::buildPruned(bm.kernel, bm.spec);
   const std::size_t idx = args.getInt("config", 0);
   if (idx >= space.size()) {
