@@ -9,8 +9,10 @@
 // buys in simulated wall-clock.
 //
 // Reported per B: mean ADRS, charged tool hours, simulated wall-clock
-// hours, wall-clock speedup over the sequential flow, and ADRS degradation
-// relative to B = 1.
+// hours, idle worker hours (B * wall - charged: time workers spend waiting
+// at the round barrier for the batch's slowest job — the cost the async
+// pipeline of bench/async_scaling removes), wall-clock speedup over the
+// sequential flow, and ADRS degradation relative to B = 1.
 
 #include <cstdio>
 #include <vector>
@@ -44,6 +46,7 @@ int main() {
     double adrs = 0.0;
     double charged_h = 0.0;
     double wall_h = 0.0;
+    double idle_h = 0.0;  // B * wall - charged: barrier wait time
   };
   std::vector<Row> rows;
 
@@ -53,21 +56,25 @@ int main() {
     o.n_workers = b;
     const baselines::OursMethod method(o);
     const exp::MethodStats s = exp::evaluateMethod(ctx, method, repeats, 1000);
+    const double charged_h = s.time_mean / 3600.0;
+    const double wall_h = s.wall_mean / 3600.0;
     rows.push_back(
-        {b, s.adrs_mean, s.time_mean / 3600.0, s.wall_mean / 3600.0});
+        {b, s.adrs_mean, charged_h, wall_h, b * wall_h - charged_h});
   }
 
   const Row& seq = rows.front();
-  std::printf("%6s %10s %12s %10s %10s %14s\n", "B", "ADRS", "charged/h",
-              "wall/h", "speedup", "ADRS degr./%");
+  std::printf("%6s %10s %12s %10s %10s %10s %14s\n", "B", "ADRS", "charged/h",
+              "wall/h", "idle/h", "speedup", "ADRS degr./%");
   for (const Row& r : rows) {
     const double speedup = r.wall_h > 1e-12 ? seq.wall_h / r.wall_h : 0.0;
     const double degr =
         seq.adrs > 1e-12 ? 100.0 * (r.adrs - seq.adrs) / seq.adrs : 0.0;
-    std::printf("%6d %10.4f %12.2f %10.2f %9.2fx %+13.1f\n", r.batch, r.adrs,
-                r.charged_h, r.wall_h, speedup, degr);
+    std::printf("%6d %10.4f %12.2f %10.2f %10.2f %9.2fx %+13.1f\n", r.batch,
+                r.adrs, r.charged_h, r.wall_h, r.idle_h, speedup, degr);
   }
   std::printf("\nspeedup = wall-clock(B=1) / wall-clock(B); every row spends "
-              "the same proposal budget.\n");
+              "the same proposal budget. idle/h = B*wall - charged: worker "
+              "time lost waiting at the round barrier for the batch's "
+              "slowest job.\n");
   return 0;
 }

@@ -3,7 +3,7 @@
 #
 #   ./run_benches.sh               run all benches from build/bench; micro
 #                                  benches additionally emit JSON, merged
-#                                  into BENCH_8.json (the perf trajectory
+#                                  into BENCH_9.json (the perf trajectory
 #                                  archive)
 #   ./run_benches.sh --tsan-smoke  build the test binary under ThreadSanitizer
 #                                  (CMMFO_SANITIZE=thread) and run the
@@ -15,7 +15,7 @@ if [ "$1" = "--tsan-smoke" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j --target cmmfo_tests
   exec ./build-tsan/tests/cmmfo_tests \
-    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*:Server*:Chaos*:Scenario*'
+    --gtest_filter='ThreadPool*:EvalCache*:Scheduler*:ToolSim*:BatchedOptimizer*:FaultInjection*:SchedulerFaults*:OptimizerFaults*:Backoff*:Checkpoint*:Obs*:Diag*:Server*:Chaos*:Scenario*:Async*'
 fi
 
 OUTDIR=bench-out
@@ -47,6 +47,11 @@ for b in build/bench/*; do
       # budgeted oracle-ADRS, multi-die fidelity gap, diag capture.
       "$b" --out "$OUTDIR/scenario_matrix.json"
       ;;
+    async_scaling)
+      # Event-driven pipeline vs the round barrier; archives the
+      # speedup/ADRS numbers behind the CMMFO_PERF_GATE CI gate.
+      "$b" --out "$OUTDIR/async_scaling.json"
+      ;;
     *)
       "$b"
       ;;
@@ -55,7 +60,7 @@ done
 
 # Merge the per-binary JSON files into one archive keyed by binary name.
 if command -v python3 > /dev/null 2>&1 && [ -n "$(ls "$OUTDIR" 2>/dev/null)" ]; then
-  python3 - "$OUTDIR" BENCH_8.json <<'EOF'
+  python3 - "$OUTDIR" BENCH_9.json <<'EOF'
 import json, os, sys
 outdir, dest = sys.argv[1], sys.argv[2]
 merged = {}

@@ -18,6 +18,13 @@ namespace cmmfo::core {
 /// from many campaigns over a SharedRuntime (one worker pool, one
 /// namespaced eval cache); a stepper itself is single-threaded — callers
 /// serialize step()/finish() per instance.
+///
+/// With OptimizerOptions::async set, each step() after initialization is
+/// one *completion event* rather than one barrier round: it tops up the
+/// in-flight window with fresh believer-conditioned proposals, then blocks
+/// until exactly one evaluation lands. Fair schedulers therefore charge
+/// async campaigns per completion, at a naturally finer grain than the
+/// per-round charging of synchronous campaigns.
 class CampaignStepper {
  public:
   CampaignStepper(const hls::DesignSpace& space, sim::FpgaToolSim& sim,

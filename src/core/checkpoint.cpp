@@ -160,6 +160,25 @@ std::string serializeCheckpoint(const CheckpointState& st) {
   out += ",\n\"sim_tool_seconds\": ";
   putDouble(out, st.sim_tool_seconds);
 
+  // Optional: journaled only when the async pipeline has jobs in flight,
+  // so synchronous-mode journals are byte-identical to before the key
+  // existed.
+  if (!st.async_inflight.empty()) {
+    out += ",\n\"async_inflight\": [";
+    for (std::size_t i = 0; i < st.async_inflight.size(); ++i) {
+      const auto& e = st.async_inflight[i];
+      if (i) out += ',';
+      out += "\n[";
+      putInt(out, static_cast<long long>(e.config));
+      out += ',';
+      putInt(out, e.fidelity);
+      out += ',';
+      putDouble(out, e.sim_start);
+      out += ']';
+    }
+    out += "]";
+  }
+
   out += ",\n\"cache\": [";
   for (std::size_t i = 0; i < st.cache.size(); ++i) {
     if (i) out += ',';
@@ -187,6 +206,20 @@ std::string serializeCheckpoint(const CheckpointState& st) {
   for (std::size_t i = 0; i < st.surrogate_base.size(); ++i) {
     if (i) out += ',';
     putU64(out, st.surrogate_base[i]);
+  }
+  out += "]";
+
+  out += ",\n\"surrogate_mle_streak\": [";
+  for (std::size_t i = 0; i < st.surrogate_mle_streak.size(); ++i) {
+    if (i) out += ',';
+    putInt(out, st.surrogate_mle_streak[i]);
+  }
+  out += "]";
+
+  out += ",\n\"surrogate_fallback_n\": [";
+  for (std::size_t i = 0; i < st.surrogate_fallback_n.size(); ++i) {
+    if (i) out += ',';
+    putU64(out, st.surrogate_fallback_n[i]);
   }
   out += "]";
 
@@ -399,6 +432,20 @@ bool parseCheckpoint(const std::string& text, CheckpointState* out,
   if (const Json* j = root.find("sim_tool_seconds"); j && j->kind == Json::kNum)
     st.sim_tool_seconds = j->num;
 
+  // Optional: only async-mode journals with live believers carry this.
+  if (const Json* j = root.find("async_inflight"); j && j->kind == Json::kArr)
+    for (const Json& e : j->arr) {
+      if (e.kind != Json::kArr || e.arr.size() != 3 ||
+          e.arr[0].kind != Json::kNum || e.arr[1].kind != Json::kNum ||
+          e.arr[2].kind != Json::kNum)
+        return fail("checkpoint: bad async_inflight entry");
+      CheckpointState::InflightEntry ie;
+      ie.config = static_cast<std::size_t>(e.arr[0].num);
+      ie.fidelity = static_cast<int>(e.arr[1].num);
+      ie.sim_start = e.arr[2].num;
+      st.async_inflight.push_back(ie);
+    }
+
   if (const Json* j = root.find("cache"); j && j->kind == Json::kArr)
     for (const Json& e : j->arr) {
       if (e.kind != Json::kArr || e.arr.size() != 2 ||
@@ -427,6 +474,24 @@ bool parseCheckpoint(const std::string& text, CheckpointState* out,
       std::uint64_t u = 0;
       if (!getU64(e, u)) return fail("checkpoint: bad surrogate_base entry");
       st.surrogate_base.push_back(u);
+    }
+
+  // Optional: journals written before the self-healing state was carried
+  // across resume restore with fresh streaks (the old behavior).
+  if (const Json* j = root.find("surrogate_mle_streak");
+      j && j->kind == Json::kArr)
+    for (const Json& e : j->arr) {
+      if (e.kind != Json::kNum)
+        return fail("checkpoint: bad surrogate_mle_streak entry");
+      st.surrogate_mle_streak.push_back(static_cast<int>(e.num));
+    }
+  if (const Json* j = root.find("surrogate_fallback_n");
+      j && j->kind == Json::kArr)
+    for (const Json& e : j->arr) {
+      std::uint64_t u = 0;
+      if (!getU64(e, u))
+        return fail("checkpoint: bad surrogate_fallback_n entry");
+      st.surrogate_fallback_n.push_back(u);
     }
 
   // Optional: version-1 journals written before the metrics ledger existed

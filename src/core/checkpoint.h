@@ -68,6 +68,19 @@ struct CheckpointState {
   runtime::SchedulerStats totals;
   double sim_tool_seconds = 0.0;
 
+  /// In-flight believer jobs at checkpoint time (async pipeline only):
+  /// (config, fidelity, absolute simulated dispatch time). The resume path
+  /// re-dispatches each with its ORIGINAL sim_start — possibly before the
+  /// checkpoint's clock — so the simulated completion order, and with it
+  /// the whole trajectory, replays exactly. Optional in the journal:
+  /// synchronous-mode files never carry the key and parse to empty.
+  struct InflightEntry {
+    std::size_t config = 0;
+    int fidelity = 0;
+    double sim_start = 0.0;
+  };
+  std::vector<InflightEntry> async_inflight;
+
   std::vector<std::pair<std::size_t, int>> cache;  // (config, highest stage)
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -82,6 +95,16 @@ struct CheckpointState {
   /// without it (or empty, e.g. pre-fit init checkpoints) fall back to a
   /// full dense refit on the next round.
   std::vector<std::uint64_t> surrogate_base;
+
+  /// Numerical self-healing state (per surrogate level): consecutive
+  /// budget-exhausting MLE fits, and the training-set size at the last GBRT
+  /// fallback engagement (0 = fallback inactive). The streak decides WHEN a
+  /// resumed run's next refit engages the fallback, so omitting it would
+  /// make resume diverge from the uninterrupted trajectory the moment a
+  /// streak spans the kill boundary. Optional in the journal — older files
+  /// without it restore with fresh streaks (the pre-fix behavior).
+  std::vector<int> surrogate_mle_streak;
+  std::vector<std::uint64_t> surrogate_fallback_n;
 
   /// Metrics ledger at checkpoint time (empty when metrics are disabled).
   /// Optional in the journal — version-1 files without it still load.

@@ -261,6 +261,15 @@ std::uint64_t CorrelatedMfMoboOptimizer::checkpointFingerprint() const {
   // Mixed only when set, so journals written before the budget knob existed
   // (and every unbudgeted run) keep their fingerprint.
   if (opts_.max_charged_seconds > 0.0) mixd(opts_.max_charged_seconds);
+  // Async journals carry in-flight believers and deterministic-accumulator
+  // semantics a synchronous resume cannot honor (and vice versa); mixing
+  // only when enabled keeps every pre-async journal's fingerprint intact.
+  if (opts_.async) {
+    mix(0xA54C11D0ULL);
+    // The farm width is trajectory-relevant in async mode (it caps the
+    // believer depth), unlike the synchronous regime.
+    mix(static_cast<std::uint64_t>(std::max(opts_.n_workers, 1)));
+  }
   const sim::FaultParams& fp = sim_->faultParams();
   mixd(fp.transient_crash_prob);
   mixd(fp.hang_prob);
@@ -293,17 +302,58 @@ CheckpointState CorrelatedMfMoboOptimizer::captureCheckpoint(
                              it.config, it.peipv, it.round});
   st.picks_per_fidelity = result.picks_per_fidelity;
   st.totals = scheduler.totals();
-  st.sim_tool_seconds = sim_->totalToolSeconds();
+  // Async: the simulator's own accumulator already holds the charges of
+  // jobs that REALLY finished but are still in flight in simulated time
+  // (nextCompletion harvests everything before event-ordering); journaling
+  // it would double-charge after resume re-runs them. The scheduler's
+  // deterministic per-completion accumulator excludes exactly those jobs —
+  // and is bit-stable across thread interleavings.
+  st.sim_tool_seconds = opts_.async ? scheduler.deterministicToolSeconds()
+                                    : sim_->totalToolSeconds();
+  if (opts_.async)
+    for (const AsyncInflight& j : inflight_meta_)
+      st.async_inflight.push_back(
+          {j.config, static_cast<int>(j.fidelity), j.sim_start});
   // Only this campaign's cache slice and counters enter the journal; under
   // a shared server cache other tenants' artifacts are not ours to persist.
+  // In-flight configs must NOT journal their current cache state: their
+  // flows may already sit in the cache (the real run finished; only the
+  // simulated event is pending), and the resume re-dispatch must pay for
+  // them again or the accounting — and with it the trajectory — diverges
+  // from the uninterrupted run. But an in-flight job can be a REFINEMENT
+  // of a config committed earlier at a lower fidelity; that committed
+  // prefix was in the cache before the dispatch (the original run's job
+  // only paid for the stages above it), so journal the config at its
+  // committed CS fidelity instead of dropping it outright.
   const std::uint64_t ns = scheduler.cacheNamespace();
-  for (const auto& [config, fid] : cache.contents(ns))
-    st.cache.emplace_back(config, static_cast<int>(fid));
+  for (const auto& [config, fid] : cache.contents(ns)) {
+    bool in_flight = false;
+    for (const AsyncInflight& j : inflight_meta_)
+      if (j.config == config) {
+        in_flight = true;
+        break;
+      }
+    if (!in_flight) {
+      st.cache.emplace_back(config, static_cast<int>(fid));
+      continue;
+    }
+    for (const SampleRecord& rec : cs_)
+      if (rec.config == config) {
+        st.cache.emplace_back(config, static_cast<int>(rec.fidelity));
+        break;
+      }
+  }
   const runtime::EvalCache::Stats cstats =
       cache.stats(ns, scheduler.cacheLedger());
   st.cache_hits = cstats.hits;
   st.cache_misses = cstats.misses;
   st.surrogate_hypers = surrogate_.hyperState();
+  {
+    const MultiFidelitySurrogate::RecoveryState rs = surrogate_.recoveryState();
+    st.surrogate_mle_streak = rs.mle_fail_streak;
+    st.surrogate_fallback_n.assign(rs.fallback_trained_n.begin(),
+                                   rs.fallback_trained_n.end());
+  }
   // Committed dense-base counts (empty before the first fit): resume
   // replays dense(base) + rank-appends, bit-identical to this run's factors.
   for (const std::size_t b : surrogate_.committedBaseCounts())
@@ -350,6 +400,13 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
       base.push_back(static_cast<std::size_t>(b));
     surrogate_.restorePosterior(buildObsFrom(data_), base);
   }
+  if (!st.surrogate_mle_streak.empty() || !st.surrogate_fallback_n.empty()) {
+    MultiFidelitySurrogate::RecoveryState rs;
+    rs.mle_fail_streak = st.surrogate_mle_streak;
+    rs.fallback_trained_n.assign(st.surrogate_fallback_n.begin(),
+                                 st.surrogate_fallback_n.end());
+    surrogate_.restoreRecoveryState(rs, buildObsFrom(data_));
+  }
 
   result.iterations.clear();
   for (const CheckpointState::IterEntry& it : st.iterations)
@@ -360,6 +417,7 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
 
   scheduler.restoreTotals(st.totals);
   sim_->setAccounting(st.sim_tool_seconds);
+  if (opts_.async) scheduler.restoreDeterministicToolSeconds(st.sim_tool_seconds);
   // Re-materialize the evaluation cache: reports are pure functions of
   // (config, stage), so the journal only stores the keys. Under a shared
   // cache the flows land in this campaign's namespace (a no-op for slots
@@ -380,6 +438,21 @@ void CorrelatedMfMoboOptimizer::restoreCheckpoint(
     obs::metrics().restore(st.metrics);
   if (st.has_diag && diag::recorder().enabled())
     diag::recorder().restore(st.diag);
+
+  // Last (the cache is fully re-materialized, so resumed workers race
+  // nothing above): re-dispatch the journaled in-flight believers at their
+  // ORIGINAL simulated start times — possibly before the restored clock —
+  // so the simulated completion order, and the whole trajectory, replays
+  // exactly. Their charges re-accrue as the re-runs complete.
+  if (opts_.async) {
+    inflight_meta_.clear();
+    for (const CheckpointState::InflightEntry& e : st.async_inflight) {
+      const runtime::EvalJob job{e.config, static_cast<Fidelity>(e.fidelity)};
+      const std::uint64_t seq = scheduler.submitAsyncAt(job, e.sim_start);
+      inflight_meta_.push_back(
+          {e.config, static_cast<Fidelity>(e.fidelity), e.sim_start, seq});
+    }
+  }
 }
 
 void CorrelatedMfMoboOptimizer::writeCheckpoint(int next_round) {
@@ -440,7 +513,14 @@ RoundOutcome CorrelatedMfMoboOptimizer::makeOutcome(
 bool CorrelatedMfMoboOptimizer::done() const {
   if (finished_) return true;
   if (!started_) return false;
-  return stopped_ || t_ >= opts_.n_iter;
+  const bool budget_done = stopped_ || t_ >= opts_.n_iter;
+  // Async: the proposal budget being spent stops NEW proposals, but the
+  // pipeline drains the in-flight believers first (each is a completion
+  // event / checkpoint boundary of its own) — except on a max_rounds
+  // preemption, which mimics a kill and leaves them journaled.
+  if (opts_.async && !preempted_)
+    return budget_done && inflight_meta_.empty();
+  return budget_done;
 }
 
 RoundOutcome CorrelatedMfMoboOptimizer::start() {
@@ -565,6 +645,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::start() {
 
 RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
   assert(started_ && !finished_);
+  if (opts_.async) return stepRoundAsync();
   if (done()) return makeOutcome(round_ - 1, {});
   const std::size_t n = space_->size();
   const int batch = std::max(opts_.batch_size, 1);
@@ -677,6 +758,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
       dr.winner_config = pick.config;
       dr.winner_fidelity = static_cast<int>(pick.fidelity);
       dr.winner_peipv = pick.peipv;
+      dr.believer_depth = b;
       dr.rationale =
           b == 0 ? "argmax cost-penalized EIPV across fidelities (Eq. 10)"
                  : "Kriging-believer batch fill at the round fidelity";
@@ -775,11 +857,275 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
   return makeOutcome(round, results);
 }
 
+RoundOutcome CorrelatedMfMoboOptimizer::stepRoundAsync() {
+  if (done()) return makeOutcome(round_ - 1, {});
+  const std::size_t n = space_->size();
+  const int round = round_;
+  obs::ScopedPhase round_phase("round", round);
+  const bool diag_on = diag::recorder().enabled();
+  diag_round_ = round;
+  const int cap = std::max(opts_.n_workers, 1);
+  const auto inflight = [this] {
+    return static_cast<int>(inflight_meta_.size());
+  };
+  const auto isInFlight = [this](std::size_t config) {
+    for (const AsyncInflight& j : inflight_meta_)
+      if (j.config == config) return true;
+    return false;
+  };
+
+  // ---- Proposal phase: top the farm back up. ----
+  bool can_propose = !stopped_ && t_ + inflight() < opts_.n_iter &&
+                     inflight() < cap;
+  if (can_propose) {
+    // Space exhaustion check BEFORE any RNG is consumed, mirroring the
+    // synchronous early-out, so the two paths stay bit-identical at W=1.
+    bool any_open = false;
+    for (std::size_t i = 0; i < n && !any_open; ++i)
+      if (!sampled_[i] && !isInFlight(i)) any_open = true;
+    if (!any_open) {
+      if (inflight_meta_.empty()) {
+        stopped_ = true;  // space exhausted before the proposal budget
+        return makeOutcome(round - 1, {});
+      }
+      can_propose = false;  // drain what's flying, then stop
+    }
+  }
+
+  if (can_propose) {
+    // Commit the posterior on the REAL datasets. This rolls back every
+    // stacked believer fantasy (the invalidation half of the protocol);
+    // fresh fantasies are re-derived from the committed posterior below,
+    // so a landed result immediately re-informs the in-flight believers.
+    const bool hypers = round % std::max(opts_.refit_every, 1) == 0;
+    const bool did_mle = hypers || !surrogate_.fitted();
+    {
+      obs::ScopedPhase fit_phase("gp_fit", round);
+      if (did_mle)
+        surrogate_.fit(buildObsFrom(data_), rng_, true);
+      else
+        surrogate_.appendObservations(buildObsFrom(data_), /*commit=*/true);
+    }
+    believer_invalidations_ += inflight();
+    if (diag_on) {
+      for (int l = 0; l < kNumFidelities; ++l) {
+        diag::ModelRecord mr;
+        mr.round = round;
+        mr.level = l;
+        mr.correlated = surrogate_.correlated();
+        if (mr.correlated) {
+          const linalg::Matrix c = surrogate_.taskCorrelation(l);
+          mr.task_corr.assign(c.rows(), std::vector<double>(c.cols(), 0.0));
+          for (std::size_t i = 0; i < c.rows(); ++i)
+            for (std::size_t j = 0; j < c.cols(); ++j)
+              mr.task_corr[i][j] = c(i, j);
+        }
+        mr.lml = surrogate_.logMarginalLikelihood(l);
+        mr.fit_iters = surrogate_.lastFitIterations(l);
+        mr.max_iters = did_mle ? surrogate_.mleIterBudget(l) : 0;
+        mr.cond_log10 = surrogate_.gramConditionLog10(l);
+        mr.lowfid_relevance = surrogate_.lowerFidelityRelevance(l);
+        diag::recorder().addModelRecord(std::move(mr));
+      }
+    }
+
+    // Re-derive believer fantasies for everything still in flight, in
+    // dispatch order, each predicted on the posterior INCLUDING the
+    // previously stacked fantasies (the greedy Kriging-believer chain).
+    std::array<FidelityData, kNumFidelities> fantasy;
+    bool have_fantasy = false;
+    if (!inflight_meta_.empty()) {
+      obs::ScopedPhase believe_phase("believers", round);
+      fantasy = data_;
+      have_fantasy = true;
+      for (const AsyncInflight& j : inflight_meta_) {
+        for (int f = 0; f <= static_cast<int>(j.fidelity); ++f) {
+          fantasy[f].configs.push_back(j.config);
+          fantasy[f].y.push_back(
+              surrogate_.predict(f, space_->features(j.config)).mean);
+        }
+        surrogate_.appendObservations(buildObsFrom(fantasy),
+                                      /*commit=*/false);
+      }
+    }
+
+    obs::ScopedPhase acq_phase("acquisition", round);
+    const std::vector<char> no_taken(n, 0);
+    while (!stopped_ && inflight() < cap &&
+           t_ + inflight() < opts_.n_iter) {
+      // Open pool: unsampled and not currently in flight. Rebuilt per
+      // proposal because each dispatch shrinks it.
+      std::vector<std::size_t> cand;
+      cand.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        if (!sampled_[i] && !isInFlight(i)) cand.push_back(i);
+      if (cand.empty()) break;  // in-flight jobs hold the rest of the space
+      if (cand.size() > static_cast<std::size_t>(opts_.max_candidates)) {
+        rng_.shuffle(cand);
+        cand.resize(opts_.max_candidates);
+      }
+      const auto z = drawStdNormals(opts_.mc_samples, kNumObjectives, rng_);
+
+      obs::Span pick_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                          "acq_pick", "optimizer");
+      std::vector<diag::FidelityAudit> audit;
+      // Every pick re-decides the fidelity (Eq. 10) against the believer-
+      // augmented posterior — heterogeneous fidelities in flight is the
+      // whole point of killing the round barrier.
+      const Pick pick =
+          scanBest(have_fantasy ? fantasy : data_, cand, no_taken,
+                   stage_seconds_, z, -1, diag_on ? &audit : nullptr);
+      const int iter_index = t_ + inflight();
+      ++result_.picks_per_fidelity[static_cast<int>(pick.fidelity)];
+      result_.iterations.push_back(
+          {iter_index, pick.fidelity, pick.config, pick.peipv, round});
+      pick_span.round(round)
+          .fidelity(static_cast<int>(pick.fidelity))
+          .id(static_cast<std::int64_t>(pick.config))
+          .value(pick.peipv);
+      if (obs::metrics().enabled())
+        obs::metrics().observe(std::string("acq.peipv.") +
+                                   sim::fidelityName(pick.fidelity),
+                               pick.peipv);
+      if (diag_on) {
+        diag::DecisionRecord dr;
+        dr.round = round;
+        dr.winner_config = pick.config;
+        dr.winner_fidelity = static_cast<int>(pick.fidelity);
+        dr.winner_peipv = pick.peipv;
+        dr.believer_depth = inflight();
+        dr.believer_invalidations = believer_invalidations_;
+        dr.rationale =
+            have_fantasy
+                ? "async argmax cost-penalized EIPV conditioned on " +
+                      std::to_string(inflight()) + " in-flight believer(s)"
+                : "argmax cost-penalized EIPV across fidelities (Eq. 10)";
+        dr.fidelities = std::move(audit);
+        diag::recorder().addDecision(std::move(dr));
+        for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
+          const gp::MultiPosterior post =
+              surrogate_.predict(f, space_->features(pick.config));
+          PendingPrediction pp;
+          pp.mu = post.mean;
+          pp.var.resize(kNumObjectives);
+          for (int m = 0; m < kNumObjectives; ++m) pp.var[m] = post.cov(m, m);
+          pp.believer = have_fantasy;
+          pending_pred_[{pick.config, f}] = std::move(pp);
+        }
+      }
+
+      const double sim_start = scheduler_->simNow();
+      const std::uint64_t seq =
+          scheduler_->submitAsync({pick.config, pick.fidelity});
+      inflight_meta_.push_back({pick.config, pick.fidelity, sim_start, seq});
+
+      // Stack this pick's own fantasy only if another proposal follows in
+      // this step — at W=1 the loop exits here, so the sequential path
+      // never speculates and stays bit-identical to Algorithm 2.
+      if (inflight() < cap && t_ + inflight() < opts_.n_iter) {
+        if (!have_fantasy) {
+          fantasy = data_;
+          have_fantasy = true;
+        }
+        for (int f = 0; f <= static_cast<int>(pick.fidelity); ++f) {
+          fantasy[f].configs.push_back(pick.config);
+          fantasy[f].y.push_back(
+              surrogate_.predict(f, space_->features(pick.config)).mean);
+        }
+        surrogate_.appendObservations(buildObsFrom(fantasy),
+                                      /*commit=*/false);
+      }
+    }
+  }
+
+  if (inflight_meta_.empty()) return makeOutcome(round - 1, {});
+
+  // ---- Completion event: the earliest in-flight job (simulated time). ----
+  runtime::ToolScheduler::AsyncCompletion ev;
+  {
+    obs::ScopedPhase eval_phase("evaluate", round);
+    ev = scheduler_->nextCompletion();
+    for (auto it = inflight_meta_.begin(); it != inflight_meta_.end(); ++it)
+      if (it->seq == ev.seq) {
+        inflight_meta_.erase(it);
+        break;
+      }
+    record(ev.result);
+    // Predictions for still-in-flight jobs must survive this boundary (the
+    // synchronous path clears the whole map per round instead); drop only
+    // the consumed config's entries.
+    for (int f = 0; f < kNumFidelities; ++f)
+      pending_pred_.erase({ev.result.job.config, f});
+  }
+  t_ += 1;
+  ++result_.rounds_run;
+
+  if (diag_on) {
+    double hv = std::numeric_limits<double>::quiet_NaN();
+    const FidelityData& top_data = data_[kNumFidelities - 1];
+    if (!top_data.y.empty()) {
+      const std::vector<pareto::Point> pts(top_data.y.begin(),
+                                           top_data.y.end());
+      hv = pareto::hypervolume(pareto::paretoFilter(pts),
+                               pareto::referencePoint(pts));
+    }
+    std::vector<std::size_t> selected;
+    selected.reserve(cs_.size());
+    for (const SampleRecord& rec : cs_) selected.push_back(rec.config);
+    const runtime::EvalCache::Stats cstats =
+        cache_->stats(scheduler_->cacheNamespace(), scheduler_->cacheLedger());
+    // Deterministic accumulator, not the simulator's (worker threads may
+    // still be charging in-flight attempts while this record is cut).
+    diag::recorder().endRound(round, hv, selected,
+                              scheduler_->deterministicToolSeconds(),
+                              cstats.hits, cstats.misses);
+  }
+
+  if (obs::metrics().enabled()) {
+    obs::metrics().set("opt.round", static_cast<double>(round));
+    obs::metrics().set("opt.proposals", static_cast<double>(t_));
+    obs::metrics().set("opt.believer_depth",
+                       static_cast<double>(inflight_meta_.size()));
+    obs::metrics().set("opt.believer_invalidations",
+                       static_cast<double>(believer_invalidations_));
+    const FidelityData& top = data_[kNumFidelities - 1];
+    if (!top.y.empty()) {
+      const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
+      obs::metrics().set(
+          "opt.hypervolume.impl",
+          pareto::hypervolume(pareto::paretoFilter(pts),
+                              pareto::referencePoint(pts)));
+    }
+  }
+
+  {
+    obs::ScopedPhase ckpt_phase("checkpoint", round);
+    writeCheckpoint(round + 1);
+  }
+  if (opts_.max_rounds > 0 && result_.rounds_run >= opts_.max_rounds) {
+    // Preemption mimics a kill: stop WITHOUT draining, leaving the
+    // in-flight believers journaled for the resume to re-dispatch.
+    stopped_ = true;
+    preempted_ = true;
+  }
+  if (opts_.max_charged_seconds > 0.0 &&
+      scheduler_->totals().charged_seconds >= opts_.max_charged_seconds)
+    stopped_ = true;  // tool-time budget exhausted; the pipeline drains
+  ++round_;
+  return makeOutcome(round, {ev.result});
+}
+
 OptimizeResult CorrelatedMfMoboOptimizer::finish() {
   assert(started_ && !finished_);
   finished_ = true;
   result_.cs = cs_;
-  result_.tool_seconds = sim_->totalToolSeconds();
+  // Async: the deterministic per-completion accumulator — bit-stable under
+  // thread interleaving and consistent with what the journal carries (a
+  // preempted run's unprocessed in-flight charges are excluded on both
+  // sides). Bitwise equal to the simulator's accumulator in the healthy
+  // sequential regime.
+  result_.tool_seconds = opts_.async ? scheduler_->deterministicToolSeconds()
+                                     : sim_->totalToolSeconds();
   const runtime::SchedulerStats totals = scheduler_->totals();
   result_.wall_seconds = totals.wall_seconds;
   result_.tool_runs = totals.tool_runs;

@@ -64,8 +64,22 @@ struct OptimizerOptions {
   int batch_size = 1;
   /// Width of the simulated tool farm the scheduler dispatches onto. For a
   /// fixed seed the optimization trajectory is independent of this value;
-  /// only the simulated wall-clock changes.
+  /// only the simulated wall-clock changes. (In async mode the width IS
+  /// trajectory-relevant: it caps how many believer proposals fly at once.)
   int n_workers = 1;
+  /// Event-driven pipeline: instead of fidelity-homogeneous Kriging-
+  /// believer ROUNDS (propose a batch, wait for every worker, update), the
+  /// moment a worker frees up it pulls a fresh argmax-PEIPV proposal
+  /// conditioned on the current posterior plus believer fantasies for every
+  /// job still in flight — heterogeneous fidelities fly simultaneously and
+  /// one slow impl job no longer idles the pool. Each stepRound() processes
+  /// ONE completion event (the round-equivalent checkpoint/diag boundary);
+  /// believer fantasies are invalidated and re-derived from the committed
+  /// posterior every time a real result lands. With n_workers=1 the
+  /// trajectory is bit-identical to the synchronous batch_size=1 path
+  /// (the paper's Algorithm 2). Async and sync journals are mutually
+  /// incompatible (the fingerprint differs by design).
+  bool async = false;
 
   // ---- Fault tolerance (extension beyond the paper). ----
   /// Retry/backoff/timeout policy for tool failures injected by the
@@ -249,6 +263,12 @@ class CorrelatedMfMoboOptimizer {
   RoundOutcome start();
   /// One BO round: fit/append the surrogate, propose the q-PEIPV batch,
   /// execute it, record, checkpoint. Requires start(); no-op when done().
+  /// In async mode one "round" is one COMPLETION EVENT instead: commit the
+  /// posterior, refresh believer fantasies for in-flight jobs, top the farm
+  /// up with fresh argmax-PEIPV proposals, then process the earliest
+  /// simulated completion — record, checkpoint (in-flight believers
+  /// journaled), account. The server's FairScheduler therefore charges
+  /// async campaigns per completion, not per barrier'd batch.
   RoundOutcome stepRound();
   /// True once the proposal budget is spent, the space is exhausted, or
   /// OptimizerOptions::max_rounds stopped this process.
@@ -318,6 +338,9 @@ class CorrelatedMfMoboOptimizer {
                 int only_fidelity = -1,
                 std::vector<diag::FidelityAudit>* audit = nullptr) const;
 
+  /// One completion event of the asynchronous pipeline (see stepRound).
+  RoundOutcome stepRoundAsync();
+
   /// Write the journal for a resume at `next_round` (no-op without a
   /// checkpoint path).
   void writeCheckpoint(int next_round);
@@ -365,6 +388,26 @@ class CorrelatedMfMoboOptimizer {
   };
   std::map<std::pair<std::size_t, int>, PendingPrediction> pending_pred_;
   int diag_round_ = -1;  ///< current BO round; -1 outside the round loop
+
+  // ---- Async pipeline state (unused when opts_.async is false). ----
+  /// One dispatched-but-unprocessed proposal: the believer observation it
+  /// contributes is re-derived from the committed posterior at every step
+  /// (invalidate-and-refresh), so only the job identity and its simulated
+  /// dispatch time need journaling.
+  struct AsyncInflight {
+    std::size_t config = 0;
+    sim::Fidelity fidelity = sim::Fidelity::kHls;
+    double sim_start = 0.0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<AsyncInflight> inflight_meta_;  // dispatch order
+  /// Cumulative believer observations rolled back by posterior commits
+  /// (every real result invalidates ALL stacked fantasies; diagnostics).
+  long long believer_invalidations_ = 0;
+  /// max_rounds preemption in async mode stops WITHOUT draining: in-flight
+  /// believers stay journaled, exactly like a kill, so done() must not wait
+  /// for them.
+  bool preempted_ = false;
 };
 
 }  // namespace cmmfo::core

@@ -105,11 +105,47 @@ void MultiFidelitySurrogate::engageFallback(std::size_t level,
   }
   const bool was_active = fb.active;
   fb.active = true;
+  fb.trained_n = n;
   if (!was_active)
     recovery_events_.push_back(
         {"surrogate_fallback", static_cast<int>(level),
          "repeated MLE non-convergence; serving GBRT baseline predictions",
          static_cast<double>(streak)});
+}
+
+MultiFidelitySurrogate::RecoveryState MultiFidelitySurrogate::recoveryState()
+    const {
+  RecoveryState rs;
+  rs.mle_fail_streak = mle_fail_streak_;
+  rs.fallback_trained_n.assign(levels_, 0);
+  for (std::size_t l = 0; l < levels_; ++l)
+    if (fallback_[l].active) rs.fallback_trained_n[l] = fallback_[l].trained_n;
+  return rs;
+}
+
+void MultiFidelitySurrogate::restoreRecoveryState(
+    const RecoveryState& rs, const std::vector<FidelityObs>& obs) {
+  for (std::size_t l = 0; l < levels_ && l < rs.mle_fail_streak.size(); ++l)
+    mle_fail_streak_[l] = rs.mle_fail_streak[l];
+  for (std::size_t l = 0; l < levels_ && l < rs.fallback_trained_n.size();
+       ++l) {
+    const std::size_t n = rs.fallback_trained_n[l];
+    if (n == 0 || l >= obs.size() || n > obs[l].x.size()) continue;
+    // The datasets only ever append, so the first n observations are
+    // exactly the set the journaling run trained on (and n seeds the GBRT's
+    // private RNG, so the rebuild is bit-identical).
+    FidelityObs prefix;
+    prefix.x.assign(obs[l].x.begin(),
+                    obs[l].x.begin() + static_cast<std::ptrdiff_t>(n));
+    prefix.y = linalg::Matrix(n, m_);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t mm = 0; mm < m_; ++mm)
+        prefix.y(i, mm) = obs[l].y(i, mm);
+    engageFallback(l, prefix, mle_fail_streak_[l]);
+  }
+  // Re-engagement replays journaled state; the original events were already
+  // drained by the journaling run.
+  recovery_events_.clear();
 }
 
 gp::Vec MultiFidelitySurrogate::lowerMeans(std::size_t level,

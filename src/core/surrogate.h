@@ -148,6 +148,24 @@ class MultiFidelitySurrogate {
     return out;
   }
 
+  /// Journalable self-healing state. The MLE fail streaks decide WHEN the
+  /// GBRT fallback engages, so losing them across a checkpoint boundary
+  /// makes a resumed run's next refit diverge from the uninterrupted one.
+  /// The fallback model itself is deterministic in (level, objective,
+  /// training size) and the datasets are append-only, so journaling the
+  /// engagement size is enough to rebuild it bit-identically from the
+  /// restored observations' prefix.
+  struct RecoveryState {
+    std::vector<int> mle_fail_streak;          // per level
+    std::vector<std::size_t> fallback_trained_n;  // per level; 0 = inactive
+  };
+  RecoveryState recoveryState() const;
+  /// Restore streaks and re-engage journaled fallbacks from `obs` (the
+  /// restored raw datasets). Replay, not a new action: no recovery events
+  /// are emitted.
+  void restoreRecoveryState(const RecoveryState& rs,
+                            const std::vector<FidelityObs>& obs);
+
   /// Nonlinear chaining only: share of total ARD relevance (sum of 1/l_d^2)
   /// sitting on the appended lower-fidelity-prediction dimensions — the
   /// augmented-input analog of the NARGP error-term variance share (how much
@@ -250,6 +268,9 @@ class MultiFidelitySurrogate {
     bool active = false;
     std::vector<baselines::Gbrt> per_obj;
     gp::Vec resid_var;
+    /// Training-set size at the last engageFallback(); journaled so resume
+    /// can re-train on the exact same append-only data prefix.
+    std::size_t trained_n = 0;
   };
   std::vector<Fallback> fallback_;
 };

@@ -142,6 +142,10 @@ void DiagRecorder::addDecision(DecisionRecord d) {
   putInt(out, d.winner_fidelity);
   out += ", \"winner_peipv\": ";
   putDoubleOrNull(out, d.winner_peipv);
+  out += ", \"believer_depth\": ";
+  putInt(out, d.believer_depth);
+  out += ", \"believer_invalidations\": ";
+  putInt(out, d.believer_invalidations);
   out += ", \"rationale\": ";
   putString(out, d.rationale);
   out += ", \"fidelities\": [";

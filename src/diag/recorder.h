@@ -58,6 +58,13 @@ struct DecisionRecord {
   std::size_t winner_config = 0;
   int winner_fidelity = -1;
   double winner_peipv = 0.0;
+  /// Kriging-believer fantasies the pick was conditioned on: the batch
+  /// position b in the synchronous q-PEIPV path, the number of in-flight
+  /// jobs in the asynchronous pipeline. 0 = pure committed posterior.
+  int believer_depth = 0;
+  /// Cumulative believer observations rolled back by posterior commits so
+  /// far (async pipeline; every landed result invalidates ALL fantasies).
+  long long believer_invalidations = 0;
   std::string rationale;  // e.g. "argmax PEIPV across fidelities"
   std::vector<FidelityAudit> fidelities;
 };

@@ -10,14 +10,15 @@ namespace cmmfo::runtime {
 const EvalCache::Flow* EvalCache::findLocked(std::size_t config,
                                              sim::Fidelity fidelity,
                                              std::uint64_t ns,
-                                             std::uint64_t ledger) const {
+                                             std::uint64_t ledger,
+                                             bool count) const {
   const std::uint64_t key = ledger != 0 ? ledger : ns;
   const auto it = map_.find({ns, static_cast<std::uint64_t>(config)});
   if (it == map_.end() || it->second.upto < static_cast<int>(fidelity)) {
-    ++counters_[key].misses;
+    if (count) ++counters_[key].misses;
     return nullptr;
   }
-  ++counters_[key].hits;
+  if (count) ++counters_[key].hits;
   // Touch: a hit makes this flow the most recently used.
   lru_.splice(lru_.begin(), lru_, it->second.lru);
   return &it->second;
@@ -45,6 +46,71 @@ EvalCache::findFlow(std::size_t config, sim::Fidelity fidelity,
   for (int f = 0; f <= static_cast<int>(fidelity); ++f)
     stages[f] = flow->stages[f];
   return stages;
+}
+
+std::optional<std::array<sim::Report, sim::kNumFidelities>>
+EvalCache::findFlowUncounted(std::size_t config, sim::Fidelity fidelity,
+                             std::uint64_t ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Flow* flow = findLocked(config, fidelity, ns, 0, /*count=*/false);
+  if (flow == nullptr) return std::nullopt;
+  std::array<sim::Report, sim::kNumFidelities> stages{};
+  for (int f = 0; f <= static_cast<int>(fidelity); ++f)
+    stages[f] = flow->stages[f];
+  return stages;
+}
+
+void EvalCache::countLookup(bool hit, std::uint64_t ledger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit)
+    ++counters_[ledger].hits;
+  else
+    ++counters_[ledger].misses;
+}
+
+EvalCache::FlightJoin EvalCache::joinFlight(
+    std::size_t config, sim::Fidelity fidelity, std::uint64_t ns,
+    std::uint64_t ledger,
+    std::array<sim::Report, sim::kNumFidelities>* stages) {
+  const Key key{ns, static_cast<std::uint64_t>(config)};
+  {
+    std::unique_lock<std::mutex> lock(flight_mu_);
+    const auto it = in_flight_.find(key);
+    if (it == in_flight_.end()) {
+      in_flight_.emplace(key, static_cast<int>(fidelity));
+      return FlightJoin::kLeader;
+    }
+    // Someone is already running this config's flow. Whether their run can
+    // serve us is decided by the fidelity they are running TO; snapshot it
+    // before the entry disappears, then wait the flight out.
+    const bool deep_enough = it->second >= static_cast<int>(fidelity);
+    flight_cv_.wait(lock,
+                    [&] { return in_flight_.find(key) == in_flight_.end(); });
+    if (!deep_enough) return FlightJoin::kRetry;
+  }
+  // The leader ran at least as deep as we need: its ladder is in the cache
+  // unless the run failed completely or the flow was evicted meanwhile —
+  // both send the caller back around the probe/join loop.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Flow* flow = findLocked(config, fidelity, ns, 0, /*count=*/false);
+    if (flow == nullptr) return FlightJoin::kRetry;
+    std::array<sim::Report, sim::kNumFidelities> out{};
+    for (int f = 0; f <= static_cast<int>(fidelity); ++f)
+      out[f] = flow->stages[f];
+    *stages = out;
+    ++counters_[ledger != 0 ? ledger : ns].coalesced;
+  }
+  if (obs::metrics().enabled()) obs::metrics().add("cache.coalesced", 1.0);
+  return FlightJoin::kServed;
+}
+
+void EvalCache::finishFlight(std::size_t config, std::uint64_t ns) {
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    in_flight_.erase(Key{ns, static_cast<std::uint64_t>(config)});
+  }
+  flight_cv_.notify_all();
 }
 
 int EvalCache::enforceCapacityLocked() {
@@ -137,6 +203,7 @@ EvalCache::Stats EvalCache::stats() const {
   for (const auto& [ns, c] : counters_) {
     s.hits += c.hits;
     s.misses += c.misses;
+    s.coalesced += c.coalesced;
   }
   s.evictions = evictions_;
   return s;
@@ -155,6 +222,7 @@ EvalCache::Stats EvalCache::stats(std::uint64_t ns,
   if (const auto it = counters_.find(counter_key); it != counters_.end()) {
     s.hits = it->second.hits;
     s.misses = it->second.misses;
+    s.coalesced = it->second.coalesced;
   }
   s.evictions = evictions_;
   return s;

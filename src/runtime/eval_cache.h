@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -54,6 +55,47 @@ class EvalCache {
       std::size_t config, sim::Fidelity fidelity, std::uint64_t ns = 0,
       std::uint64_t ledger = 0) const;
 
+  /// findFlow without touching the hit/miss counters (the LRU position is
+  /// still refreshed — the lookup is real usage). The asynchronous
+  /// scheduler probes with this from worker threads, whose real-time
+  /// interleaving is nondeterministic, and books the hit/miss later via
+  /// countLookup() in deterministic completion-processing order, so
+  /// checkpointed counters stay bit-stable across runs and resumes.
+  std::optional<std::array<sim::Report, sim::kNumFidelities>>
+  findFlowUncounted(std::size_t config, sim::Fidelity fidelity,
+                    std::uint64_t ns = 0) const;
+
+  /// Deterministic counter hook paired with findFlowUncounted: books one
+  /// hit or miss against counter key `ledger` (passed resolved — no
+  /// ns fallback here).
+  void countLookup(bool hit, std::uint64_t ledger);
+
+  // ---- Single-flight coalescing ------------------------------------------
+  // Two workers (or co-tenant campaigns sharing a namespace) requesting the
+  // same (config, fidelity) concurrently must not launch duplicate tool
+  // runs. After a cache miss the requester calls joinFlight():
+  //   kLeader — nobody is running this config's flow: the caller runs the
+  //             tool and MUST call finishFlight() afterwards, success or
+  //             not (waiters block until then).
+  //   kServed — a concurrent flow at >= the requested fidelity finished and
+  //             its ladder was returned; one `coalesced` count is booked on
+  //             the caller's ledger (the original miss count stands — the
+  //             artifact was not cached when asked for).
+  //   kRetry  — the concurrent flow was too shallow, failed, or was evicted
+  //             before we looked: re-probe the cache and join again.
+
+  enum class FlightJoin { kLeader, kServed, kRetry };
+
+  /// See above. On kServed, `stages[0..fidelity]` is filled from the cache.
+  FlightJoin joinFlight(std::size_t config, sim::Fidelity fidelity,
+                        std::uint64_t ns, std::uint64_t ledger,
+                        std::array<sim::Report, sim::kNumFidelities>* stages);
+
+  /// Ends the flight registered by a kLeader join and wakes every waiter.
+  /// The leader stores its result (if any) via storeFlow() BEFORE calling
+  /// this, so woken waiters find the artifacts.
+  void finishFlight(std::size_t config, std::uint64_t ns);
+
   /// Record one flow run: `stages[0..upto]` are the per-stage reports of a
   /// single invocation that ran up to `upto`. Entries beyond `upto` are
   /// ignored. Re-stores overwrite (the tool is deterministic, so the value
@@ -82,6 +124,9 @@ class EvalCache {
     std::size_t flows = 0;    // distinct (ns, config) ladders
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Requests served by joining another requester's in-flight tool run
+    /// (single-flight coalescing) instead of launching a duplicate.
+    std::uint64_t coalesced = 0;
     std::uint64_t evictions = 0;  // always the cache-wide total
   };
   Stats stats() const;
@@ -131,11 +176,14 @@ class EvalCache {
   struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t coalesced = 0;
   };
 
-  /// Lookup + LRU touch + per-ledger count; requires mu_ held.
+  /// Lookup + LRU touch + per-ledger count (skipped when `count` is
+  /// false); requires mu_ held.
   const Flow* findLocked(std::size_t config, sim::Fidelity fidelity,
-                         std::uint64_t ns, std::uint64_t ledger) const;
+                         std::uint64_t ns, std::uint64_t ledger,
+                         bool count = true) const;
   /// Evict LRU flows beyond capacity; requires mu_ held. Returns how many
   /// flows were dropped (for the metrics emission outside the lock).
   int enforceCapacityLocked();
@@ -147,6 +195,13 @@ class EvalCache {
   std::size_t capacity_ = 0;  // flows; 0 = unbounded
   std::size_t entries_ = 0;   // sum over flows of (upto + 1)
   std::uint64_t evictions_ = 0;
+
+  /// Single-flight registry: (ns, config) -> target fidelity of the flow a
+  /// leader is currently running. Guarded by its own lock so waiters never
+  /// hold up cache traffic; the two locks are never held together.
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  std::unordered_map<Key, int, KeyHash> in_flight_;
 };
 
 }  // namespace cmmfo::runtime

@@ -1,8 +1,11 @@
 #include "runtime/scheduler.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <future>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "diag/recorder.h"
 #include "obs/obs.h"
@@ -51,12 +54,27 @@ ToolScheduler::ToolScheduler(const hls::DesignSpace& space,
   policy_.max_attempts = std::max(policy_.max_attempts, 1);
 }
 
+ToolScheduler::~ToolScheduler() {
+  std::size_t unharvested = 0;
+  for (const Inflight& e : inflight_)
+    if (!e.harvested) ++unharvested;
+  // Every accepted task eventually pushes (ThreadPool finishes queued work
+  // before joining; a stopped pool made submitAsyncAt run inline), so this
+  // drain terminates.
+  while (unharvested > 0) {
+    done_.pop();
+    --unharvested;
+  }
+}
+
 void ToolScheduler::resetAccounting() {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     totals_ = {};
     last_ = {};
   }
+  sim_now_ = 0.0;
+  det_tool_seconds_ = 0.0;
   sim_->resetAccounting();
 }
 
@@ -70,7 +88,7 @@ SchedulerStats ToolScheduler::lastBatch() const {
   return last_;
 }
 
-EvalResult ToolScheduler::execute(const EvalJob& job) {
+EvalResult ToolScheduler::execute(const EvalJob& job, bool counted) {
   // Worker-side span: pure timing/labeling, never feeds back into the run.
   obs::Span span(obs::tracer().enabled() ? &obs::tracer() : nullptr, "job",
                  "scheduler");
@@ -78,14 +96,40 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
       .fidelity(static_cast<int>(job.fidelity));
   EvalResult res;
   res.job = job;
-  if (auto cached =
-          cache_->findFlow(job.config, job.fidelity, cache_ns_,
-                           cache_ledger_)) {
-    res.stages = *cached;
-    res.cache_hit = true;
-    res.completed_fidelity = static_cast<int>(job.fidelity);
-    span.outcome("cache_hit");
-    return res;  // the artifacts already exist; nothing to charge
+  // Probe/join loop: a miss is followed by a single-flight join, so two
+  // workers (or co-tenant campaigns sharing a namespace) asking for the
+  // same flow concurrently launch ONE tool run. Only the first probe is
+  // counted — logically this is one lookup, however many times a too-
+  // shallow or failed leader sends us back around.
+  bool first_probe = true;
+  for (;;) {
+    std::optional<std::array<sim::Report, sim::kNumFidelities>> cached;
+    if (counted && first_probe)
+      cached = cache_->findFlow(job.config, job.fidelity, cache_ns_,
+                                cache_ledger_);
+    else
+      cached = cache_->findFlowUncounted(job.config, job.fidelity, cache_ns_);
+    first_probe = false;
+    if (cached) {
+      res.stages = *cached;
+      res.cache_hit = true;
+      res.completed_fidelity = static_cast<int>(job.fidelity);
+      span.outcome("cache_hit");
+      return res;  // the artifacts already exist; nothing to charge
+    }
+    std::array<sim::Report, sim::kNumFidelities> served{};
+    const EvalCache::FlightJoin join = cache_->joinFlight(
+        job.config, job.fidelity, cache_ns_, cacheLedger(), &served);
+    if (join == EvalCache::FlightJoin::kServed) {
+      res.stages = served;
+      res.coalesced = true;
+      res.completed_fidelity = static_cast<int>(job.fidelity);
+      span.outcome("coalesced");
+      return res;  // the leader's run charged the leader; we pay nothing
+    }
+    if (join == EvalCache::FlightJoin::kLeader) break;
+    // kRetry: the flight we waited out was too shallow, failed, or its
+    // flow was evicted before we looked — re-probe and join again.
   }
   // One charged invocation runs the flow up to the requested fidelity; the
   // intermediate stage reports come with it for free (a real tool run emits
@@ -129,6 +173,9 @@ EvalResult ToolScheduler::execute(const EvalJob& job) {
     cache_->storeFlow(job.config,
                       static_cast<sim::Fidelity>(res.completed_fidelity),
                       res.stages, cache_ns_);
+  // Leader obligation: end the flight AFTER the store so woken waiters find
+  // the artifacts — unconditionally, or a failed run would strand them.
+  cache_->finishFlight(job.config, cache_ns_);
   span.attempts(res.attempts).value(res.charged_seconds);
   if (res.persistent_failure)
     span.outcome("persistent_failure");
@@ -202,13 +249,19 @@ std::vector<EvalResult> ToolScheduler::runBatch(
       ++round.degraded_jobs;
     if (r.cache_hit) {
       ++round.cache_hits;
+    } else if (r.coalesced) {
+      ++round.coalesced;  // zero charge, zero occupancy: the leader pays
     } else {
       ++round.tool_runs;
       auto slot = std::min_element(load.begin(), load.end());
       *slot += r.charged_seconds + r.backoff_seconds;
     }
+    // Deterministic per-job mirror of the simulator's accumulator (job
+    // order — matches the single-worker attempt order bitwise).
+    det_tool_seconds_ += r.charged_seconds;
   }
   round.wall_seconds = *std::max_element(load.begin(), load.end());
+  sim_now_ += round.wall_seconds;  // round barrier: the clock jumps a makespan
 
   SchedulerStats after;
   {
@@ -218,6 +271,7 @@ std::vector<EvalResult> ToolScheduler::runBatch(
     totals_.wall_seconds += round.wall_seconds;
     totals_.tool_runs += round.tool_runs;
     totals_.cache_hits += round.cache_hits;
+    totals_.coalesced += round.coalesced;
     totals_.attempts += round.attempts;
     totals_.transient_failures += round.transient_failures;
     totals_.timeouts += round.timeouts;
@@ -258,6 +312,148 @@ std::vector<EvalResult> ToolScheduler::runBatch(
   span.id(static_cast<std::int64_t>(jobs.size()))
       .value(round.charged_seconds);
   return results;
+}
+
+std::uint64_t ToolScheduler::submitAsync(const EvalJob& job) {
+  return submitAsyncAt(job, sim_now_);
+}
+
+std::uint64_t ToolScheduler::submitAsyncAt(const EvalJob& job,
+                                           double sim_start) {
+  const std::uint64_t seq = next_seq_++;
+  inflight_.push_back(Inflight{job, seq, sim_start, false, {}});
+  const bool accepted = pool_->submitTo(done_, [this, job, seq] {
+    return std::make_pair(seq, execute(job, /*counted=*/false));
+  });
+  if (!accepted) {
+    // Pool stopped (server shutdown race): run inline so the completion
+    // still materializes and nextCompletion() cannot deadlock.
+    Inflight& e = inflight_.back();
+    e.result = execute(job, /*counted=*/false);
+    e.harvested = true;
+  }
+  return seq;
+}
+
+namespace {
+/// Simulated worker occupancy of a finished job: a tool run holds its
+/// worker for every attempt plus the backoff waits between them; cache
+/// hits and coalesced joins occupy nothing.
+double simDuration(const EvalResult& r) {
+  if (r.cache_hit || r.coalesced) return 0.0;
+  return r.charged_seconds + r.backoff_seconds;
+}
+}  // namespace
+
+ToolScheduler::AsyncCompletion ToolScheduler::nextCompletion() {
+  obs::Span span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                 "completion", "scheduler");
+  // Harvest EVERY outstanding real result first: the earliest simulated
+  // event cannot be identified until every in-flight duration is known.
+  // The jobs already ran concurrently on the pool, so this preserves real
+  // parallelism; only the event-processing order is serialized.
+  std::size_t unharvested = 0;
+  for (const Inflight& e : inflight_)
+    if (!e.harvested) ++unharvested;
+  while (unharvested > 0) {
+    auto [seq, result] = done_.pop();
+    for (Inflight& e : inflight_) {
+      if (e.seq != seq) continue;
+      e.result = std::move(result);
+      e.harvested = true;
+      --unharvested;
+      break;
+    }
+  }
+  // Earliest simulated completion wins; ties break on submission order.
+  std::size_t best = 0;
+  double best_end = inflight_[0].sim_start + simDuration(inflight_[0].result);
+  for (std::size_t i = 1; i < inflight_.size(); ++i) {
+    const double end = inflight_[i].sim_start + simDuration(inflight_[i].result);
+    if (end < best_end ||
+        (end == best_end && inflight_[i].seq < inflight_[best].seq)) {
+      best = i;
+      best_end = end;
+    }
+  }
+  AsyncCompletion out;
+  out.result = std::move(inflight_[best].result);
+  out.seq = inflight_[best].seq;
+  out.sim_start = inflight_[best].sim_start;
+  out.sim_end = best_end;
+  inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(best));
+
+  // The clock never runs backwards: a resumed in-flight job dispatched
+  // before the checkpoint can complete "in the past" relative to events
+  // already journaled.
+  sim_now_ = std::max(sim_now_, out.sim_end);
+  const EvalResult& r = out.result;
+  det_tool_seconds_ += r.charged_seconds;
+  // The async lookup was UNCOUNTED on the worker; book it now, in event
+  // order, so the checkpointed ledger is bit-stable. A coalesced join still
+  // counts as the miss it was when the worker asked.
+  cache_->countLookup(r.cache_hit, cacheLedger());
+
+  SchedulerStats after;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    SchedulerStats one;  // per-completion "round" for lastBatch() observers
+    one.charged_seconds = r.charged_seconds;
+    one.attempts = r.attempts;
+    one.transient_failures = r.transient_crashes;
+    one.timeouts = r.timeout_attempts;
+    one.retry_seconds_wasted = r.wasted_seconds;
+    one.backoff_seconds = r.backoff_seconds;
+    if (r.persistent_failure) one.persistent_failures = 1;
+    if (!r.cache_hit && !r.persistent_failure && r.degraded() &&
+        r.completed_fidelity >= 0)
+      one.degraded_jobs = 1;
+    if (r.cache_hit)
+      one.cache_hits = 1;
+    else if (r.coalesced)
+      one.coalesced = 1;
+    else
+      one.tool_runs = 1;
+    one.wall_seconds = out.sim_end - out.sim_start;
+    last_ = one;
+    totals_.charged_seconds += one.charged_seconds;
+    totals_.tool_runs += one.tool_runs;
+    totals_.cache_hits += one.cache_hits;
+    totals_.coalesced += one.coalesced;
+    totals_.attempts += one.attempts;
+    totals_.transient_failures += one.transient_failures;
+    totals_.timeouts += one.timeouts;
+    totals_.persistent_failures += one.persistent_failures;
+    totals_.degraded_jobs += one.degraded_jobs;
+    totals_.retry_seconds_wasted += one.retry_seconds_wasted;
+    totals_.backoff_seconds += one.backoff_seconds;
+    // Wall clock IS the simulated clock in the async regime — overlap means
+    // per-completion walls don't add up.
+    totals_.wall_seconds = sim_now_;
+    after = totals_;
+  }
+
+  if (obs::metrics().enabled()) {
+    obs::MetricsRegistry& m = obs::metrics();
+    m.set("sched.charged_seconds", after.charged_seconds);
+    m.set("sched.wall_seconds", after.wall_seconds);
+    m.set("sched.retry_seconds_wasted", after.retry_seconds_wasted);
+    m.set("sched.backoff_seconds", after.backoff_seconds);
+    m.set("sched.tool_runs", static_cast<double>(after.tool_runs));
+    m.set("sched.cache_hits", static_cast<double>(after.cache_hits));
+    m.set("sched.coalesced", static_cast<double>(after.coalesced));
+    m.set("sched.attempts", static_cast<double>(after.attempts));
+    m.set("sched.transient_failures",
+          static_cast<double>(after.transient_failures));
+    m.set("sched.timeouts", static_cast<double>(after.timeouts));
+    m.set("sched.persistent_failures",
+          static_cast<double>(after.persistent_failures));
+    m.set("sched.degraded_jobs", static_cast<double>(after.degraded_jobs));
+    m.set("sched.in_flight", static_cast<double>(inflight_.size()));
+  }
+  span.id(static_cast<std::int64_t>(out.result.job.config))
+      .value(out.sim_end);
+  return out;
 }
 
 }  // namespace cmmfo::runtime

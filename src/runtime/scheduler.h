@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "hls/design_space.h"
@@ -51,6 +52,12 @@ struct EvalResult {
   EvalJob job;
   std::array<sim::Report, sim::kNumFidelities> stages{};
   bool cache_hit = false;
+  /// Served by joining another requester's concurrent tool run on the same
+  /// (config, fidelity) — single-flight coalescing. Like a cache hit this
+  /// charges nothing and occupies no worker in the simulated-wall model
+  /// (the leader's scheduler carries the charge), but it is counted
+  /// separately because the artifact did NOT exist when we asked.
+  bool coalesced = false;
   /// Tool seconds charged for this job over ALL its attempts, wasted or
   /// useful (0 on a cache hit).
   double charged_seconds = 0.0;
@@ -102,6 +109,7 @@ struct SchedulerStats {
   double wall_seconds = 0.0;
   int tool_runs = 0;    // charged flow invocations (jobs that ran, not hits)
   int cache_hits = 0;
+  int coalesced = 0;    // jobs served by joining a concurrent in-flight run
   // ---- Fault-tolerance accounting. ----
   int attempts = 0;             // flow attempts, including failed ones
   int transient_failures = 0;   // attempts lost to transient crashes
@@ -140,9 +148,70 @@ class ToolScheduler {
                 EvalCache& cache, ThreadPool& shared_pool,
                 RetryPolicy policy = {}, std::uint64_t cache_ns = 0,
                 std::uint64_t cache_ledger = 0);
+  /// Blocks until every outstanding async task has pushed its result (the
+  /// tasks reference this object's completion queue), then discards them.
+  /// A preempted optimizer journaled those jobs as in-flight and re-runs
+  /// them on resume, so nothing is lost.
+  ~ToolScheduler();
 
   /// Execute one round of jobs; results come back in job order.
   std::vector<EvalResult> runBatch(const std::vector<EvalJob>& jobs);
+
+  // ---- Asynchronous (event-driven) farm interface ------------------------
+  // The synchronous runBatch() drains a whole round before the optimizer
+  // sees anything. The async interface instead hands back ONE completion at
+  // a time, in deterministic SIMULATED-time order: each job is dispatched at
+  // an absolute simulated start time (the clock simNow() at submission — a
+  // worker that just freed), occupies its simulated worker for
+  // charged + backoff seconds (zero for cache hits and coalesced joins),
+  // and completes at sim_end = sim_start + duration. nextCompletion()
+  // returns the in-flight job with the smallest (sim_end, submission seq),
+  // REGARDLESS of real thread interleaving, so the optimizer's event order
+  // — and everything downstream of it — is bit-reproducible.
+
+  /// One processed completion event.
+  struct AsyncCompletion {
+    EvalResult result;
+    std::uint64_t seq = 0;     // submission sequence number
+    double sim_start = 0.0;    // simulated dispatch time
+    double sim_end = 0.0;      // simulated completion time
+  };
+
+  /// Dispatch a job at the current simulated clock. Returns its seq.
+  std::uint64_t submitAsync(const EvalJob& job);
+  /// Dispatch at an explicit simulated start time — the resume path re-runs
+  /// journaled in-flight jobs with their ORIGINAL dispatch times (possibly
+  /// before the checkpoint's clock), so the completion order replays
+  /// exactly.
+  std::uint64_t submitAsyncAt(const EvalJob& job, double sim_start);
+
+  /// Block until the earliest simulated completion among the in-flight jobs
+  /// and fold it into the totals (per-completion accounting: this is where
+  /// the FairScheduler's charge lands in the server). Requires inFlight()
+  /// > 0. Every outstanding real result is harvested first — the earliest
+  /// simulated event cannot be identified until every in-flight duration is
+  /// known — so real parallelism is preserved (the jobs already ran
+  /// concurrently) while event processing stays deterministic.
+  AsyncCompletion nextCompletion();
+
+  /// Jobs dispatched and not yet returned by nextCompletion().
+  std::size_t inFlight() const { return inflight_.size(); }
+  /// The absolute simulated clock. Advanced by runBatch() (one round's
+  /// makespan) and nextCompletion() (to the processed event's sim_end), so
+  /// it always equals totals().wall_seconds.
+  double simNow() const { return sim_now_; }
+  /// Per-job deterministic mirror of the simulator's tool-seconds
+  /// accumulator: charges fold in at completion-PROCESSING time, not when a
+  /// worker thread happens to run the attempt, so the async checkpoint can
+  /// journal a tool-seconds figure that excludes still-in-flight jobs and
+  /// is bit-stable across runs. Equals the simulator's accumulator bitwise
+  /// in the sequential healthy regime.
+  double deterministicToolSeconds() const { return det_tool_seconds_; }
+  /// Restore the deterministic accumulator from a checkpoint (the async
+  /// resume path; pairs with FpgaToolSim::setAccounting).
+  void restoreDeterministicToolSeconds(double seconds) {
+    det_tool_seconds_ = seconds;
+  }
 
   /// Accounting snapshots, returned BY VALUE under the stats lock so that a
   /// concurrent observer (metrics scraper, progress UI) polling during
@@ -166,15 +235,22 @@ class ToolScheduler {
 
   /// Restore totals from a checkpoint (the caller restores the simulator's
   /// own accumulator, which can differ in the last bits under parallel
-  /// summation, via FpgaToolSim::setAccounting).
+  /// summation, via FpgaToolSim::setAccounting). Also re-seats the
+  /// simulated clock at the restored wall figure so async dispatches
+  /// continue from where the journal left off.
   void restoreTotals(const SchedulerStats& totals) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     totals_ = totals;
+    sim_now_ = totals.wall_seconds;
   }
 
  private:
-  /// Worker-side execution of one job (cache lookup, retry loop, store).
-  EvalResult execute(const EvalJob& job);
+  /// Worker-side execution of one job (cache probe, single-flight join,
+  /// retry loop, store). `counted` probes bump the cache hit/miss ledger
+  /// inline (the synchronous path, where worker traffic is ordered by the
+  /// batch drain); async workers probe UNCOUNTED and the lookup is booked
+  /// later in nextCompletion(), in deterministic event order.
+  EvalResult execute(const EvalJob& job, bool counted = true);
 
   const hls::DesignSpace* space_;
   sim::FpgaToolSim* sim_;
@@ -192,6 +268,22 @@ class ToolScheduler {
   mutable std::mutex stats_mu_;
   SchedulerStats totals_;
   SchedulerStats last_;
+
+  // ---- Async state (driving thread only, except done_) -------------------
+  struct Inflight {
+    EvalJob job;
+    std::uint64_t seq = 0;
+    double sim_start = 0.0;
+    bool harvested = false;  // real result landed in `result`
+    EvalResult result;
+  };
+  std::vector<Inflight> inflight_;
+  /// Workers push (seq, result) the moment they finish — real completion
+  /// order; nextCompletion() re-orders by simulated time.
+  CompletionQueue<std::pair<std::uint64_t, EvalResult>> done_;
+  double sim_now_ = 0.0;
+  double det_tool_seconds_ = 0.0;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace cmmfo::runtime

@@ -12,6 +12,51 @@
 
 namespace cmmfo::runtime {
 
+/// Unbounded MPMC handoff queue for completion notifications: workers push
+/// results the moment they finish (real completion order, NOT submission
+/// order) and a consumer blocks in pop() until one arrives. This is what
+/// lets the asynchronous scheduler react to the first finished job instead
+/// of draining a whole batch of futures in submission order.
+template <typename T>
+class CompletionQueue {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available.
+  T pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty(); });
+    T value = std::move(items_.front());
+    items_.pop();
+    return value;
+  }
+
+  /// Non-blocking variant; false when the queue is empty right now.
+  bool tryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop();
+    return true;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<T> items_;
+};
+
 /// Fixed-size worker pool backing the tool scheduler.
 ///
 /// Tasks are executed FIFO; with one worker the pool therefore runs tasks in
@@ -71,6 +116,26 @@ class ThreadPool {
     }
     cv_.notify_one();
     return future;
+  }
+
+  /// Completion-notification submit: run `fn` on a worker and push its
+  /// result into `done` the moment it finishes. Unlike submit()+get(),
+  /// results become visible in COMPLETION order across tasks, which is the
+  /// primitive the asynchronous scheduler is built on. Returns false (task
+  /// never runs, nothing is pushed) on a stopped pool, so a consumer that
+  /// counts expected completions must check the return value.
+  /// `fn` must be noexcept-equivalent: an escaping exception would be lost
+  /// with the notification, so callers wrap fallible work themselves.
+  template <typename F, typename T>
+  bool submitTo(CompletionQueue<T>& done, F&& fn) {
+    auto task = std::make_shared<std::decay_t<F>>(std::forward<F>(fn));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return false;
+      queue_.push([task, &done] { done.push((*task)()); });
+    }
+    cv_.notify_one();
+    return true;
   }
 
  private:

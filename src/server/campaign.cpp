@@ -86,6 +86,12 @@ std::string specToJson(const CampaignSpec& spec) {
     s += ",\"max_charged_seconds\":";
     util::putDouble(s, spec.opts.max_charged_seconds);
   }
+  if (spec.opts.async) {
+    // Same write-when-set rule. n_workers rides along because it is
+    // trajectory-relevant in async mode (believer cap + fingerprint).
+    s += ",\"async\":true,\"n_workers\":";
+    util::putInt(s, spec.opts.n_workers);
+  }
   s += "}";
   return s;
 }
@@ -123,6 +129,13 @@ bool specFromJson(const util::Json& j, CampaignSpec* out, std::string* err) {
       j.numOr("max_charged_seconds", o.max_charged_seconds);
   if (o.max_charged_seconds < 0.0)
     return fail("max_charged_seconds must be >= 0");
+  if (const util::Json* v = j.find("async")) {
+    if (v->kind != util::Json::kBool) return fail("async must be a boolean");
+    o.async = v->b;
+  }
+  o.n_workers = static_cast<int>(j.numOr("n_workers", o.n_workers));
+  if (o.async && o.n_workers < 1)
+    return fail("async campaigns need n_workers >= 1");
   if (o.n_iter < 1 || o.batch_size < 1 || o.mc_samples < 1 ||
       o.max_candidates < 1 || o.refit_every < 1)
     return fail("optimizer knobs must be >= 1");

@@ -17,6 +17,10 @@ namespace cmmfo::server {
 /// approach weight_i / sum(weights) of the total, off by at most one
 /// round's charge per tenant — an expensive impl round debits its tenant
 /// for a while instead of starving the cheap-hls tenants behind it.
+///
+/// Async campaigns (OptimizerOptions::async) step per *completion event*,
+/// so their deficit updates at single-evaluation grain: the fairness bound
+/// tightens to one evaluation's charge rather than one full batch round's.
 class FairScheduler {
  public:
   /// The queued campaign with the smallest deficit; ties break toward the

@@ -5,10 +5,13 @@
 //       statistics.
 //   cmmfo run --benchmark <name> [--method ours|fpl18|ann|bt|dac19|random]
 //             [--iters N] [--repeats R] [--seed S] [--batch B] [--workers W]
+//             [--async]
 //       Run a DSE method against the simulated FPGA flow and report ADRS,
 //       tool time and the learned Pareto set. --batch proposes B configs per
 //       BO round (Kriging-believer q-PEIPV) and --workers runs them on a
-//       simulated W-wide tool farm (BO methods only).
+//       simulated W-wide tool farm (BO methods only). --async drops the
+//       round barrier: each worker pulls a fresh believer-conditioned
+//       proposal the moment it frees (the window is the worker count).
 //   cmmfo prune --benchmark <name>
 //       Print tree-pruning statistics and a sample of surviving configs.
 //   cmmfo tcl --benchmark <name> [--config IDX]
@@ -77,7 +80,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: cmmfo <list|run|prune|tcl> [--benchmark NAME] "
                "[--method M] [--iters N] [--repeats R] [--seed S] "
-               "[--batch B] [--workers W] [--config IDX]\n"
+               "[--batch B] [--workers W] [--async] [--config IDX]\n"
                "  NAME: a suite benchmark (see `cmmfo list`) or a generated "
                "scenario `scenario:<seed>[:dies=D][:size=S]`\n"
                "  fault tolerance (run): [--fault-rate P] [--hang-rate P] "
@@ -167,6 +170,9 @@ int cmdRun(const Args& args, int argc, char** argv) {
   bo.n_iter = iters;
   bo.batch_size = batch;
   bo.n_workers = workers;
+  // --async switches to the event-driven pipeline: batch_size is ignored
+  // and the speculation window is the worker count.
+  bo.async = args.has("async");
   bo.retry.max_attempts =
       std::max(static_cast<int>(args.getInt("retries", 3)), 1);
   bo.retry.attempt_timeout_seconds = args.getDouble("timeout", 0.0);
@@ -210,8 +216,12 @@ int cmdRun(const Args& args, int argc, char** argv) {
   if (repeats > 1) std::printf(" +- %.4f (%d repeats)", stats.adrs_std, repeats);
   std::printf("   charged tool time = %.1f h (%d tool runs)",
               stats.time_mean / 3600.0, stats.runs[0].tool_runs);
-  std::printf("   wall-clock = %.1f h (batch %d, %d workers)\n",
-              stats.wall_mean / 3600.0, batch, workers);
+  if (bo.async)
+    std::printf("   wall-clock = %.1f h (async, %d workers)\n",
+                stats.wall_mean / 3600.0, workers);
+  else
+    std::printf("   wall-clock = %.1f h (batch %d, %d workers)\n",
+                stats.wall_mean / 3600.0, batch, workers);
 
   // Flight recorder: armed only for the showcase run below (not the repeat
   // sweep), so the journal describes exactly one trajectory. Enabling it
