@@ -3,7 +3,7 @@
 #
 #   ./run_benches.sh               run all benches from build/bench; micro
 #                                  benches additionally emit JSON, merged
-#                                  into BENCH_9.json (the perf trajectory
+#                                  into BENCH_10.json (the perf trajectory
 #                                  archive)
 #   ./run_benches.sh --tsan-smoke  build the test binary under ThreadSanitizer
 #                                  (CMMFO_SANITIZE=thread) and run the
@@ -60,7 +60,7 @@ done
 
 # Merge the per-binary JSON files into one archive keyed by binary name.
 if command -v python3 > /dev/null 2>&1 && [ -n "$(ls "$OUTDIR" 2>/dev/null)" ]; then
-  python3 - "$OUTDIR" BENCH_9.json <<'EOF'
+  python3 - "$OUTDIR" BENCH_10.json <<'EOF'
 import json, os, sys
 outdir, dest = sys.argv[1], sys.argv[2]
 merged = {}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -131,25 +132,33 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
   for (int f = 0; f < kNumFidelities; ++f) {
     if (only_fidelity >= 0 && f != only_fidelity) continue;
     const FidelityData& d = data[f];
+    // Phase breakdown of the acquisition scan (scan_pareto / scan_predict /
+    // scan_eipv): the flame data for the million-candidate acquisition work
+    // — pure timing, gated inside ScopedPhase, never fed back.
     // Normalize this fidelity's objective space so EIPV is scale-free.
     gp::Vec lo(kNumObjectives, 1e300), hi(kNumObjectives, -1e300);
-    for (const auto& y : d.y)
-      for (int m = 0; m < kNumObjectives; ++m) {
-        lo[m] = std::min(lo[m], y[m]);
-        hi[m] = std::max(hi[m], y[m]);
-      }
     gp::Vec range(kNumObjectives);
-    for (int m = 0; m < kNumObjectives; ++m)
-      range[m] = std::max(hi[m] - lo[m], 1e-12);
+    std::vector<pareto::Point> front;
+    {
+      obs::ScopedPhase pareto_phase("scan_pareto");
+      for (const auto& y : d.y)
+        for (int m = 0; m < kNumObjectives; ++m) {
+          lo[m] = std::min(lo[m], y[m]);
+          hi[m] = std::max(hi[m], y[m]);
+        }
+      for (int m = 0; m < kNumObjectives; ++m)
+        range[m] = std::max(hi[m] - lo[m], 1e-12);
 
-    std::vector<pareto::Point> observed;
-    observed.reserve(d.y.size());
-    for (const auto& y : d.y) {
-      pareto::Point p(kNumObjectives);
-      for (int m = 0; m < kNumObjectives; ++m) p[m] = (y[m] - lo[m]) / range[m];
-      observed.push_back(std::move(p));
+      std::vector<pareto::Point> observed;
+      observed.reserve(d.y.size());
+      for (const auto& y : d.y) {
+        pareto::Point p(kNumObjectives);
+        for (int m = 0; m < kNumObjectives; ++m)
+          p[m] = (y[m] - lo[m]) / range[m];
+        observed.push_back(std::move(p));
+      }
+      front = pareto::paretoFilter(observed);
     }
-    const std::vector<pareto::Point> front = pareto::paretoFilter(observed);
     const pareto::Point ref(kNumObjectives, 1.1);  // v_ref beyond the worst
 
     const double penalty =
@@ -164,12 +173,16 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
     open.reserve(cand.size());
     gp::Dataset feats;
     feats.reserve(cand.size());
-    for (std::size_t ci : cand) {
-      if (taken[ci]) continue;
-      open.push_back(ci);
-      feats.push_back(space_->features(ci));
+    std::vector<gp::MultiPosterior> posts;
+    {
+      obs::ScopedPhase predict_phase("scan_predict");
+      for (std::size_t ci : cand) {
+        if (taken[ci]) continue;
+        open.push_back(ci);
+        feats.push_back(space_->features(ci));
+      }
+      posts = surrogate_.predictBatch(f, feats);
     }
-    const std::vector<gp::MultiPosterior> posts = surrogate_.predictBatch(f, feats);
     diag::FidelityAudit* fa = nullptr;
     if (audit != nullptr) {
       audit->push_back({});
@@ -178,23 +191,26 @@ CorrelatedMfMoboOptimizer::Pick CorrelatedMfMoboOptimizer::scanBest(
       fa->cost_penalty = penalty;
       fa->top.reserve(open.size());
     }
-    for (std::size_t k = 0; k < open.size(); ++k) {
-      const gp::MultiPosterior& post = posts[k];
-      gp::Vec mu(kNumObjectives);
-      linalg::Matrix cov(kNumObjectives, kNumObjectives);
-      for (int m = 0; m < kNumObjectives; ++m) {
-        mu[m] = (post.mean[m] - lo[m]) / range[m];
-        for (int m2 = 0; m2 < kNumObjectives; ++m2)
-          cov(m, m2) = post.cov(m, m2) / (range[m] * range[m2]);
-      }
-      const double eipv = mcEipv(mu, cov, front, ref, z);
-      const double peipv = penalty * eipv;
-      if (fa != nullptr) fa->top.push_back({open[k], eipv, peipv});
-      if (!any || peipv > best.peipv) {
-        any = true;
-        best.config = open[k];
-        best.fidelity = static_cast<Fidelity>(f);
-        best.peipv = peipv;
+    {
+      obs::ScopedPhase eipv_phase("scan_eipv");
+      for (std::size_t k = 0; k < open.size(); ++k) {
+        const gp::MultiPosterior& post = posts[k];
+        gp::Vec mu(kNumObjectives);
+        linalg::Matrix cov(kNumObjectives, kNumObjectives);
+        for (int m = 0; m < kNumObjectives; ++m) {
+          mu[m] = (post.mean[m] - lo[m]) / range[m];
+          for (int m2 = 0; m2 < kNumObjectives; ++m2)
+            cov(m, m2) = post.cov(m, m2) / (range[m] * range[m2]);
+        }
+        const double eipv = mcEipv(mu, cov, front, ref, z);
+        const double peipv = penalty * eipv;
+        if (fa != nullptr) fa->top.push_back({open[k], eipv, peipv});
+        if (!any || peipv > best.peipv) {
+          any = true;
+          best.config = open[k];
+          best.fidelity = static_cast<Fidelity>(f);
+          best.peipv = peipv;
+        }
       }
     }
     if (fa != nullptr) {
@@ -485,6 +501,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::makeOutcome(
     const FidelityData& top = data_[kNumFidelities - 1];
     if (!top.y.empty()) {
       const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
+      obs::ScopedPhase hv_phase("hypervolume");
       o.hypervolume = pareto::hypervolume(pareto::paretoFilter(pts),
                                           pareto::referencePoint(pts));
     }
@@ -732,6 +749,9 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
   for (int b = 0; b < q; ++b) {
     obs::Span pick_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
                         "acq_pick", "optimizer");
+    const bool prop_timed = obs::metrics().enabled();
+    const auto prop_start = prop_timed ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
     const int round_fidelity =
         b == 0 ? -1 : static_cast<int>(jobs.front().fidelity);
     std::vector<diag::FidelityAudit> audit;
@@ -794,6 +814,12 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
       // fit rolls the fantasy back by exact factor truncation.
       surrogate_.appendObservations(buildObsFrom(fantasy), /*commit=*/false);
     }
+    if (prop_timed)
+      obs::metrics().observe(
+          "slo.proposal_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        prop_start)
+              .count());
   }
 
   acq_phase.reset();
@@ -816,6 +842,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
     if (!top_data.y.empty()) {
       const std::vector<pareto::Point> pts(top_data.y.begin(),
                                            top_data.y.end());
+      obs::ScopedPhase hv_phase("hypervolume", round);
       hv = pareto::hypervolume(pareto::paretoFilter(pts),
                                pareto::referencePoint(pts));
     }
@@ -837,6 +864,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRound() {
     const FidelityData& top = data_[kNumFidelities - 1];
     if (!top.y.empty()) {
       const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
+      obs::ScopedPhase hv_phase("hypervolume", round);
       obs::metrics().set(
           "opt.hypervolume.impl",
           pareto::hypervolume(pareto::paretoFilter(pts),
@@ -968,6 +996,10 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRoundAsync() {
 
       obs::Span pick_span(obs::tracer().enabled() ? &obs::tracer() : nullptr,
                           "acq_pick", "optimizer");
+      const bool prop_timed = obs::metrics().enabled();
+      const auto prop_start =
+          prop_timed ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{};
       std::vector<diag::FidelityAudit> audit;
       // Every pick re-decides the fidelity (Eq. 10) against the believer-
       // augmented posterior — heterogeneous fidelities in flight is the
@@ -1035,6 +1067,12 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRoundAsync() {
         surrogate_.appendObservations(buildObsFrom(fantasy),
                                       /*commit=*/false);
       }
+      if (prop_timed)
+        obs::metrics().observe(
+            "slo.proposal_seconds",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          prop_start)
+                .count());
     }
   }
 
@@ -1066,6 +1104,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRoundAsync() {
     if (!top_data.y.empty()) {
       const std::vector<pareto::Point> pts(top_data.y.begin(),
                                            top_data.y.end());
+      obs::ScopedPhase hv_phase("hypervolume", round);
       hv = pareto::hypervolume(pareto::paretoFilter(pts),
                                pareto::referencePoint(pts));
     }
@@ -1091,6 +1130,7 @@ RoundOutcome CorrelatedMfMoboOptimizer::stepRoundAsync() {
     const FidelityData& top = data_[kNumFidelities - 1];
     if (!top.y.empty()) {
       const std::vector<pareto::Point> pts(top.y.begin(), top.y.end());
+      obs::ScopedPhase hv_phase("hypervolume", round);
       obs::metrics().set(
           "opt.hypervolume.impl",
           pareto::hypervolume(pareto::paretoFilter(pts),

@@ -1,0 +1,176 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cmmfo::obs {
+
+namespace {
+
+bool nameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+std::string sanitizeBase(const std::string& raw) {
+  std::string out = "cmmfo_";
+  out.reserve(raw.size() + out.size());
+  for (char c : raw) out += nameChar(c) ? c : '_';
+  return out;
+}
+
+std::string sanitizeLabelKey(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) out += nameChar(c) && c != ':' ? c : '_';
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string escapeLabelValue(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+// Prometheus accepts NaN / +Inf / -Inf spellings, not printf's nan/inf.
+void putPromDouble(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    util::putDouble(out, v);
+  }
+}
+
+struct ParsedName {
+  std::string base;  // sanitized, "cmmfo_"-prefixed
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+ParsedName parseName(const std::string& raw) {
+  ParsedName p;
+  const auto hash = raw.find('#');
+  if (hash == std::string::npos) {
+    p.base = sanitizeBase(raw);
+    return p;
+  }
+  p.base = sanitizeBase(raw.substr(0, hash));
+  std::size_t pos = hash + 1;
+  while (pos <= raw.size()) {
+    auto comma = raw.find(',', pos);
+    if (comma == std::string::npos) comma = raw.size();
+    const std::string pair = raw.substr(pos, comma - pos);
+    if (!pair.empty()) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        p.labels.emplace_back(sanitizeLabelKey(pair), "");
+      } else {
+        p.labels.emplace_back(sanitizeLabelKey(pair.substr(0, eq)),
+                              pair.substr(eq + 1));
+      }
+    }
+    pos = comma + 1;
+  }
+  return p;
+}
+
+// Renders "{k=\"v\",...}" — with `extra` ("le=\"...\"") appended — or ""
+// when there is nothing to show.
+std::string labelBlock(const ParsedName& p, const std::string& extra = "") {
+  if (p.labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : p.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escapeLabelValue(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+const char* typeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string prometheusName(const std::string& raw) {
+  return parseName(raw).base;
+}
+
+std::string toPrometheusText(const MetricsSnapshot& snap,
+                             std::uint64_t trace_dropped) {
+  std::string out;
+  std::string last_family;
+  for (const MetricPoint& p : snap) {
+    const ParsedName parsed = parseName(p.name);
+    const std::string family =
+        p.kind == MetricKind::kCounter ? parsed.base + "_total" : parsed.base;
+    if (family != last_family) {
+      out += "# HELP " + family + " registry series " +
+             p.name.substr(0, p.name.find('#')) + "\n";
+      out += "# TYPE " + family + " " + typeName(p.kind) + "\n";
+      last_family = family;
+    }
+    switch (p.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge: {
+        out += family + labelBlock(parsed) + " ";
+        putPromDouble(out, p.value);
+        out += '\n';
+        break;
+      }
+      case MetricKind::kHistogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < p.bounds.size(); ++i) {
+          if (i < p.buckets.size()) cum += p.buckets[i];
+          std::string le = "le=\"";
+          putPromDouble(le, p.bounds[i]);
+          le += '"';
+          out += family + "_bucket" + labelBlock(parsed, le) + " ";
+          util::putU64Bare(out, cum);
+          out += '\n';
+        }
+        out += family + "_bucket" + labelBlock(parsed, "le=\"+Inf\"") + " ";
+        util::putU64Bare(out, p.count);
+        out += '\n';
+        out += family + "_sum" + labelBlock(parsed) + " ";
+        putPromDouble(out, p.sum);
+        out += '\n';
+        out += family + "_count" + labelBlock(parsed) + " ";
+        util::putU64Bare(out, p.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  out += "# HELP cmmfo_trace_dropped_total trace ring-buffer drops\n";
+  out += "# TYPE cmmfo_trace_dropped_total counter\n";
+  out += "cmmfo_trace_dropped_total ";
+  util::putU64Bare(out, trace_dropped);
+  out += '\n';
+  return out;
+}
+
+}  // namespace cmmfo::obs

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cmmfo::obs {
+
+/// Maps a registry series name to its Prometheus exposition base name:
+/// everything before an optional '#' label suffix is prefixed with "cmmfo_"
+/// and every character outside [a-zA-Z0-9_:] becomes '_', so
+/// "sched.charged_seconds" -> "cmmfo_sched_charged_seconds". Counters
+/// additionally get a "_total" suffix at render time.
+std::string prometheusName(const std::string& raw);
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one "# TYPE" line per metric family followed by its
+/// samples. Registry names may carry a "#key=value[,key2=value2]" suffix
+/// which becomes a label set ({campaign="..."} is the only convention used
+/// by this repo); histograms render cumulative "_bucket{le=...}" samples
+/// plus "_sum"/"_count". `trace_dropped` is appended as the synthetic
+/// counter cmmfo_trace_dropped_total (ring-buffer drops, satellite of the
+/// trace plane rather than a registry series).
+std::string toPrometheusText(const MetricsSnapshot& snap,
+                             std::uint64_t trace_dropped);
+
+}  // namespace cmmfo::obs

@@ -71,22 +71,27 @@ void EvalCache::countLookup(bool hit, std::uint64_t ledger) {
 EvalCache::FlightJoin EvalCache::joinFlight(
     std::size_t config, sim::Fidelity fidelity, std::uint64_t ns,
     std::uint64_t ledger,
-    std::array<sim::Report, sim::kNumFidelities>* stages) {
+    std::array<sim::Report, sim::kNumFidelities>* stages, FlightLink self,
+    FlightLink* leader) {
   const Key key{ns, static_cast<std::uint64_t>(config)};
   {
     std::unique_lock<std::mutex> lock(flight_mu_);
     const auto it = in_flight_.find(key);
     if (it == in_flight_.end()) {
-      in_flight_.emplace(key, static_cast<int>(fidelity));
+      in_flight_.emplace(key, Flight{static_cast<int>(fidelity), self, 0});
       return FlightJoin::kLeader;
     }
     // Someone is already running this config's flow. Whether their run can
     // serve us is decided by the fidelity they are running TO; snapshot it
-    // before the entry disappears, then wait the flight out.
-    const bool deep_enough = it->second >= static_cast<int>(fidelity);
+    // (and the leader's causal identity) before the entry disappears, then
+    // wait the flight out.
+    const bool deep_enough = it->second.fidelity >= static_cast<int>(fidelity);
+    const FlightLink leader_link = it->second.leader;
+    ++it->second.waiters;
     flight_cv_.wait(lock,
                     [&] { return in_flight_.find(key) == in_flight_.end(); });
     if (!deep_enough) return FlightJoin::kRetry;
+    if (leader != nullptr) *leader = leader_link;
   }
   // The leader ran at least as deep as we need: its ladder is in the cache
   // unless the run failed completely or the flow was evicted meanwhile —
@@ -105,12 +110,24 @@ EvalCache::FlightJoin EvalCache::joinFlight(
   return FlightJoin::kServed;
 }
 
-void EvalCache::finishFlight(std::size_t config, std::uint64_t ns) {
+int EvalCache::finishFlight(std::size_t config, std::uint64_t ns) {
+  int waiters = 0;
   {
     std::lock_guard<std::mutex> lock(flight_mu_);
-    in_flight_.erase(Key{ns, static_cast<std::uint64_t>(config)});
+    const Key key{ns, static_cast<std::uint64_t>(config)};
+    if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+      waiters = it->second.waiters;
+      in_flight_.erase(it);
+    }
   }
   flight_cv_.notify_all();
+  return waiters;
+}
+
+int EvalCache::flightWaiters(std::size_t config, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(flight_mu_);
+  const auto it = in_flight_.find(Key{ns, static_cast<std::uint64_t>(config)});
+  return it == in_flight_.end() ? 0 : it->second.waiters;
 }
 
 int EvalCache::enforceCapacityLocked() {

@@ -86,15 +86,36 @@ class EvalCache {
 
   enum class FlightJoin { kLeader, kServed, kRetry };
 
+  /// Causal identity of the span that leads a flight, so coalesced
+  /// followers can link their trace to the leader's tool run. Plain data —
+  /// the cache stores and returns it without interpreting it.
+  /// (No default member initializers: the zero default below is spelled at
+  /// the use sites so it stays usable as a default argument in-class.)
+  struct FlightLink {
+    std::uint64_t trace_id;
+    std::uint64_t span_id;
+  };
+
   /// See above. On kServed, `stages[0..fidelity]` is filled from the cache.
+  /// `self` is registered as the flight's leader identity on kLeader; on
+  /// kServed the leader's identity is copied into `*leader` (when non-null)
+  /// so the follower can record a cross-trace link.
   FlightJoin joinFlight(std::size_t config, sim::Fidelity fidelity,
                         std::uint64_t ns, std::uint64_t ledger,
-                        std::array<sim::Report, sim::kNumFidelities>* stages);
+                        std::array<sim::Report, sim::kNumFidelities>* stages,
+                        FlightLink self = FlightLink{0, 0},
+                        FlightLink* leader = nullptr);
 
   /// Ends the flight registered by a kLeader join and wakes every waiter.
   /// The leader stores its result (if any) via storeFlow() BEFORE calling
-  /// this, so woken waiters find the artifacts.
-  void finishFlight(std::size_t config, std::uint64_t ns);
+  /// this, so woken waiters find the artifacts. Returns the number of
+  /// requests that blocked on this flight (the coalesce fan-out).
+  int finishFlight(std::size_t config, std::uint64_t ns);
+
+  /// Number of requests currently blocked on (ns, config)'s flight — 0 when
+  /// no flight is registered. Test/diagnostic hook for deterministically
+  /// arranging coalescing.
+  int flightWaiters(std::size_t config, std::uint64_t ns);
 
   /// Record one flow run: `stages[0..upto]` are the per-stage reports of a
   /// single invocation that ran up to `upto`. Entries beyond `upto` are
@@ -196,12 +217,18 @@ class EvalCache {
   std::size_t entries_ = 0;   // sum over flows of (upto + 1)
   std::uint64_t evictions_ = 0;
 
-  /// Single-flight registry: (ns, config) -> target fidelity of the flow a
-  /// leader is currently running. Guarded by its own lock so waiters never
-  /// hold up cache traffic; the two locks are never held together.
+  struct Flight {
+    int fidelity = 0;           // target fidelity the leader is running to
+    FlightLink leader{0, 0};    // causal identity of the leader's span
+    int waiters = 0;            // requests blocked on this flight
+  };
+
+  /// Single-flight registry: (ns, config) -> the flight a leader is
+  /// currently running. Guarded by its own lock so waiters never hold up
+  /// cache traffic; the two locks are never held together.
   std::mutex flight_mu_;
   std::condition_variable flight_cv_;
-  std::unordered_map<Key, int, KeyHash> in_flight_;
+  std::unordered_map<Key, Flight, KeyHash> in_flight_;
 };
 
 }  // namespace cmmfo::runtime

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <future>
 #include <optional>
@@ -118,13 +119,18 @@ EvalResult ToolScheduler::execute(const EvalJob& job, bool counted) {
       return res;  // the artifacts already exist; nothing to charge
     }
     std::array<sim::Report, sim::kNumFidelities> served{};
+    EvalCache::FlightLink leader_link;
     const EvalCache::FlightJoin join = cache_->joinFlight(
-        job.config, job.fidelity, cache_ns_, cacheLedger(), &served);
+        job.config, job.fidelity, cache_ns_, cacheLedger(), &served,
+        EvalCache::FlightLink{span.traceId(), span.spanId()}, &leader_link);
     if (join == EvalCache::FlightJoin::kServed) {
       res.stages = served;
       res.coalesced = true;
       res.completed_fidelity = static_cast<int>(job.fidelity);
-      span.outcome("coalesced");
+      // Follower span linking to the leader's job span — possibly in
+      // another campaign's trace (cross-tenant coalescing).
+      span.link(leader_link.trace_id, leader_link.span_id)
+          .outcome("coalesced");
       return res;  // the leader's run charged the leader; we pay nothing
     }
     if (join == EvalCache::FlightJoin::kLeader) break;
@@ -175,7 +181,14 @@ EvalResult ToolScheduler::execute(const EvalJob& job, bool counted) {
                       res.stages, cache_ns_);
   // Leader obligation: end the flight AFTER the store so woken waiters find
   // the artifacts — unconditionally, or a failed run would strand them.
-  cache_->finishFlight(job.config, cache_ns_);
+  const int fanout = cache_->finishFlight(job.config, cache_ns_);
+  if (obs::metrics().enabled()) {
+    // Small exact integers from worker threads: order-independent sums, so
+    // the histogram stays deterministic even though coalescing is not.
+    obs::metrics().defineHistogram("slo.coalesce_fanout",
+                                   obs::MetricsRegistry::countBounds());
+    obs::metrics().observe("slo.coalesce_fanout", static_cast<double>(fanout));
+  }
   span.attempts(res.attempts).value(res.charged_seconds);
   if (res.persistent_failure)
     span.outcome("persistent_failure");
@@ -212,8 +225,28 @@ std::vector<EvalResult> ToolScheduler::runBatch(
                  "run_batch", "scheduler");
   std::vector<std::future<EvalResult>> futures;
   futures.reserve(jobs.size());
-  for (const EvalJob& job : jobs)
-    futures.push_back(pool_->submit([this, job] { return execute(job); }));
+  // Capture the driving thread's causal context at submit time and
+  // re-install it on the worker, so job spans parent to the round that
+  // proposed them; host-clock queue wait is observational only (never fed
+  // back) and is skipped entirely while metrics are off.
+  const obs::TraceContext ctx =
+      obs::tracer().enabled() ? obs::currentContext() : obs::TraceContext{};
+  const bool timed = obs::metrics().enabled();
+  for (const EvalJob& job : jobs) {
+    const auto submitted = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+    futures.push_back(pool_->submit([this, job, ctx, timed, submitted] {
+      obs::ContextGuard guard(
+          obs::tracer().enabled() ? &obs::tracer() : nullptr, ctx);
+      if (timed)
+        obs::metrics().observe(
+            "slo.queue_wait_seconds",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          submitted)
+                .count());
+      return execute(job);
+    }));
+  }
 
   if (obs::metrics().enabled()) {
     obs::metrics().defineHistogram("sched.queue_depth",
@@ -322,9 +355,25 @@ std::uint64_t ToolScheduler::submitAsyncAt(const EvalJob& job,
                                            double sim_start) {
   const std::uint64_t seq = next_seq_++;
   inflight_.push_back(Inflight{job, seq, sim_start, false, {}});
-  const bool accepted = pool_->submitTo(done_, [this, job, seq] {
-    return std::make_pair(seq, execute(job, /*counted=*/false));
-  });
+  // Same propagation as runBatch: the proposal's context travels with the
+  // closure and survives the event loop's fantasy/invalidate cycle.
+  const obs::TraceContext ctx =
+      obs::tracer().enabled() ? obs::currentContext() : obs::TraceContext{};
+  const bool timed = obs::metrics().enabled();
+  const auto submitted = timed ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+  const bool accepted =
+      pool_->submitTo(done_, [this, job, seq, ctx, timed, submitted] {
+        obs::ContextGuard guard(
+            obs::tracer().enabled() ? &obs::tracer() : nullptr, ctx);
+        if (timed)
+          obs::metrics().observe(
+              "slo.queue_wait_seconds",
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - submitted)
+                  .count());
+        return std::make_pair(seq, execute(job, /*counted=*/false));
+      });
   if (!accepted) {
     // Pool stopped (server shutdown race): run inline so the completion
     // still materializes and nextCompletion() cannot deadlock.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bench_suite/benchmarks.h"
+#include "obs/obs.h"
 #include "scenario/generator.h"
 
 namespace cmmfo::server {
@@ -209,7 +210,8 @@ Campaign::Campaign(CampaignSpec spec,
       shared_(shared),
       sim_(makeSimFor(spec_, *bench_)),
       stepper_(std::make_unique<core::CampaignStepper>(*space_, *sim_,
-                                                       spec_.opts, shared_)) {}
+                                                       spec_.opts, shared_)),
+      trace_id_(cacheLedgerOf(spec_)) {}
 
 CampaignState Campaign::state() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -250,7 +252,16 @@ bool Campaign::beginStep() {
   return true;
 }
 
-core::RoundOutcome Campaign::runStep() { return stepper_->step(); }
+core::RoundOutcome Campaign::runStep() {
+  // Campaign root trace context: trace_id = span_id = the campaign's ledger
+  // fingerprint (deterministic, stable across restarts, never 0). Every
+  // span minted inside this step — round, acq_pick, scheduler job, tool
+  // attempt — inherits the trace_id and parents into this root, and the
+  // convention parent_span_id == trace_id marks a campaign-root child.
+  obs::ContextGuard root(obs::tracer().enabled() ? &obs::tracer() : nullptr,
+                         obs::TraceContext{trace_id_, trace_id_});
+  return stepper_->step();
+}
 
 CampaignState Campaign::endStep(const core::RoundOutcome& outcome) {
   std::lock_guard<std::mutex> lock(mu_);

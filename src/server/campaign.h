@@ -167,6 +167,10 @@ class Campaign {
   /// unique_ptr so a supervised restart can discard a stepper whose step
   /// threw mid-round and rebuild from the journal.
   std::unique_ptr<core::CampaignStepper> stepper_;
+  /// Root trace id of this campaign (= cacheLedgerOf(spec_)): deterministic
+  /// and stable across daemon restarts, installed as the ambient trace
+  /// context for the duration of every runStep().
+  std::uint64_t trace_id_ = 0;
 
   mutable std::mutex mu_;
   CampaignState state_ = CampaignState::kQueued;

@@ -134,6 +134,60 @@ std::string statsResponse(const runtime::EvalCache::Stats& cache,
   return s;
 }
 
+std::string metricsResponse(const obs::MetricsSnapshot& snap,
+                            std::uint64_t trace_dropped, bool enabled) {
+  std::string s = "{\"ok\":true,\"enabled\":";
+  s += enabled ? "true" : "false";
+  s += ",\"trace_dropped\":";
+  util::putU64Bare(s, trace_dropped);
+  s += ",\"metrics\":[";
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const obs::MetricPoint& p = snap[i];
+    if (i > 0) s += ",";
+    s += "{\"name\":";
+    util::putString(s, p.name);
+    s += ",\"kind\":";
+    switch (p.kind) {
+      case obs::MetricKind::kCounter:
+        s += "\"counter\"";
+        break;
+      case obs::MetricKind::kGauge:
+        s += "\"gauge\"";
+        break;
+      case obs::MetricKind::kHistogram:
+        s += "\"histogram\"";
+        break;
+    }
+    if (p.kind == obs::MetricKind::kHistogram) {
+      s += ",\"count\":";
+      util::putU64Bare(s, p.count);
+      s += ",\"sum\":";
+      util::putDoubleOrNull(s, p.sum);
+      s += ",\"min\":";
+      util::putDoubleOrNull(s, p.min);
+      s += ",\"max\":";
+      util::putDoubleOrNull(s, p.max);
+      s += ",\"bounds\":[";
+      for (std::size_t b = 0; b < p.bounds.size(); ++b) {
+        if (b > 0) s += ",";
+        util::putDoubleOrNull(s, p.bounds[b]);
+      }
+      s += "],\"buckets\":[";
+      for (std::size_t b = 0; b < p.buckets.size(); ++b) {
+        if (b > 0) s += ",";
+        util::putU64Bare(s, p.buckets[b]);
+      }
+      s += "]";
+    } else {
+      s += ",\"value\":";
+      util::putDoubleOrNull(s, p.value);
+    }
+    s += "}";
+  }
+  s += "]}";
+  return s;
+}
+
 std::string roundEvent(const std::string& id, const core::RoundOutcome& o,
                        double step_seconds) {
   std::string s = "{\"event\":\"round\",\"id\":";

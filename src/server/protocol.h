@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/optimizer.h"
+#include "obs/metrics.h"
 #include "runtime/eval_cache.h"
 #include "server/campaign.h"
 #include "util/json.h"
@@ -54,6 +55,13 @@ std::string statsResponse(const runtime::EvalCache::Stats& cache,
                           const std::vector<StatusSnapshot>& all,
                           double farm_makespan,
                           const SupervisionStats& sup = {});
+/// The live metrics registry as one JSON line: every point with its kind
+/// ("counter"/"gauge"/"histogram"), value or count/sum/min/max plus bucket
+/// layout, the tracer's drop counter, and whether the registry is enabled
+/// at all (when disabled the list is whatever was last recorded — usually
+/// empty).
+std::string metricsResponse(const obs::MetricsSnapshot& snap,
+                            std::uint64_t trace_dropped, bool enabled);
 /// Streamed once per executed campaign step. `step_seconds` is the real
 /// (host) time the step took inside the driver.
 std::string roundEvent(const std::string& id, const core::RoundOutcome& o,

@@ -14,6 +14,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
+#include "obs/prometheus.h"
 #include "server/fair_scheduler.h"
 
 namespace cmmfo::server {
@@ -107,6 +109,11 @@ void OptimizationServer::requestStop() {
     ::shutdown(lfd, SHUT_RDWR);
     ::close(lfd);
   }
+  const int mfd = metrics_listen_fd_.exchange(-1);
+  if (mfd >= 0) {
+    ::shutdown(mfd, SHUT_RDWR);
+    ::close(mfd);
+  }
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_stopping_ = true;
   for (const std::shared_ptr<ConnState>& c : conns_)
@@ -125,6 +132,7 @@ void OptimizationServer::stop() {
   drivers_.clear();
   if (watchdog_.joinable()) watchdog_.join();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_accept_thread_.joinable()) metrics_accept_thread_.join();
   std::vector<std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -249,6 +257,12 @@ void OptimizationServer::driverLoop() {
     }
     const double step_seconds =
         std::chrono::duration<double>(SteadyClock::now() - t0).count();
+    if (obs::metrics().enabled()) {
+      // SLO latency: one aggregate histogram plus a per-campaign labeled
+      // series (the "#k=v" suffix renders as a Prometheus label).
+      obs::metrics().observe("slo.step_seconds", step_seconds);
+      obs::metrics().observe("slo.step_seconds#campaign=" + id, step_seconds);
+    }
 
     if (failed) {
       // Failure isolation: only THIS campaign restarts or fails; the
@@ -669,6 +683,10 @@ std::string OptimizationServer::handleLine(const std::string& line,
     return statusResponse(c->snapshot());
   }
   if (req.op == "list") return listResponse(list());
+  if (req.op == "metrics")
+    return metricsResponse(obs::metrics().snapshot(),
+                           obs::tracer().droppedCount(),
+                           obs::metrics().enabled());
   if (req.op == "stats") {
     const ServerStats st = stats();
     return statsResponse(st.cache, list(), st.farm_makespan_seconds,
@@ -742,6 +760,68 @@ int OptimizationServer::listenTcp(int port) {
   listen_fd_.store(fd);
   accept_thread_ = std::thread([this] { acceptLoop(); });
   return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int OptimizationServer::listenMetricsHttp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  metrics_listen_fd_.store(fd);
+  metrics_accept_thread_ = std::thread([this] { metricsAcceptLoop(); });
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+void OptimizationServer::metricsAcceptLoop() {
+  while (true) {
+    const int lfd = metrics_listen_fd_.load();
+    if (lfd < 0) return;
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) return;  // listener closed by stop()
+    // One scrape per connection, served inline: read the request head,
+    // answer, hang up. The endpoint is read-only and the body is small, so
+    // a per-connection thread would buy nothing.
+    std::string head;
+    char chunk[4096];
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos && head.size() < 65536) {
+      const ssize_t n = ::read(conn, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      head.append(chunk, static_cast<std::size_t>(n));
+    }
+    const auto line_end = head.find_first_of("\r\n");
+    const std::string req_line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    const bool is_get = req_line.compare(0, 4, "GET ") == 0;
+    const std::string target =
+        is_get ? req_line.substr(4, req_line.find(' ', 4) - 4) : "";
+    const std::string path = target.substr(0, target.find('?'));
+    std::string resp;
+    if (is_get && (path == "/metrics" || path == "/")) {
+      const std::string body = obs::toPrometheusText(
+          obs::metrics().snapshot(), obs::tracer().droppedCount());
+      resp = "HTTP/1.1 200 OK\r\n"
+             "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+             "Content-Length: " + std::to_string(body.size()) +
+             "\r\nConnection: close\r\n\r\n" + body;
+    } else {
+      resp = "HTTP/1.1 404 Not Found\r\n"
+             "Content-Length: 0\r\nConnection: close\r\n\r\n";
+    }
+    (void)::send(conn, resp.data(), resp.size(), MSG_NOSIGNAL);
+    ::close(conn);
+  }
 }
 
 void OptimizationServer::acceptLoop() {

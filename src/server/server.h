@@ -160,6 +160,12 @@ class OptimizationServer {
   /// on its own thread. Returns the bound port; serving continues until
   /// stop().
   int listenTcp(int port);
+  /// Prometheus exposition: listen on 127.0.0.1:`port` (0 = ephemeral) and
+  /// answer `GET /metrics` (or `/`) with the live registry in text format
+  /// 0.0.4. One scrape is served at a time (scrapes are tiny and the
+  /// endpoint is read-only). Returns the bound port, -1 on error; serving
+  /// continues until stop().
+  int listenMetricsHttp(int port);
 
   runtime::EvalCache& cache() { return cache_; }
   const SharedFarmModel& farm() const { return farm_; }
@@ -178,6 +184,7 @@ class OptimizationServer {
   void driverLoop();
   void watchdogLoop();
   void acceptLoop();
+  void metricsAcceptLoop();
   void serveFd(const std::shared_ptr<ConnState>& conn);
   /// Initiate shutdown without joining anything: set stopping_, close the
   /// listener, and shut down live connection sockets so their readers
@@ -257,6 +264,9 @@ class OptimizationServer {
   /// connection that races the shutdown sweep.
   std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
+  /// Prometheus scrape listener (see listenMetricsHttp).
+  std::atomic<int> metrics_listen_fd_{-1};
+  std::thread metrics_accept_thread_;
   std::mutex conns_mu_;
   std::vector<std::thread> conn_threads_;
   std::vector<std::shared_ptr<ConnState>> conns_;

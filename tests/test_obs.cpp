@@ -11,7 +11,15 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_suite/benchmarks.h"
@@ -20,9 +28,11 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/profile.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "runtime/scheduler.h"
 #include "runtime/thread_pool.h"
+#include "util/json.h"
 
 namespace cmmfo {
 namespace {
@@ -229,6 +239,308 @@ TEST(ObsTrace, ConcurrentSpansFromManyThreadsAllLand) {
             static_cast<std::size_t>(kThreads * kSpansPer));
 }
 
+// ------------------------------------------------ Causal trace context ----
+
+TEST(ObsTrace, ContextGuardParentsSpansAndRestoresOnExit) {
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  const std::uint64_t root = 0x5EEDF00Dull;
+
+  std::uint64_t outer_id = 0;
+  {
+    obs::ContextGuard guard(&tracer, obs::TraceContext{root, root});
+    EXPECT_EQ(obs::currentContext().trace_id, root);
+    EXPECT_EQ(obs::currentContext().span_id, root);
+    {
+      obs::Span outer(&tracer, "outer", "test");
+      outer_id = outer.spanId();
+      EXPECT_EQ(outer.traceId(), root);
+      // The open span becomes the ambient context its children parent to.
+      EXPECT_EQ(obs::currentContext().span_id, outer_id);
+      obs::Span inner(&tracer, "inner", "test");
+      EXPECT_EQ(inner.traceId(), root);
+    }
+    // Closing the spans restored the guard's context.
+    EXPECT_EQ(obs::currentContext().span_id, root);
+  }
+  EXPECT_EQ(obs::currentContext().trace_id, 0u);  // guard popped on exit
+
+  const auto events = tracer.events();  // inner closes (records) first
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  ASSERT_EQ(inner.name, "inner");
+  ASSERT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.trace_id, root);
+  // Campaign-root convention: a direct child of the root has
+  // parent_span_id == trace_id.
+  EXPECT_EQ(outer.parent_span_id, root);
+  EXPECT_EQ(inner.trace_id, root);
+  EXPECT_EQ(inner.parent_span_id, outer_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+  EXPECT_NE(inner.span_id, 0u);
+}
+
+TEST(ObsTrace, CapturedContextReinstallsAcrossThreads) {
+  // The scheduler propagates causality onto worker threads by capturing
+  // currentContext() at submit time and re-installing it in the worker;
+  // this pins that exact mechanism in isolation.
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  const std::uint64_t root = 42ull;
+  obs::TraceContext submit_ctx;
+  std::uint64_t submit_span = 0;
+  {
+    obs::ContextGuard guard(&tracer, obs::TraceContext{root, root});
+    obs::Span submit(&tracer, "submit", "test");
+    submit_span = submit.spanId();
+    submit_ctx = obs::currentContext();
+  }
+  EXPECT_EQ(submit_ctx.span_id, submit_span);
+
+  std::thread worker([&tracer, submit_ctx] {
+    EXPECT_EQ(obs::currentContext().trace_id, 0u);  // fresh thread: no ctx
+    obs::ContextGuard guard(&tracer, submit_ctx);
+    obs::Span(&tracer, "job", "test").outcome("ok");
+  });
+  worker.join();
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent& job = events[1];
+  ASSERT_EQ(job.name, "job");
+  EXPECT_EQ(job.trace_id, root);
+  EXPECT_EQ(job.parent_span_id, submit_span);
+}
+
+TEST(ObsTrace, RingBufferDropsOldestAndCountsDrops) {
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  EXPECT_EQ(tracer.capacity(), obs::Tracer::kDefaultCapacity);
+  tracer.setCapacity(8);
+  for (int i = 0; i < 20; ++i) obs::Span(&tracer, "s", "test").id(i);
+  EXPECT_EQ(tracer.eventCount(), 8u);
+  EXPECT_EQ(tracer.droppedCount(), 12u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i)  // oldest were dropped
+    EXPECT_EQ(events[i].id, static_cast<std::int64_t>(12 + i));
+
+  // Shrinking below the live size drops (and counts) the overflow too.
+  tracer.setCapacity(3);
+  EXPECT_EQ(tracer.eventCount(), 3u);
+  EXPECT_EQ(tracer.droppedCount(), 17u);
+  // clear() resets the drop counter with the buffer.
+  tracer.clear();
+  EXPECT_EQ(tracer.eventCount(), 0u);
+  EXPECT_EQ(tracer.droppedCount(), 0u);
+}
+
+TEST(ObsTrace, StreamingSinkWritesParseableJsonlAndRotates) {
+  const std::string path = testing::TempDir() + "/cmmfo_obs_stream.jsonl";
+  const std::string rotated = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  ASSERT_TRUE(tracer.openStream(path, /*max_bytes=*/1024));
+  EXPECT_TRUE(tracer.streaming());
+  for (int i = 0; i < 40; ++i)
+    obs::Span(&tracer, "streamed", "test").id(i).value(1.5).outcome("ok");
+  tracer.closeStream();
+  EXPECT_FALSE(tracer.streaming());
+
+  // ~40 spans at ~100 bytes/line blow through the 1 KiB cap several times:
+  // a rotated generation must exist alongside the live file, every line
+  // must be well-formed JSON, and the stream's tail must reach the final
+  // span (rotation drops a prefix, never the newest events).
+  std::size_t lines = 0;
+  std::int64_t last_id = -1;
+  for (const std::string& file : {rotated, path}) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    std::string line;
+    while (std::getline(in, line)) {
+      ++lines;
+      util::Json ev;
+      ASSERT_TRUE(util::parseJson(line, &ev)) << line;
+      EXPECT_EQ(ev.strOr("name", ""), "streamed");
+      last_id = static_cast<std::int64_t>(ev.numOr("id", -1.0));
+    }
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_LE(lines, 40u);
+  EXPECT_EQ(last_id, 39);
+  // The in-memory ring kept everything regardless of streaming.
+  EXPECT_EQ(tracer.eventCount(), 40u);
+
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+// ----------------------------------------------- Prometheus exposition ----
+
+// Strict text-format (0.0.4) validation of the scrape renderer: metric
+// name charset, # TYPE before any sample of its family, bucket le ordering
+// and count cumulativity, +Inf bucket == _count, _sum present, and the
+// flat `#campaign=` registry suffix rendered as a real Prometheus label.
+TEST(ObsPrometheus, ExpositionSurvivesStrictTextFormatValidation) {
+  MetricsRegistry reg;
+  reg.setEnabled(true);
+  reg.add("server.rounds", 12.0);
+  reg.set("sched.charged_seconds", 3062.9170931904364);
+  reg.defineHistogram("slo.step_seconds", MetricsRegistry::defaultBounds());
+  reg.observe("slo.step_seconds", 0.004);
+  reg.observe("slo.step_seconds", 2.5);
+  reg.defineHistogram("slo.step_seconds#campaign=camp-a",
+                      MetricsRegistry::defaultBounds());
+  reg.observe("slo.step_seconds#campaign=camp-a", 0.004);
+  reg.set("weird name!", 1.0);  // sanitizer coverage
+
+  const std::string text =
+      obs::toPrometheusText(reg.snapshot(), /*trace_dropped=*/7);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');  // exposition must end in a newline
+
+  const auto validName = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+      const bool digit = c >= '0' && c <= '9';
+      if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) return false;
+    }
+    return true;
+  };
+
+  std::map<std::string, std::string> family_type;
+  // Per (family | label-set without le): ordered (le, cumulative count).
+  std::map<std::string, std::vector<std::pair<double, double>>> bucket_series;
+  std::map<std::string, double> counts, sums;
+
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string family, type;
+      ASSERT_TRUE(static_cast<bool>(ls >> family >> type)) << line;
+      EXPECT_TRUE(validName(family)) << family;
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      EXPECT_EQ(family_type.count(family), 0u)
+          << "duplicate # TYPE for " << family;
+      family_type[family] = type;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+
+    // Sample line: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, std::min(brace, space));
+    EXPECT_TRUE(validName(name)) << name;
+
+    std::string labels;
+    std::size_t value_at = space + 1;
+    if (brace != std::string::npos && brace < space) {
+      const std::size_t close = line.find('}', brace);
+      ASSERT_NE(close, std::string::npos) << line;
+      labels = line.substr(brace + 1, close - brace - 1);
+      ASSERT_LT(close + 1, line.size()) << line;
+      ASSERT_EQ(line[close + 1], ' ') << line;
+      value_at = close + 2;
+    }
+    const std::string value_text = line.substr(value_at);
+    ASSERT_FALSE(value_text.empty()) << line;
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << line;
+
+    // Histogram sub-series resolve to their base family; every sample must
+    // appear AFTER its family's # TYPE line.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string base = name.substr(0, name.size() - s.size());
+        const auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          family = base;
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(family_type.count(family), 1u)
+        << "sample before its # TYPE line: " << line;
+
+    if (family_type[family] == "histogram") {
+      std::string series = family + "|";
+      double le_val = 0.0;
+      bool has_le = false;
+      std::size_t pos = 0;
+      while (pos < labels.size()) {
+        auto comma = labels.find(',', pos);
+        if (comma == std::string::npos) comma = labels.size();
+        const std::string pair = labels.substr(pos, comma - pos);
+        if (pair.rfind("le=\"", 0) == 0) {
+          ASSERT_EQ(pair.back(), '"') << line;
+          const std::string raw = pair.substr(4, pair.size() - 5);
+          has_le = true;
+          le_val = raw == "+Inf" ? std::numeric_limits<double>::infinity()
+                                 : std::strtod(raw.c_str(), nullptr);
+        } else {
+          series += pair + ";";
+        }
+        pos = comma + 1;
+      }
+      if (name == family + "_bucket") {
+        ASSERT_TRUE(has_le) << line;
+        bucket_series[series].emplace_back(le_val, value);
+      } else if (name == family + "_count") {
+        counts[series] = value;
+      } else if (name == family + "_sum") {
+        sums[series] = value;
+      } else {
+        ADD_FAILURE() << "bare sample of a histogram family: " << line;
+      }
+    }
+  }
+
+  // Histogram integrity: le strictly ascending, counts cumulative, +Inf
+  // bucket last and equal to _count, _sum present — per label set.
+  ASSERT_EQ(bucket_series.size(), 2u);  // unlabeled + campaign-labeled
+  for (const auto& [series, bs] : bucket_series) {
+    ASSERT_GE(bs.size(), 2u) << series;
+    for (std::size_t i = 1; i < bs.size(); ++i) {
+      EXPECT_LT(bs[i - 1].first, bs[i].first) << series;
+      EXPECT_LE(bs[i - 1].second, bs[i].second) << series;
+    }
+    EXPECT_TRUE(std::isinf(bs.back().first)) << series;
+    ASSERT_EQ(counts.count(series), 1u) << series;
+    ASSERT_EQ(sums.count(series), 1u) << series;
+    EXPECT_DOUBLE_EQ(bs.back().second, counts[series]) << series;
+  }
+
+  // The `#campaign=` suffix became a real label on every sub-series.
+  EXPECT_NE(
+      text.find("cmmfo_slo_step_seconds_bucket{campaign=\"camp-a\",le=\""),
+      std::string::npos);
+  EXPECT_NE(text.find("cmmfo_slo_step_seconds_sum{campaign=\"camp-a\"} "),
+            std::string::npos);
+  // Counters take the _total suffix; the drop counter is always exported.
+  EXPECT_NE(text.find("cmmfo_server_rounds_total "), std::string::npos);
+  EXPECT_NE(text.find("cmmfo_trace_dropped_total 7\n"), std::string::npos);
+  // Illegal name characters were rewritten.
+  EXPECT_NE(text.find("cmmfo_weird_name_ "), std::string::npos);
+}
+
 // --------------------------------------------------- Golden invariance ----
 
 struct Fixture {
@@ -402,6 +714,96 @@ TEST(ObsCheckpoint, JournalsWithoutMetricsKeyStillLoad) {
   std::string err;
   EXPECT_TRUE(core::parseCheckpoint(text, &back, &err)) << err;
   EXPECT_TRUE(back.metrics.empty());
+}
+
+// The async pipeline journals the metrics ledger with every checkpoint; a
+// preempted campaign resumed from disk must (1) round-trip the histogram
+// state bit-for-bit through the journal and (2) continue accumulating onto
+// the restored ledger, so the deterministic series finish exactly where an
+// uninterrupted instrumented run finishes.
+TEST(ObsCheckpoint, AsyncResumeRestoresAndContinuesHistogramLedger) {
+  const std::string path =
+      testing::TempDir() + "/cmmfo_obs_async_resume.json";
+  std::remove(path.c_str());
+
+  core::OptimizerOptions o = fastOpts();
+  o.async = true;
+  o.n_workers = 4;
+  o.seed = 77;
+
+  // Golden: one uninterrupted, fully instrumented async run.
+  GlobalObsGuard guard;
+  obs::metrics().setEnabled(true);
+  Fixture f1;
+  core::CorrelatedMfMoboOptimizer full(f1.space, f1.sim, o);
+  const auto golden = full.run();
+  const MetricsSnapshot golden_snap = obs::metrics().snapshot();
+
+  // Preempted process: max_rounds mimics a kill with work in flight.
+  GlobalObsGuard::reset();
+  obs::metrics().setEnabled(true);
+  Fixture f2;
+  core::OptimizerOptions o_kill = o;
+  o_kill.checkpoint_path = path;
+  o_kill.max_rounds = 5;
+  core::CorrelatedMfMoboOptimizer killed(f2.space, f2.sim, o_kill);
+  (void)killed.run();
+
+  // The journal carries live histogram state that restores bit-for-bit
+  // into a fresh registry.
+  core::CheckpointState st;
+  std::string err;
+  ASSERT_TRUE(core::loadCheckpointAny(path, &st, &err)) << err;
+  ASSERT_FALSE(st.metrics.empty());
+  EXPECT_TRUE(std::any_of(st.metrics.begin(), st.metrics.end(),
+                          [](const MetricPoint& p) {
+                            return p.kind == MetricKind::kHistogram &&
+                                   p.count > 0;
+                          }));
+  MetricsRegistry fresh;
+  fresh.setEnabled(true);
+  fresh.restore(st.metrics);
+  EXPECT_EQ(fresh.snapshot(), st.metrics);
+
+  // Resume: pre-existing registry content is wiped by the restore and the
+  // continued run lands the deterministic series on the uninterrupted
+  // run's exact values.
+  GlobalObsGuard::reset();
+  obs::metrics().setEnabled(true);
+  obs::metrics().add("stale.junk", 7.0);
+  Fixture f3;
+  core::OptimizerOptions o_resume = o;
+  o_resume.checkpoint_path = path;
+  o_resume.resume = true;
+  core::CorrelatedMfMoboOptimizer resumed(f3.space, f3.sim, o_resume);
+  const auto finished = resumed.run();
+  EXPECT_TRUE(finished.resumed);
+  EXPECT_DOUBLE_EQ(finished.tool_seconds, golden.tool_seconds);
+
+  const MetricsSnapshot snap = obs::metrics().snapshot();
+  EXPECT_EQ(find(snap, "stale.junk"), nullptr);
+  for (const char* name : {"sched.charged_seconds", "sched.wall_seconds",
+                           "sched.cache_hits", "sched.tool_runs"}) {
+    const MetricPoint* got = find(snap, name);
+    const MetricPoint* want = find(golden_snap, name);
+    ASSERT_NE(got, nullptr) << name;
+    ASSERT_NE(want, nullptr) << name;
+    EXPECT_DOUBLE_EQ(got->value, want->value) << name;
+  }
+  // The acquisition histograms observe deterministic PEIPV values in
+  // deterministic pick order: restored + continued must equal the golden
+  // run POINT-for-point (count, sum, min, max, every bucket).
+  int peipv_series = 0;
+  for (const MetricPoint& want : golden_snap) {
+    if (want.name.rfind("acq.peipv.", 0) != 0) continue;
+    ++peipv_series;
+    const MetricPoint* got = find(snap, want.name);
+    ASSERT_NE(got, nullptr) << want.name;
+    EXPECT_EQ(*got, want) << want.name;
+  }
+  EXPECT_GE(peipv_series, 1);
+
+  std::remove(path.c_str());
 }
 
 // ------------------------------------------- Concurrent observer (TSan) ----

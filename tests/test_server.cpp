@@ -20,7 +20,10 @@
 
 #include "core/campaign_stepper.h"
 #include "core/optimizer.h"
+#include "obs/obs.h"
 #include "runtime/eval_cache.h"
+#include "runtime/scheduler.h"
+#include "runtime/thread_pool.h"
 #include "server/campaign.h"
 #include "server/fair_scheduler.h"
 #include "server/farm_model.h"
@@ -448,6 +451,174 @@ TEST(ServerProtocol, PauseHoldsProgressAndResumeFinishes) {
   const auto result = srv.campaign("pc")->result();
   ASSERT_TRUE(result.has_value());
   expectSameTrajectory(runIsolated(fastSpec("pc", 5, 21, 6)), *result);
+}
+
+// --------------------------------------------------------- telemetry ----
+
+// Tests flipping the process-wide observability flags restore them on exit
+// (pass or fail) so co-resident tests never inherit a live registry.
+struct ObsReset {
+  ~ObsReset() { obs::global().reset(); }
+};
+
+TEST(ServerProtocol, MetricsVerbExposesSloSeries) {
+  ObsReset reset_on_exit;
+  obs::metrics().setEnabled(true);
+
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.slots = 2;
+  OptimizationServer srv(opts);
+  srv.start();
+  std::string err;
+  ASSERT_TRUE(srv.submit(fastSpec("mv", 7, 31, 4), &err)) << err;
+  srv.drain();
+
+  std::stringstream in, out;
+  in << "{\"op\":\"metrics\"}\n"
+     << "{\"op\":\"shutdown\"}\n";
+  srv.serveStdio(in, out);
+  srv.stop();
+
+  // The first output line answers the metrics verb.
+  std::string line;
+  ASSERT_TRUE(std::getline(out, line));
+  util::Json j;
+  ASSERT_TRUE(util::parseJson(line, &j)) << line;
+  const util::Json* ok = j.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->b) << line;
+  const util::Json* enabled = j.find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->b);
+  EXPECT_NE(j.find("trace_dropped"), nullptr);
+
+  const util::Json* arr = j.find("metrics");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->kind, util::Json::kArr);
+  ASSERT_FALSE(arr->arr.empty());
+
+  bool saw_step = false, saw_labeled = false, saw_fanout = false;
+  for (const util::Json& p : arr->arr) {
+    const std::string name = p.strOr("name", "");
+    if (name == "slo.step_seconds") {
+      saw_step = true;
+      EXPECT_EQ(p.strOr("kind", ""), "histogram");
+      // init round + ceil(4/2) BO rounds drove at least 3 steps.
+      EXPECT_GE(p.numOr("count", 0.0), 3.0);
+      const util::Json* bounds = p.find("bounds");
+      const util::Json* buckets = p.find("buckets");
+      ASSERT_NE(bounds, nullptr);
+      ASSERT_NE(buckets, nullptr);
+      EXPECT_EQ(buckets->arr.size(), bounds->arr.size() + 1);
+    }
+    // The per-campaign series carries the flat label suffix the
+    // Prometheus renderer turns into {campaign="mv"}.
+    if (name == "slo.step_seconds#campaign=mv") saw_labeled = true;
+    // Every single-flight leader finish observes its fan-out.
+    if (name == "slo.coalesce_fanout") {
+      saw_fanout = true;
+      EXPECT_EQ(p.strOr("kind", ""), "histogram");
+      EXPECT_GT(p.numOr("count", 0.0), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_labeled);
+  EXPECT_TRUE(saw_fanout);
+}
+
+// Follows one campaign's trace through a coalesced job shared with a
+// second campaign: campaign A's job leads the single-flight on (config,
+// fidelity); campaign B's scheduler — a co-tenant in the same cache
+// namespace — joins mid-flight and must record a "coalesced" job span in
+// ITS OWN trace that links to A's leader span. The leader is gated on
+// flightWaiters(), so the interleaving is deterministic, not timing luck.
+TEST(ServerTrace, CoalescedJobLinksFollowerSpanToLeaderAcrossCampaigns) {
+  ObsReset reset_on_exit;
+  obs::tracer().setEnabled(true);
+
+  const CampaignSpec spec_a = fastSpec("trace_a", 7, 42);
+  const CampaignSpec spec_b = fastSpec("trace_b", 9, 42);  // co-tenant
+  const std::uint64_t ns = server::cacheNamespaceOf(spec_a);
+  ASSERT_EQ(ns, server::cacheNamespaceOf(spec_b));
+  const std::uint64_t root_a = server::cacheLedgerOf(spec_a);
+  const std::uint64_t root_b = server::cacheLedgerOf(spec_b);
+  ASSERT_NE(root_a, root_b);
+
+  const auto space = server::makeSpaceFor(spec_a.benchmark);
+  const auto bm = server::makeBenchmarkFor(spec_a.benchmark);
+  const auto sim_a = server::makeSimFor(spec_a, *bm);
+  const auto sim_b = server::makeSimFor(spec_b, *bm);
+  runtime::EvalCache cache;
+  runtime::ThreadPool pool(2);
+  runtime::ToolScheduler sched_b(*space, *sim_b, cache, pool, {}, ns,
+                                 root_b);
+
+  constexpr std::size_t kConfig = 7;
+  const auto fidelity = sim::Fidelity::kSyn;
+
+  // Campaign A's driver: root context, a leader job span, and the
+  // single-flight registration the scheduler performs for a leader —
+  // carrying the span's causal identity into the cache.
+  obs::ContextGuard root_guard(&obs::tracer(),
+                               obs::TraceContext{root_a, root_a});
+  auto leader_span =
+      std::make_unique<obs::Span>(&obs::tracer(), "job", "scheduler");
+  const std::uint64_t leader_span_id = leader_span->spanId();
+  ASSERT_EQ(leader_span->traceId(), root_a);
+  std::array<sim::Report, sim::kNumFidelities> stages{};
+  ASSERT_EQ(cache.joinFlight(kConfig, fidelity, ns, root_a, &stages,
+                             {root_a, leader_span_id}),
+            runtime::EvalCache::FlightJoin::kLeader);
+
+  // Campaign B: a real scheduler round submitted under B's root context.
+  std::vector<runtime::EvalResult> results_b;
+  std::thread campaign_b([&] {
+    obs::ContextGuard guard(&obs::tracer(),
+                            obs::TraceContext{root_b, root_b});
+    results_b = sched_b.runBatch({{kConfig, fidelity}});
+  });
+
+  // Release the leader only after B parked inside the flight wait.
+  while (cache.flightWaiters(kConfig, ns) < 1) std::this_thread::yield();
+  for (int s = 0; s <= static_cast<int>(fidelity); ++s)
+    stages[s] =
+        sim_a->run(space->config(kConfig), static_cast<sim::Fidelity>(s));
+  cache.storeFlow(kConfig, fidelity, stages, ns);
+  leader_span->outcome("ok");
+  leader_span.reset();  // records A's job span
+  EXPECT_EQ(cache.finishFlight(kConfig, ns), 1);
+  campaign_b.join();
+
+  ASSERT_EQ(results_b.size(), 1u);
+  EXPECT_TRUE(results_b[0].coalesced);
+  EXPECT_DOUBLE_EQ(results_b[0].charged_seconds, 0.0);
+
+  // One trace per campaign; B's job span carries the cross-trace link.
+  const auto events = obs::tracer().events();
+  const obs::TraceEvent* leader = nullptr;
+  const obs::TraceEvent* follower = nullptr;
+  const obs::TraceEvent* batch_b = nullptr;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "run_batch" && e.trace_id == root_b) batch_b = &e;
+    if (e.name != "job") continue;
+    if (e.trace_id == root_a) leader = &e;
+    if (e.trace_id == root_b) follower = &e;
+  }
+  ASSERT_NE(leader, nullptr);
+  ASSERT_NE(follower, nullptr);
+  ASSERT_NE(batch_b, nullptr);
+  EXPECT_EQ(leader->span_id, leader_span_id);
+  EXPECT_EQ(leader->parent_span_id, root_a);
+  // Full causal chain in B's trace: job -> run_batch -> campaign root —
+  // the parent survives the hop onto the worker thread.
+  EXPECT_EQ(follower->parent_span_id, batch_b->span_id);
+  EXPECT_EQ(batch_b->parent_span_id, root_b);
+  EXPECT_EQ(follower->outcome, "coalesced");
+  EXPECT_EQ(follower->id, static_cast<std::int64_t>(kConfig));
+  EXPECT_EQ(follower->link_trace_id, root_a);
+  EXPECT_EQ(follower->link_span_id, leader_span_id);
+  EXPECT_NE(follower->span_id, leader->span_id);
 }
 
 // ----------------------------------------------------- kill and resume ----

@@ -34,7 +34,10 @@
 #include <string>
 #include <thread>
 
+#include "obs/obs.h"
+#include "obs/run_meta.h"
 #include "server/server.h"
+#include "util/json.h"
 
 namespace {
 
@@ -60,7 +63,17 @@ void usage() {
       "  --chaos-seed N        deterministic fault-injection seed\n"
       "  --chaos-fault-prob P  per-step synthetic fault probability\n"
       "  --chaos-hang-prob P   per-step synthetic hang probability\n"
-      "  --chaos-hang-ms N     synthetic hang duration (default 20)\n");
+      "  --chaos-hang-ms N     synthetic hang duration (default 20)\n"
+      "  --metrics-port N      Prometheus text exposition on 127.0.0.1:N\n"
+      "                        (0 = ephemeral; port printed on stdout)\n"
+      "  --trace FILE          stream trace spans to FILE as JSONL (rotates\n"
+      "                        to FILE.1 past --trace-max-bytes)\n"
+      "  --trace-max-bytes N   streaming rotation bound (default 64MiB)\n"
+      "  --chrome-trace FILE   dump the trace ring buffer as\n"
+      "                        chrome://tracing JSON on exit\n"
+      "  --metrics FILE        dump the metrics registry on exit\n"
+      "                        (.json = JSON, else CSV)\n"
+      "  ('-' paths are refused under --stdio: stdout is the protocol)\n");
 }
 
 }  // namespace
@@ -69,6 +82,9 @@ int main(int argc, char** argv) {
   cmmfo::server::ServerOptions opts;
   bool stdio = false;
   int port = -1;
+  int metrics_port = -1;
+  std::string trace_path, chrome_path, metrics_path;
+  std::size_t trace_max_bytes = std::size_t{64} << 20;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     const auto next = [&](const char* flag) -> const char* {
@@ -113,6 +129,14 @@ int main(int argc, char** argv) {
       opts.chaos.step_hang_prob = std::atof(next("--chaos-hang-prob"));
     else if (a == "--chaos-hang-ms")
       opts.chaos.hang_ms = std::atoi(next("--chaos-hang-ms"));
+    else if (a == "--metrics-port")
+      metrics_port = std::atoi(next("--metrics-port"));
+    else if (a == "--trace") trace_path = next("--trace");
+    else if (a == "--trace-max-bytes")
+      trace_max_bytes =
+          static_cast<std::size_t>(std::atoll(next("--trace-max-bytes")));
+    else if (a == "--chrome-trace") chrome_path = next("--chrome-trace");
+    else if (a == "--metrics") metrics_path = next("--metrics");
     else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -130,6 +154,63 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cmmfo_server: --resume requires --journal\n");
     return 2;
   }
+  if (stdio &&
+      (trace_path == "-" || chrome_path == "-" || metrics_path == "-")) {
+    // Under --stdio, stdout carries the NDJSON protocol: a telemetry dump
+    // interleaved into it would corrupt the session. Dump to a file instead.
+    std::fprintf(stderr,
+                 "cmmfo_server: '-' (stdout) telemetry paths are not allowed "
+                 "with --stdio; use a file path\n");
+    return 2;
+  }
+
+  // Telemetry plane. Tracing streams live (rotating JSONL) so a daemon
+  // killed hard still leaves its spans on disk; the ring buffer stays
+  // bounded either way. Metrics are dumped on exit and/or scraped live.
+  if (!trace_path.empty() || !chrome_path.empty())
+    cmmfo::obs::tracer().setEnabled(true);
+  const bool stream_trace = !trace_path.empty() && trace_path != "-";
+  if (stream_trace &&
+      !cmmfo::obs::tracer().openStream(trace_path, trace_max_bytes)) {
+    std::fprintf(stderr, "cmmfo_server: cannot open trace stream %s\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  if (!metrics_path.empty() || metrics_port >= 0)
+    cmmfo::obs::metrics().setEnabled(true);
+  cmmfo::obs::RunMeta meta = cmmfo::obs::makeRunMeta();
+  meta.tool = "cmmfo_server";
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) meta.flags += ' ';
+    meta.flags += argv[i];
+  }
+  // Flush whatever telemetry remains before any _Exit: close the stream
+  // (already on disk — no re-dump), dump the chrome trace and the metrics
+  // registry from the live state.
+  const auto dumpTelemetry = [&] {
+    cmmfo::obs::tracer().closeStream();
+    if (!trace_path.empty() && !stream_trace &&
+        !cmmfo::util::writeTextTo(trace_path,
+                                  cmmfo::obs::metaJsonLine(meta) +
+                                      cmmfo::obs::tracer().toJsonl()))
+      std::fprintf(stderr, "cmmfo_server: cannot write %s\n",
+                   trace_path.c_str());
+    if (!chrome_path.empty() &&
+        !cmmfo::obs::tracer().writeChromeTrace(chrome_path))
+      std::fprintf(stderr, "cmmfo_server: cannot write %s\n",
+                   chrome_path.c_str());
+    if (!metrics_path.empty()) {
+      const bool json = metrics_path.size() >= 5 &&
+                        metrics_path.rfind(".json") == metrics_path.size() - 5;
+      const std::string header = json ? cmmfo::obs::metaJsonLine(meta)
+                                      : cmmfo::obs::metaCsvComment(meta);
+      const std::string body = json ? cmmfo::obs::metrics().toJson()
+                                    : cmmfo::obs::metrics().toCsv();
+      if (!cmmfo::util::writeTextTo(metrics_path, header + body))
+        std::fprintf(stderr, "cmmfo_server: cannot write %s\n",
+                     metrics_path.c_str());
+    }
+  };
 
   // Block SIGTERM/SIGINT process-wide BEFORE any thread spawns, so every
   // server thread inherits the mask and only the watcher below sees them.
@@ -141,6 +222,19 @@ int main(int argc, char** argv) {
 
   cmmfo::server::OptimizationServer srv(opts);
   srv.start();
+  int metrics_bound = -1;
+  if (metrics_port >= 0) {
+    metrics_bound = srv.listenMetricsHttp(metrics_port);
+    if (metrics_bound < 0) {
+      std::fprintf(stderr,
+                   "cmmfo_server: cannot listen on metrics port %d\n",
+                   metrics_port);
+      return 1;
+    }
+    // Under --stdio stdout is the protocol channel; announce on stderr.
+    if (stdio)
+      std::fprintf(stderr, "{\"metrics_listening\":%d}\n", metrics_bound);
+  }
 
   // Signal watcher: the first SIGTERM/SIGINT runs one blocking graceful
   // stop (drains in-flight steps, flushes journals, joins transports) and
@@ -148,15 +242,19 @@ int main(int argc, char** argv) {
   // immediately with the conventional 128+sig status. _Exit (not exit)
   // everywhere: `srv` lives on the main thread's stack, so no destructor
   // may run while another thread still touches the server.
-  std::thread([&srv, sigs] {
+  std::thread([&srv, sigs, &dumpTelemetry] {
     int sig = 0;
     if (sigwait(&sigs, &sig) != 0) return;
-    std::thread([&srv] {
+    std::thread([&srv, &dumpTelemetry] {
       srv.stop();
+      dumpTelemetry();
       std::fflush(stdout);
       std::_Exit(0);
     }).detach();
     if (sigwait(&sigs, &sig) != 0) return;
+    // Hard abort: no full dump (the graceful stop may still be mid-flight),
+    // but closing the stream flushes already-recorded spans to disk.
+    cmmfo::obs::tracer().closeStream();
     std::fflush(stdout);
     std::_Exit(128 + sig);
   }).detach();
@@ -164,6 +262,7 @@ int main(int argc, char** argv) {
   if (stdio) {
     srv.serveStdio(std::cin, std::cout);
     srv.stop();
+    dumpTelemetry();
     std::fflush(stdout);
     std::_Exit(0);
   }
@@ -174,10 +273,13 @@ int main(int argc, char** argv) {
   }
   // Port on stdout so scripts with --port 0 can find the server.
   std::printf("{\"listening\":%d}\n", bound);
+  if (metrics_bound >= 0)
+    std::printf("{\"metrics_listening\":%d}\n", metrics_bound);
   std::fflush(stdout);
   // Park until a client sends {"op":"shutdown"} or a signal arrives.
   srv.waitUntilStopped();
   srv.stop();
+  dumpTelemetry();
   std::fflush(stdout);
   std::_Exit(0);
 }

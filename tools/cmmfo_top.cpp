@@ -1,0 +1,278 @@
+// cmmfo_top — real-time terminal dashboard for a running cmmfo_server.
+//
+// Connects to the daemon's NDJSON control port and polls the read-only
+// {"op":"list"}, {"op":"stats"} and {"op":"metrics"} verbs once per refresh
+// over a single connection, rendering:
+//   - the per-campaign table (state, rounds, proposals, charged seconds,
+//     hypervolume, restarts),
+//   - shared-cache counters with hit/coalesce rates and the farm makespan,
+//   - round throughput (steps/s from successive poll deltas),
+//   - SLO latency percentiles (p50/p90/p99 estimated from the live
+//     histogram buckets: step, proposal, queue wait) and coalesce fan-out.
+//
+// Usage:
+//   cmmfo_top --port N [--interval S] [--once]
+// --once prints a single snapshot without ANSI screen control (CI smoke).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using cmmfo::util::Json;
+
+int dialLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One request line out, one response line back (the poll verbs never
+/// stream events on an unsubscribed connection).
+bool roundTrip(int fd, const std::string& req, std::string* line,
+               std::string* buf) {
+  const std::string msg = req + "\n";
+  if (::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(msg.size()))
+    return false;
+  char chunk[4096];
+  std::size_t pos;
+  while ((pos = buf->find('\n')) == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    buf->append(chunk, static_cast<std::size_t>(n));
+  }
+  *line = buf->substr(0, pos);
+  buf->erase(0, pos + 1);
+  return true;
+}
+
+/// Percentile estimate from a cumulative-count histogram: linear
+/// interpolation inside the bucket holding the target rank (the standard
+/// Prometheus histogram_quantile estimator). Bounds are upper edges;
+/// the overflow bucket is clamped to `max` when known.
+double histQuantile(const std::vector<double>& bounds,
+                    const std::vector<std::uint64_t>& buckets,
+                    std::uint64_t count, double max, double q) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= rank) {
+      if (i >= bounds.size()) return max;  // overflow bucket
+      const double hi = bounds[i];
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const std::uint64_t below = cum - buckets[i];
+      const double frac =
+          buckets[i] == 0
+              ? 1.0
+              : (rank - static_cast<double>(below)) /
+                    static_cast<double>(buckets[i]);
+      return std::min(lo + (hi - lo) * frac, max > 0.0 ? max : hi);
+    }
+  }
+  return max;
+}
+
+struct Histo {
+  bool present = false;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
+Histo findHisto(const Json& metrics, const std::string& name) {
+  Histo h;
+  const Json* arr = metrics.find("metrics");
+  if (arr == nullptr || arr->kind != Json::kArr) return h;
+  for (const Json& p : arr->arr) {
+    if (p.strOr("name", "") != name) continue;
+    h.present = true;
+    h.count = static_cast<std::uint64_t>(p.numOr("count", 0.0));
+    h.sum = p.numOr("sum", 0.0);
+    h.max = p.numOr("max", 0.0);
+    if (const Json* b = p.find("bounds"); b != nullptr)
+      cmmfo::util::getVec(*b, h.bounds);
+    if (const Json* b = p.find("buckets"); b != nullptr) {
+      h.buckets.reserve(b->arr.size());
+      for (const Json& v : b->arr)
+        h.buckets.push_back(static_cast<std::uint64_t>(v.num));
+    }
+    return h;
+  }
+  return h;
+}
+
+void printSlo(const Json& metrics, const char* label,
+              const std::string& name) {
+  const Histo h = findHisto(metrics, name);
+  if (!h.present || h.count == 0) {
+    std::printf("  %-18s (no samples)\n", label);
+    return;
+  }
+  std::printf(
+      "  %-18s n=%llu  mean=%.4fs  p50=%.4fs  p90=%.4fs  p99=%.4fs\n", label,
+      static_cast<unsigned long long>(h.count),
+      h.sum / static_cast<double>(h.count),
+      histQuantile(h.bounds, h.buckets, h.count, h.max, 0.50),
+      histQuantile(h.bounds, h.buckets, h.count, h.max, 0.90),
+      histQuantile(h.bounds, h.buckets, h.count, h.max, 0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  double interval = 2.0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cmmfo_top: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--port") port = std::atoi(next("--port"));
+    else if (a == "--interval") interval = std::atof(next("--interval"));
+    else if (a == "--once") once = true;
+    else if (a == "--help" || a == "-h") {
+      std::fprintf(stderr,
+                   "usage: cmmfo_top --port N [--interval S] [--once]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "cmmfo_top: unknown flag %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (port < 0) {
+    std::fprintf(stderr, "usage: cmmfo_top --port N [--interval S] [--once]\n");
+    return 2;
+  }
+
+  const int fd = dialLoopback(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cmmfo_top: cannot connect to 127.0.0.1:%d\n", port);
+    return 1;
+  }
+
+  std::string buf;
+  double prev_rounds = -1.0;
+  auto prev_at = std::chrono::steady_clock::now();
+  int status = 0;
+  while (true) {
+    std::string list_line, stats_line, metrics_line;
+    if (!roundTrip(fd, "{\"op\":\"list\"}", &list_line, &buf) ||
+        !roundTrip(fd, "{\"op\":\"stats\"}", &stats_line, &buf) ||
+        !roundTrip(fd, "{\"op\":\"metrics\"}", &metrics_line, &buf)) {
+      std::fprintf(stderr, "cmmfo_top: connection lost\n");
+      status = 1;
+      break;
+    }
+    Json list, stats, metrics;
+    if (!cmmfo::util::parseJson(list_line, &list) ||
+        !cmmfo::util::parseJson(stats_line, &stats) ||
+        !cmmfo::util::parseJson(metrics_line, &metrics)) {
+      std::fprintf(stderr, "cmmfo_top: malformed response\n");
+      status = 1;
+      break;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    if (!once) std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
+
+    // ---- Campaign table. ----
+    std::printf("%-16s %-10s %8s %9s %12s %12s %8s\n", "CAMPAIGN", "STATE",
+                "ROUNDS", "PROPOSALS", "CHARGED(s)", "HYPERVOL", "RESTARTS");
+    double total_rounds = 0.0;
+    const Json* campaigns = list.find("campaigns");
+    if (campaigns != nullptr && campaigns->kind == Json::kArr) {
+      for (const Json& c : campaigns->arr) {
+        const double rounds = c.numOr("rounds", 0.0);
+        total_rounds += rounds;
+        const Json* hv = c.find("hypervolume");
+        char hv_text[32] = "-";
+        if (hv != nullptr && hv->kind == Json::kNum)
+          std::snprintf(hv_text, sizeof(hv_text), "%.6f", hv->num);
+        std::printf("%-16s %-10s %8.0f %9.0f %12.2f %12s %8.0f\n",
+                    c.strOr("id", "?").c_str(), c.strOr("state", "?").c_str(),
+                    rounds, c.numOr("proposals", 0.0),
+                    c.numOr("charged_seconds", 0.0), hv_text,
+                    c.numOr("restarts", 0.0));
+      }
+    }
+
+    // ---- Server counters. ----
+    const Json* cache = stats.find("cache");
+    if (cache != nullptr) {
+      const double hits = cache->numOr("hits", 0.0);
+      const double misses = cache->numOr("misses", 0.0);
+      const double lookups = hits + misses;
+      const Histo fanout = findHisto(metrics, "slo.coalesce_fanout");
+      const double coalesced =
+          fanout.present ? fanout.sum : 0.0;  // total waiters served
+      std::printf(
+          "\ncache: %0.f flows, %0.f entries | hits %.0f misses %.0f "
+          "(hit rate %.1f%%) | evictions %.0f | coalesced joins %.0f\n",
+          cache->numOr("flows", 0.0), cache->numOr("entries", 0.0), hits,
+          misses, lookups > 0.0 ? 100.0 * hits / lookups : 0.0,
+          cache->numOr("evictions", 0.0), coalesced);
+    }
+    std::printf("farm makespan: %.2fs | trace drops: %.0f | metrics %s\n",
+                stats.numOr("farm_makespan_seconds", 0.0),
+                metrics.numOr("trace_dropped", 0.0),
+                metrics.find("enabled") != nullptr &&
+                        metrics.find("enabled")->b
+                    ? "live"
+                    : "disabled");
+
+    // ---- Throughput from successive polls. ----
+    if (prev_rounds >= 0.0) {
+      const double dt = std::chrono::duration<double>(now - prev_at).count();
+      const double rate = dt > 0.0 ? (total_rounds - prev_rounds) / dt : 0.0;
+      std::printf("round rate: %.2f steps/s (last %.1fs window)\n", rate, dt);
+    }
+    prev_rounds = total_rounds;
+    prev_at = now;
+
+    // ---- SLO percentiles. ----
+    std::printf("\nSLO histograms:\n");
+    printSlo(metrics, "step latency", "slo.step_seconds");
+    printSlo(metrics, "proposal latency", "slo.proposal_seconds");
+    printSlo(metrics, "queue wait", "slo.queue_wait_seconds");
+    printSlo(metrics, "coalesce fan-out", "slo.coalesce_fanout");
+    std::fflush(stdout);
+
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  ::close(fd);
+  return status;
+}
